@@ -1,0 +1,29 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//! RAID parity width, disk replacement time, standby spare OSS, and the
+//! correlated-failure probability.
+
+use cfs_bench::{horizon_hours, replications, run_and_print, DEFAULT_SEED};
+use cfs_model::experiments::{
+    ablation_correlation, ablation_raid_parity, ablation_repair_time, ablation_spare_oss,
+};
+
+fn main() {
+    let reps = replications();
+    let horizon = horizon_hours();
+    run_and_print("Ablation - RAID parity", || ablation_raid_parity(horizon, reps, DEFAULT_SEED), |r| {
+        r.to_table().render()
+    });
+    run_and_print(
+        "Ablation - disk replacement time",
+        || ablation_repair_time(horizon, reps, DEFAULT_SEED),
+        |r| r.to_table().render(),
+    );
+    run_and_print("Ablation - spare OSS", || ablation_spare_oss(horizon, reps, DEFAULT_SEED), |r| {
+        r.to_table().render()
+    });
+    run_and_print(
+        "Ablation - correlated failures",
+        || ablation_correlation(horizon, reps, DEFAULT_SEED),
+        |r| r.to_table().render(),
+    );
+}

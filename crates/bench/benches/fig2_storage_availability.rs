@@ -1,0 +1,24 @@
+//! Regenerates Figure 2: availability of the storage hardware versus scale
+//! (96 TB → 12 PB) for the paper's (shape, AFR, RAID, replacement-time)
+//! tuples. Expected shape: ≈100 % availability at ABE scale for every
+//! configuration, degradation at petascale for the pessimistic
+//! configurations, and (8+3) strictly better than (8+2).
+
+use cfs_bench::{horizon_hours, replications, run_and_print, DEFAULT_SEED};
+use cfs_model::experiments::figure2_storage_availability;
+
+fn main() {
+    let result = run_and_print(
+        "Figure 2 - storage availability vs scale",
+        || figure2_storage_availability(&[], horizon_hours(), replications(), DEFAULT_SEED),
+        |r| r.to_table().render(),
+    );
+    for series in &result.series {
+        let first = series.points.first().expect("non-empty sweep");
+        let last = series.points.last().expect("non-empty sweep");
+        println!(
+            "{:<22} ABE-scale availability {:.5} -> petascale {:.5}",
+            series.label, first.availability.point, last.availability.point
+        );
+    }
+}

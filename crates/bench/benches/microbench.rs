@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the simulation substrates: lifetime
+//! sampling, the stochastic-activity-network engine, and the storage
+//! Monte-Carlo kernel. These track the cost of the inner loops that the
+//! table/figure harnesses are built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use probdist::{Distribution, Exponential, SimRng, Weibull};
+use raidsim::{StorageConfig, StorageSimulator};
+use sanet::reward::RewardSpec;
+use sanet::{ModelBuilder, Simulator};
+
+fn bench_distributions(c: &mut Criterion) {
+    let weibull = Weibull::from_shape_and_mean(0.7, 300_000.0).unwrap();
+    let exponential = Exponential::from_mean(300_000.0).unwrap();
+    c.bench_function("weibull_sample", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| weibull.sample(&mut rng))
+    });
+    c.bench_function("exponential_sample", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| exponential.sample(&mut rng))
+    });
+}
+
+fn bench_san_engine(c: &mut Criterion) {
+    let mut builder = ModelBuilder::new("unit");
+    let up = builder.add_place("up", 1).unwrap();
+    let down = builder.add_place("down", 0).unwrap();
+    builder
+        .timed_activity("fail", Exponential::from_mean(100.0).unwrap())
+        .unwrap()
+        .input_arc(up, 1)
+        .output_arc(down, 1)
+        .build()
+        .unwrap();
+    builder
+        .timed_activity("repair", Exponential::from_mean(4.0).unwrap())
+        .unwrap()
+        .input_arc(down, 1)
+        .output_arc(up, 1)
+        .build()
+        .unwrap();
+    let model = builder.build().unwrap();
+    let rewards =
+        vec![RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 })];
+    c.bench_function("san_engine_one_year_repairable_unit", |b| {
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(7);
+        b.iter(|| sim.run(&rewards, 8760.0, 0.0, &mut rng).unwrap())
+    });
+}
+
+fn bench_storage_kernel(c: &mut Criterion) {
+    let sim = StorageSimulator::new(StorageConfig::abe_scratch()).unwrap();
+    c.bench_function("storage_monte_carlo_abe_one_year", |b| {
+        let mut rng = SimRng::seed_from_u64(3);
+        b.iter(|| sim.run_once(8760.0, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_distributions, bench_san_engine, bench_storage_kernel);
+criterion_main!(benches);

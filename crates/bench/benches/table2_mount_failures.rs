@@ -1,0 +1,16 @@
+//! Regenerates Table 2: Lustre mount failures reported by compute nodes,
+//! aggregated per day (paper: storm days ranging from 2 to 591 nodes).
+
+use cfs_bench::{run_and_print, DEFAULT_SEED};
+use cfs_model::experiments::table2_mount_failures;
+
+fn main() {
+    let result = run_and_print("Table 2 - mount failures", || table2_mount_failures(DEFAULT_SEED), |r| {
+        r.to_table().render()
+    });
+    println!(
+        "paper: 12 storm days, peak 591 nodes | measured: {} storm days, peak {} nodes",
+        result.analysis.days().len(),
+        result.analysis.peak_day_nodes()
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 4: the disk replacement log and its Weibull survival
+//! analysis (paper: shape 0.696 ± 0.192, 0–2 replacements per week).
+
+use cfs_bench::{run_and_print, DEFAULT_SEED};
+use cfs_model::experiments::table4_disk_failures;
+
+fn main() {
+    let result = run_and_print("Table 4 - disk failures", || table4_disk_failures(DEFAULT_SEED), |r| {
+        r.to_table().render()
+    });
+    println!(
+        "paper: Weibull shape 0.696 (sd 0.192), 0-2 replacements/week | measured: shape {:.3} (sd {:.3}), {:.2}/week",
+        result.weibull.shape, result.weibull.shape_std_error, result.mean_per_week
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 5: the simulation model parameters, their ranges, and
+//! provenance, and validates that the ABE defaults fall inside the ranges.
+
+use cfs_bench::run_and_print;
+use cfs_model::experiments::table5_parameters;
+use cfs_model::ModelParameters;
+
+fn main() {
+    let params = ModelParameters::abe();
+    run_and_print(
+        "Table 5 - model parameters",
+        || params.validate().map(|()| table5_parameters(&params)),
+        |t| t.render(),
+    );
+}

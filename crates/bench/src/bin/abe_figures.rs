@@ -1,0 +1,63 @@
+//! Prints the reproductions of Figures 2–4 and the ablation studies.
+//!
+//! Usage: `cargo run --release -p cfs-bench --bin abe-figures [fig2|fig3|fig4|ablations|all]`
+//!
+//! Replication counts and horizons honour the `CFS_BENCH_REPLICATIONS` and
+//! `CFS_BENCH_HORIZON_HOURS` environment variables.
+
+use cfs_bench::{horizon_hours, replications, run_and_print, DEFAULT_SEED};
+use cfs_model::experiments::{
+    ablation_correlation, ablation_raid_parity, ablation_repair_time, ablation_spare_oss,
+    figure2_storage_availability, figure3_disk_replacements, figure4_cfs_availability,
+};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let reps = replications();
+    let horizon = horizon_hours();
+    let seed = DEFAULT_SEED;
+
+    if which == "fig2" || which == "all" {
+        run_and_print(
+            "Figure 2 - storage availability vs scale",
+            || figure2_storage_availability(&[], horizon, reps, seed),
+            |r| r.to_table().render(),
+        );
+    }
+    if which == "fig3" || which == "all" {
+        run_and_print(
+            "Figure 3 - disk replacements per week",
+            || figure3_disk_replacements(&[], horizon, reps, seed),
+            |r| r.to_table().render(),
+        );
+    }
+    if which == "fig4" || which == "all" {
+        run_and_print(
+            "Figure 4 - CFS availability and cluster utility vs scale",
+            || figure4_cfs_availability(&[], horizon, reps, seed),
+            |r| r.to_table().render(),
+        );
+    }
+    if which == "ablations" || which == "all" {
+        run_and_print(
+            "Ablation - RAID parity",
+            || ablation_raid_parity(horizon, reps, seed),
+            |r| r.to_table().render(),
+        );
+        run_and_print(
+            "Ablation - disk replacement time",
+            || ablation_repair_time(horizon, reps, seed),
+            |r| r.to_table().render(),
+        );
+        run_and_print(
+            "Ablation - spare OSS",
+            || ablation_spare_oss(horizon, reps, seed),
+            |r| r.to_table().render(),
+        );
+        run_and_print(
+            "Ablation - correlated failures",
+            || ablation_correlation(horizon, reps, seed),
+            |r| r.to_table().render(),
+        );
+    }
+}

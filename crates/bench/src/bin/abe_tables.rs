@@ -1,0 +1,24 @@
+//! Prints the reproductions of Tables 1–5 of the paper from the calibrated
+//! synthetic ABE failure log.
+//!
+//! Usage: `cargo run -p cfs-bench --bin abe-tables [seed]`
+
+use cfs_bench::{run_and_print, DEFAULT_SEED};
+use cfs_model::experiments::{
+    table1_outages, table2_mount_failures, table3_jobs, table4_disk_failures, table5_parameters,
+};
+use cfs_model::ModelParameters;
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+
+    run_and_print("Table 1 - Lustre-FS outages", || table1_outages(seed), |r| r.to_table().render());
+    run_and_print("Table 2 - mount failures", || table2_mount_failures(seed), |r| r.to_table().render());
+    run_and_print("Table 3 - job statistics", || table3_jobs(seed), |r| r.to_table().render());
+    run_and_print("Table 4 - disk failures", || table4_disk_failures(seed), |r| r.to_table().render());
+    run_and_print(
+        "Table 5 - model parameters",
+        || Ok::<_, cfs_model::CfsError>(table5_parameters(&ModelParameters::abe())),
+        |t| t.render(),
+    );
+}

@@ -1,0 +1,84 @@
+//! Shared helpers for the benchmark harness that regenerates every table and
+//! figure of the paper's evaluation.
+//!
+//! Each bench target (`cargo bench -p cfs-bench --bench <name>`) runs the
+//! corresponding experiment driver from [`cfs_model::experiments`], prints
+//! the same rows/series the paper reports, and prints how long the
+//! regeneration took. Replication counts default to values that finish in
+//! seconds-to-minutes on a laptop and can be overridden with the
+//! `CFS_BENCH_REPLICATIONS` and `CFS_BENCH_HORIZON_HOURS` environment
+//! variables for higher-precision runs.
+
+use std::time::Instant;
+
+/// Default number of simulation replications per experiment point.
+pub const DEFAULT_REPLICATIONS: usize = 16;
+
+/// Default simulation horizon (hours) per replication: one year.
+pub const DEFAULT_HORIZON_HOURS: f64 = 8760.0;
+
+/// Default seed used by the harness, so published numbers are reproducible.
+pub const DEFAULT_SEED: u64 = 20080625;
+
+/// Replication count, overridable via `CFS_BENCH_REPLICATIONS`.
+pub fn replications() -> usize {
+    std::env::var("CFS_BENCH_REPLICATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(DEFAULT_REPLICATIONS)
+}
+
+/// Simulation horizon in hours, overridable via `CFS_BENCH_HORIZON_HOURS`.
+pub fn horizon_hours() -> f64 {
+    std::env::var("CFS_BENCH_HORIZON_HOURS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&h: &f64| h > 0.0)
+        .unwrap_or(DEFAULT_HORIZON_HOURS)
+}
+
+/// Runs a closure, printing a banner, its result table, and the elapsed
+/// time. Panics (failing the bench run) if the experiment errors, which is
+/// the desired behaviour for a regression harness.
+pub fn run_and_print<T, E: std::fmt::Display>(
+    name: &str,
+    run: impl FnOnce() -> Result<T, E>,
+    render: impl FnOnce(&T) -> String,
+) -> T {
+    println!("==== {name} ====");
+    let start = Instant::now();
+    let result = match run() {
+        Ok(r) => r,
+        Err(e) => panic!("{name} failed: {e}"),
+    };
+    let elapsed = start.elapsed();
+    println!("{}", render(&result));
+    println!("[{name}] regenerated in {:.2} s\n", elapsed.as_secs_f64());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(DEFAULT_REPLICATIONS >= 2);
+        assert!(DEFAULT_HORIZON_HOURS > 0.0);
+        assert!(replications() >= 2);
+        assert!(horizon_hours() > 0.0);
+    }
+
+    #[test]
+    fn run_and_print_returns_the_result() {
+        let value = run_and_print("test", || Ok::<_, String>(41 + 1), |v| format!("value = {v}"));
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom failed")]
+    fn run_and_print_panics_on_error() {
+        let _ = run_and_print("boom", || Err::<i32, _>("nope".to_string()), |v| v.to_string());
+    }
+}

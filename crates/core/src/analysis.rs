@@ -1,0 +1,162 @@
+//! Running the composed cluster model and summarising its dependability.
+
+use probdist::stats::{confidence_interval, ConfidenceInterval, RunningStats};
+use serde::{Deserialize, Serialize};
+
+use sanet::Experiment;
+
+use crate::config::ClusterConfig;
+use crate::model::build_cluster_model;
+use crate::rewards::{
+    cluster_utility, standard_rewards, CFS_AVAILABILITY, DISK_REPLACEMENTS, LOST_NODE_HOURS,
+    MEAN_OSS_PAIRS_DOWN, STORAGE_AVAILABILITY,
+};
+use crate::CfsError;
+
+/// Dependability measures of a cluster configuration, each with a 95 %
+/// confidence interval across simulation replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterDependability {
+    /// Name of the evaluated configuration.
+    pub config_name: String,
+    /// CFS availability (Section 4.2).
+    pub cfs_availability: ConfidenceInterval,
+    /// Storage (RAID subsystem) availability.
+    pub storage_availability: ConfidenceInterval,
+    /// Cluster utility (CU).
+    pub cluster_utility: ConfidenceInterval,
+    /// Disk replacements per week.
+    pub disk_replacements_per_week: ConfidenceInterval,
+    /// Time-averaged number of OSS pairs simultaneously down.
+    pub mean_oss_pairs_down: ConfidenceInterval,
+    /// Number of replications run.
+    pub replications: usize,
+    /// Simulation horizon of each replication, hours.
+    pub horizon_hours: f64,
+}
+
+/// Builds the composed model for `config`, simulates `replications`
+/// independent replications of `horizon_hours` each, and returns every
+/// reward measure with confidence intervals.
+///
+/// # Errors
+///
+/// Returns [`CfsError::InvalidConfig`] for an invalid configuration or run
+/// parameters and propagates simulation errors.
+pub fn evaluate_cluster(
+    config: &ClusterConfig,
+    horizon_hours: f64,
+    replications: usize,
+    seed: u64,
+) -> Result<ClusterDependability, CfsError> {
+    if replications < 2 {
+        return Err(CfsError::InvalidConfig { reason: "at least two replications are required".into() });
+    }
+    if !(horizon_hours.is_finite() && horizon_hours > 0.0) {
+        return Err(CfsError::InvalidConfig {
+            reason: format!("horizon must be positive, got {horizon_hours}"),
+        });
+    }
+
+    let cluster = build_cluster_model(config)?;
+    let rewards = standard_rewards(&cluster);
+    let mut experiment = Experiment::new(cluster.model.clone(), horizon_hours);
+    for reward in rewards {
+        experiment.add_reward(reward);
+    }
+
+    let runs = experiment.run_raw(replications, seed)?;
+
+    let mut cfs = RunningStats::new();
+    let mut storage = RunningStats::new();
+    let mut cu = RunningStats::new();
+    let mut replacements = RunningStats::new();
+    let mut oss_down = RunningStats::new();
+    for run in &runs {
+        let availability = run.reward(CFS_AVAILABILITY)?;
+        let lost = run.reward(LOST_NODE_HOURS)?;
+        cfs.push(availability);
+        storage.push(run.reward(STORAGE_AVAILABILITY)?);
+        cu.push(cluster_utility(availability, lost, config.compute_nodes, horizon_hours));
+        replacements.push(run.reward(DISK_REPLACEMENTS)? / (horizon_hours / 168.0));
+        oss_down.push(run.reward(MEAN_OSS_PAIRS_DOWN)?);
+    }
+
+    Ok(ClusterDependability {
+        config_name: config.name.clone(),
+        cfs_availability: confidence_interval(&cfs, 0.95)?,
+        storage_availability: confidence_interval(&storage, 0.95)?,
+        cluster_utility: confidence_interval(&cu, 0.95)?,
+        disk_replacements_per_week: confidence_interval(&replacements, 0.95)?,
+        mean_oss_pairs_down: confidence_interval(&oss_down, 0.95)?,
+        replications: runs.len(),
+        horizon_hours,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const YEAR: f64 = 8760.0;
+
+    #[test]
+    fn run_parameters_are_validated() {
+        let abe = ClusterConfig::abe();
+        assert!(evaluate_cluster(&abe, YEAR, 1, 1).is_err());
+        assert!(evaluate_cluster(&abe, 0.0, 8, 1).is_err());
+        assert!(evaluate_cluster(&abe, -1.0, 8, 1).is_err());
+    }
+
+    #[test]
+    fn abe_availability_matches_the_measured_band() {
+        // The paper measures ABE CFS availability at about 0.97 (Table 1 /
+        // Figure 4 first point) and storage availability ≈ 1.
+        let result = evaluate_cluster(&ClusterConfig::abe(), YEAR, 24, 7).unwrap();
+        let a = result.cfs_availability.point;
+        assert!(a > 0.955 && a < 0.99, "ABE CFS availability {a}");
+        assert!(result.storage_availability.point > 0.9999);
+        // CU is below CFS availability (transient errors) but not by much at
+        // ABE scale.
+        assert!(result.cluster_utility.point < a);
+        assert!(result.cluster_utility.point > a - 0.05);
+        // 0-2 disk replacements per week.
+        let per_week = result.disk_replacements_per_week.point;
+        assert!(per_week > 0.1 && per_week < 3.0, "replacements {per_week}");
+        assert_eq!(result.replications, 24);
+    }
+
+    #[test]
+    fn petascale_availability_drops_toward_the_paper_value() {
+        // Figure 4: CFS availability falls from ≈0.97 to ≈0.91 as the system
+        // scales to petaflop-petabyte; CU falls further.
+        let result = evaluate_cluster(&ClusterConfig::petascale(), YEAR, 16, 11).unwrap();
+        let a = result.cfs_availability.point;
+        assert!(a > 0.85 && a < 0.945, "petascale CFS availability {a}");
+        assert!(result.storage_availability.point > 0.999);
+        assert!(result.cluster_utility.point < a - 0.02, "CU should fall well below CFS availability");
+    }
+
+    #[test]
+    fn spare_oss_improves_petascale_availability() {
+        let base = evaluate_cluster(&ClusterConfig::petascale(), YEAR, 16, 13).unwrap();
+        let spared =
+            evaluate_cluster(&ClusterConfig::petascale().with_spare_oss(), YEAR, 16, 13).unwrap();
+        let gain = spared.cfs_availability.point - base.cfs_availability.point;
+        assert!(gain > 0.005, "spare OSS should improve availability, gain {gain}");
+        assert!(gain < 0.12, "gain should stay in a plausible range, gain {gain}");
+    }
+
+    #[test]
+    fn multipath_network_improves_cluster_utility() {
+        let base = evaluate_cluster(&ClusterConfig::petascale(), YEAR, 12, 17).unwrap();
+        let multi =
+            evaluate_cluster(&ClusterConfig::petascale().with_multipath_network(), YEAR, 12, 17).unwrap();
+        assert!(
+            multi.cluster_utility.point > base.cluster_utility.point,
+            "multipath {} vs base {}",
+            multi.cluster_utility.point,
+            base.cluster_utility.point
+        );
+    }
+}

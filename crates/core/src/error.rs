@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use faultlog::LogError;
+use probdist::DistError;
+use raidsim::RaidError;
+use sanet::SanError;
+
+/// Error type for cluster-model construction, simulation, and experiments.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CfsError {
+    /// A cluster configuration or parameter value was rejected.
+    InvalidConfig {
+        /// Explanation of the rejected configuration.
+        reason: String,
+    },
+    /// An error from the stochastic-activity-network engine.
+    San(SanError),
+    /// An error from the storage reliability simulator.
+    Raid(RaidError),
+    /// An error from the failure-log substrate.
+    Log(LogError),
+    /// An error from the statistics layer.
+    Distribution(DistError),
+}
+
+impl fmt::Display for CfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfsError::InvalidConfig { reason } => write!(f, "invalid cluster configuration: {reason}"),
+            CfsError::San(e) => write!(f, "model error: {e}"),
+            CfsError::Raid(e) => write!(f, "storage model error: {e}"),
+            CfsError::Log(e) => write!(f, "failure log error: {e}"),
+            CfsError::Distribution(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl Error for CfsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CfsError::San(e) => Some(e),
+            CfsError::Raid(e) => Some(e),
+            CfsError::Log(e) => Some(e),
+            CfsError::Distribution(e) => Some(e),
+            CfsError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<SanError> for CfsError {
+    fn from(e: SanError) -> Self {
+        CfsError::San(e)
+    }
+}
+
+impl From<RaidError> for CfsError {
+    fn from(e: RaidError) -> Self {
+        CfsError::Raid(e)
+    }
+}
+
+impl From<LogError> for CfsError {
+    fn from(e: LogError) -> Self {
+        CfsError::Log(e)
+    }
+}
+
+impl From<DistError> for CfsError {
+    fn from(e: DistError) -> Self {
+        CfsError::Distribution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CfsError = SanError::UnknownReward { name: "x".into() }.into();
+        assert!(matches!(e, CfsError::San(_)));
+        assert!(Error::source(&e).is_some());
+
+        let e: CfsError = RaidError::InvalidConfig { reason: "r".into() }.into();
+        assert!(e.to_string().contains("storage"));
+
+        let e: CfsError = LogError::EmptyLog { analysis: "job" }.into();
+        assert!(matches!(e, CfsError::Log(_)));
+
+        let e: CfsError = DistError::EmptyData.into();
+        assert!(matches!(e, CfsError::Distribution(_)));
+
+        let e = CfsError::InvalidConfig { reason: "zero nodes".into() };
+        assert!(e.to_string().contains("zero nodes"));
+        assert!(Error::source(&e).is_none());
+    }
+}

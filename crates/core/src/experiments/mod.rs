@@ -1,0 +1,37 @@
+//! Experiment drivers: one per table and figure of the paper's evaluation,
+//! plus the ablations called out in DESIGN.md.
+//!
+//! Every driver takes an explicit replication count and seed so the
+//! benchmark harness can trade precision against runtime, returns a
+//! structured result, and can render itself as a [`crate::report::TextTable`]
+//! whose rows mirror the paper's presentation.
+//!
+//! | Paper artefact | Driver |
+//! |---|---|
+//! | Table 1 (outages / SAN availability) | [`tables::table1_outages`] |
+//! | Table 2 (mount failures per day) | [`tables::table2_mount_failures`] |
+//! | Table 3 (job statistics) | [`tables::table3_jobs`] |
+//! | Table 4 (disk failures, Weibull fit) | [`tables::table4_disk_failures`] |
+//! | Table 5 (model parameters) | [`tables::table5_parameters`] |
+//! | Figure 2 (storage availability vs scale) | [`fig2::figure2_storage_availability`] |
+//! | Figure 3 (disk replacements per week) | [`fig3::figure3_disk_replacements`] |
+//! | Figure 4 (CFS availability and CU vs scale) | [`fig4::figure4_cfs_availability`] |
+//! | Ablations (§6 of DESIGN.md) | [`ablations`] |
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod tables;
+
+pub use ablations::{
+    ablation_correlation, ablation_raid_parity, ablation_repair_time, ablation_spare_oss,
+    AblationPoint, AblationResult,
+};
+pub use fig2::{figure2_storage_availability, Fig2Config, Fig2Point, Fig2Result, Fig2Series};
+pub use fig3::{figure3_disk_replacements, Fig3Point, Fig3Result, Fig3Series};
+pub use fig4::{figure4_cfs_availability, Fig4Point, Fig4Result};
+pub use tables::{
+    table1_outages, table2_mount_failures, table3_jobs, table4_disk_failures, table5_parameters,
+    Table1Result, Table2Result, Table3Result, Table4Result,
+};

@@ -1,0 +1,70 @@
+//! Dependability model of the NCSA ABE cluster file system, scaled to
+//! petascale — the primary contribution of *"Scaling File Systems to Support
+//! Petascale Clusters: A Dependability Analysis to Support Informed Design
+//! Choices"* (Gaonkar, Rozier, Tong, Sanders).
+//!
+//! The crate assembles the substrates into the paper's composed model
+//! (Figure 1) and its evaluation (Section 5):
+//!
+//! * [`params`] — the Table 5 model parameters with ABE defaults, valid
+//!   ranges, and provenance.
+//! * [`config`] — cluster configurations: the ABE baseline, the
+//!   petaflop–petabyte target, and interpolated scale points, including the
+//!   spare-OSS and multi-path mitigation options evaluated in Section 5.2.
+//! * [`model`] — the stochastic activity network of the cluster: CLIENT,
+//!   OSS (metadata + file-server fail-over pairs), OSS_SAN_NW, SAN, and
+//!   DDN_UNITS submodels joined over shared places, built on the
+//!   [`sanet`] engine.
+//! * [`rewards`] — the paper's reward variables: CFS availability, storage
+//!   availability, cluster utility (CU), and disk-replacement rate.
+//! * [`analysis`] — runs the composed model and returns the reward
+//!   estimates with confidence intervals.
+//! * [`experiments`] — one driver per table and figure of the evaluation
+//!   (Tables 1–5, Figures 2–4) plus the ablations listed in DESIGN.md.
+//! * [`report`] — plain-text table rendering for the experiment drivers.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cfs_model::config::ClusterConfig;
+//! use cfs_model::analysis::evaluate_cluster;
+//!
+//! # fn main() -> Result<(), cfs_model::CfsError> {
+//! let abe = ClusterConfig::abe();
+//! let result = evaluate_cluster(&abe, 8760.0, 32, 42)?;
+//! println!("CFS availability: {}", result.cfs_availability);
+//! println!("Cluster utility:  {}", result.cluster_utility);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+mod error;
+pub mod experiments;
+pub mod model;
+pub mod params;
+pub mod report;
+pub mod rewards;
+
+pub use analysis::{evaluate_cluster, ClusterDependability};
+pub use config::ClusterConfig;
+pub use error::CfsError;
+pub use params::ModelParameters;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterConfig>();
+        assert_send_sync::<ModelParameters>();
+        assert_send_sync::<CfsError>();
+        assert_send_sync::<ClusterDependability>();
+    }
+}

@@ -1,0 +1,489 @@
+//! The composed stochastic activity network of the cluster (Figure 1).
+//!
+//! The model joins five submodels over shared places, mirroring the paper's
+//! replicate/join tree:
+//!
+//! ```text
+//! CLUSTER
+//! ├── CLIENT            transient network storms between compute nodes and the CFS
+//! └── CFS_UNIT
+//!     ├── OSS           metadata + file-server fail-over pairs (replicated)
+//!     ├── OSS_SAN_NW    FC ports / switches between OSS and DDN (per DDN unit)
+//!     ├── SAN           CFS-wide software failures and central unmasked hardware incidents
+//!     └── DDN_UNITS     RAID controllers (per DDN unit) and RAID6 tier data-loss events
+//! ```
+//!
+//! The shared places are counters:
+//!
+//! * `cfs_down_conditions` — the number of conditions currently making the
+//!   CFS unable to serve clients (a fully failed OSS pair, a failed network
+//!   path, a software failure, an unrecovered tier, …). The CFS is
+//!   available exactly when this count is zero.
+//! * `storage_down_tiers` — the number of RAID tiers currently in
+//!   unrecoverable-failure recovery (storage availability).
+//! * `lost_node_hours` — accumulated compute node-hours lost to transient
+//!   network errors (drives the cluster-utility measure).
+//!
+//! Each submodel builder adds its scoped places and activities to the same
+//! [`ModelBuilder`], which is exactly a Möbius join; OSS pairs and DDN units
+//! are added through [`sanet::compose::replicate`].
+
+use probdist::{Deterministic, Dist, Exponential, Uniform};
+use raidsim::analytic::tier_mttdl;
+use sanet::compose::{join, replicate};
+use sanet::{ActivityId, Marking, Model, ModelBuilder, PlaceId, SanError};
+
+use crate::config::ClusterConfig;
+use crate::CfsError;
+
+/// Shared places of the composed cluster model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterPlaces {
+    /// Count of conditions rendering the CFS unavailable (0 = available).
+    pub cfs_down_conditions: PlaceId,
+    /// Count of tiers currently recovering from an unrecoverable failure.
+    pub storage_down_tiers: PlaceId,
+    /// Accumulated compute node-hours lost to transient network errors.
+    pub lost_node_hours: PlaceId,
+    /// Number of OSS pairs currently completely failed.
+    pub oss_pairs_down: PlaceId,
+}
+
+/// Activity handles needed by reward definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterActivities {
+    /// Aggregate disk-replacement activity (impulse reward counts
+    /// replacements).
+    pub disk_replacement: ActivityId,
+    /// Transient network storm activities (one per storm-size case group).
+    pub transient_storm: ActivityId,
+    /// Unrecoverable tier failure (data-loss) activity.
+    pub tier_data_loss: ActivityId,
+}
+
+/// The built cluster model: the SAN network plus the handles rewards need.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    /// The underlying stochastic activity network.
+    pub model: Model,
+    /// Shared place handles.
+    pub places: ClusterPlaces,
+    /// Activity handles.
+    pub activities: ClusterActivities,
+    /// The configuration the model was built from.
+    pub config: ClusterConfig,
+}
+
+/// Storm sizes observed on ABE (Table 2): number of compute nodes reporting
+/// a Lustre mount failure on each storm day, out of 1200 nodes.
+const ABE_STORM_SIZES: [f64; 12] =
+    [102.0, 258.0, 375.0, 591.0, 5.0, 2.0, 4.0, 3.0, 463.0, 477.0, 51.0, 35.0];
+
+/// Builds the composed cluster model for a configuration.
+///
+/// # Errors
+///
+/// Returns [`CfsError::InvalidConfig`] if the configuration fails
+/// validation, and propagates model-construction errors.
+pub fn build_cluster_model(config: &ClusterConfig) -> Result<ClusterModel, CfsError> {
+    config.validate()?;
+    let params = config.params;
+    let mut b = ModelBuilder::new(format!("cluster/{}", config.name));
+
+    // Shared places (the join state of Figure 1).
+    let cfs_down = b.add_place("cfs_down_conditions", 0)?;
+    let storage_down = b.add_place("storage_down_tiers", 0)?;
+    let lost_node_hours = b.add_place("lost_node_hours", 0)?;
+    let oss_pairs_down = b.add_place("oss_pairs_down", 0)?;
+
+    let places = ClusterPlaces {
+        cfs_down_conditions: cfs_down,
+        storage_down_tiers: storage_down,
+        lost_node_hours,
+        oss_pairs_down,
+    };
+
+    // --- OSS submodel: metadata + file-server fail-over pairs -------------
+    let spare_pool = if config.spare_oss {
+        // One warm standby OSS shared by all pairs.
+        Some(b.add_place("spare_oss_available", 1)?)
+    } else {
+        None
+    };
+    replicate(&mut b, "oss_pair", config.total_oss_pairs() as usize, |b, _i| {
+        add_failover_pair(b, &params, cfs_down, Some(oss_pairs_down), spare_pool)
+    })?;
+
+    // --- OSS_SAN_NW submodel: redundant FC paths per DDN unit -------------
+    replicate(&mut b, "oss_san_nw", config.storage.ddn_units as usize, |b, _i| {
+        add_failover_pair(b, &params, cfs_down, None, None)
+    })?;
+
+    // --- DDN_UNITS submodel: RAID controller pairs per DDN unit -----------
+    replicate(&mut b, "ddn_controller", config.storage.ddn_units as usize, |b, _i| {
+        add_controller_pair(b, config, cfs_down)
+    })?;
+
+    // --- SAN submodel: CFS-wide software failures and central incidents ---
+    join(&mut b, "san", |b| add_san_submodel(b, &params, cfs_down))?;
+
+    // --- DDN_UNITS: aggregate tier data-loss and disk replacement ---------
+    let (tier_data_loss, disk_replacement) =
+        join(&mut b, "ddn_storage", |b| add_storage_submodel(b, config, cfs_down, storage_down))
+            .map_err(CfsError::from)?;
+
+    // --- CLIENT submodel: transient network storms -------------------------
+    let transient_storm = join(&mut b, "client", |b| add_client_submodel(b, config, lost_node_hours))?;
+
+    let model = b.build()?;
+    Ok(ClusterModel {
+        model,
+        places,
+        activities: ClusterActivities { disk_replacement, transient_storm, tier_data_loss },
+        config: config.clone(),
+    })
+}
+
+/// Adds a generic redundant fail-over pair (OSS pair or network-path pair):
+/// two members, each failing at half the pair's hardware rate; a member
+/// failure is masked unless the partner is already down or the failure
+/// propagates (correlation probability `p`), in which case the pair — and
+/// with it the CFS — is down until a repair restores a member.
+fn add_failover_pair(
+    b: &mut ModelBuilder,
+    params: &crate::params::ModelParameters,
+    cfs_down: PlaceId,
+    pairs_down_counter: Option<PlaceId>,
+    spare_pool: Option<PlaceId>,
+) -> Result<PlaceId, SanError> {
+    let working = b.add_place("working_members", 2)?;
+    let down = b.add_place("pair_down", 0)?;
+    let holding_spare = if spare_pool.is_some() { Some(b.add_place("holding_spare", 0)?) } else { None };
+
+    let member_rate = params.hardware_failure_rate_per_pair / 2.0;
+    let p = params.correlation_probability;
+
+    // Marks the pair (and the CFS) down when no members remain working.
+    let mark_down_if_dead = move |m: &mut Marking| {
+        if m.tokens(working) == 0 && m.tokens(down) == 0 {
+            m.set_tokens(down, 1);
+            m.add_tokens(cfs_down, 1);
+            if let Some(counter) = pairs_down_counter {
+                m.add_tokens(counter, 1);
+            }
+        }
+    };
+
+    // Member hardware failure with aggregate (marking-dependent) rate.
+    b.timed_activity_fn("member_fail", move |m: &Marking| {
+        let n = m.tokens(working).max(1) as f64;
+        Dist::Exponential(Exponential::new(n * member_rate).expect("positive rate"))
+    })?
+    .input_arc(working, 1)
+    .case(1.0 - p)
+    .output_gate(mark_down_if_dead)
+    .case(p)
+    .output_gate(move |m: &mut Marking| {
+        // Correlated failure: the error propagates to the partner as well.
+        m.remove_tokens(working, 1);
+        mark_down_if_dead(m);
+    })
+    .build()?;
+
+    // Hardware repair restores one member at a time (12–36 h window around
+    // the configured mean).
+    let repair = Uniform::new(params.hardware_repair_hours * 0.5, params.hardware_repair_hours * 1.5)
+        .expect("valid repair window");
+    b.timed_activity("member_repair", repair)?
+        .enabling_predicate(move |m: &Marking| m.tokens(working) < 2)
+        .output_arc(working, 1)
+        .output_gate(move |m: &mut Marking| {
+            if m.tokens(down) == 1 {
+                m.set_tokens(down, 0);
+                m.remove_tokens(cfs_down, 1);
+                if let Some(counter) = pairs_down_counter {
+                    m.remove_tokens(counter, 1);
+                }
+            }
+        })
+        .output_gate(move |m: &mut Marking| {
+            // When fully repaired, return a borrowed spare to the pool.
+            if let (Some(holding), Some(pool)) = (holding_spare, spare_pool) {
+                if m.tokens(working) == 2 && m.tokens(holding) > 0 {
+                    m.remove_tokens(holding, 1);
+                    m.add_tokens(pool, 1);
+                }
+            }
+        })
+        .build()?;
+
+    // Optional spare take-over: a warm standby OSS replaces a dead pair
+    // after a short switch-over, restoring service long before the hardware
+    // repair completes.
+    if let (Some(pool), Some(holding)) = (spare_pool, holding_spare) {
+        b.timed_activity("spare_takeover", Deterministic::new(params.spare_oss_takeover_hours).expect("positive"))?
+            .input_arc(pool, 1)
+            .enabling_predicate(move |m: &Marking| m.tokens(down) == 1)
+            .output_arc(holding, 1)
+            .output_gate(move |m: &mut Marking| {
+                if m.tokens(down) == 1 {
+                    m.set_tokens(down, 0);
+                    m.remove_tokens(cfs_down, 1);
+                    if let Some(counter) = pairs_down_counter {
+                        m.remove_tokens(counter, 1);
+                    }
+                }
+            })
+            .build()?;
+    }
+
+    Ok(down)
+}
+
+/// Adds a RAID-controller fail-over pair for one DDN unit. Controller
+/// failures are rarer than general OSS hardware failures (see
+/// [`raidsim::ControllerModel`]); a double fault makes the unit's storage —
+/// and hence the CFS — unavailable until repair.
+fn add_controller_pair(
+    b: &mut ModelBuilder,
+    config: &ClusterConfig,
+    cfs_down: PlaceId,
+) -> Result<(), SanError> {
+    let params = &config.params;
+    let controller = config.storage.controllers.unwrap_or_else(raidsim::ControllerModel::abe_default);
+    let working = b.add_place("working_controllers", 2)?;
+    let down = b.add_place("pair_down", 0)?;
+    let rate = controller.failure_rate_per_hour;
+    let p = params.correlation_probability;
+
+    let mark_down_if_dead = move |m: &mut Marking| {
+        if m.tokens(working) == 0 && m.tokens(down) == 0 {
+            m.set_tokens(down, 1);
+            m.add_tokens(cfs_down, 1);
+        }
+    };
+
+    b.timed_activity_fn("controller_fail", move |m: &Marking| {
+        let n = m.tokens(working).max(1) as f64;
+        Dist::Exponential(Exponential::new(n * rate).expect("positive rate"))
+    })?
+    .input_arc(working, 1)
+    .case(1.0 - p)
+    .output_gate(mark_down_if_dead)
+    .case(p)
+    .output_gate(move |m: &mut Marking| {
+        m.remove_tokens(working, 1);
+        mark_down_if_dead(m);
+    })
+    .build()?;
+
+    b.timed_activity("controller_repair", Deterministic::new(controller.repair_hours).expect("positive"))?
+        .enabling_predicate(move |m: &Marking| m.tokens(working) < 2)
+        .output_arc(working, 1)
+        .output_gate(move |m: &mut Marking| {
+            if m.tokens(down) == 1 {
+                m.set_tokens(down, 0);
+                m.remove_tokens(cfs_down, 1);
+            }
+        })
+        .build()?;
+    Ok(())
+}
+
+/// Adds the SAN-wide failure processes: Lustre/software failures repaired by
+/// fsck (2–6 h) and central unmasked hardware incidents (the multi-hour
+/// I/O-hardware outages of Table 1).
+fn add_san_submodel(
+    b: &mut ModelBuilder,
+    params: &crate::params::ModelParameters,
+    cfs_down: PlaceId,
+) -> Result<(), SanError> {
+    // Software failure / fsck cycle.
+    let sw_ok = b.add_place("software_ok", 1)?;
+    let sw_down = b.add_place("software_down", 0)?;
+    b.timed_activity("software_fail", Exponential::new(params.software_failure_rate).expect("positive rate"))?
+        .input_arc(sw_ok, 1)
+        .output_arc(sw_down, 1)
+        .output_arc(cfs_down, 1)
+        .build()?;
+    let sw_repair = Uniform::new(params.software_repair_hours * 0.5, params.software_repair_hours * 1.5)
+        .expect("valid repair window");
+    b.timed_activity("software_repair", sw_repair)?
+        .input_arc(sw_down, 1)
+        .input_arc(cfs_down, 1)
+        .output_arc(sw_ok, 1)
+        .build()?;
+
+    // Central unmasked hardware incidents.
+    if params.unmasked_hardware_incident_rate > 0.0 {
+        let hw_ok = b.add_place("central_hardware_ok", 1)?;
+        let hw_down = b.add_place("central_hardware_down", 0)?;
+        b.timed_activity(
+            "central_hardware_fail",
+            Exponential::new(params.unmasked_hardware_incident_rate).expect("positive rate"),
+        )?
+        .input_arc(hw_ok, 1)
+        .output_arc(hw_down, 1)
+        .output_arc(cfs_down, 1)
+        .build()?;
+        let outage = Uniform::new(
+            params.unmasked_hardware_outage_hours * 0.6,
+            params.unmasked_hardware_outage_hours * 1.4,
+        )
+        .expect("valid outage window");
+        b.timed_activity("central_hardware_repair", outage)?
+            .input_arc(hw_down, 1)
+            .input_arc(cfs_down, 1)
+            .output_arc(hw_ok, 1)
+            .build()?;
+    }
+
+    Ok(())
+}
+
+/// Adds the aggregate storage behaviour: unrecoverable tier failures (rate
+/// `tiers / MTTDL` from the analytic RAID model) with their recovery, and an
+/// aggregate disk-replacement counting process.
+fn add_storage_submodel(
+    b: &mut ModelBuilder,
+    config: &ClusterConfig,
+    cfs_down: PlaceId,
+    storage_down: PlaceId,
+) -> Result<(ActivityId, ActivityId), SanError> {
+    let storage = &config.storage;
+    let mttr = storage.replacement_hours + storage.rebuild_hours;
+    let mttdl = tier_mttdl(storage.geometry, storage.disk.mtbf_hours, mttr)
+        .expect("validated storage configuration");
+    let tier_loss_rate = storage.tiers as f64 / mttdl;
+
+    let ok_tiers = b.add_place("tiers_ok", storage.tiers as u64)?;
+
+    // Unrecoverable tier failure: the tier's data must be restored (fsck /
+    // re-stripe / restore from backup), during which the CFS is down.
+    let tier_data_loss = b
+        .timed_activity(
+            "tier_data_loss",
+            Exponential::new(tier_loss_rate.max(1e-18)).expect("positive rate"),
+        )?
+        .input_arc(ok_tiers, 1)
+        .output_arc(storage_down, 1)
+        .output_arc(cfs_down, 1)
+        .build()?;
+    b.timed_activity(
+        "tier_recovery",
+        Deterministic::new(storage.data_loss_recovery_hours).expect("positive recovery"),
+    )?
+    .input_arc(storage_down, 1)
+    .input_arc(cfs_down, 1)
+    .output_arc(ok_tiers, 1)
+    .build()?;
+
+    // Aggregate disk replacements (for the disk-replacement-rate reward):
+    // the whole population of disks produces replacements at rate
+    // `disks / MTBF`; each replacement is an impulse.
+    let replacement_rate = storage.total_disks() as f64 / storage.disk.mtbf_hours;
+    let pseudo = b.add_place("replacement_clock", 1)?;
+    let disk_replacement = b
+        .timed_activity("disk_replacement", Exponential::new(replacement_rate).expect("positive rate"))?
+        .input_arc(pseudo, 1)
+        .output_arc(pseudo, 1)
+        .build()?;
+
+    Ok((tier_data_loss, disk_replacement))
+}
+
+/// Adds the CLIENT submodel: transient network error storms between compute
+/// nodes and the CFS. Each storm makes the CFS appear unavailable to a
+/// subset of nodes and kills their running jobs, losing
+/// `transient_work_loss_hours` of work per affected node. The storm rate
+/// grows with the number of network components, i.e. proportionally to the
+/// compute-node count; multi-path networking (Section 5.2) divides it by
+/// four.
+fn add_client_submodel(
+    b: &mut ModelBuilder,
+    config: &ClusterConfig,
+    lost_node_hours: PlaceId,
+) -> Result<ActivityId, SanError> {
+    let params = &config.params;
+    let scale = config.compute_nodes as f64 / 1200.0;
+    let mitigation = if config.multipath_network { 0.25 } else { 1.0 };
+    let storm_rate = params.transient_storm_rate * scale * mitigation;
+
+    let clock = b.add_place("storm_clock", 1)?;
+    let mut builder = b
+        .timed_activity("transient_storm", Exponential::new(storm_rate.max(1e-12)).expect("positive rate"))?
+        .input_arc(clock, 1);
+
+    // One case per observed ABE storm size; the affected-node count scales
+    // with the cluster and each affected node loses a fixed amount of work.
+    let case_probability = 1.0 / ABE_STORM_SIZES.len() as f64;
+    let nodes = config.compute_nodes as f64;
+    let loss_hours = params.transient_work_loss_hours;
+    for &size in &ABE_STORM_SIZES {
+        let lost = ((size / 1200.0) * nodes * loss_hours).round().max(0.0) as u64;
+        builder = builder
+            .case(case_probability)
+            .output_arc(clock, 1)
+            .output_gate(move |m: &mut Marking| m.add_tokens(lost_node_hours, lost));
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    #[test]
+    fn abe_model_builds_with_expected_structure() {
+        let cm = build_cluster_model(&ClusterConfig::abe()).unwrap();
+        // 9 OSS pairs + 2 NW pairs + 2 controller pairs, each with ≥2
+        // activities, plus SAN, storage and client submodels.
+        assert!(cm.model.num_activities() >= 9 * 2 + 2 * 2 + 2 * 2 + 4 + 3 + 1);
+        assert!(cm.model.place("cfs_down_conditions").is_some());
+        assert!(cm.model.place("oss_pair[0]/working_members").is_some());
+        assert!(cm.model.place("oss_pair[8]/working_members").is_some());
+        assert!(cm.model.place("oss_pair[9]/working_members").is_none());
+        assert!(cm.model.activity("san/software_fail").is_some());
+        assert!(cm.model.activity("ddn_storage/tier_data_loss").is_some());
+        assert!(cm.model.activity("client/transient_storm").is_some());
+        // No spare-OSS machinery unless requested.
+        assert!(cm.model.place("spare_oss_available").is_none());
+        assert_eq!(cm.config.name, "ABE");
+    }
+
+    #[test]
+    fn spare_oss_adds_takeover_machinery() {
+        let cm = build_cluster_model(&ClusterConfig::abe().with_spare_oss()).unwrap();
+        assert!(cm.model.place("spare_oss_available").is_some());
+        assert!(cm.model.activity("oss_pair[0]/spare_takeover").is_some());
+    }
+
+    #[test]
+    fn petascale_model_scales_the_replicated_submodels() {
+        let cm = build_cluster_model(&ClusterConfig::petascale()).unwrap();
+        assert!(cm.model.place("oss_pair[80]/working_members").is_some());
+        assert!(cm.model.place("oss_pair[81]/working_members").is_none());
+        assert!(cm.model.place("ddn_controller[19]/working_controllers").is_some());
+        assert!(cm.model.place("ddn_controller[20]/working_controllers").is_none());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut bad = ClusterConfig::abe();
+        bad.compute_nodes = 0;
+        assert!(build_cluster_model(&bad).is_err());
+    }
+
+    #[test]
+    fn initial_marking_is_fully_operational() {
+        let cm = build_cluster_model(&ClusterConfig::abe()).unwrap();
+        let marking = cm.model.initial_marking();
+        assert_eq!(marking.tokens(cm.places.cfs_down_conditions), 0);
+        assert_eq!(marking.tokens(cm.places.storage_down_tiers), 0);
+        assert_eq!(marking.tokens(cm.places.lost_node_hours), 0);
+        assert_eq!(marking.tokens(cm.places.oss_pairs_down), 0);
+        let tiers_ok = cm.model.place("ddn_storage/tiers_ok").unwrap();
+        assert_eq!(marking.tokens(tiers_ok), 48);
+    }
+}

@@ -1,0 +1,144 @@
+//! Plain-text table rendering for experiment drivers.
+//!
+//! Every experiment in [`crate::experiments`] can render its results as an
+//! aligned text table, so the benchmark harness prints the same rows the
+//! paper's tables and figures report.
+
+pub mod csv;
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated.
+    pub fn add_row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        while row.len() < self.headers.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Appends a row of displayable values.
+    pub fn add_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.add_row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let separator: String =
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let _ = writeln!(out, "{separator}");
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!(" {:<width$} ", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("|"));
+        let _ = writeln!(out, "{separator}");
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("|"));
+        }
+        let _ = writeln!(out, "{separator}");
+        out
+    }
+}
+
+/// Formats a point estimate with its confidence half-width, e.g.
+/// `0.9721 ±0.0012`.
+pub fn fmt_ci(interval: &probdist::stats::ConfidenceInterval, decimals: usize) -> String {
+    format!("{:.prec$} ±{:.prec$}", interval.point, interval.half_width, prec = decimals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdist::stats::ConfidenceInterval;
+
+    #[test]
+    fn render_aligns_columns_and_includes_all_rows() {
+        let mut t = TextTable::new("Table X. Example", &["Cause", "Hours"]);
+        t.add_row(&["I/O hardware".into(), "12.95".into()]);
+        t.add_row(&["Network".into(), "3.36".into()]);
+        let text = t.render();
+        assert!(text.contains("Table X. Example"));
+        assert!(text.contains("I/O hardware"));
+        assert!(text.contains("Network"));
+        assert!(text.contains("Cause"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "Table X. Example");
+        // Every data line has the same width.
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_truncated() {
+        let mut t = TextTable::new("t", &["a", "b", "c"]);
+        t.add_row(&["1".into()]);
+        t.add_row(&["1".into(), "2".into(), "3".into(), "4".into()]);
+        let text = t.render();
+        assert_eq!(t.len(), 2);
+        assert!(!text.contains('4'));
+    }
+
+    #[test]
+    fn display_rows_and_ci_formatting() {
+        let mut t = TextTable::new("t", &["x", "y"]);
+        t.add_display_row(&[1.5, 2.25]);
+        assert!(t.render().contains("2.25"));
+
+        let ci = ConfidenceInterval { point: 0.97218, half_width: 0.00123, level: 0.95, samples: 32 };
+        assert_eq!(fmt_ci(&ci, 4), "0.9722 ±0.0012");
+    }
+}

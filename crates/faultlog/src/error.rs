@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use probdist::DistError;
+
+/// Error type for log generation, parsing, and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LogError {
+    /// A configuration value was rejected (negative duration, zero nodes,
+    /// window end before start, …).
+    InvalidConfig {
+        /// Explanation of the rejected configuration.
+        reason: String,
+    },
+    /// A log line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of the syntax problem.
+        reason: String,
+    },
+    /// An analysis was asked to run over an empty or unusable log.
+    EmptyLog {
+        /// Which analysis failed.
+        analysis: &'static str,
+    },
+    /// A statistical estimation step failed.
+    Estimation(DistError),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::InvalidConfig { reason } => write!(f, "invalid log configuration: {reason}"),
+            LogError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            LogError::EmptyLog { analysis } => {
+                write!(f, "cannot run {analysis} analysis on an empty log")
+            }
+            LogError::Estimation(e) => write!(f, "estimation failed: {e}"),
+        }
+    }
+}
+
+impl Error for LogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LogError::Estimation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for LogError {
+    fn from(e: DistError) -> Self {
+        LogError::Estimation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_context() {
+        let e = LogError::Parse { line: 12, reason: "bad timestamp".into() };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("bad timestamp"));
+        let e = LogError::EmptyLog { analysis: "outage" };
+        assert!(e.to_string().contains("outage"));
+    }
+
+    #[test]
+    fn dist_error_converts() {
+        let e: LogError = DistError::EmptyData.into();
+        assert!(matches!(e, LogError::Estimation(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

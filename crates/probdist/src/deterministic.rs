@@ -1,0 +1,126 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{DistError, Distribution, SimRng};
+
+/// Deterministic (degenerate) distribution: every sample equals a fixed
+/// value.
+///
+/// The paper models disk replacement and software-repair completion as
+/// *deterministic* events whose durations are swept across experiments
+/// (1–12 hours for disk replacement, 2–6 hours for software fixes,
+/// Section 4.3). A deterministic distribution makes those sweeps exact
+/// rather than noisy.
+///
+/// # Example
+///
+/// ```
+/// use probdist::{Deterministic, Distribution, SimRng};
+///
+/// # fn main() -> Result<(), probdist::DistError> {
+/// let replace = Deterministic::new(4.0)?;
+/// let mut rng = SimRng::seed_from_u64(0);
+/// assert_eq!(replace.sample(&mut rng), 4.0);
+/// assert_eq!(replace.variance(), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a deterministic distribution concentrated at `value` hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `value` is negative or not finite. Zero is
+    /// permitted (an instantaneous event).
+    pub fn new(value: f64) -> Result<Self, DistError> {
+        Ok(Deterministic { value: DistError::check_non_negative("value", value)? })
+    }
+
+    /// The fixed value returned by every sample.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Distribution for Deterministic {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn pdf(&self, _x: f64) -> f64 {
+        // The density of a point mass is a Dirac delta; report 0 everywhere
+        // (see the trait documentation).
+        0.0
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, DistError> {
+        DistError::check_probability(p)?;
+        Ok(self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_negative_and_nan() {
+        assert!(Deterministic::new(-1.0).is_err());
+        assert!(Deterministic::new(f64::NAN).is_err());
+        assert!(Deterministic::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn sampling_is_constant() {
+        let d = Deterministic::new(3.5).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn cdf_is_a_step() {
+        let d = Deterministic::new(2.0).unwrap();
+        assert_eq!(d.cdf(1.999), 0.0);
+        assert_eq!(d.cdf(2.0), 1.0);
+        assert_eq!(d.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn moments() {
+        let d = Deterministic::new(12.0).unwrap();
+        assert_eq!(d.mean(), 12.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn quantile_is_constant() {
+        let d = Deterministic::new(6.0).unwrap();
+        assert_eq!(d.quantile(0.0).unwrap(), 6.0);
+        assert_eq!(d.quantile(0.5).unwrap(), 6.0);
+        assert_eq!(d.quantile(1.0).unwrap(), 6.0);
+        assert!(d.quantile(2.0).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{DistError, Distribution, SimRng};
+
+/// Exponential (memoryless) distribution with rate `λ` (per hour).
+///
+/// Used by the paper for all failure processes other than disk failures —
+/// OSS hardware failures, software failures, transient network errors, and
+/// RAID-controller failures all occur "at the rate of 1–2 per month"
+/// (Section 4.3) and are modelled as exponential.
+///
+/// # Example
+///
+/// ```
+/// use probdist::{Distribution, Exponential};
+///
+/// # fn main() -> Result<(), probdist::DistError> {
+/// // 1.5 hardware failures per 720 hours (Table 5).
+/// let hw = Exponential::new(1.5 / 720.0)?;
+/// assert!((hw.mean() - 480.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate (events per
+    /// hour).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rate` is not finite and strictly positive.
+    pub fn new(rate: f64) -> Result<Self, DistError> {
+        Ok(Exponential { rate: DistError::check_positive("rate", rate)? })
+    }
+
+    /// Creates an exponential distribution with the given mean (hours).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mean` is not finite and strictly positive.
+    pub fn from_mean(mean: f64) -> Result<Self, DistError> {
+        let mean = DistError::check_positive("mean", mean)?;
+        Exponential::new(1.0 / mean)
+    }
+
+    /// The rate parameter `λ` (events per hour).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF on an open uniform to avoid ln(0).
+        -rng.uniform_open01().ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, DistError> {
+        let p = DistError::check_probability(p)?;
+        if p >= 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok(-(1.0 - p).ln() / self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_rejects_bad_rates() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let d = Exponential::new(0.25).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert!((d.variance() - 16.0).abs() < 1e-12);
+        assert!((d.std_dev() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_pdf_consistency() {
+        let d = Exponential::from_mean(10.0).unwrap();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(-5.0), 0.0);
+        assert!((d.cdf(10.0) - (1.0 - (-1.0_f64).exp())).abs() < 1e-12);
+        // hazard is constant for the exponential
+        for x in [0.1, 1.0, 50.0] {
+            assert!((d.hazard(x) - 0.1).abs() < 1e-9, "hazard at {x}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Exponential::new(0.5).unwrap();
+        for p in [0.01, 0.25, 0.5, 0.9, 0.99] {
+            let x = d.quantile(p).unwrap();
+            assert!((d.cdf(x) - p).abs() < 1e-10);
+        }
+        assert_eq!(d.quantile(1.0).unwrap(), f64::INFINITY);
+        assert_eq!(d.quantile(0.0).unwrap(), 0.0);
+        assert!(d.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let d = Exponential::from_mean(4.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "sample mean {mean}");
+    }
+
+    proptest! {
+        #[test]
+        fn samples_are_non_negative(rate in 1e-6..1e3_f64, seed in any::<u64>()) {
+            let d = Exponential::new(rate).unwrap();
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                prop_assert!(d.sample(&mut rng) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn cdf_is_monotone(rate in 1e-3..1e2_f64, a in 0.0..1e4_f64, b in 0.0..1e4_f64) {
+            let d = Exponential::new(rate).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-15);
+        }
+
+        #[test]
+        fn quantile_roundtrip(rate in 1e-3..1e2_f64, p in 0.001..0.999_f64) {
+            let d = Exponential::new(rate).unwrap();
+            let x = d.quantile(p).unwrap();
+            prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+use serde::{Deserialize, Serialize};
+
+use crate::fitting::{validate_lifetimes, Lifetime};
+use crate::rates::{FailureRate, Mtbf};
+use crate::{DistError, Exponential};
+
+/// Result of a maximum-likelihood exponential (constant-rate) fit to
+/// right-censored lifetimes — the classical *total time on test* estimator.
+///
+/// Used as the baseline parametric model that the Weibull fit is compared
+/// against, and to estimate the constant rates of Table 5 (hardware,
+/// software, and transient failures) from generated logs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialFit {
+    /// Estimated failure rate (per hour).
+    pub rate: f64,
+    /// Standard error of the rate estimate (`rate / sqrt(r)`).
+    pub rate_std_error: f64,
+    /// Number of observed failures.
+    pub failures: usize,
+    /// Number of censored observations.
+    pub censored: usize,
+    /// Total time on test (sum of all observation times, hours).
+    pub total_time: f64,
+    /// Maximised log-likelihood.
+    pub log_likelihood: f64,
+}
+
+impl ExponentialFit {
+    /// The fitted distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fitted rate is degenerate (should not happen
+    /// for a successful fit).
+    pub fn distribution(&self) -> Result<Exponential, DistError> {
+        Exponential::new(self.rate)
+    }
+
+    /// The estimated mean time between failures.
+    pub fn mtbf(&self) -> Mtbf {
+        Mtbf::new(1.0 / self.rate).expect("rate is positive by construction")
+    }
+
+    /// The estimate as a [`FailureRate`].
+    pub fn failure_rate(&self) -> FailureRate {
+        FailureRate::new(self.rate).expect("rate is positive by construction")
+    }
+}
+
+/// Fits a constant failure rate to right-censored lifetimes by maximum
+/// likelihood: `λ̂ = r / T` where `r` is the number of observed failures and
+/// `T` the total time on test.
+///
+/// # Errors
+///
+/// * [`DistError::EmptyData`] if `data` is empty.
+/// * [`DistError::DegenerateData`] if no failures were observed or the total
+///   observation time is zero.
+pub fn fit_exponential(data: &[Lifetime]) -> Result<ExponentialFit, DistError> {
+    let failures = validate_lifetimes(data, 1)?;
+    let censored = data.len() - failures;
+    let total_time: f64 = data.iter().map(|l| l.time()).sum();
+    if total_time <= 0.0 {
+        return Err(DistError::DegenerateData { reason: "total time on test is zero" });
+    }
+    let rate = failures as f64 / total_time;
+    let log_likelihood = failures as f64 * rate.ln() - rate * total_time;
+    Ok(ExponentialFit {
+        rate,
+        rate_std_error: rate / (failures as f64).sqrt(),
+        failures,
+        censored,
+        total_time,
+        log_likelihood,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Distribution, SimRng};
+
+    #[test]
+    fn recovers_rate_without_censoring() {
+        let d = Exponential::new(0.01).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        let data: Vec<Lifetime> =
+            (0..5000).map(|_| Lifetime::failure(d.sample(&mut rng)).unwrap()).collect();
+        let fit = fit_exponential(&data).unwrap();
+        assert!((fit.rate - 0.01).abs() / 0.01 < 0.05, "rate {}", fit.rate);
+        assert!((fit.mtbf().hours() - 100.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn recovers_rate_with_censoring() {
+        let d = Exponential::from_mean(1000.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(2);
+        let censor = 300.0;
+        let data: Vec<Lifetime> = (0..20_000)
+            .map(|_| {
+                let t = d.sample(&mut rng);
+                if t < censor {
+                    Lifetime::failure(t).unwrap()
+                } else {
+                    Lifetime::censored(censor).unwrap()
+                }
+            })
+            .collect();
+        let fit = fit_exponential(&data).unwrap();
+        assert!(fit.censored > 0);
+        assert!((fit.mtbf().hours() - 1000.0).abs() / 1000.0 < 0.05, "mtbf {}", fit.mtbf().hours());
+    }
+
+    #[test]
+    fn std_error_shrinks_with_more_failures() {
+        let d = Exponential::from_mean(10.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(3);
+        let small: Vec<Lifetime> =
+            (0..50).map(|_| Lifetime::failure(d.sample(&mut rng)).unwrap()).collect();
+        let large: Vec<Lifetime> =
+            (0..5000).map(|_| Lifetime::failure(d.sample(&mut rng)).unwrap()).collect();
+        let fit_small = fit_exponential(&small).unwrap();
+        let fit_large = fit_exponential(&large).unwrap();
+        assert!(fit_large.rate_std_error < fit_small.rate_std_error);
+    }
+
+    #[test]
+    fn errors_on_bad_data() {
+        assert!(fit_exponential(&[]).is_err());
+        let censored_only = vec![Lifetime::censored(5.0).unwrap()];
+        assert!(fit_exponential(&censored_only).is_err());
+    }
+
+    #[test]
+    fn distribution_and_rate_accessors_agree() {
+        let data =
+            vec![Lifetime::failure(10.0).unwrap(), Lifetime::failure(20.0).unwrap(), Lifetime::censored(30.0).unwrap()];
+        let fit = fit_exponential(&data).unwrap();
+        assert!((fit.rate - 2.0 / 60.0).abs() < 1e-12);
+        assert!((fit.distribution().unwrap().rate() - fit.rate).abs() < 1e-15);
+        assert!((fit.failure_rate().per_hour() - fit.rate).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,198 @@
+use serde::{Deserialize, Serialize};
+
+use crate::fitting::{validate_lifetimes, Lifetime};
+use crate::DistError;
+
+/// One point of a Kaplan–Meier survival curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurvivalPoint {
+    /// Event time (hours).
+    pub time: f64,
+    /// Estimated survival probability `S(t)` just after `time`.
+    pub survival: f64,
+    /// Number of units still at risk just before `time`.
+    pub at_risk: usize,
+    /// Number of failures observed at `time`.
+    pub failures: usize,
+}
+
+/// Non-parametric Kaplan–Meier estimator of the survival function from
+/// right-censored lifetime data.
+///
+/// Used to sanity-check the parametric Weibull fit on the disk-replacement
+/// log and to visualise infant mortality (a survival curve that drops
+/// steeply early and then flattens).
+///
+/// # Example
+///
+/// ```
+/// use probdist::fitting::{KaplanMeier, Lifetime};
+///
+/// # fn main() -> Result<(), probdist::DistError> {
+/// let data = vec![
+///     Lifetime::failure(100.0)?,
+///     Lifetime::censored(150.0)?,
+///     Lifetime::failure(200.0)?,
+///     Lifetime::censored(250.0)?,
+/// ];
+/// let km = KaplanMeier::fit(&data)?;
+/// assert!(km.survival_at(99.0) == 1.0);
+/// assert!(km.survival_at(300.0) < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KaplanMeier {
+    points: Vec<SurvivalPoint>,
+    total_units: usize,
+    total_failures: usize,
+}
+
+impl KaplanMeier {
+    /// Fits the estimator to a set of right-censored lifetimes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::EmptyData`] for an empty data set and
+    /// [`DistError::DegenerateData`] when no failures were observed.
+    pub fn fit(data: &[Lifetime]) -> Result<Self, DistError> {
+        let total_failures = validate_lifetimes(data, 1)?;
+        let mut sorted: Vec<Lifetime> = data.to_vec();
+        sorted.sort_by(|a, b| a.time().partial_cmp(&b.time()).expect("finite times"));
+
+        let mut points = Vec::new();
+        let mut survival = 1.0;
+        let mut at_risk = sorted.len();
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].time();
+            // Group ties at the same time.
+            let mut failures_here = 0;
+            let mut removed_here = 0;
+            while i < sorted.len() && sorted[i].time() == t {
+                if sorted[i].is_failure() {
+                    failures_here += 1;
+                }
+                removed_here += 1;
+                i += 1;
+            }
+            if failures_here > 0 {
+                survival *= 1.0 - failures_here as f64 / at_risk as f64;
+                points.push(SurvivalPoint { time: t, survival, at_risk, failures: failures_here });
+            }
+            at_risk -= removed_here;
+        }
+
+        Ok(KaplanMeier { points, total_units: data.len(), total_failures })
+    }
+
+    /// The survival-curve step points (only times at which failures
+    /// occurred).
+    pub fn points(&self) -> &[SurvivalPoint] {
+        &self.points
+    }
+
+    /// Estimated survival probability at time `t` (step function, right
+    /// continuous).
+    pub fn survival_at(&self, t: f64) -> f64 {
+        let mut s = 1.0;
+        for p in &self.points {
+            if p.time <= t {
+                s = p.survival;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Total number of units in the study.
+    pub fn total_units(&self) -> usize {
+        self.total_units
+    }
+
+    /// Total number of observed failures.
+    pub fn total_failures(&self) -> usize {
+        self.total_failures
+    }
+
+    /// Median survival time, if the survival curve crosses 0.5 within the
+    /// observed window.
+    pub fn median_survival(&self) -> Option<f64> {
+        self.points.iter().find(|p| p.survival <= 0.5).map(|p| p.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lt(time: f64, failed: bool) -> Lifetime {
+        if failed {
+            Lifetime::failure(time).unwrap()
+        } else {
+            Lifetime::censored(time).unwrap()
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_all_censored() {
+        assert!(KaplanMeier::fit(&[]).is_err());
+        assert!(KaplanMeier::fit(&[lt(1.0, false), lt(2.0, false)]).is_err());
+    }
+
+    #[test]
+    fn textbook_example_without_censoring() {
+        // With no censoring KM reduces to the empirical survival function.
+        let data: Vec<Lifetime> = [1.0, 2.0, 3.0, 4.0].iter().map(|&t| lt(t, true)).collect();
+        let km = KaplanMeier::fit(&data).unwrap();
+        assert_eq!(km.survival_at(0.5), 1.0);
+        assert!((km.survival_at(1.0) - 0.75).abs() < 1e-12);
+        assert!((km.survival_at(2.5) - 0.5).abs() < 1e-12);
+        assert!((km.survival_at(4.0) - 0.0).abs() < 1e-12);
+        // The curve first reaches 0.5 at the second failure time.
+        assert_eq!(km.median_survival(), Some(2.0));
+    }
+
+    #[test]
+    fn textbook_example_with_censoring() {
+        // Classic example: failures at 6, 7; censored at 6.5, 8.
+        let data = vec![lt(6.0, true), lt(6.5, false), lt(7.0, true), lt(8.0, false)];
+        let km = KaplanMeier::fit(&data).unwrap();
+        // S(6) = 1 - 1/4 = 0.75
+        assert!((km.survival_at(6.0) - 0.75).abs() < 1e-12);
+        // at t=7, at-risk = 2 -> S(7) = 0.75 * (1 - 1/2) = 0.375
+        assert!((km.survival_at(7.0) - 0.375).abs() < 1e-12);
+        assert_eq!(km.total_failures(), 2);
+        assert_eq!(km.total_units(), 4);
+    }
+
+    #[test]
+    fn tied_failure_times_are_grouped() {
+        let data = vec![lt(5.0, true), lt(5.0, true), lt(10.0, true), lt(10.0, false)];
+        let km = KaplanMeier::fit(&data).unwrap();
+        // S(5) = 1 - 2/4 = 0.5
+        assert!((km.survival_at(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(km.points().len(), 2);
+        assert_eq!(km.points()[0].failures, 2);
+    }
+
+    #[test]
+    fn survival_is_monotone_nonincreasing() {
+        let data: Vec<Lifetime> =
+            (1..50).map(|i| lt(i as f64 * 3.0, i % 3 != 0)).collect();
+        let km = KaplanMeier::fit(&data).unwrap();
+        let mut last = 1.0;
+        for p in km.points() {
+            assert!(p.survival <= last + 1e-12);
+            last = p.survival;
+        }
+    }
+
+    #[test]
+    fn median_none_when_curve_stays_above_half() {
+        let data = vec![lt(1.0, true), lt(2.0, false), lt(3.0, false), lt(4.0, false), lt(5.0, false)];
+        let km = KaplanMeier::fit(&data).unwrap();
+        assert_eq!(km.median_survival(), None);
+    }
+}

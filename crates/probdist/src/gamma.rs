@@ -1,0 +1,228 @@
+use serde::{Deserialize, Serialize};
+
+use crate::special::{ln_gamma, reg_lower_gamma};
+use crate::{DistError, Distribution, SimRng};
+
+/// Gamma distribution with shape `k` and scale `θ` (hours).
+///
+/// The gamma family generalises the exponential (shape 1) and Erlang
+/// distributions. It is used as an alternative repair/rebuild-time model and
+/// as the stage distribution when approximating deterministic delays with
+/// phase-type distributions in analytic cross-checks.
+///
+/// # Example
+///
+/// ```
+/// use probdist::{Distribution, Gamma};
+///
+/// # fn main() -> Result<(), probdist::DistError> {
+/// let rebuild = Gamma::from_mean_and_shape(8.0, 4.0)?;
+/// assert!((rebuild.mean() - 8.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with shape `k` and scale `θ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either parameter is not finite and strictly
+    /// positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        Ok(Gamma {
+            shape: DistError::check_positive("shape", shape)?,
+            scale: DistError::check_positive("scale", scale)?,
+        })
+    }
+
+    /// Creates a gamma distribution with the given mean and shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either argument is not finite and strictly
+    /// positive.
+    pub fn from_mean_and_shape(mean: f64, shape: f64) -> Result<Self, DistError> {
+        let mean = DistError::check_positive("mean", mean)?;
+        let shape = DistError::check_positive("shape", shape)?;
+        Gamma::new(shape, mean / shape)
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Marsaglia–Tsang sampling for shape >= 1.
+    fn sample_shape_ge_one(shape: f64, rng: &mut SimRng) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = rng.standard_normal();
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = rng.uniform_open01();
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution for Gamma {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Marsaglia–Tsang; boost trick for shape < 1.
+        if self.shape >= 1.0 {
+            self.scale * Gamma::sample_shape_ge_one(self.shape, rng)
+        } else {
+            let g = Gamma::sample_shape_ge_one(self.shape + 1.0, rng);
+            let u = rng.uniform_open01();
+            self.scale * g * u.powf(1.0 / self.shape)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            reg_lower_gamma(self.shape, x / self.scale)
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = x / self.scale;
+        ((self.shape - 1.0) * z.ln() - z - ln_gamma(self.shape)).exp() / self.scale
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, DistError> {
+        let p = DistError::check_probability(p)?;
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        // Bisection on the CDF: robust, and quantiles are only used in
+        // reporting paths, never in the simulation hot loop.
+        let mut lo = 0.0;
+        let mut hi = self.mean().max(1.0);
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if !hi.is_finite() {
+                return Ok(f64::INFINITY);
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::from_mean_and_shape(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let g = Gamma::new(1.0, 5.0).unwrap();
+        for x in [0.5, 1.0, 5.0, 20.0] {
+            let expected = 1.0 - (-x / 5.0_f64).exp();
+            assert!((g.cdf(x) - expected).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let g = Gamma::new(4.0, 2.0).unwrap();
+        assert_eq!(g.mean(), 8.0);
+        assert_eq!(g.variance(), 16.0);
+    }
+
+    #[test]
+    fn sample_mean_converges_small_shape() {
+        let g = Gamma::new(0.5, 2.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "sample mean {mean}");
+    }
+
+    #[test]
+    fn sample_mean_converges_large_shape() {
+        let g = Gamma::from_mean_and_shape(8.0, 4.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 8.0).abs() < 0.08, "sample mean {mean}");
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = Gamma::new(2.5, 3.0).unwrap();
+        for p in [0.05, 0.5, 0.95] {
+            let x = g.quantile(p).unwrap();
+            assert!((g.cdf(x) - p).abs() < 1e-8, "p={p}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn samples_positive(shape in 0.2..5.0_f64, scale in 0.1..100.0_f64, seed in any::<u64>()) {
+            let g = Gamma::new(shape, scale).unwrap();
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..16 {
+                prop_assert!(g.sample(&mut rng) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn cdf_bounded(shape in 0.2..5.0_f64, scale in 0.1..100.0_f64, x in 0.0..1e4_f64) {
+            let g = Gamma::new(shape, scale).unwrap();
+            let c = g.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic random number generator used throughout the simulation
+/// stack.
+///
+/// `SimRng` wraps [`rand::rngs::StdRng`] and adds *stream derivation*: from a
+/// single experiment seed, independent child streams can be derived for each
+/// replication, each submodel, or each parameter point so that changing the
+/// number of replications (or running them in parallel) never perturbs the
+/// sample path of any other replication. This is the property the paper's
+/// Möbius experiments rely on for reproducible confidence intervals.
+///
+/// # Example
+///
+/// ```
+/// use probdist::SimRng;
+/// use rand::RngCore;
+///
+/// let mut a = SimRng::seed_from_u64(7).derive_stream(0);
+/// let mut b = SimRng::seed_from_u64(7).derive_stream(0);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let mut c = SimRng::seed_from_u64(7).derive_stream(1);
+/// assert_ne!(SimRng::seed_from_u64(7).derive_stream(0).next_u64(), c.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { seed, inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Returns the seed this generator (or its parent stream) was created
+    /// with. Derived streams report the derived seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream identified by `stream`.
+    ///
+    /// The derivation uses a SplitMix64-style mix of the parent seed and the
+    /// stream index, which gives well-separated seeds even for consecutive
+    /// stream indices.
+    pub fn derive_stream(&self, stream: u64) -> SimRng {
+        let derived = split_mix64(self.seed ^ split_mix64(stream.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+        SimRng::seed_from_u64(derived)
+    }
+
+    /// Samples a uniform value in the half-open interval `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Samples a uniform value in the open interval `(0, 1)`.
+    ///
+    /// Useful for inverse-CDF sampling of distributions whose quantile
+    /// function is unbounded at 0 or 1 (e.g. the exponential at 1).
+    pub fn uniform_open01(&mut self) -> f64 {
+        loop {
+            let u = self.inner.gen::<f64>();
+            if u > 0.0 && u < 1.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Samples a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        if lo == hi {
+            return lo;
+        }
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Samples an integer uniformly from `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform01() < p
+        }
+    }
+
+    /// Samples a standard normal variate using the Marsaglia polar method.
+    pub fn standard_normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.uniform01() - 1.0;
+            let v = 2.0 * self.uniform01() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// SplitMix64 finalizer used for stream derivation.
+fn split_mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from_u64(123);
+        let mut b = SimRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "independent seeds should rarely collide");
+    }
+
+    #[test]
+    fn derived_streams_are_deterministic_and_distinct() {
+        let root = SimRng::seed_from_u64(99);
+        let mut s0a = root.derive_stream(0);
+        let mut s0b = root.derive_stream(0);
+        let mut s1 = root.derive_stream(1);
+        assert_eq!(s0a.next_u64(), s0b.next_u64());
+        let mut s0c = root.derive_stream(0);
+        assert_ne!(s0c.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn uniform01_is_in_range() {
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let u = rng.uniform01();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform01_mean_is_about_half() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform01()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SimRng::seed_from_u64(5);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn uniform_range_degenerate_is_lo() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert_eq!(rng.uniform_range(4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn uniform_range_panics_on_reversed_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let _ = rng.uniform_range(5.0, 4.0);
+    }
+
+    #[test]
+    fn uniform_index_covers_all_values() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.uniform_index(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,157 @@
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{confidence_interval, ConfidenceInterval, RunningStats};
+use crate::DistError;
+
+/// Batch-means estimator for steady-state measures taken from a single long
+/// simulation run.
+///
+/// Observations from one trajectory are autocorrelated, so a naive
+/// confidence interval on them is too narrow. Batch means groups
+/// consecutive observations into fixed-size batches, treats the batch
+/// averages as (approximately) independent, and builds the interval on
+/// those.
+///
+/// This complements replication-based estimation in
+/// [`sanet`](https://docs.rs/sanet): replications are used for the paper's
+/// headline numbers, batch means is used for long-run ablations where a
+/// warmed-up single trajectory is cheaper.
+///
+/// # Example
+///
+/// ```
+/// use probdist::stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100).unwrap();
+/// for i in 0..10_000 {
+///     bm.push(if i % 2 == 0 { 1.0 } else { 0.0 });
+/// }
+/// let ci = bm.confidence_interval(0.95).unwrap();
+/// assert!((ci.point - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current_sum: f64,
+    current_count: usize,
+    batches: RunningStats,
+}
+
+impl BatchMeans {
+    /// Creates a batch-means accumulator with the given batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::DegenerateData`] if `batch_size` is zero.
+    pub fn new(batch_size: usize) -> Result<Self, DistError> {
+        if batch_size == 0 {
+            return Err(DistError::DegenerateData { reason: "batch size must be at least 1" });
+        }
+        Ok(BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batches: RunningStats::new(),
+        })
+    }
+
+    /// Adds one raw observation. When the current batch fills up its mean is
+    /// pushed into the batch-level accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of *complete* batches accumulated so far.
+    pub fn batch_count(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Mean over all complete batches.
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// Confidence interval on the steady-state mean, built from the batch
+    /// averages.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than two complete batches are available or
+    /// `level` is invalid.
+    pub fn confidence_interval(&self, level: f64) -> Result<ConfidenceInterval, DistError> {
+        confidence_interval(&self.batches, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_batch_size() {
+        assert!(BatchMeans::new(0).is_err());
+    }
+
+    #[test]
+    fn batches_are_counted_only_when_complete() {
+        let mut bm = BatchMeans::new(10).unwrap();
+        for _ in 0..25 {
+            bm.push(1.0);
+        }
+        assert_eq!(bm.batch_count(), 2);
+        assert_eq!(bm.batch_size(), 10);
+    }
+
+    #[test]
+    fn mean_of_alternating_sequence_is_half() {
+        let mut bm = BatchMeans::new(50).unwrap();
+        for i in 0..5_000 {
+            bm.push((i % 2) as f64);
+        }
+        assert!((bm.mean() - 0.5).abs() < 1e-12);
+        let ci = bm.confidence_interval(0.95).unwrap();
+        assert!(ci.half_width < 1e-9, "alternating data has identical batch means");
+    }
+
+    #[test]
+    fn interval_requires_two_batches() {
+        let mut bm = BatchMeans::new(100).unwrap();
+        for _ in 0..150 {
+            bm.push(1.0);
+        }
+        assert!(bm.confidence_interval(0.95).is_err());
+        for _ in 0..50 {
+            bm.push(1.0);
+        }
+        assert!(bm.confidence_interval(0.95).is_ok());
+    }
+
+    #[test]
+    fn batch_means_widen_interval_for_correlated_data() {
+        // Highly autocorrelated data: runs of 2000 zeros then 2000 ones.
+        // With 500-observation batches each batch mean is either 0 or 1, so
+        // the batch-means interval is much wider than the naive interval
+        // that treats every observation as independent.
+        let data: Vec<f64> = (0..10_000).map(|i| if (i / 2000) % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let naive: RunningStats = data.iter().copied().collect();
+        let naive_ci = confidence_interval(&naive, 0.95).unwrap();
+
+        let mut bm = BatchMeans::new(500).unwrap();
+        for &x in &data {
+            bm.push(x);
+        }
+        let bm_ci = bm.confidence_interval(0.95).unwrap();
+        assert!(bm_ci.half_width >= naive_ci.half_width);
+    }
+}

@@ -1,0 +1,215 @@
+use serde::{Deserialize, Serialize};
+
+use crate::special::std_normal_quantile;
+use crate::stats::RunningStats;
+use crate::DistError;
+
+/// A two-sided confidence interval around a point estimate.
+///
+/// # Example
+///
+/// ```
+/// use probdist::stats::{confidence_interval, RunningStats};
+///
+/// let acc: RunningStats = (0..50).map(|i| 0.97 + 0.001 * (i % 5) as f64).collect();
+/// let ci = confidence_interval(&acc, 0.95).unwrap();
+/// assert!(ci.contains(ci.point));
+/// assert!(ci.half_width < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The point estimate (sample mean).
+    pub point: f64,
+    /// Half-width of the interval; the interval is `point ± half_width`.
+    pub half_width: f64,
+    /// The confidence level (e.g. `0.95`).
+    pub level: f64,
+    /// Number of observations the interval is based on.
+    pub samples: u64,
+}
+
+impl ConfidenceInterval {
+    /// Lower endpoint of the interval.
+    pub fn lower(&self) -> f64 {
+        self.point - self.half_width
+    }
+
+    /// Upper endpoint of the interval.
+    pub fn upper(&self) -> f64 {
+        self.point + self.half_width
+    }
+
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower() && value <= self.upper()
+    }
+
+    /// Relative half-width `half_width / |point|`, or `f64::INFINITY` when
+    /// the point estimate is zero. Used as a stopping criterion for
+    /// sequential replication.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.point == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.point.abs()
+        }
+    }
+
+    /// A degenerate interval around a single deterministic value.
+    pub fn exact(value: f64) -> Self {
+        ConfidenceInterval { point: value, half_width: 0.0, level: 1.0, samples: 1 }
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6} ± {:.6} ({:.0}% CI, n={})", self.point, self.half_width, self.level * 100.0, self.samples)
+    }
+}
+
+/// Computes a Student-t confidence interval on the mean of the observations
+/// accumulated in `stats`.
+///
+/// # Errors
+///
+/// Returns [`DistError::EmptyData`] if fewer than two observations have been
+/// accumulated (a variance estimate requires at least two), and
+/// [`DistError::InvalidProbability`] if `level` is not in `(0, 1)`.
+pub fn confidence_interval(stats: &RunningStats, level: f64) -> Result<ConfidenceInterval, DistError> {
+    if !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return Err(DistError::InvalidProbability { value: level });
+    }
+    if stats.count() < 2 {
+        return Err(DistError::EmptyData);
+    }
+    let dof = stats.count() - 1;
+    let t = student_t_quantile(dof, 0.5 + level / 2.0);
+    Ok(ConfidenceInterval {
+        point: stats.mean(),
+        half_width: t * stats.std_error(),
+        level,
+        samples: stats.count(),
+    })
+}
+
+/// Quantile of the Student-t distribution with `dof` degrees of freedom at
+/// probability `p`.
+///
+/// Uses the Cornish–Fisher style expansion of the t quantile in terms of the
+/// normal quantile (Abramowitz & Stegun 26.7.5), which is accurate to better
+/// than 1e-3 for `dof >= 3` and converges to the exact normal quantile as
+/// `dof → ∞`. For `dof` 1 and 2 closed forms are used.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)` or `dof == 0`.
+pub fn student_t_quantile(dof: u64, p: f64) -> f64 {
+    assert!(dof > 0, "degrees of freedom must be positive");
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    match dof {
+        1 => (std::f64::consts::PI * (p - 0.5)).tan(),
+        2 => {
+            let a = 2.0 * p - 1.0;
+            a * (2.0 / (1.0 - a * a)).sqrt()
+        }
+        _ => {
+            let z = std_normal_quantile(p);
+            let n = dof as f64;
+            let z3 = z.powi(3);
+            let z5 = z.powi(5);
+            let z7 = z.powi(7);
+            z + (z3 + z) / (4.0 * n)
+                + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n)
+                + (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * n.powi(3))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_quantile_matches_tables() {
+        // Two-sided 95 % critical values from standard t tables.
+        let cases = [(1u64, 12.706), (2, 4.303), (5, 2.571), (10, 2.228), (30, 2.042), (100, 1.984)];
+        for (dof, expected) in cases {
+            let t = student_t_quantile(dof, 0.975);
+            let tol = if dof <= 2 { 0.01 } else { 0.02 };
+            assert!((t - expected).abs() < tol, "dof {dof}: got {t}, want {expected}");
+        }
+    }
+
+    #[test]
+    fn t_quantile_converges_to_normal() {
+        let t = student_t_quantile(1_000_000, 0.975);
+        assert!((t - 1.960).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interval_from_constant_data_has_zero_width() {
+        let acc: RunningStats = std::iter::repeat(0.5).take(20).collect();
+        let ci = confidence_interval(&acc, 0.95).unwrap();
+        assert_eq!(ci.point, 0.5);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(ci.contains(0.5));
+        assert!(!ci.contains(0.51));
+    }
+
+    #[test]
+    fn interval_requires_two_samples_and_valid_level() {
+        let mut acc = RunningStats::new();
+        assert!(confidence_interval(&acc, 0.95).is_err());
+        acc.push(1.0);
+        assert!(confidence_interval(&acc, 0.95).is_err());
+        acc.push(2.0);
+        assert!(confidence_interval(&acc, 0.95).is_ok());
+        assert!(confidence_interval(&acc, 1.5).is_err());
+        assert!(confidence_interval(&acc, 0.0).is_err());
+    }
+
+    #[test]
+    fn interval_narrows_with_more_samples() {
+        // Same spread, more samples → narrower interval.
+        let few: RunningStats = (0..10).map(|i| (i % 2) as f64).collect();
+        let many: RunningStats = (0..1000).map(|i| (i % 2) as f64).collect();
+        let ci_few = confidence_interval(&few, 0.95).unwrap();
+        let ci_many = confidence_interval(&many, 0.95).unwrap();
+        assert!(ci_many.half_width < ci_few.half_width);
+    }
+
+    #[test]
+    fn coverage_of_true_mean_is_roughly_nominal() {
+        // Monte-Carlo check: ~95 % of intervals built from N(0,1)-like data
+        // should cover the true mean 0.5 (we use uniform data, mean 0.5).
+        use crate::SimRng;
+        let mut rng = SimRng::seed_from_u64(77);
+        let trials = 400;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let acc: RunningStats = (0..30).map(|_| rng.uniform01()).collect();
+            let ci = confidence_interval(&acc, 0.95).unwrap();
+            if ci.contains(0.5) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / trials as f64;
+        assert!(coverage > 0.90 && coverage <= 1.0, "coverage {coverage}");
+    }
+
+    #[test]
+    fn exact_interval_and_display() {
+        let ci = ConfidenceInterval::exact(0.972);
+        assert_eq!(ci.lower(), 0.972);
+        assert_eq!(ci.upper(), 0.972);
+        assert_eq!(ci.relative_half_width(), 0.0);
+        let text = ci.to_string();
+        assert!(text.contains("0.972"));
+    }
+
+    #[test]
+    fn relative_half_width_of_zero_point_is_infinite() {
+        let ci = ConfidenceInterval { point: 0.0, half_width: 0.1, level: 0.95, samples: 10 };
+        assert_eq!(ci.relative_half_width(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,159 @@
+use serde::{Deserialize, Serialize};
+
+use crate::DistError;
+
+/// Fixed-bin histogram over a closed interval, used to summarise reward
+/// distributions (e.g. the distribution of weekly disk-replacement counts
+/// behind Figure 3's averages).
+///
+/// Out-of-range observations are counted in saturating underflow/overflow
+/// buckets so no data is silently dropped.
+///
+/// # Example
+///
+/// ```
+/// use probdist::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+/// h.record(0.5);
+/// h.record(9.99);
+/// h.record(42.0); // overflow
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidInterval`] if `lo >= hi` or the bounds are
+    /// not finite, and [`DistError::DegenerateData`] if `bins` is zero.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, DistError> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(DistError::InvalidInterval { lo, hi });
+        }
+        if bins == 0 {
+            return Err(DistError::DegenerateData { reason: "histogram needs at least one bin" });
+        }
+        Ok(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Counts per bin, in ascending bin order.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Number of observations below the lower bound.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded observations (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `(lower, upper)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index {i} out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Fraction of in-range observations falling in bin `i`, or `0.0` when
+    /// the histogram is empty.
+    pub fn fraction(&self, i: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / in_range as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn records_fall_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record(0.0);
+        h.record(1.9);
+        h.record(2.0);
+        h.record(9.999);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(5.0);
+        h.record(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_over_in_range_data() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        for x in [0.5, 1.5, 2.5, 3.5, 3.6, 0.1] {
+            h.record(x);
+        }
+        let sum: f64 = (0..4).map(|i| h.fraction(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_fraction_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.fraction(0), 0.0);
+        assert_eq!(h.total(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{DistError, Distribution, SimRng};
+
+/// Continuous uniform distribution on `[lo, hi]`.
+///
+/// Used for parameter sweeps (e.g. drawing repair times uniformly from the
+/// 12–36 hour hardware-replacement window reported by the ABE SAN
+/// administrators) and as a building block of empirical resampling.
+///
+/// # Example
+///
+/// ```
+/// use probdist::{Distribution, Uniform};
+///
+/// # fn main() -> Result<(), probdist::DistError> {
+/// let hw_repair = Uniform::new(12.0, 36.0)?;
+/// assert_eq!(hw_repair.mean(), 24.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidInterval`] if `lo > hi` or either bound
+    /// is not finite, and [`DistError::NonPositiveParameter`] if `lo` is
+    /// negative (durations must be non-negative).
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(DistError::InvalidInterval { lo, hi });
+        }
+        DistError::check_non_negative("lo", lo)?;
+        Ok(Uniform { lo, hi })
+    }
+
+    /// Lower bound of the support.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the support.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.uniform_range(self.lo, self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi || self.hi == self.lo {
+            0.0
+        } else {
+            1.0 / (self.hi - self.lo)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, DistError> {
+        let p = DistError::check_probability(p)?;
+        Ok(self.lo + p * (self.hi - self.lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Uniform::new(5.0, 4.0).is_err());
+        assert!(Uniform::new(-1.0, 4.0).is_err());
+        assert!(Uniform::new(f64::NAN, 4.0).is_err());
+        assert!(Uniform::new(2.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn moments() {
+        let u = Uniform::new(12.0, 36.0).unwrap();
+        assert_eq!(u.mean(), 24.0);
+        assert!((u.variance() - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_quantile() {
+        let u = Uniform::new(0.0, 10.0).unwrap();
+        assert_eq!(u.cdf(-1.0), 0.0);
+        assert_eq!(u.cdf(5.0), 0.5);
+        assert_eq!(u.cdf(20.0), 1.0);
+        assert_eq!(u.quantile(0.25).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn degenerate_interval_samples_constant() {
+        let u = Uniform::new(3.0, 3.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(u.sample(&mut rng), 3.0);
+        assert_eq!(u.variance(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_within_bounds(lo in 0.0..100.0_f64, width in 0.0..100.0_f64, seed in any::<u64>()) {
+            let u = Uniform::new(lo, lo + width).unwrap();
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..16 {
+                let x = u.sample(&mut rng);
+                prop_assert!(x >= lo && x <= lo + width);
+            }
+        }
+    }
+}

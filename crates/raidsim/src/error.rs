@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+use probdist::DistError;
+
+/// Error type for storage-reliability configuration and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RaidError {
+    /// A configuration value was rejected.
+    InvalidConfig {
+        /// Explanation of the rejected configuration.
+        reason: String,
+    },
+    /// A simulation run was asked for with invalid parameters (zero
+    /// replications, non-positive horizon, …).
+    InvalidRun {
+        /// Explanation of the rejected run parameters.
+        reason: String,
+    },
+    /// A distribution or estimation error surfaced from the statistics
+    /// layer.
+    Distribution(DistError),
+}
+
+impl fmt::Display for RaidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaidError::InvalidConfig { reason } => write!(f, "invalid storage configuration: {reason}"),
+            RaidError::InvalidRun { reason } => write!(f, "invalid simulation run: {reason}"),
+            RaidError::Distribution(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl Error for RaidError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RaidError::Distribution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for RaidError {
+    fn from(e: DistError) -> Self {
+        RaidError::Distribution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RaidError::InvalidConfig { reason: "zero tiers".into() };
+        assert!(e.to_string().contains("zero tiers"));
+        let e: RaidError = DistError::EmptyData.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

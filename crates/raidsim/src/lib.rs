@@ -1,0 +1,71 @@
+//! RAID tier, controller, and DDN storage-unit reliability models.
+//!
+//! The ABE cluster's scratch partition is served by two DataDirect Networks
+//! S2A9550 units; each FC port connects three tiers of (8+2) SATA disks in
+//! RAID6, for a total of 480 × 250 GB disks (Section 3.2 of the paper).
+//! Disk lifetimes follow a Weibull distribution with shape ≈ 0.7 (Table 4),
+//! failed disks are replaced within 1–12 hours, and the tier rebuilds onto
+//! the replacement. A tier loses data only when more disks than the parity
+//! count fail concurrently; the Blue Waters design moves from (8+2) to
+//! (8+3) to push that probability down further.
+//!
+//! This crate provides:
+//!
+//! * [`StorageConfig`]/[`StorageSimulator`] — an event-driven Monte-Carlo
+//!   simulation of an entire scratch partition (any number of DDN units ×
+//!   tiers × disks, any `n+k` RAID geometry, optional RAID-controller
+//!   fail-over pairs), producing storage availability, data-loss
+//!   probability, and disk-replacement rates with confidence intervals.
+//!   This is the engine behind Figures 2 and 3.
+//! * [`analytic`] — closed-form MTTDL (mean time to data loss)
+//!   approximations for `n+k` redundancy with exponential failures, used to
+//!   cross-check the simulation.
+//! * [`replacement`] — expected replacement-rate calculations (renewal
+//!   approximation plus the early-life correction implied by Weibull infant
+//!   mortality).
+//! * [`scaling`] — capacity planning helpers that translate a target usable
+//!   capacity (96 TB … 12 PB) into disk, tier, and DDN-unit counts,
+//!   accounting for the 33 % annual disk-capacity growth assumed in
+//!   Table 5.
+//!
+//! # Example
+//!
+//! ```
+//! use raidsim::{StorageConfig, StorageSimulator};
+//!
+//! # fn main() -> Result<(), raidsim::RaidError> {
+//! // ABE's scratch partition: 48 tiers of (8+2) disks.
+//! let config = StorageConfig::abe_scratch();
+//! let summary = StorageSimulator::new(config)?.run(8760.0, 32, 7)?;
+//! // RAID6 keeps ABE-scale storage essentially always available.
+//! assert!(summary.availability.point > 0.999);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+mod config;
+mod error;
+pub mod replacement;
+pub mod scaling;
+mod storage;
+
+pub use config::{ControllerModel, DiskModel, RaidGeometry, StorageConfig};
+pub use error::RaidError;
+pub use storage::{StorageRunStats, StorageSimulator, StorageSummary};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StorageConfig>();
+        assert_send_sync::<StorageSummary>();
+        assert_send_sync::<RaidError>();
+    }
+}

@@ -1,0 +1,162 @@
+//! Expected disk-replacement rates (the quantity plotted in Figure 3).
+//!
+//! For a population of `N` disk slots where every failed disk is promptly
+//! replaced by a new one, the long-run replacement rate is governed by the
+//! renewal theorem: `N / MTBF` replacements per hour regardless of the
+//! lifetime distribution's shape. Early in life, however, a Weibull
+//! population with infant mortality (shape < 1) fails *faster* than the
+//! long-run rate; [`expected_replacements`] accounts for that by using the
+//! renewal-equation solution for the Weibull renewal function, computed
+//! numerically.
+
+use probdist::{Distribution, Weibull};
+
+use crate::{DiskModel, RaidError};
+
+/// Long-run (renewal-theorem) replacement rate: disks replaced per week for
+/// a population of `disks` slots.
+///
+/// # Errors
+///
+/// Returns [`RaidError::InvalidConfig`] if the disk model is invalid.
+pub fn steady_state_replacements_per_week(disks: u32, disk: &DiskModel) -> Result<f64, RaidError> {
+    disk.validate()?;
+    Ok(disks as f64 / disk.mtbf_hours * 168.0)
+}
+
+/// Expected number of replacements for a population of `disks` *new* slots
+/// over `window_hours`, computed from the Weibull renewal function.
+///
+/// The renewal function `m(t)` (expected renewals per slot by time `t`)
+/// satisfies `m(t) = F(t) + ∫₀ᵗ m(t−x) dF(x)`; it is solved here on a
+/// uniform grid by the standard discretised recursion, which is accurate to
+/// the grid resolution and fast for the window lengths used in the paper
+/// (months to a few years).
+///
+/// # Errors
+///
+/// Returns [`RaidError::InvalidConfig`] if the disk model is invalid or the
+/// window is not positive.
+pub fn expected_replacements(disks: u32, disk: &DiskModel, window_hours: f64) -> Result<f64, RaidError> {
+    disk.validate()?;
+    if !(window_hours.is_finite() && window_hours > 0.0) {
+        return Err(RaidError::InvalidConfig {
+            reason: format!("window must be positive, got {window_hours}"),
+        });
+    }
+    let lifetime = disk.lifetime()?;
+    let per_slot = weibull_renewal_function(&lifetime, window_hours, 2048);
+    Ok(disks as f64 * per_slot)
+}
+
+/// Expected replacements per week averaged over the window (the Figure 3
+/// y-axis).
+///
+/// # Errors
+///
+/// Propagates errors from [`expected_replacements`].
+pub fn expected_replacements_per_week(
+    disks: u32,
+    disk: &DiskModel,
+    window_hours: f64,
+) -> Result<f64, RaidError> {
+    Ok(expected_replacements(disks, disk, window_hours)? / (window_hours / 168.0))
+}
+
+/// Numerically solves the renewal function `m(t)` for a Weibull lifetime at
+/// time `t`, using `steps` grid intervals.
+fn weibull_renewal_function(lifetime: &Weibull, t: f64, steps: usize) -> f64 {
+    let n = steps.max(8);
+    let dt = t / n as f64;
+    // f_cdf[i] = F(i*dt)
+    let cdf: Vec<f64> = (0..=n).map(|i| lifetime.cdf(i as f64 * dt)).collect();
+    let mut m = vec![0.0_f64; n + 1];
+    for i in 1..=n {
+        // m_i = F_i + Σ_{j=1..i} m_{i-j} * (F_j - F_{j-1})
+        let mut conv = 0.0;
+        for j in 1..=i {
+            conv += m[i - j] * (cdf[j] - cdf[j - 1]);
+        }
+        m[i] = cdf[i] + conv;
+    }
+    m[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdist::SimRng;
+
+    #[test]
+    fn steady_state_rate_matches_renewal_theorem() {
+        let disk = DiskModel::abe_sata_250gb();
+        let rate = steady_state_replacements_per_week(480, &disk).unwrap();
+        // 480 disks / 300 000 h * 168 h/week ≈ 0.27 per week.
+        assert!((rate - 480.0 / 300_000.0 * 168.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infant_mortality_raises_early_life_replacements() {
+        // For a brand-new Weibull(0.7) population the early replacement rate
+        // exceeds the steady-state rate.
+        let disk = DiskModel::abe_sata_250gb();
+        let window = 2000.0;
+        let early = expected_replacements_per_week(480, &disk, window).unwrap();
+        let steady = steady_state_replacements_per_week(480, &disk).unwrap();
+        assert!(early > steady, "early {early} vs steady {steady}");
+        // ABE observed 0-2 replacements per week.
+        assert!(early > 0.2 && early < 3.0, "early {early}");
+    }
+
+    #[test]
+    fn exponential_population_matches_poisson_rate_exactly() {
+        // With shape 1 the renewal function is exactly t/MTBF.
+        let disk = DiskModel { weibull_shape: 1.0, mtbf_hours: 10_000.0, capacity_gb: 250.0 };
+        let expected = expected_replacements(100, &disk, 5_000.0).unwrap();
+        assert!((expected - 100.0 * 5_000.0 / 10_000.0).abs() / expected < 0.01, "expected {expected}");
+    }
+
+    #[test]
+    fn replacement_rate_scales_linearly_with_disks_and_afr() {
+        let d1 = DiskModel::with_afr(2.92, 0.7).unwrap();
+        let d2 = DiskModel::with_afr(8.76, 0.7).unwrap();
+        let window = 8760.0;
+        let r_small = expected_replacements_per_week(480, &d1, window).unwrap();
+        let r_large = expected_replacements_per_week(4800, &d1, window).unwrap();
+        assert!((r_large / r_small - 10.0).abs() < 1e-6);
+        let r_bad = expected_replacements_per_week(480, &d2, window).unwrap();
+        assert!(r_bad > r_small * 2.0, "3x AFR should give clearly more replacements");
+    }
+
+    #[test]
+    fn renewal_function_agrees_with_monte_carlo() {
+        let disk = DiskModel { weibull_shape: 0.7, mtbf_hours: 5_000.0, capacity_gb: 250.0 };
+        let lifetime = disk.lifetime().unwrap();
+        let window = 3_000.0;
+        let analytic = expected_replacements(1, &disk, window).unwrap();
+
+        // Monte-Carlo renewal count for a single slot.
+        let mut rng = SimRng::seed_from_u64(5);
+        let reps = 20_000;
+        let mut total = 0u64;
+        for _ in 0..reps {
+            let mut t = lifetime.sample(&mut rng);
+            while t < window {
+                total += 1;
+                t += lifetime.sample(&mut rng);
+            }
+        }
+        let mc = total as f64 / reps as f64;
+        assert!((analytic - mc).abs() / mc < 0.05, "analytic {analytic} vs monte carlo {mc}");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let disk = DiskModel::abe_sata_250gb();
+        assert!(expected_replacements(480, &disk, 0.0).is_err());
+        let mut bad = disk;
+        bad.mtbf_hours = 0.0;
+        assert!(expected_replacements(480, &bad, 100.0).is_err());
+        assert!(steady_state_replacements_per_week(480, &bad).is_err());
+    }
+}

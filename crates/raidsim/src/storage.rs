@@ -1,0 +1,492 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use probdist::stats::{confidence_interval, ConfidenceInterval, RunningStats};
+use probdist::{Distribution, Exponential, SimRng, Weibull};
+use serde::{Deserialize, Serialize};
+
+use crate::{RaidError, StorageConfig};
+
+/// Hours per week, used for replacement-rate normalisation.
+const HOURS_PER_WEEK: f64 = 168.0;
+
+/// Raw statistics of a single Monte-Carlo replication.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageRunStats {
+    /// Hours during which the storage system was unavailable (a tier in
+    /// data-loss recovery or a DDN controller pair entirely failed).
+    pub downtime_hours: f64,
+    /// Number of unrecoverable tier failures (more concurrent disk failures
+    /// than parity).
+    pub data_loss_events: u64,
+    /// Number of disk replacements performed.
+    pub disk_replacements: u64,
+    /// Hours during which at least one controller pair was entirely failed.
+    pub controller_downtime_hours: f64,
+    /// Length of the simulated mission, hours.
+    pub horizon_hours: f64,
+}
+
+impl StorageRunStats {
+    /// Availability over the mission: `1 − downtime / horizon`.
+    pub fn availability(&self) -> f64 {
+        (1.0 - self.downtime_hours / self.horizon_hours).clamp(0.0, 1.0)
+    }
+
+    /// Disk replacements per week.
+    pub fn replacements_per_week(&self) -> f64 {
+        self.disk_replacements as f64 / (self.horizon_hours / HOURS_PER_WEEK)
+    }
+}
+
+/// Aggregated results over many replications, reported with 95 % confidence
+/// intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageSummary {
+    /// Storage availability.
+    pub availability: ConfidenceInterval,
+    /// Average disk replacements per week.
+    pub replacements_per_week: ConfidenceInterval,
+    /// Average number of data-loss events per mission.
+    pub data_loss_events: ConfidenceInterval,
+    /// Fraction of replications that suffered at least one data-loss event.
+    pub prob_any_data_loss: f64,
+    /// Number of replications run.
+    pub replications: usize,
+    /// Mission length, hours.
+    pub horizon_hours: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    DiskFailure { disk: u32, generation: u32 },
+    DiskRestored { disk: u32, generation: u32 },
+    TierRecovered { tier: u32, generation: u32 },
+    ControllerFailure { unit: u32, slot: u8 },
+    ControllerRepaired { unit: u32, slot: u8 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse the time ordering so BinaryHeap pops the earliest event.
+        other.time.total_cmp(&self.time)
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Event-driven Monte-Carlo simulator of a scratch-partition storage system.
+///
+/// See the crate-level documentation for the modelled failure and recovery
+/// behaviour.
+#[derive(Debug, Clone)]
+pub struct StorageSimulator {
+    config: StorageConfig,
+    lifetime: Weibull,
+}
+
+impl StorageSimulator {
+    /// Creates a simulator for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaidError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(config: StorageConfig) -> Result<Self, RaidError> {
+        config.validate()?;
+        let lifetime = config.disk.lifetime()?;
+        Ok(StorageSimulator { config, lifetime })
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// Runs `replications` independent missions of `horizon_hours` each and
+    /// aggregates the results. Replications are executed in parallel when
+    /// more than a handful are requested.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaidError::InvalidRun`] for a non-positive horizon or fewer
+    /// than two replications.
+    pub fn run(&self, horizon_hours: f64, replications: usize, seed: u64) -> Result<StorageSummary, RaidError> {
+        if !(horizon_hours.is_finite() && horizon_hours > 0.0) {
+            return Err(RaidError::InvalidRun {
+                reason: format!("horizon must be positive, got {horizon_hours}"),
+            });
+        }
+        if replications < 2 {
+            return Err(RaidError::InvalidRun { reason: "at least two replications are required".into() });
+        }
+
+        let root = SimRng::seed_from_u64(seed);
+        let runs: Vec<StorageRunStats> = if replications < 4 {
+            (0..replications)
+                .map(|i| self.run_once(horizon_hours, &mut root.derive_stream(i as u64)))
+                .collect()
+        } else {
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(replications);
+            let chunk = replications.div_ceil(threads);
+            let indices: Vec<usize> = (0..replications).collect();
+            let root = &root;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = indices
+                    .chunks(chunk)
+                    .map(|ids| {
+                        scope.spawn(move |_| {
+                            ids.iter()
+                                .map(|&i| self.run_once(horizon_hours, &mut root.derive_stream(i as u64)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("replication thread panicked"))
+                    .collect()
+            })
+            .expect("replication scope panicked")
+        };
+
+        let availability: RunningStats = runs.iter().map(|r| r.availability()).collect();
+        let per_week: RunningStats = runs.iter().map(|r| r.replacements_per_week()).collect();
+        let losses: RunningStats = runs.iter().map(|r| r.data_loss_events as f64).collect();
+        let any_loss = runs.iter().filter(|r| r.data_loss_events > 0).count();
+
+        Ok(StorageSummary {
+            availability: confidence_interval(&availability, 0.95)?,
+            replacements_per_week: confidence_interval(&per_week, 0.95)?,
+            data_loss_events: confidence_interval(&losses, 0.95)?,
+            prob_any_data_loss: any_loss as f64 / replications as f64,
+            replications,
+            horizon_hours,
+        })
+    }
+
+    /// Runs a single mission and returns its raw statistics.
+    pub fn run_once(&self, horizon_hours: f64, rng: &mut SimRng) -> StorageRunStats {
+        let cfg = &self.config;
+        let disks_per_tier = cfg.geometry.disks_per_tier();
+        let total_disks = cfg.total_disks();
+        let tiers = cfg.tiers;
+        let parity = cfg.geometry.parity_disks;
+        let repair_time = cfg.replacement_hours + cfg.rebuild_hours;
+
+        let mut queue: BinaryHeap<Event> = BinaryHeap::with_capacity(total_disks as usize + 8);
+
+        // Disk state.
+        let mut disk_generation = vec![0u32; total_disks as usize];
+        let mut disk_failed = vec![false; total_disks as usize];
+        let mut tier_failed_count = vec![0u32; tiers as usize];
+        let mut tier_in_recovery = vec![false; tiers as usize];
+        let mut tier_generation = vec![0u32; tiers as usize];
+
+        for disk in 0..total_disks {
+            queue.push(Event {
+                time: self.lifetime.sample(rng),
+                kind: EventKind::DiskFailure { disk, generation: 0 },
+            });
+        }
+
+        // Controller state: two controllers per DDN unit.
+        let controller = cfg.controllers;
+        let mut controller_failed = vec![[false, false]; cfg.ddn_units as usize];
+        let controller_dist = controller
+            .map(|c| Exponential::new(c.failure_rate_per_hour).expect("validated controller rate"));
+        if let Some(dist) = &controller_dist {
+            for unit in 0..cfg.ddn_units {
+                for slot in 0..2u8 {
+                    queue.push(Event {
+                        time: dist.sample(rng),
+                        kind: EventKind::ControllerFailure { unit, slot },
+                    });
+                }
+            }
+        }
+
+        // Downtime bookkeeping.
+        let mut down_conditions: u32 = 0;
+        let mut controller_down_units: u32 = 0;
+        let mut last_time = 0.0_f64;
+        let mut downtime = 0.0_f64;
+        let mut controller_downtime = 0.0_f64;
+        let mut data_loss_events = 0u64;
+        let mut replacements = 0u64;
+
+        while let Some(event) = queue.pop() {
+            let t = event.time;
+            if t > horizon_hours {
+                break;
+            }
+            // Accumulate downtime since the previous event.
+            if down_conditions > 0 {
+                downtime += t - last_time;
+            }
+            if controller_down_units > 0 {
+                controller_downtime += t - last_time;
+            }
+            last_time = t;
+
+            match event.kind {
+                EventKind::DiskFailure { disk, generation } => {
+                    if generation != disk_generation[disk as usize] || disk_failed[disk as usize] {
+                        continue;
+                    }
+                    let tier = disk / disks_per_tier;
+                    if tier_in_recovery[tier as usize] {
+                        continue;
+                    }
+                    disk_failed[disk as usize] = true;
+                    tier_failed_count[tier as usize] += 1;
+                    replacements += 1;
+
+                    if tier_failed_count[tier as usize] > parity {
+                        // Unrecoverable tier failure.
+                        data_loss_events += 1;
+                        tier_in_recovery[tier as usize] = true;
+                        tier_generation[tier as usize] += 1;
+                        down_conditions += 1;
+                        // Invalidate every pending event of this tier's disks
+                        // and clear their state; they come back fresh when the
+                        // tier is restored.
+                        let first = tier * disks_per_tier;
+                        for d in first..first + disks_per_tier {
+                            disk_generation[d as usize] += 1;
+                            disk_failed[d as usize] = false;
+                        }
+                        tier_failed_count[tier as usize] = 0;
+                        queue.push(Event {
+                            time: t + cfg.data_loss_recovery_hours,
+                            kind: EventKind::TierRecovered { tier, generation: tier_generation[tier as usize] },
+                        });
+                    } else {
+                        queue.push(Event {
+                            time: t + repair_time,
+                            kind: EventKind::DiskRestored { disk, generation },
+                        });
+                    }
+                }
+                EventKind::DiskRestored { disk, generation } => {
+                    if generation != disk_generation[disk as usize] || !disk_failed[disk as usize] {
+                        continue;
+                    }
+                    let tier = disk / disks_per_tier;
+                    disk_failed[disk as usize] = false;
+                    tier_failed_count[tier as usize] -= 1;
+                    queue.push(Event {
+                        time: t + self.lifetime.sample(rng),
+                        kind: EventKind::DiskFailure { disk, generation },
+                    });
+                }
+                EventKind::TierRecovered { tier, generation } => {
+                    if generation != tier_generation[tier as usize] || !tier_in_recovery[tier as usize] {
+                        continue;
+                    }
+                    tier_in_recovery[tier as usize] = false;
+                    down_conditions -= 1;
+                    // All disks in the tier start fresh.
+                    let first = tier * disks_per_tier;
+                    for d in first..first + disks_per_tier {
+                        queue.push(Event {
+                            time: t + self.lifetime.sample(rng),
+                            kind: EventKind::DiskFailure { disk: d, generation: disk_generation[d as usize] },
+                        });
+                    }
+                }
+                EventKind::ControllerFailure { unit, slot } => {
+                    let pair = &mut controller_failed[unit as usize];
+                    if pair[slot as usize] {
+                        continue;
+                    }
+                    pair[slot as usize] = true;
+                    if pair[0] && pair[1] {
+                        controller_down_units += 1;
+                        down_conditions += 1;
+                    }
+                    let repair = controller.expect("controller events only exist when configured").repair_hours;
+                    queue.push(Event { time: t + repair, kind: EventKind::ControllerRepaired { unit, slot } });
+                }
+                EventKind::ControllerRepaired { unit, slot } => {
+                    let pair = &mut controller_failed[unit as usize];
+                    if !pair[slot as usize] {
+                        continue;
+                    }
+                    let was_double = pair[0] && pair[1];
+                    pair[slot as usize] = false;
+                    if was_double {
+                        controller_down_units -= 1;
+                        down_conditions -= 1;
+                    }
+                    if let Some(dist) = &controller_dist {
+                        queue.push(Event {
+                            time: t + dist.sample(rng),
+                            kind: EventKind::ControllerFailure { unit, slot },
+                        });
+                    }
+                }
+            }
+        }
+
+        // Close the interval up to the horizon.
+        if down_conditions > 0 {
+            downtime += horizon_hours - last_time;
+        }
+        if controller_down_units > 0 {
+            controller_downtime += horizon_hours - last_time;
+        }
+
+        StorageRunStats {
+            downtime_hours: downtime,
+            data_loss_events,
+            disk_replacements: replacements,
+            controller_downtime_hours: controller_downtime,
+            horizon_hours,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiskModel, RaidGeometry};
+
+    fn quick_config() -> StorageConfig {
+        let mut c = StorageConfig::abe_scratch();
+        c.controllers = None;
+        c
+    }
+
+    #[test]
+    fn run_validates_parameters() {
+        let sim = StorageSimulator::new(quick_config()).unwrap();
+        assert!(sim.run(0.0, 8, 1).is_err());
+        assert!(sim.run(-10.0, 8, 1).is_err());
+        assert!(sim.run(100.0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut c = quick_config();
+        c.tiers = 0;
+        assert!(StorageSimulator::new(c).is_err());
+    }
+
+    #[test]
+    fn abe_scale_availability_is_essentially_one() {
+        // Figure 2, first data point: every configuration at ABE scale has
+        // nearly 100 % storage availability.
+        let sim = StorageSimulator::new(quick_config()).unwrap();
+        let summary = sim.run(8760.0, 24, 3).unwrap();
+        assert!(summary.availability.point > 0.9999, "availability {}", summary.availability.point);
+        assert!(summary.prob_any_data_loss < 0.1);
+    }
+
+    #[test]
+    fn abe_replacement_rate_is_zero_to_two_per_week() {
+        let sim = StorageSimulator::new(quick_config()).unwrap();
+        let summary = sim.run(8760.0, 24, 5).unwrap();
+        let per_week = summary.replacements_per_week.point;
+        assert!(per_week > 0.2 && per_week < 3.0, "replacements per week {per_week}");
+    }
+
+    #[test]
+    fn replacement_rate_scales_linearly_with_disk_count() {
+        let mut small = quick_config();
+        small.tiers = 48;
+        let mut large = quick_config();
+        large.tiers = 480;
+        let s = StorageSimulator::new(small).unwrap().run(4380.0, 16, 7).unwrap();
+        let l = StorageSimulator::new(large).unwrap().run(4380.0, 16, 7).unwrap();
+        let ratio = l.replacements_per_week.point / s.replacements_per_week.point;
+        assert!((ratio - 10.0).abs() < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weaker_redundancy_loses_more_data() {
+        // RAID5 (8+1) with a very unreliable disk and slow replacement should
+        // show clearly lower availability than RAID6 (8+2) at the same scale.
+        let mut raid5 = quick_config();
+        raid5.geometry = RaidGeometry::raid5_8p1();
+        raid5.tiers = 480;
+        raid5.ddn_units = 20;
+        raid5.disk = DiskModel { weibull_shape: 0.7, mtbf_hours: 20_000.0, capacity_gb: 250.0 };
+        raid5.replacement_hours = 24.0;
+        raid5.rebuild_hours = 24.0;
+
+        let mut raid6 = raid5.clone();
+        raid6.geometry = RaidGeometry::raid6_8p2();
+
+        let a5 = StorageSimulator::new(raid5).unwrap().run(8760.0, 16, 11).unwrap();
+        let a6 = StorageSimulator::new(raid6).unwrap().run(8760.0, 16, 11).unwrap();
+        assert!(a5.data_loss_events.point > a6.data_loss_events.point);
+        assert!(a5.availability.point <= a6.availability.point + 1e-12);
+    }
+
+    #[test]
+    fn more_parity_helps_at_petascale() {
+        // (8+3) should be at least as available as (8+2) on a pessimistic
+        // petascale configuration — the Blue Waters design argument.
+        let mut base = quick_config();
+        base.tiers = 960;
+        base.ddn_units = 20;
+        base.disk = DiskModel { weibull_shape: 0.6, mtbf_hours: 50_000.0, capacity_gb: 250.0 };
+        base.replacement_hours = 12.0;
+        base.rebuild_hours = 24.0;
+
+        let mut plus3 = base.clone();
+        plus3.geometry = RaidGeometry::raid_8p3();
+
+        let a2 = StorageSimulator::new(base).unwrap().run(8760.0, 16, 13).unwrap();
+        let a3 = StorageSimulator::new(plus3).unwrap().run(8760.0, 16, 13).unwrap();
+        assert!(a3.availability.point >= a2.availability.point - 1e-6);
+        assert!(a3.data_loss_events.point <= a2.data_loss_events.point + 1e-9);
+    }
+
+    #[test]
+    fn controller_double_faults_cause_downtime_but_no_data_loss() {
+        let mut c = quick_config();
+        // Make controller failures frequent and repairs slow so double faults
+        // are common, while disks are extremely reliable.
+        c.controllers = Some(crate::ControllerModel { failure_rate_per_hour: 1.0 / 100.0, repair_hours: 100.0 });
+        c.disk = DiskModel { weibull_shape: 1.0, mtbf_hours: 1e9, capacity_gb: 250.0 };
+        let sim = StorageSimulator::new(c).unwrap();
+        let summary = sim.run(8760.0, 16, 17).unwrap();
+        assert!(summary.availability.point < 0.999, "controller faults should cause downtime");
+        assert!(summary.data_loss_events.point < 1e-9);
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_seed() {
+        let sim = StorageSimulator::new(quick_config()).unwrap();
+        let a = sim.run(4380.0, 8, 21).unwrap();
+        let b = sim.run(4380.0, 8, 21).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_stats_accessors() {
+        let stats = StorageRunStats {
+            downtime_hours: 87.36,
+            data_loss_events: 1,
+            disk_replacements: 52,
+            controller_downtime_hours: 0.0,
+            horizon_hours: 8736.0, // exactly 52 weeks
+        };
+        assert!((stats.availability() - 0.99).abs() < 1e-12);
+        assert!((stats.replacements_per_week() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,338 @@
+//! Continuous-time Markov chain (CTMC) solver used as an analytic
+//! cross-check of the simulation engine.
+//!
+//! Möbius can solve small models numerically instead of simulating them;
+//! this module provides the same capability for the building blocks of the
+//! cluster model whose state spaces are small (a fail-over pair, a
+//! k-out-of-n redundancy group): build the generator matrix, solve for the
+//! steady-state distribution, and evaluate availability-style rewards
+//! exactly. The tests in this crate and the integration tests of the
+//! workspace compare these exact values against the discrete-event
+//! estimates.
+
+use crate::SanError;
+
+/// A continuous-time Markov chain over states `0..n`, defined by its
+/// transition rates.
+///
+/// # Example
+///
+/// ```
+/// use sanet::ctmc::Ctmc;
+///
+/// // A repairable unit: state 0 = up, state 1 = down.
+/// let mut chain = Ctmc::new(2).unwrap();
+/// chain.add_transition(0, 1, 1.0 / 1000.0).unwrap(); // failure
+/// chain.add_transition(1, 0, 1.0 / 10.0).unwrap();   // repair
+/// let pi = chain.steady_state().unwrap();
+/// let availability = pi[0];
+/// assert!((availability - 1000.0 / 1010.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    states: usize,
+    /// Dense generator matrix `Q` in row-major order; `rate[i][j]` is the
+    /// transition rate from state `i` to state `j` (diagonal filled in at
+    /// solve time).
+    rates: Vec<Vec<f64>>,
+}
+
+impl Ctmc {
+    /// Creates a chain with `states` states and no transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidExperiment`] if `states` is zero.
+    pub fn new(states: usize) -> Result<Self, SanError> {
+        if states == 0 {
+            return Err(SanError::InvalidExperiment { reason: "a CTMC needs at least one state".into() });
+        }
+        Ok(Ctmc { states, rates: vec![vec![0.0; states]; states] })
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Adds (accumulates) a transition rate from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::UnknownId`] if either state is out of range and
+    /// [`SanError::InvalidExperiment`] if the rate is not finite and
+    /// positive or the transition is a self-loop.
+    pub fn add_transition(&mut self, from: usize, to: usize, rate: f64) -> Result<(), SanError> {
+        if from >= self.states || to >= self.states {
+            return Err(SanError::UnknownId { what: format!("CTMC state {from}->{to}") });
+        }
+        if from == to {
+            return Err(SanError::InvalidExperiment { reason: "self-loops are not allowed in a CTMC".into() });
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(SanError::InvalidExperiment { reason: format!("transition rate must be positive, got {rate}") });
+        }
+        self.rates[from][to] += rate;
+        Ok(())
+    }
+
+    /// Solves the steady-state (stationary) distribution `π` with
+    /// `π Q = 0`, `Σ π = 1`, by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidExperiment`] if the chain has no
+    /// transitions at all or the linear system is singular beyond the usual
+    /// rank-1 deficiency (e.g. the chain is not irreducible enough to have a
+    /// unique stationary distribution).
+    pub fn steady_state(&self) -> Result<Vec<f64>, SanError> {
+        let n = self.states;
+        if n == 1 {
+            return Ok(vec![1.0]);
+        }
+        if self.rates.iter().all(|row| row.iter().all(|&r| r == 0.0)) {
+            return Err(SanError::InvalidExperiment { reason: "CTMC has no transitions".into() });
+        }
+
+        // Build the transposed generator Qᵀ π = 0 and replace the last
+        // equation with the normalisation Σ π = 1.
+        let mut a = vec![vec![0.0_f64; n + 1]; n];
+        for i in 0..n {
+            let diagonal: f64 = self.rates[i].iter().sum();
+            for j in 0..n {
+                // Qᵀ[j][i] = Q[i][j]
+                if i == j {
+                    a[j][i] -= diagonal;
+                } else {
+                    a[j][i] += self.rates[i][j];
+                }
+            }
+        }
+        for j in 0..n {
+            a[n - 1][j] = 1.0;
+        }
+        a[n - 1][n] = 1.0;
+
+        // Gaussian elimination with partial pivoting.
+        for col in 0..n {
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| a[r1][col].abs().partial_cmp(&a[r2][col].abs()).expect("finite"))
+                .expect("non-empty range");
+            if a[pivot_row][col].abs() < 1e-14 {
+                return Err(SanError::InvalidExperiment {
+                    reason: "CTMC generator is singular; the chain has no unique stationary distribution".into(),
+                });
+            }
+            a.swap(col, pivot_row);
+            let pivot = a[col][col];
+            for j in col..=n {
+                a[col][j] /= pivot;
+            }
+            for row in 0..n {
+                if row != col && a[row][col].abs() > 0.0 {
+                    let factor = a[row][col];
+                    for j in col..=n {
+                        a[row][j] -= factor * a[col][j];
+                    }
+                }
+            }
+        }
+
+        let mut pi: Vec<f64> = (0..n).map(|i| a[i][n].max(0.0)).collect();
+        let total: f64 = pi.iter().sum();
+        if !(total.is_finite() && total > 0.0) {
+            return Err(SanError::InvalidExperiment {
+                reason: "steady-state solve produced a degenerate distribution".into(),
+            });
+        }
+        for p in &mut pi {
+            *p /= total;
+        }
+        Ok(pi)
+    }
+
+    /// Expected steady-state value of a reward function over states.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Ctmc::steady_state`].
+    pub fn steady_state_reward(&self, reward: impl Fn(usize) -> f64) -> Result<f64, SanError> {
+        Ok(self.steady_state()?.iter().enumerate().map(|(s, &p)| p * reward(s)).sum())
+    }
+}
+
+/// Builds the CTMC of a k-out-of-n repairable redundancy group: `n` units
+/// each failing at `failure_rate`, a single repair facility restoring one
+/// unit at a time at `repair_rate`, and the system considered *up* while at
+/// least `k` units work. State `i` = number of failed units.
+///
+/// Returns the chain and the index of the first *down* state (`n - k + 1`).
+///
+/// # Errors
+///
+/// Returns [`SanError::InvalidExperiment`] for invalid `k`/`n` or
+/// non-positive rates.
+pub fn k_out_of_n_chain(
+    n: usize,
+    k: usize,
+    failure_rate: f64,
+    repair_rate: f64,
+) -> Result<(Ctmc, usize), SanError> {
+    if n == 0 || k == 0 || k > n {
+        return Err(SanError::InvalidExperiment {
+            reason: format!("k-out-of-n requires 1 <= k <= n, got k={k}, n={n}"),
+        });
+    }
+    if failure_rate <= 0.0 || repair_rate <= 0.0 {
+        return Err(SanError::InvalidExperiment { reason: "rates must be positive".into() });
+    }
+    let mut chain = Ctmc::new(n + 1)?;
+    for failed in 0..n {
+        let working = n - failed;
+        chain.add_transition(failed, failed + 1, working as f64 * failure_rate)?;
+        chain.add_transition(failed + 1, failed, repair_rate)?;
+    }
+    Ok((chain, n - k + 1))
+}
+
+/// Exact steady-state availability of a k-out-of-n repairable group.
+///
+/// # Errors
+///
+/// Propagates errors from [`k_out_of_n_chain`] and the steady-state solve.
+pub fn k_out_of_n_availability(
+    n: usize,
+    k: usize,
+    failure_rate: f64,
+    repair_rate: f64,
+) -> Result<f64, SanError> {
+    let (chain, first_down) = k_out_of_n_chain(n, k, failure_rate, repair_rate)?;
+    chain.steady_state_reward(|state| if state < first_down { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::RewardSpec;
+    use crate::{Experiment, ModelBuilder};
+    use probdist::Exponential;
+
+    #[test]
+    fn construction_and_validation() {
+        assert!(Ctmc::new(0).is_err());
+        let mut c = Ctmc::new(3).unwrap();
+        assert_eq!(c.states(), 3);
+        assert!(c.add_transition(0, 0, 1.0).is_err());
+        assert!(c.add_transition(0, 5, 1.0).is_err());
+        assert!(c.add_transition(0, 1, 0.0).is_err());
+        assert!(c.add_transition(0, 1, f64::NAN).is_err());
+        assert!(c.add_transition(0, 1, 2.0).is_ok());
+        // No transitions at all -> error.
+        assert!(Ctmc::new(2).unwrap().steady_state().is_err());
+    }
+
+    #[test]
+    fn single_state_chain_is_trivial() {
+        let c = Ctmc::new(1).unwrap();
+        assert_eq!(c.steady_state().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn two_state_availability_matches_closed_form() {
+        let mut c = Ctmc::new(2).unwrap();
+        c.add_transition(0, 1, 1.0 / 500.0).unwrap();
+        c.add_transition(1, 0, 1.0 / 20.0).unwrap();
+        let pi = c.steady_state().unwrap();
+        assert!((pi[0] - 500.0 / 520.0).abs() < 1e-12);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let availability = c.steady_state_reward(|s| if s == 0 { 1.0 } else { 0.0 }).unwrap();
+        assert!((availability - pi[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn birth_death_chain_matches_erlang_formula() {
+        // M/M/1-style chain with 3 states and distinct rates; compare with
+        // the balance-equation solution computed by hand.
+        let mut c = Ctmc::new(3).unwrap();
+        c.add_transition(0, 1, 2.0).unwrap();
+        c.add_transition(1, 2, 1.0).unwrap();
+        c.add_transition(1, 0, 3.0).unwrap();
+        c.add_transition(2, 1, 4.0).unwrap();
+        let pi = c.steady_state().unwrap();
+        // Balance: pi1 = pi0 * 2/3, pi2 = pi1 * 1/4.
+        let p0 = 1.0 / (1.0 + 2.0 / 3.0 + 2.0 / 12.0);
+        assert!((pi[0] - p0).abs() < 1e-12);
+        assert!((pi[1] - p0 * 2.0 / 3.0).abs() < 1e-12);
+        assert!((pi[2] - p0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_out_of_n_validation_and_limits() {
+        assert!(k_out_of_n_chain(0, 1, 0.1, 1.0).is_err());
+        assert!(k_out_of_n_chain(3, 0, 0.1, 1.0).is_err());
+        assert!(k_out_of_n_chain(3, 4, 0.1, 1.0).is_err());
+        assert!(k_out_of_n_chain(3, 2, -0.1, 1.0).is_err());
+        // A 1-out-of-1 group is the simple repairable unit.
+        let a = k_out_of_n_availability(1, 1, 1.0 / 100.0, 1.0 / 10.0).unwrap();
+        assert!((a - 100.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_redundancy_gives_higher_availability() {
+        let lambda = 1.0 / 720.0;
+        let mu = 1.0 / 24.0;
+        let a_1of2 = k_out_of_n_availability(2, 1, lambda, mu).unwrap();
+        let a_2of3 = k_out_of_n_availability(3, 2, lambda, mu).unwrap();
+        let a_1of1 = k_out_of_n_availability(1, 1, lambda, mu).unwrap();
+        assert!(a_1of2 > a_2of3, "a fail-over pair beats 2-out-of-3");
+        assert!(a_2of3 > a_1of1);
+        // With monthly failures and 24 h repairs a fail-over pair is down
+        // only when both members are failed: about 0.2 % of the time.
+        assert!(a_1of2 > 0.997 && a_1of2 < 0.9995, "availability {a_1of2}");
+    }
+
+    #[test]
+    fn ctmc_matches_simulation_for_a_failover_pair() {
+        // Exact availability of a 1-out-of-2 pair with exponential failure
+        // and single-server exponential repair…
+        let lambda = 1.0 / 300.0;
+        let mu = 1.0 / 12.0;
+        let exact = k_out_of_n_availability(2, 1, lambda, mu).unwrap();
+
+        // …compared against the discrete-event engine estimating the same
+        // system (marking-dependent aggregate failure rate, one repairer).
+        let mut b = ModelBuilder::new("pair");
+        let working = b.add_place("working", 2).unwrap();
+        let failed = b.add_place("failed", 0).unwrap();
+        b.timed_activity_fn("fail", move |m: &crate::Marking| {
+            let n = m.tokens(working).max(1) as f64;
+            probdist::Dist::Exponential(Exponential::new(n * lambda).unwrap())
+        })
+        .unwrap()
+        .input_arc(working, 1)
+        .output_arc(failed, 1)
+        .build()
+        .unwrap();
+        b.timed_activity("repair", Exponential::new(mu).unwrap())
+            .unwrap()
+            .input_arc(failed, 1)
+            .output_arc(working, 1)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let mut exp = Experiment::new(model, 100_000.0);
+        exp.add_reward(RewardSpec::time_averaged_rate("avail", move |m| {
+            if m.tokens(working) > 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }));
+        let summary = exp.run(24, 5).unwrap();
+        let simulated = summary.reward("avail").unwrap().interval.point;
+        assert!(
+            (simulated - exact).abs() < 5e-4,
+            "simulated {simulated} vs exact {exact}"
+        );
+    }
+}

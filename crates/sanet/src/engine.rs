@@ -1,0 +1,639 @@
+use std::collections::HashMap;
+
+use probdist::{Distribution, SimRng};
+
+use crate::model::Timing;
+use crate::reward::{ImpulseKind, RewardKind, RewardSpec, RewardVariant};
+use crate::{ActivityId, Marking, Model, SanError};
+
+/// Maximum number of zero-delay firings processed at a single time point
+/// before the simulator concludes the model has an unstable loop of
+/// instantaneous activities.
+const MAX_INSTANT_FIRINGS: usize = 100_000;
+
+/// The estimated reward values produced by a single simulation replication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    values: HashMap<String, f64>,
+    /// Number of activity completions processed.
+    pub events: u64,
+    /// Simulated time at which the run ended (the horizon).
+    pub end_time: f64,
+}
+
+impl RunResult {
+    /// The value of the named reward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::UnknownReward`] if the reward was not registered
+    /// for the run.
+    pub fn reward(&self, name: &str) -> Result<f64, SanError> {
+        self.values
+            .get(name)
+            .copied()
+            .ok_or_else(|| SanError::UnknownReward { name: name.to_string() })
+    }
+
+    /// Iterates over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// One entry of a simulation trace (activity completion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time of the completion (hours).
+    pub time: f64,
+    /// The activity that completed.
+    pub activity: ActivityId,
+    /// The activity's name.
+    pub activity_name: String,
+    /// Index of the probabilistic case chosen.
+    pub case: usize,
+}
+
+/// Discrete-event simulator for a [`Model`].
+///
+/// The execution semantics follow Möbius' simulator:
+///
+/// * Instantaneous activities complete immediately and have priority over
+///   timed activities; a bounded cascade of them is processed at each time
+///   point.
+/// * A timed activity samples its firing delay when it becomes enabled
+///   (activation). If it becomes disabled before firing, the sample is
+///   discarded. If the marking changes while it stays enabled, the sample is
+///   kept unless the activity requests resampling (restart policy) or has a
+///   marking-dependent distribution.
+/// * Rate rewards are integrated between events; impulse rewards accumulate
+///   on activity completion. An optional warm-up period excludes the initial
+///   transient from both.
+#[derive(Debug, Clone)]
+pub struct Simulator<'m> {
+    model: &'m Model,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ScheduledFiring {
+    time: f64,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator bound to `model`.
+    pub fn new(model: &'m Model) -> Self {
+        Simulator { model }
+    }
+
+    /// Runs one replication until `horizon` hours and returns the reward
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidExperiment`] for a non-positive horizon,
+    /// [`SanError::UnknownId`] if a reward references an activity that does
+    /// not belong to the model, and
+    /// [`SanError::UnstableInstantaneousLoop`] if instantaneous activities
+    /// never stabilise.
+    pub fn run(
+        &self,
+        rewards: &[RewardSpec],
+        horizon: f64,
+        warmup: f64,
+        rng: &mut SimRng,
+    ) -> Result<RunResult, SanError> {
+        self.run_inner(rewards, horizon, warmup, rng, None)
+    }
+
+    /// Like [`Simulator::run`], but also records every activity completion.
+    ///
+    /// Intended for debugging and for tests that assert on event orderings;
+    /// tracing allocates per event, so do not use it for production
+    /// experiments.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_traced(
+        &self,
+        rewards: &[RewardSpec],
+        horizon: f64,
+        warmup: f64,
+        rng: &mut SimRng,
+    ) -> Result<(RunResult, Vec<TraceEvent>), SanError> {
+        let mut trace = Vec::new();
+        let result = self.run_inner(rewards, horizon, warmup, rng, Some(&mut trace))?;
+        Ok((result, trace))
+    }
+
+    fn run_inner(
+        &self,
+        rewards: &[RewardSpec],
+        horizon: f64,
+        warmup: f64,
+        rng: &mut SimRng,
+        mut trace: Option<&mut Vec<TraceEvent>>,
+    ) -> Result<RunResult, SanError> {
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(SanError::InvalidExperiment {
+                reason: format!("simulation horizon must be positive and finite, got {horizon}"),
+            });
+        }
+        if !(0.0..horizon).contains(&warmup) {
+            return Err(SanError::InvalidExperiment {
+                reason: format!("warm-up ({warmup}) must lie in [0, horizon)"),
+            });
+        }
+        // Validate impulse-reward activity references up front.
+        for spec in rewards {
+            if let RewardVariant::Impulse { activity, .. } = &spec.variant {
+                if activity.index() >= self.model.num_activities() {
+                    return Err(SanError::UnknownId {
+                        what: format!("activity #{} referenced by reward `{}`", activity.index(), spec.name),
+                    });
+                }
+            }
+        }
+
+        let model = self.model;
+        let mut marking = model.initial_marking();
+        let mut now = 0.0_f64;
+        let mut events = 0u64;
+        let observed = horizon - warmup;
+
+        // Per-reward accumulators.
+        let mut rate_integrals = vec![0.0_f64; rewards.len()];
+        let mut impulse_totals = vec![0.0_f64; rewards.len()];
+
+        // Scheduled firing time per timed activity.
+        let mut schedule: Vec<Option<ScheduledFiring>> = vec![None; model.num_activities()];
+
+        // Fire any instantaneous activities enabled in the initial marking,
+        // then schedule timed activities.
+        fire_instantaneous(model, &mut marking, rng, &mut trace, &mut events, now, rewards, &mut impulse_totals, warmup)?;
+        refresh_schedule(model, &marking, &mut schedule, rng, now, true);
+
+        loop {
+            // Find the earliest scheduled completion.
+            let next = schedule
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.map(|f| (f.time, i)))
+                .min_by(|a, b| a.partial_cmp(b).expect("firing times are finite"));
+
+            let (fire_time, activity_idx) = match next {
+                Some((t, i)) if t <= horizon => (t, i),
+                _ => {
+                    // No more events before the horizon: accumulate rewards
+                    // for the remaining interval and stop.
+                    accumulate_rate_rewards(rewards, &marking, now, horizon, warmup, &mut rate_integrals);
+                    now = horizon;
+                    break;
+                }
+            };
+
+            // Integrate rate rewards over [now, fire_time].
+            accumulate_rate_rewards(rewards, &marking, now, fire_time, warmup, &mut rate_integrals);
+            now = fire_time;
+
+            // Fire the activity.
+            let activity_id = ActivityId(activity_idx);
+            let case = fire_activity(model, activity_id, &mut marking, rng);
+            schedule[activity_idx] = None;
+            events += 1;
+            if now >= warmup {
+                credit_impulses(rewards, activity_id, &mut impulse_totals);
+            }
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.push(TraceEvent {
+                    time: now,
+                    activity: activity_id,
+                    activity_name: model.activity_name(activity_id).to_string(),
+                    case,
+                });
+            }
+
+            // Process any instantaneous cascade triggered by the firing.
+            fire_instantaneous(model, &mut marking, rng, &mut trace, &mut events, now, rewards, &mut impulse_totals, warmup)?;
+
+            // Update the timed-activity schedule after the marking change.
+            refresh_schedule(model, &marking, &mut schedule, rng, now, false);
+        }
+
+        // Assemble reward values.
+        let mut values = HashMap::with_capacity(rewards.len());
+        for (i, spec) in rewards.iter().enumerate() {
+            let value = match &spec.variant {
+                RewardVariant::Rate { function, kind } => match kind {
+                    RewardKind::TimeAveraged => rate_integrals[i] / observed,
+                    RewardKind::Accumulated => rate_integrals[i],
+                    RewardKind::InstantOfTime => function(&marking),
+                },
+                RewardVariant::Impulse { kind, .. } => match kind {
+                    ImpulseKind::Total => impulse_totals[i],
+                    ImpulseKind::PerHour => impulse_totals[i] / observed,
+                },
+            };
+            values.insert(spec.name.clone(), value);
+        }
+
+        Ok(RunResult { values, events, end_time: now })
+    }
+}
+
+/// Integrates every rate reward over `[from, to]`, clipped to the
+/// post-warm-up window.
+fn accumulate_rate_rewards(
+    rewards: &[RewardSpec],
+    marking: &Marking,
+    from: f64,
+    to: f64,
+    warmup: f64,
+    integrals: &mut [f64],
+) {
+    let start = from.max(warmup);
+    if to <= start {
+        return;
+    }
+    let dt = to - start;
+    for (i, spec) in rewards.iter().enumerate() {
+        if let RewardVariant::Rate { function, kind } = &spec.variant {
+            if matches!(kind, RewardKind::TimeAveraged | RewardKind::Accumulated) {
+                integrals[i] += function(marking) * dt;
+            }
+        }
+    }
+}
+
+/// Adds impulse amounts for rewards attached to `completed`.
+fn credit_impulses(rewards: &[RewardSpec], completed: ActivityId, totals: &mut [f64]) {
+    for (i, spec) in rewards.iter().enumerate() {
+        if let RewardVariant::Impulse { activity, amount, .. } = &spec.variant {
+            if *activity == completed {
+                totals[i] += amount;
+            }
+        }
+    }
+}
+
+/// Applies the marking changes of one activity completion and returns the
+/// chosen case index.
+fn fire_activity(model: &Model, id: ActivityId, marking: &mut Marking, rng: &mut SimRng) -> usize {
+    let activity = model.activity_ref(id);
+    // Input side: arcs consume tokens, gates apply their functions.
+    for &(place, tokens) in &activity.input_arcs {
+        marking.remove_tokens(place, tokens);
+    }
+    for gate in &activity.input_gates {
+        (gate.function)(marking);
+    }
+    // Choose a case.
+    let case_idx = if activity.cases.len() == 1 {
+        0
+    } else {
+        let u = rng.uniform01();
+        let mut acc = 0.0;
+        let mut chosen = activity.cases.len() - 1;
+        for (i, case) in activity.cases.iter().enumerate() {
+            acc += case.probability;
+            if u < acc {
+                chosen = i;
+                break;
+            }
+        }
+        chosen
+    };
+    let case = &activity.cases[case_idx];
+    for &(place, tokens) in &case.output_arcs {
+        marking.add_tokens(place, tokens);
+    }
+    for gate in &case.output_gates {
+        (gate.function)(marking);
+    }
+    case_idx
+}
+
+/// Fires enabled instantaneous activities until none remain enabled,
+/// returning an error if the cascade does not stabilise.
+#[allow(clippy::too_many_arguments)]
+fn fire_instantaneous(
+    model: &Model,
+    marking: &mut Marking,
+    rng: &mut SimRng,
+    trace: &mut Option<&mut Vec<TraceEvent>>,
+    events: &mut u64,
+    now: f64,
+    rewards: &[RewardSpec],
+    impulse_totals: &mut [f64],
+    warmup: f64,
+) -> Result<(), SanError> {
+    let mut firings = 0usize;
+    loop {
+        let next = model
+            .activities()
+            .iter()
+            .enumerate()
+            .find(|(_, a)| matches!(a.timing, Timing::Instantaneous) && a.is_enabled(marking))
+            .map(|(i, _)| i);
+        let Some(idx) = next else { return Ok(()) };
+        let id = ActivityId(idx);
+        let case = fire_activity(model, id, marking, rng);
+        *events += 1;
+        if now >= warmup {
+            credit_impulses(rewards, id, impulse_totals);
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(TraceEvent {
+                time: now,
+                activity: id,
+                activity_name: model.activity_name(id).to_string(),
+                case,
+            });
+        }
+        firings += 1;
+        if firings > MAX_INSTANT_FIRINGS {
+            return Err(SanError::UnstableInstantaneousLoop { firings });
+        }
+    }
+}
+
+/// Brings the timed-activity schedule in line with the current marking:
+/// disabled activities lose their sample, newly enabled activities sample a
+/// delay, and enabled activities with the restart policy (or marking-
+/// dependent timing) resample.
+fn refresh_schedule(
+    model: &Model,
+    marking: &Marking,
+    schedule: &mut [Option<ScheduledFiring>],
+    rng: &mut SimRng,
+    now: f64,
+    initial: bool,
+) {
+    for (i, activity) in model.activities().iter().enumerate() {
+        let timing = &activity.timing;
+        if matches!(timing, Timing::Instantaneous) {
+            continue;
+        }
+        let enabled = activity.is_enabled(marking);
+        if !enabled {
+            schedule[i] = None;
+            continue;
+        }
+        let needs_sample = schedule[i].is_none() || (!initial && activity.resample_on_change);
+        if needs_sample {
+            let delay = match timing {
+                Timing::Timed(dist) => dist.sample(rng),
+                Timing::TimedFn(f) => f(marking).sample(rng),
+                Timing::Instantaneous => unreachable!("filtered above"),
+            };
+            schedule[i] = Some(ScheduledFiring { time: now + delay });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::RewardSpec;
+    use crate::ModelBuilder;
+    use probdist::{Deterministic, Dist, Exponential};
+
+    fn exp(mean: f64) -> Exponential {
+        Exponential::from_mean(mean).unwrap()
+    }
+
+    fn det(v: f64) -> Deterministic {
+        Deterministic::new(v).unwrap()
+    }
+
+    /// A single repairable unit: deterministic failure at 10 h, deterministic
+    /// repair taking 2 h. Over a 24-hour horizon the unit is down during
+    /// [10, 12) and [22, 24), i.e. availability 20/24; the second repair
+    /// completes exactly at the horizon and is still counted.
+    #[test]
+    fn deterministic_failure_repair_cycle_availability() {
+        let mut b = ModelBuilder::new("unit");
+        let up = b.add_place("up", 1).unwrap();
+        let down = b.add_place("down", 0).unwrap();
+        b.timed_activity("fail", det(10.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
+        let repair =
+            b.timed_activity("repair", det(2.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        let model = b.build().unwrap();
+
+        let rewards = vec![
+            RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 }),
+            RewardSpec::accumulated_rate("downtime", move |m| if m.tokens(down) > 0 { 1.0 } else { 0.0 }),
+            RewardSpec::impulse_total("repairs", repair, 1.0),
+            RewardSpec::instant_of_time("up_at_end", move |m| m.tokens(up) as f64),
+        ];
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(1);
+        let result = sim.run(&rewards, 24.0, 0.0, &mut rng).unwrap();
+
+        assert!((result.reward("avail").unwrap() - 20.0 / 24.0).abs() < 1e-9);
+        assert!((result.reward("downtime").unwrap() - 4.0).abs() < 1e-9);
+        assert_eq!(result.reward("repairs").unwrap(), 2.0);
+        assert_eq!(result.reward("up_at_end").unwrap(), 1.0);
+        assert_eq!(result.end_time, 24.0);
+        assert!(result.reward("missing").is_err());
+        assert!(result.iter().count() == 4);
+    }
+
+    #[test]
+    fn trace_records_event_sequence() {
+        let mut b = ModelBuilder::new("unit");
+        let up = b.add_place("up", 1).unwrap();
+        let down = b.add_place("down", 0).unwrap();
+        b.timed_activity("fail", det(5.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
+        b.timed_activity("repair", det(1.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        let model = b.build().unwrap();
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(1);
+        let (result, trace) = sim.run_traced(&[], 13.0, 0.0, &mut rng).unwrap();
+        // fail@5, repair@6, fail@11, repair@12 -> 4 events
+        assert_eq!(result.events, 4);
+        let names: Vec<&str> = trace.iter().map(|e| e.activity_name.as_str()).collect();
+        assert_eq!(names, vec!["fail", "repair", "fail", "repair"]);
+        assert!((trace[0].time - 5.0).abs() < 1e-12);
+        assert!((trace[3].time - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_availability_matches_analytic_steady_state() {
+        // Availability of an M/M/1-style repairable unit:
+        // A = mu / (lambda + mu) with failure rate lambda and repair rate mu.
+        let mut b = ModelBuilder::new("unit");
+        let up = b.add_place("up", 1).unwrap();
+        let down = b.add_place("down", 0).unwrap();
+        b.timed_activity("fail", exp(100.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
+        b.timed_activity("repair", exp(10.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        let model = b.build().unwrap();
+        let rewards =
+            vec![RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 })];
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(99);
+        let mut total = 0.0;
+        let reps = 40;
+        for _ in 0..reps {
+            total += sim.run(&rewards, 50_000.0, 0.0, &mut rng).unwrap().reward("avail").unwrap();
+        }
+        let avail = total / reps as f64;
+        let expected = 100.0 / 110.0;
+        assert!((avail - expected).abs() < 0.01, "avail {avail}, expected {expected}");
+    }
+
+    #[test]
+    fn instantaneous_activities_fire_with_priority_and_cases() {
+        // A timed source deposits a token; an instantaneous router moves it
+        // to one of two sinks with probability 0.3 / 0.7.
+        let mut b = ModelBuilder::new("router");
+        let pending = b.add_place("pending", 0).unwrap();
+        let sink_a = b.add_place("sink_a", 0).unwrap();
+        let sink_b = b.add_place("sink_b", 0).unwrap();
+        let idle = b.add_place("idle", 1).unwrap();
+        b.timed_activity("arrive", det(1.0))
+            .unwrap()
+            .input_arc(idle, 1)
+            .output_arc(pending, 1)
+            .output_arc(idle, 1)
+            .build()
+            .unwrap();
+        b.instant_activity("route")
+            .unwrap()
+            .input_arc(pending, 1)
+            .case(0.3)
+            .output_arc(sink_a, 1)
+            .case(0.7)
+            .output_arc(sink_b, 1)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let rewards = vec![
+            RewardSpec::instant_of_time("a", move |m| m.tokens(sink_a) as f64),
+            RewardSpec::instant_of_time("b", move |m| m.tokens(sink_b) as f64),
+            RewardSpec::instant_of_time("pending", move |m| m.tokens(pending) as f64),
+        ];
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(7);
+        let result = sim.run(&rewards, 10_000.5, 0.0, &mut rng).unwrap();
+        let a = result.reward("a").unwrap();
+        let b_count = result.reward("b").unwrap();
+        // Every arrival must have been routed immediately.
+        assert_eq!(result.reward("pending").unwrap(), 0.0);
+        assert_eq!(a + b_count, 10_000.0);
+        let frac_a = a / 10_000.0;
+        assert!((frac_a - 0.3).abs() < 0.02, "case probability estimate {frac_a}");
+    }
+
+    #[test]
+    fn unstable_instantaneous_loop_is_detected() {
+        let mut b = ModelBuilder::new("loop");
+        let p = b.add_place("p", 1).unwrap();
+        let q = b.add_place("q", 0).unwrap();
+        b.instant_activity("pq").unwrap().input_arc(p, 1).output_arc(q, 1).build().unwrap();
+        b.instant_activity("qp").unwrap().input_arc(q, 1).output_arc(p, 1).build().unwrap();
+        let model = b.build().unwrap();
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(1);
+        let err = sim.run(&[], 10.0, 0.0, &mut rng).unwrap_err();
+        assert!(matches!(err, SanError::UnstableInstantaneousLoop { .. }));
+    }
+
+    #[test]
+    fn marking_dependent_rate_scales_with_population() {
+        // N independent units each failing at rate lambda, modelled as a
+        // single aggregate activity with rate N(t) * lambda. Count failures
+        // over a horizon with instantaneous repair (tokens return), so the
+        // expected number of failures is N * lambda * T.
+        let mut b = ModelBuilder::new("aggregate");
+        let working = b.add_place("working", 50).unwrap();
+        let fail = b
+            .timed_activity_fn("fail", move |m: &Marking| {
+                let n = m.tokens(working).max(1) as f64;
+                Dist::Exponential(Exponential::new(n * 0.01).unwrap())
+            })
+            .unwrap()
+            .input_arc(working, 1)
+            .output_arc(working, 1)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let rewards = vec![RewardSpec::impulse_total("failures", fail, 1.0)];
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut total = 0.0;
+        let reps = 30;
+        for _ in 0..reps {
+            total += sim.run(&rewards, 1000.0, 0.0, &mut rng).unwrap().reward("failures").unwrap();
+        }
+        let mean_failures = total / reps as f64;
+        let expected = 50.0 * 0.01 * 1000.0;
+        assert!(
+            (mean_failures - expected).abs() / expected < 0.05,
+            "mean {mean_failures}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn warmup_excludes_initial_transient() {
+        // The unit starts down and is repaired deterministically at t=10,
+        // after which it never fails. With warm-up 20, availability over the
+        // observed window is exactly 1.
+        let mut b = ModelBuilder::new("warmup");
+        let up = b.add_place("up", 0).unwrap();
+        let down = b.add_place("down", 1).unwrap();
+        b.timed_activity("repair", det(10.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        let model = b.build().unwrap();
+        let rewards =
+            vec![RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 })];
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(5);
+        let with_warmup = sim.run(&rewards, 120.0, 20.0, &mut rng).unwrap();
+        assert!((with_warmup.reward("avail").unwrap() - 1.0).abs() < 1e-12);
+        let mut rng = SimRng::seed_from_u64(5);
+        let without = sim.run(&rewards, 120.0, 0.0, &mut rng).unwrap();
+        assert!((without.reward("avail").unwrap() - 110.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_horizon_and_warmup_are_rejected() {
+        let mut b = ModelBuilder::new("unit");
+        let up = b.add_place("up", 1).unwrap();
+        b.timed_activity("fail", exp(1.0)).unwrap().input_arc(up, 1).build().unwrap();
+        let model = b.build().unwrap();
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(sim.run(&[], 0.0, 0.0, &mut rng).is_err());
+        assert!(sim.run(&[], -5.0, 0.0, &mut rng).is_err());
+        assert!(sim.run(&[], 10.0, 10.0, &mut rng).is_err());
+        assert!(sim.run(&[], 10.0, -1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn impulse_reward_with_bad_activity_reference_errors() {
+        let mut b = ModelBuilder::new("unit");
+        let up = b.add_place("up", 1).unwrap();
+        b.timed_activity("fail", exp(1.0)).unwrap().input_arc(up, 1).build().unwrap();
+        let model = b.build().unwrap();
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(1);
+        let bogus = RewardSpec::impulse_total("x", ActivityId(42), 1.0);
+        assert!(matches!(sim.run(&[bogus], 10.0, 0.0, &mut rng), Err(SanError::UnknownId { .. })));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_results() {
+        let mut b = ModelBuilder::new("unit");
+        let up = b.add_place("up", 1).unwrap();
+        let down = b.add_place("down", 0).unwrap();
+        b.timed_activity("fail", exp(50.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
+        b.timed_activity("repair", exp(5.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        let model = b.build().unwrap();
+        let rewards =
+            vec![RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 })];
+        let sim = Simulator::new(&model);
+        let r1 = sim.run(&rewards, 10_000.0, 0.0, &mut SimRng::seed_from_u64(3)).unwrap();
+        let r2 = sim.run(&rewards, 10_000.0, 0.0, &mut SimRng::seed_from_u64(3)).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

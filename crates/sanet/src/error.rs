@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+use probdist::DistError;
+
+/// Error type for model construction, simulation, and result queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SanError {
+    /// A place or activity name was declared twice within one model.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A place or activity id referenced something that does not belong to
+    /// the model being built or simulated.
+    UnknownId {
+        /// Description of the reference that failed to resolve.
+        what: String,
+    },
+    /// A reward with the requested name does not exist in the results.
+    UnknownReward {
+        /// The requested reward name.
+        name: String,
+    },
+    /// An activity was declared with no effect (no input and no output), or
+    /// with case probabilities that do not sum to one.
+    InvalidActivity {
+        /// The activity name.
+        name: String,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The model has no activities, or the simulation horizon is not
+    /// positive, or a replication count of zero was requested.
+    InvalidExperiment {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// An instantaneous-activity cascade did not stabilise (the model has a
+    /// loop of zero-delay activities).
+    UnstableInstantaneousLoop {
+        /// Number of zero-delay firings attempted before giving up.
+        firings: usize,
+    },
+    /// A distribution parameter error surfaced while building or sampling.
+    Distribution(DistError),
+}
+
+impl fmt::Display for SanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SanError::DuplicateName { name } => write!(f, "duplicate name `{name}` in model"),
+            SanError::UnknownId { what } => write!(f, "unknown reference: {what}"),
+            SanError::UnknownReward { name } => write!(f, "no reward named `{name}` in results"),
+            SanError::InvalidActivity { name, reason } => {
+                write!(f, "invalid activity `{name}`: {reason}")
+            }
+            SanError::InvalidExperiment { reason } => write!(f, "invalid experiment: {reason}"),
+            SanError::UnstableInstantaneousLoop { firings } => write!(
+                f,
+                "instantaneous activities did not stabilise after {firings} zero-delay firings"
+            ),
+            SanError::Distribution(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl Error for SanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SanError::Distribution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for SanError {
+    fn from(e: DistError) -> Self {
+        SanError::Distribution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SanError::DuplicateName { name: "oss_up".into() };
+        assert!(e.to_string().contains("oss_up"));
+        let e = SanError::UnknownReward { name: "availability".into() };
+        assert!(e.to_string().contains("availability"));
+    }
+
+    #[test]
+    fn dist_error_converts_and_sources() {
+        let inner = DistError::EmptyData;
+        let e: SanError = inner.clone().into();
+        assert_eq!(e, SanError::Distribution(inner));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,141 @@
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a place within a [`Model`](crate::Model).
+///
+/// Place ids are handed out by [`ModelBuilder::add_place`](crate::ModelBuilder::add_place)
+/// and are valid only for the model they were created for (and for models
+/// composed from it without renumbering — see [`crate::compose`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlaceId(pub(crate) usize);
+
+impl PlaceId {
+    /// The raw index of the place in the model's place table.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// The state of a stochastic activity network: a token count per place.
+///
+/// Token counts are unsigned; gate functions that would drive a count
+/// negative saturate at zero (and this is considered a modelling error to be
+/// caught in tests, not silently relied upon).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Marking {
+    tokens: Vec<u64>,
+}
+
+impl Marking {
+    /// Creates a marking with the given token counts (indexed by place id).
+    pub fn new(tokens: Vec<u64>) -> Self {
+        Marking { tokens }
+    }
+
+    /// Number of places in the marking.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the marking covers no places.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Tokens currently in `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` does not belong to this marking's model.
+    pub fn tokens(&self, place: PlaceId) -> u64 {
+        self.tokens[place.0]
+    }
+
+    /// Sets the token count of `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` does not belong to this marking's model.
+    pub fn set_tokens(&mut self, place: PlaceId, count: u64) {
+        self.tokens[place.0] = count;
+    }
+
+    /// Adds `count` tokens to `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` does not belong to this marking's model.
+    pub fn add_tokens(&mut self, place: PlaceId, count: u64) {
+        self.tokens[place.0] += count;
+    }
+
+    /// Removes up to `count` tokens from `place`, saturating at zero.
+    /// Returns the number actually removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` does not belong to this marking's model.
+    pub fn remove_tokens(&mut self, place: PlaceId, count: u64) -> u64 {
+        let available = self.tokens[place.0];
+        let removed = available.min(count);
+        self.tokens[place.0] = available - removed;
+        removed
+    }
+
+    /// Whether `place` holds at least `count` tokens.
+    pub fn has_at_least(&self, place: PlaceId, count: u64) -> bool {
+        self.tokens[place.0] >= count
+    }
+
+    /// Total number of tokens across all places.
+    pub fn total_tokens(&self) -> u64 {
+        self.tokens.iter().sum()
+    }
+
+    /// Raw access to the token vector (for reward functions that want to
+    /// iterate).
+    pub fn as_slice(&self) -> &[u64] {
+        &self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_accounting() {
+        let mut m = Marking::new(vec![2, 0, 5]);
+        let p0 = PlaceId(0);
+        let p1 = PlaceId(1);
+        let p2 = PlaceId(2);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.tokens(p0), 2);
+        assert!(m.has_at_least(p2, 5));
+        assert!(!m.has_at_least(p1, 1));
+
+        m.add_tokens(p1, 3);
+        assert_eq!(m.tokens(p1), 3);
+        assert_eq!(m.remove_tokens(p1, 2), 2);
+        assert_eq!(m.tokens(p1), 1);
+        // Saturating removal.
+        assert_eq!(m.remove_tokens(p1, 10), 1);
+        assert_eq!(m.tokens(p1), 0);
+
+        m.set_tokens(p0, 7);
+        assert_eq!(m.total_tokens(), 7 + 0 + 5);
+        assert_eq!(m.as_slice(), &[7, 0, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_place_panics() {
+        let m = Marking::new(vec![1]);
+        let _ = m.tokens(PlaceId(3));
+    }
+
+    #[test]
+    fn place_id_exposes_index() {
+        assert_eq!(PlaceId(4).index(), 4);
+    }
+}

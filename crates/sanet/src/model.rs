@@ -1,0 +1,653 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use probdist::Dist;
+
+use crate::{Marking, PlaceId, SanError};
+
+/// Identifier of an activity within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActivityId(pub(crate) usize);
+
+impl ActivityId {
+    /// The raw index of the activity in the model's activity table.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A predicate over the current marking (input-gate enabling condition).
+pub type Predicate = Arc<dyn Fn(&Marking) -> bool + Send + Sync>;
+
+/// A marking transformation (input- or output-gate function).
+pub type MarkingFn = Arc<dyn Fn(&mut Marking) + Send + Sync>;
+
+/// A marking-dependent firing distribution.
+pub type DistFn = Arc<dyn Fn(&Marking) -> Dist + Send + Sync>;
+
+/// How an activity samples its firing delay.
+#[derive(Clone)]
+pub enum Timing {
+    /// The activity completes immediately (zero delay) once enabled.
+    /// Instantaneous activities have priority over all timed activities.
+    Instantaneous,
+    /// The activity completes after a delay drawn from a fixed distribution.
+    Timed(Dist),
+    /// The activity completes after a delay drawn from a distribution that
+    /// depends on the marking at activation time (e.g. an aggregate failure
+    /// rate proportional to the number of working units).
+    TimedFn(DistFn),
+}
+
+impl fmt::Debug for Timing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Timing::Instantaneous => write!(f, "Instantaneous"),
+            Timing::Timed(d) => write!(f, "Timed({})", d.family()),
+            Timing::TimedFn(_) => write!(f, "TimedFn(<marking-dependent>)"),
+        }
+    }
+}
+
+/// An input gate: an enabling predicate plus a marking transformation
+/// applied when the activity fires.
+#[derive(Clone)]
+pub(crate) struct InputGate {
+    pub(crate) predicate: Predicate,
+    pub(crate) function: MarkingFn,
+}
+
+/// An output gate: a marking transformation applied when the activity
+/// completes (per case).
+#[derive(Clone)]
+pub(crate) struct OutputGate {
+    pub(crate) function: MarkingFn,
+}
+
+/// One probabilistic case of an activity (its output side).
+#[derive(Clone)]
+pub(crate) struct Case {
+    pub(crate) probability: f64,
+    pub(crate) output_arcs: Vec<(PlaceId, u64)>,
+    pub(crate) output_gates: Vec<OutputGate>,
+}
+
+/// An activity (transition) of the network.
+#[derive(Clone)]
+pub(crate) struct Activity {
+    pub(crate) name: String,
+    pub(crate) timing: Timing,
+    pub(crate) input_arcs: Vec<(PlaceId, u64)>,
+    pub(crate) input_gates: Vec<InputGate>,
+    pub(crate) cases: Vec<Case>,
+    /// Restart policy: when `true`, an enabled activity whose firing time was
+    /// already sampled is resampled whenever any other activity changes the
+    /// marking. This is required for marking-dependent (aggregate-rate)
+    /// timings; for memoryless (exponential) timings it does not change the
+    /// distribution of the sample path.
+    pub(crate) resample_on_change: bool,
+}
+
+impl fmt::Debug for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Activity")
+            .field("name", &self.name)
+            .field("timing", &self.timing)
+            .field("input_arcs", &self.input_arcs)
+            .field("input_gates", &self.input_gates.len())
+            .field("cases", &self.cases.len())
+            .field("resample_on_change", &self.resample_on_change)
+            .finish()
+    }
+}
+
+impl Activity {
+    /// Whether the activity is enabled in the given marking: every input arc
+    /// is covered and every input-gate predicate holds.
+    pub(crate) fn is_enabled(&self, marking: &Marking) -> bool {
+        self.input_arcs.iter().all(|&(p, n)| marking.has_at_least(p, n))
+            && self.input_gates.iter().all(|g| (g.predicate)(marking))
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct PlaceInfo {
+    pub(crate) name: String,
+    pub(crate) initial_tokens: u64,
+}
+
+/// An immutable stochastic activity network, ready to simulate.
+///
+/// Build one with [`ModelBuilder`]. A `Model` is cheap to clone (all gate
+/// closures are reference-counted) and can be shared across threads for
+/// parallel replications.
+#[derive(Debug, Clone)]
+pub struct Model {
+    name: String,
+    places: Vec<PlaceInfo>,
+    activities: Vec<Activity>,
+    place_index: HashMap<String, PlaceId>,
+    activity_index: HashMap<String, ActivityId>,
+}
+
+impl Model {
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of places.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of activities.
+    pub fn num_activities(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// The initial marking of the network.
+    pub fn initial_marking(&self) -> Marking {
+        Marking::new(self.places.iter().map(|p| p.initial_tokens).collect())
+    }
+
+    /// Looks up a place by (fully scoped) name.
+    pub fn place(&self, name: &str) -> Option<PlaceId> {
+        self.place_index.get(name).copied()
+    }
+
+    /// Looks up an activity by (fully scoped) name.
+    pub fn activity(&self, name: &str) -> Option<ActivityId> {
+        self.activity_index.get(name).copied()
+    }
+
+    /// Name of the given place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this model.
+    pub fn place_name(&self, id: PlaceId) -> &str {
+        &self.places[id.0].name
+    }
+
+    /// Name of the given activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this model.
+    pub fn activity_name(&self, id: ActivityId) -> &str {
+        &self.activities[id.0].name
+    }
+
+    /// All place names in id order.
+    pub fn place_names(&self) -> impl Iterator<Item = &str> {
+        self.places.iter().map(|p| p.name.as_str())
+    }
+
+    /// All activity names in id order.
+    pub fn activity_names(&self) -> impl Iterator<Item = &str> {
+        self.activities.iter().map(|a| a.name.as_str())
+    }
+
+    pub(crate) fn activities(&self) -> &[Activity] {
+        &self.activities
+    }
+
+    pub(crate) fn activity_ref(&self, id: ActivityId) -> &Activity {
+        &self.activities[id.0]
+    }
+}
+
+/// Builder for [`Model`]: declare places, then activities with their arcs,
+/// gates and cases, then call [`ModelBuilder::build`].
+///
+/// Submodels are composed by writing functions that take `&mut ModelBuilder`
+/// plus the shared [`PlaceId`]s and add their own scoped places and
+/// activities; see [`crate::compose`].
+pub struct ModelBuilder {
+    name: String,
+    places: Vec<PlaceInfo>,
+    activities: Vec<Activity>,
+    place_index: HashMap<String, PlaceId>,
+    activity_index: HashMap<String, ActivityId>,
+    scope: Vec<String>,
+}
+
+impl fmt::Debug for ModelBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelBuilder")
+            .field("name", &self.name)
+            .field("places", &self.places.len())
+            .field("activities", &self.activities.len())
+            .field("scope", &self.scope)
+            .finish()
+    }
+}
+
+impl ModelBuilder {
+    /// Creates an empty builder for a model called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            places: Vec::new(),
+            activities: Vec::new(),
+            place_index: HashMap::new(),
+            activity_index: HashMap::new(),
+            scope: Vec::new(),
+        }
+    }
+
+    fn scoped_name(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.scope.join("/"), name)
+        }
+    }
+
+    /// Pushes a naming scope; subsequent places and activities are named
+    /// `scope/…`. Scopes nest.
+    pub fn push_scope(&mut self, scope: impl Into<String>) {
+        self.scope.push(scope.into());
+    }
+
+    /// Pops the innermost naming scope.
+    pub fn pop_scope(&mut self) {
+        self.scope.pop();
+    }
+
+    /// Adds a place with an initial token count, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicateName`] if a place with the same scoped
+    /// name already exists.
+    pub fn add_place(&mut self, name: &str, initial_tokens: u64) -> Result<PlaceId, SanError> {
+        let full = self.scoped_name(name);
+        if self.place_index.contains_key(&full) {
+            return Err(SanError::DuplicateName { name: full });
+        }
+        let id = PlaceId(self.places.len());
+        self.places.push(PlaceInfo { name: full.clone(), initial_tokens });
+        self.place_index.insert(full, id);
+        Ok(id)
+    }
+
+    /// Looks up a place previously added under the given *fully scoped*
+    /// name.
+    pub fn place(&self, full_name: &str) -> Option<PlaceId> {
+        self.place_index.get(full_name).copied()
+    }
+
+    /// Changes the initial marking of an existing place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::UnknownId`] if the place does not belong to this
+    /// builder.
+    pub fn set_initial_tokens(&mut self, place: PlaceId, tokens: u64) -> Result<(), SanError> {
+        let info = self
+            .places
+            .get_mut(place.0)
+            .ok_or_else(|| SanError::UnknownId { what: format!("place #{}", place.0) })?;
+        info.initial_tokens = tokens;
+        Ok(())
+    }
+
+    /// Starts a timed activity with a fixed firing distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicateName`] if an activity with the same
+    /// scoped name already exists.
+    pub fn timed_activity(
+        &mut self,
+        name: &str,
+        dist: impl Into<Dist>,
+    ) -> Result<ActivityBuilder<'_>, SanError> {
+        self.activity_builder(name, Timing::Timed(dist.into()))
+    }
+
+    /// Starts a timed activity whose firing distribution is computed from
+    /// the marking at activation time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicateName`] if an activity with the same
+    /// scoped name already exists.
+    pub fn timed_activity_fn(
+        &mut self,
+        name: &str,
+        dist_fn: impl Fn(&Marking) -> Dist + Send + Sync + 'static,
+    ) -> Result<ActivityBuilder<'_>, SanError> {
+        let mut b = self.activity_builder(name, Timing::TimedFn(Arc::new(dist_fn)))?;
+        // Marking-dependent distributions must be refreshed when the marking
+        // changes, otherwise the sampled delay would reflect a stale rate.
+        b.activity.resample_on_change = true;
+        Ok(b)
+    }
+
+    /// Starts an instantaneous (zero-delay) activity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicateName`] if an activity with the same
+    /// scoped name already exists.
+    pub fn instant_activity(&mut self, name: &str) -> Result<ActivityBuilder<'_>, SanError> {
+        self.activity_builder(name, Timing::Instantaneous)
+    }
+
+    fn activity_builder(&mut self, name: &str, timing: Timing) -> Result<ActivityBuilder<'_>, SanError> {
+        let full = self.scoped_name(name);
+        if self.activity_index.contains_key(&full) {
+            return Err(SanError::DuplicateName { name: full });
+        }
+        Ok(ActivityBuilder {
+            builder: self,
+            activity: Activity {
+                name: full,
+                timing,
+                input_arcs: Vec::new(),
+                input_gates: Vec::new(),
+                cases: vec![Case { probability: 1.0, output_arcs: Vec::new(), output_gates: Vec::new() }],
+                resample_on_change: false,
+            },
+            explicit_cases: false,
+        })
+    }
+
+    /// Finalises the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidExperiment`] if the model has no
+    /// activities (nothing to simulate).
+    pub fn build(self) -> Result<Model, SanError> {
+        if self.activities.is_empty() {
+            return Err(SanError::InvalidExperiment { reason: "model has no activities".into() });
+        }
+        Ok(Model {
+            name: self.name,
+            places: self.places,
+            activities: self.activities,
+            place_index: self.place_index,
+            activity_index: self.activity_index,
+        })
+    }
+
+    /// Number of places added so far.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of activities added so far.
+    pub fn num_activities(&self) -> usize {
+        self.activities.len()
+    }
+}
+
+/// Builder for a single activity; created by the `*_activity` methods on
+/// [`ModelBuilder`] and committed with [`ActivityBuilder::build`].
+pub struct ActivityBuilder<'a> {
+    builder: &'a mut ModelBuilder,
+    activity: Activity,
+    explicit_cases: bool,
+}
+
+impl fmt::Debug for ActivityBuilder<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActivityBuilder").field("activity", &self.activity).finish()
+    }
+}
+
+impl<'a> ActivityBuilder<'a> {
+    /// Adds an input arc: the activity requires (and consumes) `tokens`
+    /// tokens from `place`.
+    pub fn input_arc(mut self, place: PlaceId, tokens: u64) -> Self {
+        self.activity.input_arcs.push((place, tokens));
+        self
+    }
+
+    /// Adds an input gate with an enabling `predicate` and a `function`
+    /// applied to the marking when the activity fires.
+    pub fn input_gate(
+        mut self,
+        predicate: impl Fn(&Marking) -> bool + Send + Sync + 'static,
+        function: impl Fn(&mut Marking) + Send + Sync + 'static,
+    ) -> Self {
+        self.activity
+            .input_gates
+            .push(InputGate { predicate: Arc::new(predicate), function: Arc::new(function) });
+        self
+    }
+
+    /// Adds an enabling condition with no marking side effect.
+    pub fn enabling_predicate(
+        self,
+        predicate: impl Fn(&Marking) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.input_gate(predicate, |_m| {})
+    }
+
+    /// Starts a new probabilistic case with the given probability. Output
+    /// arcs and gates added after this call belong to the new case.
+    ///
+    /// If `case` is never called, the activity has a single implicit case
+    /// with probability one.
+    pub fn case(mut self, probability: f64) -> Self {
+        if !self.explicit_cases {
+            // Replace the implicit always-case with the first explicit one.
+            self.activity.cases.clear();
+            self.explicit_cases = true;
+        }
+        self.activity.cases.push(Case { probability, output_arcs: Vec::new(), output_gates: Vec::new() });
+        self
+    }
+
+    /// Adds an output arc to the current case: `tokens` tokens are deposited
+    /// into `place` when the activity completes (and this case is chosen).
+    pub fn output_arc(mut self, place: PlaceId, tokens: u64) -> Self {
+        self.activity
+            .cases
+            .last_mut()
+            .expect("at least one case always exists")
+            .output_arcs
+            .push((place, tokens));
+        self
+    }
+
+    /// Adds an output gate to the current case.
+    pub fn output_gate(mut self, function: impl Fn(&mut Marking) + Send + Sync + 'static) -> Self {
+        self.activity
+            .cases
+            .last_mut()
+            .expect("at least one case always exists")
+            .output_gates
+            .push(OutputGate { function: Arc::new(function) });
+        self
+    }
+
+    /// Sets the restart policy: when `true` the activity's sampled firing
+    /// time is discarded and resampled whenever the marking changes while it
+    /// stays enabled. Activities with marking-dependent timing always
+    /// resample.
+    pub fn resample_on_marking_change(mut self, resample: bool) -> Self {
+        if !matches!(self.activity.timing, Timing::TimedFn(_)) {
+            self.activity.resample_on_change = resample;
+        }
+        self
+    }
+
+    /// Commits the activity to the model, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidActivity`] if the activity has neither
+    /// inputs nor outputs, or if explicit case probabilities do not sum to
+    /// one (within 1e-9) or any probability is negative.
+    pub fn build(self) -> Result<ActivityId, SanError> {
+        let a = &self.activity;
+        let has_effect = !a.input_arcs.is_empty()
+            || !a.input_gates.is_empty()
+            || a.cases.iter().any(|c| !c.output_arcs.is_empty() || !c.output_gates.is_empty());
+        if !has_effect {
+            return Err(SanError::InvalidActivity {
+                name: a.name.clone(),
+                reason: "activity has no input arcs, gates, or outputs".into(),
+            });
+        }
+        if self.explicit_cases {
+            let total: f64 = a.cases.iter().map(|c| c.probability).sum();
+            if a.cases.iter().any(|c| c.probability < 0.0) || (total - 1.0).abs() > 1e-9 {
+                return Err(SanError::InvalidActivity {
+                    name: a.name.clone(),
+                    reason: format!("case probabilities must be non-negative and sum to 1, got {total}"),
+                });
+            }
+        }
+        let id = ActivityId(self.builder.activities.len());
+        self.builder.activity_index.insert(self.activity.name.clone(), id);
+        self.builder.activities.push(self.activity);
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdist::{Deterministic, Exponential};
+
+    fn exp(mean: f64) -> Exponential {
+        Exponential::from_mean(mean).unwrap()
+    }
+
+    #[test]
+    fn build_simple_two_place_model() {
+        let mut b = ModelBuilder::new("failure-repair");
+        let up = b.add_place("up", 1).unwrap();
+        let down = b.add_place("down", 0).unwrap();
+        b.timed_activity("fail", exp(100.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
+        b.timed_activity("repair", Deterministic::new(4.0).unwrap())
+            .unwrap()
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
+        let m = b.build().unwrap();
+        assert_eq!(m.num_places(), 2);
+        assert_eq!(m.num_activities(), 2);
+        assert_eq!(m.place("up"), Some(up));
+        assert_eq!(m.place_name(down), "down");
+        assert_eq!(m.activity_name(m.activity("fail").unwrap()), "fail");
+        assert_eq!(m.initial_marking().tokens(up), 1);
+        assert_eq!(m.place_names().count(), 2);
+        assert_eq!(m.activity_names().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut b = ModelBuilder::new("dup");
+        b.add_place("p", 0).unwrap();
+        assert!(matches!(b.add_place("p", 1), Err(SanError::DuplicateName { .. })));
+        let p = b.place("p").unwrap();
+        b.timed_activity("a", exp(1.0)).unwrap().input_arc(p, 1).build().unwrap();
+        assert!(matches!(b.timed_activity("a", exp(1.0)), Err(SanError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn scoped_names_nest() {
+        let mut b = ModelBuilder::new("scoped");
+        b.push_scope("oss");
+        b.push_scope("pair0");
+        let p = b.add_place("up", 1).unwrap();
+        b.pop_scope();
+        b.pop_scope();
+        assert_eq!(b.place("oss/pair0/up"), Some(p));
+        assert_eq!(b.place("up"), None);
+    }
+
+    #[test]
+    fn empty_activity_is_rejected() {
+        let mut b = ModelBuilder::new("bad");
+        let _p = b.add_place("p", 0).unwrap();
+        let res = b.timed_activity("noop", exp(1.0)).unwrap().build();
+        assert!(matches!(res, Err(SanError::InvalidActivity { .. })));
+    }
+
+    #[test]
+    fn case_probabilities_must_sum_to_one() {
+        let mut b = ModelBuilder::new("cases");
+        let p = b.add_place("p", 1).unwrap();
+        let q = b.add_place("q", 0).unwrap();
+        let bad = b
+            .timed_activity("branch", exp(1.0))
+            .unwrap()
+            .input_arc(p, 1)
+            .case(0.5)
+            .output_arc(q, 1)
+            .case(0.2)
+            .output_arc(p, 1)
+            .build();
+        assert!(matches!(bad, Err(SanError::InvalidActivity { .. })));
+
+        let ok = b
+            .timed_activity("branch2", exp(1.0))
+            .unwrap()
+            .input_arc(p, 1)
+            .case(0.5)
+            .output_arc(q, 1)
+            .case(0.5)
+            .output_arc(p, 1)
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn model_with_no_activities_is_rejected() {
+        let mut b = ModelBuilder::new("empty");
+        b.add_place("p", 1).unwrap();
+        assert!(matches!(b.build(), Err(SanError::InvalidExperiment { .. })));
+    }
+
+    #[test]
+    fn enabling_predicate_and_gates_control_enabling() {
+        let mut b = ModelBuilder::new("gates");
+        let p = b.add_place("p", 2).unwrap();
+        let guard = b.add_place("guard", 0).unwrap();
+        let a = b
+            .timed_activity("consume", exp(1.0))
+            .unwrap()
+            .input_arc(p, 1)
+            .enabling_predicate(move |m| m.tokens(guard) == 0)
+            .build()
+            .unwrap();
+        let m = b.build().unwrap();
+        let activity = m.activity_ref(a);
+        let mut marking = m.initial_marking();
+        assert!(activity.is_enabled(&marking));
+        marking.add_tokens(guard, 1);
+        assert!(!activity.is_enabled(&marking));
+        marking.set_tokens(guard, 0);
+        marking.set_tokens(p, 0);
+        assert!(!activity.is_enabled(&marking));
+    }
+
+    #[test]
+    fn set_initial_tokens_updates_marking() {
+        let mut b = ModelBuilder::new("init");
+        let p = b.add_place("p", 1).unwrap();
+        b.set_initial_tokens(p, 7).unwrap();
+        assert!(b.set_initial_tokens(PlaceId(99), 1).is_err());
+        b.timed_activity("a", exp(1.0)).unwrap().input_arc(p, 1).build().unwrap();
+        let m = b.build().unwrap();
+        assert_eq!(m.initial_marking().tokens(p), 7);
+    }
+
+    #[test]
+    fn timing_debug_formats() {
+        assert_eq!(format!("{:?}", Timing::Instantaneous), "Instantaneous");
+        let t = Timing::Timed(exp(1.0).into());
+        assert!(format!("{t:?}").contains("exponential"));
+    }
+}

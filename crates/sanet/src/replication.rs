@@ -1,0 +1,424 @@
+use probdist::stats::{confidence_interval, ConfidenceInterval, RunningStats};
+use probdist::SimRng;
+
+use crate::reward::RewardSpec;
+use crate::{Model, SanError, Simulator};
+
+/// Stopping rule for sequential replication: run at least `min_replications`,
+/// then stop as soon as every reward's confidence interval is narrower than
+/// `relative_half_width` (relative to its point estimate), or when
+/// `max_replications` is reached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// Minimum number of replications to run before checking precision.
+    pub min_replications: usize,
+    /// Hard cap on the number of replications.
+    pub max_replications: usize,
+    /// Target relative half-width (e.g. `0.01` for ±1 %).
+    pub relative_half_width: f64,
+}
+
+impl Default for StoppingRule {
+    fn default() -> Self {
+        StoppingRule { min_replications: 20, max_replications: 1000, relative_half_width: 0.01 }
+    }
+}
+
+/// Point estimate and confidence interval for one reward across
+/// replications.
+#[derive(Debug, Clone)]
+pub struct RewardEstimate {
+    /// The reward's name.
+    pub name: String,
+    /// Student-t confidence interval over the replication estimates.
+    pub interval: ConfidenceInterval,
+    /// The raw accumulator (count, mean, variance, min, max) across
+    /// replications.
+    pub stats: RunningStats,
+}
+
+/// Results of a replicated simulation experiment.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    estimates: Vec<RewardEstimate>,
+    /// Number of replications actually executed.
+    pub replications: usize,
+    /// Simulation horizon of each replication (hours).
+    pub horizon: f64,
+    /// Total number of activity completions across all replications.
+    pub total_events: u64,
+}
+
+impl RunSummary {
+    /// The estimate for the named reward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::UnknownReward`] if no reward with that name was
+    /// registered.
+    pub fn reward(&self, name: &str) -> Result<&RewardEstimate, SanError> {
+        self.estimates
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| SanError::UnknownReward { name: name.to_string() })
+    }
+
+    /// All reward estimates, in registration order.
+    pub fn rewards(&self) -> &[RewardEstimate] {
+        &self.estimates
+    }
+}
+
+/// A replicated simulation experiment: a model, a horizon, a set of reward
+/// variables, and a replication policy.
+///
+/// The paper's Möbius experiments are exactly this shape: simulate the
+/// composed CFS model for a long horizon, repeat with independent streams,
+/// and report each reward at the 95 % confidence level.
+pub struct Experiment {
+    model: Model,
+    horizon: f64,
+    warmup: f64,
+    rewards: Vec<RewardSpec>,
+    confidence_level: f64,
+    parallel: bool,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("model", &self.model.name())
+            .field("horizon", &self.horizon)
+            .field("warmup", &self.warmup)
+            .field("rewards", &self.rewards.len())
+            .field("confidence_level", &self.confidence_level)
+            .field("parallel", &self.parallel)
+            .finish()
+    }
+}
+
+impl Experiment {
+    /// Creates an experiment on `model` with the given simulation horizon in
+    /// hours. Parallel execution is enabled by default.
+    pub fn new(model: Model, horizon: f64) -> Self {
+        Experiment {
+            model,
+            horizon,
+            warmup: 0.0,
+            rewards: Vec::new(),
+            confidence_level: 0.95,
+            parallel: true,
+        }
+    }
+
+    /// Sets a warm-up period (hours) excluded from reward accumulation.
+    pub fn set_warmup(&mut self, warmup: f64) -> &mut Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the confidence level used for reported intervals (default 0.95).
+    pub fn set_confidence_level(&mut self, level: f64) -> &mut Self {
+        self.confidence_level = level;
+        self
+    }
+
+    /// Enables or disables parallel execution of replications.
+    pub fn set_parallel(&mut self, parallel: bool) -> &mut Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Registers a reward variable to estimate.
+    pub fn add_reward(&mut self, reward: RewardSpec) -> &mut Self {
+        self.rewards.push(reward);
+        self
+    }
+
+    /// The model under experiment.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Runs a fixed number of independent replications and summarises every
+    /// reward.
+    ///
+    /// Replication `i` uses the RNG stream derived from `seed` and `i`, so
+    /// results are reproducible and independent of execution order or
+    /// parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidExperiment`] if `replications < 2` (a
+    /// confidence interval needs at least two observations) and propagates
+    /// any simulation error.
+    pub fn run(&self, replications: usize, seed: u64) -> Result<RunSummary, SanError> {
+        if replications < 2 {
+            return Err(SanError::InvalidExperiment {
+                reason: "at least two replications are required".into(),
+            });
+        }
+        let results = self.run_indices(0, replications, seed)?;
+        self.summarise(results, replications)
+    }
+
+    /// Runs replications until the stopping rule is satisfied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidExperiment`] for a malformed stopping rule
+    /// and propagates any simulation error.
+    pub fn run_until(&self, rule: StoppingRule, seed: u64) -> Result<RunSummary, SanError> {
+        if rule.min_replications < 2 || rule.max_replications < rule.min_replications {
+            return Err(SanError::InvalidExperiment {
+                reason: "stopping rule needs min >= 2 and max >= min".into(),
+            });
+        }
+        let mut collected: Vec<Vec<f64>> = Vec::new();
+        let mut events = 0u64;
+        let mut done = 0usize;
+        let mut batch = rule.min_replications;
+        loop {
+            let results = self.run_indices(done, batch, seed)?;
+            for r in &results {
+                events += r.events;
+                collected.push(self.rewards.iter().map(|s| r.reward(s.name()).unwrap_or(0.0)).collect());
+            }
+            done += batch;
+
+            // Check precision across all rewards.
+            let mut all_precise = true;
+            for (idx, _) in self.rewards.iter().enumerate() {
+                let stats: RunningStats = collected.iter().map(|row| row[idx]).collect();
+                let ci = confidence_interval(&stats, self.confidence_level)?;
+                if ci.relative_half_width() > rule.relative_half_width && ci.half_width > 0.0 {
+                    all_precise = false;
+                    break;
+                }
+            }
+            if all_precise || done >= rule.max_replications {
+                break;
+            }
+            batch = (done).min(rule.max_replications - done).max(1);
+        }
+
+        // Re-summarise from the collected rows.
+        let mut estimates = Vec::with_capacity(self.rewards.len());
+        for (idx, spec) in self.rewards.iter().enumerate() {
+            let stats: RunningStats = collected.iter().map(|row| row[idx]).collect();
+            let interval = confidence_interval(&stats, self.confidence_level)?;
+            estimates.push(RewardEstimate { name: spec.name().to_string(), interval, stats });
+        }
+        Ok(RunSummary { estimates, replications: done, horizon: self.horizon, total_events: events })
+    }
+
+    /// Runs a fixed number of replications and returns the raw per-
+    /// replication results instead of a summary. Useful when rewards must
+    /// be combined per replication (e.g. a derived measure such as cluster
+    /// utility) before confidence intervals are computed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidExperiment`] if `replications` is zero and
+    /// propagates any simulation error.
+    pub fn run_raw(&self, replications: usize, seed: u64) -> Result<Vec<crate::RunResult>, SanError> {
+        if replications == 0 {
+            return Err(SanError::InvalidExperiment {
+                reason: "at least one replication is required".into(),
+            });
+        }
+        self.run_indices(0, replications, seed)
+    }
+
+    /// Runs replications `start..start+count` (by stream index) and returns
+    /// their raw results.
+    fn run_indices(&self, start: usize, count: usize, seed: u64) -> Result<Vec<crate::RunResult>, SanError> {
+        let root = SimRng::seed_from_u64(seed);
+        let indices: Vec<usize> = (start..start + count).collect();
+
+        if !self.parallel || count < 4 {
+            let sim = Simulator::new(&self.model);
+            return indices
+                .iter()
+                .map(|&i| {
+                    let mut rng = root.derive_stream(i as u64);
+                    sim.run(&self.rewards, self.horizon, self.warmup, &mut rng)
+                })
+                .collect();
+        }
+
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(count);
+        let chunk_size = count.div_ceil(threads);
+        let chunks: Vec<&[usize]> = indices.chunks(chunk_size).collect();
+
+        let root = &root;
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let sim = Simulator::new(&self.model);
+                        chunk
+                            .iter()
+                            .map(|&i| {
+                                let mut rng = root.derive_stream(i as u64);
+                                sim.run(&self.rewards, self.horizon, self.warmup, &mut rng)
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replication thread panicked"))
+                .collect::<Result<Vec<Vec<_>>, _>>()
+        })
+        .expect("replication scope panicked")?;
+
+        Ok(results.into_iter().flatten().collect())
+    }
+
+    fn summarise(&self, results: Vec<crate::RunResult>, replications: usize) -> Result<RunSummary, SanError> {
+        let total_events = results.iter().map(|r| r.events).sum();
+        let mut estimates = Vec::with_capacity(self.rewards.len());
+        for spec in &self.rewards {
+            let mut stats = RunningStats::new();
+            for r in &results {
+                stats.push(r.reward(spec.name())?);
+            }
+            let interval = confidence_interval(&stats, self.confidence_level)?;
+            estimates.push(RewardEstimate { name: spec.name().to_string(), interval, stats });
+        }
+        Ok(RunSummary { estimates, replications, horizon: self.horizon, total_events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::RewardSpec;
+    use crate::ModelBuilder;
+    use probdist::Exponential;
+
+    fn repairable_unit(mean_fail: f64, mean_repair: f64) -> (Model, crate::PlaceId) {
+        let mut b = ModelBuilder::new("unit");
+        let up = b.add_place("up", 1).unwrap();
+        let down = b.add_place("down", 0).unwrap();
+        b.timed_activity("fail", Exponential::from_mean(mean_fail).unwrap())
+            .unwrap()
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build()
+            .unwrap();
+        b.timed_activity("repair", Exponential::from_mean(mean_repair).unwrap())
+            .unwrap()
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
+        (b.build().unwrap(), up)
+    }
+
+    fn availability_reward(up: crate::PlaceId) -> RewardSpec {
+        RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn replications_estimate_analytic_availability() {
+        let (model, up) = repairable_unit(1000.0, 10.0);
+        let mut exp = Experiment::new(model, 100_000.0);
+        exp.add_reward(availability_reward(up));
+        let summary = exp.run(32, 7).unwrap();
+        let est = summary.reward("avail").unwrap();
+        let expected = 1000.0 / 1010.0;
+        assert!(est.interval.contains(expected) || (est.interval.point - expected).abs() < 0.005,
+            "interval {} vs expected {expected}", est.interval);
+        assert_eq!(summary.replications, 32);
+        assert!(summary.total_events > 0);
+        assert!(summary.reward("nope").is_err());
+        assert_eq!(summary.rewards().len(), 1);
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_agree_exactly() {
+        let (model, up) = repairable_unit(200.0, 4.0);
+        let mut exp = Experiment::new(model, 20_000.0);
+        exp.add_reward(availability_reward(up));
+        exp.set_parallel(false);
+        let serial = exp.run(16, 11).unwrap();
+        exp.set_parallel(true);
+        let parallel = exp.run(16, 11).unwrap();
+        assert_eq!(
+            serial.reward("avail").unwrap().interval.point,
+            parallel.reward("avail").unwrap().interval.point
+        );
+        assert_eq!(serial.total_events, parallel.total_events);
+    }
+
+    #[test]
+    fn run_requires_at_least_two_replications() {
+        let (model, up) = repairable_unit(100.0, 1.0);
+        let mut exp = Experiment::new(model, 1000.0);
+        exp.add_reward(availability_reward(up));
+        assert!(exp.run(1, 1).is_err());
+        assert!(exp.run(0, 1).is_err());
+    }
+
+    #[test]
+    fn run_until_stops_when_precise() {
+        let (model, up) = repairable_unit(100.0, 1.0);
+        let mut exp = Experiment::new(model, 50_000.0);
+        exp.add_reward(availability_reward(up));
+        let rule = StoppingRule { min_replications: 8, max_replications: 64, relative_half_width: 0.01 };
+        let summary = exp.run_until(rule, 3).unwrap();
+        assert!(summary.replications >= 8 && summary.replications <= 64);
+        let ci = &summary.reward("avail").unwrap().interval;
+        // Either precision was reached or we hit the cap.
+        assert!(ci.relative_half_width() <= 0.01 || summary.replications == 64);
+    }
+
+    #[test]
+    fn run_until_validates_rule() {
+        let (model, up) = repairable_unit(100.0, 1.0);
+        let mut exp = Experiment::new(model, 1000.0);
+        exp.add_reward(availability_reward(up));
+        let bad = StoppingRule { min_replications: 1, max_replications: 10, relative_half_width: 0.1 };
+        assert!(exp.run_until(bad, 1).is_err());
+        let bad = StoppingRule { min_replications: 10, max_replications: 5, relative_half_width: 0.1 };
+        assert!(exp.run_until(bad, 1).is_err());
+    }
+
+    #[test]
+    fn run_raw_returns_per_replication_results() {
+        let (model, up) = repairable_unit(100.0, 1.0);
+        let mut exp = Experiment::new(model, 5_000.0);
+        exp.add_reward(availability_reward(up));
+        assert!(exp.run_raw(0, 1).is_err());
+        let raw = exp.run_raw(8, 21).unwrap();
+        assert_eq!(raw.len(), 8);
+        // Every replication reports the registered reward, and the mean of
+        // the raw values matches the summarising run with the same seed.
+        let mean: f64 = raw.iter().map(|r| r.reward("avail").unwrap()).sum::<f64>() / 8.0;
+        let summary = exp.run(8, 21).unwrap();
+        assert!((mean - summary.reward("avail").unwrap().interval.point).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_stopping_rule_is_sane() {
+        let rule = StoppingRule::default();
+        assert!(rule.min_replications >= 2);
+        assert!(rule.max_replications >= rule.min_replications);
+        assert!(rule.relative_half_width > 0.0);
+    }
+
+    #[test]
+    fn experiment_accessors_and_debug() {
+        let (model, up) = repairable_unit(100.0, 1.0);
+        let mut exp = Experiment::new(model, 1000.0);
+        exp.add_reward(availability_reward(up)).set_warmup(10.0).set_confidence_level(0.9);
+        assert_eq!(exp.model().name(), "unit");
+        let dbg = format!("{exp:?}");
+        assert!(dbg.contains("unit"));
+        assert!(dbg.contains("1000"));
+    }
+}

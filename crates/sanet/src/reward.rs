@@ -1,0 +1,164 @@
+//! Reward variables: functions of the model's behaviour that the simulator
+//! estimates.
+//!
+//! Two families are supported, mirroring Möbius:
+//!
+//! * **Rate rewards** are functions of the marking. They can be reported as
+//!   a *time average* over the observation window (e.g. availability = the
+//!   fraction of time the CFS is serving clients), as an *accumulated*
+//!   integral (e.g. total downtime hours), or as the *instant-of-time* value
+//!   at the end of the run.
+//! * **Impulse rewards** fire when a given activity completes (e.g. count
+//!   one disk replacement per completion of the `replace_disk` activity).
+//!   They can be reported as a total count or normalised per hour.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{ActivityId, Marking};
+
+/// A rate-reward function of the marking.
+pub type RewardFn = Arc<dyn Fn(&Marking) -> f64 + Send + Sync>;
+
+/// How a reward is reported at the end of a replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewardKind {
+    /// Time integral of the rate function divided by the observation length.
+    TimeAveraged,
+    /// Raw time integral of the rate function over the observation window.
+    Accumulated,
+    /// Value of the rate function in the final marking.
+    InstantOfTime,
+}
+
+/// How an impulse reward is reported at the end of a replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImpulseKind {
+    /// Sum of impulse amounts over the observation window.
+    Total,
+    /// Sum of impulse amounts divided by the observation length in hours.
+    PerHour,
+}
+
+#[derive(Clone)]
+pub(crate) enum RewardVariant {
+    Rate { function: RewardFn, kind: RewardKind },
+    Impulse { activity: ActivityId, amount: f64, kind: ImpulseKind },
+}
+
+/// Specification of one reward variable to estimate.
+#[derive(Clone)]
+pub struct RewardSpec {
+    pub(crate) name: String,
+    pub(crate) variant: RewardVariant,
+}
+
+impl fmt::Debug for RewardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.variant {
+            RewardVariant::Rate { kind, .. } => format!("rate/{kind:?}"),
+            RewardVariant::Impulse { kind, activity, .. } => {
+                format!("impulse/{kind:?} on activity #{}", activity.index())
+            }
+        };
+        f.debug_struct("RewardSpec").field("name", &self.name).field("kind", &kind).finish()
+    }
+}
+
+impl RewardSpec {
+    /// A time-averaged rate reward: the integral of `function` over the
+    /// observation window divided by its length. Use this for
+    /// availability-style measures.
+    pub fn time_averaged_rate(
+        name: impl Into<String>,
+        function: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        RewardSpec {
+            name: name.into(),
+            variant: RewardVariant::Rate { function: Arc::new(function), kind: RewardKind::TimeAveraged },
+        }
+    }
+
+    /// An accumulated rate reward: the raw time integral of `function` over
+    /// the observation window (e.g. total downtime hours).
+    pub fn accumulated_rate(
+        name: impl Into<String>,
+        function: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        RewardSpec {
+            name: name.into(),
+            variant: RewardVariant::Rate { function: Arc::new(function), kind: RewardKind::Accumulated },
+        }
+    }
+
+    /// An instant-of-time rate reward: the value of `function` in the final
+    /// marking of the replication.
+    pub fn instant_of_time(
+        name: impl Into<String>,
+        function: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        RewardSpec {
+            name: name.into(),
+            variant: RewardVariant::Rate { function: Arc::new(function), kind: RewardKind::InstantOfTime },
+        }
+    }
+
+    /// An impulse reward that adds `amount` every time `activity` completes,
+    /// reported as a total over the observation window.
+    pub fn impulse_total(name: impl Into<String>, activity: ActivityId, amount: f64) -> Self {
+        RewardSpec {
+            name: name.into(),
+            variant: RewardVariant::Impulse { activity, amount, kind: ImpulseKind::Total },
+        }
+    }
+
+    /// An impulse reward that adds `amount` every time `activity` completes,
+    /// reported per hour of observation.
+    pub fn impulse_per_hour(name: impl Into<String>, activity: ActivityId, amount: f64) -> Self {
+        RewardSpec {
+            name: name.into(),
+            variant: RewardVariant::Impulse { activity, amount, kind: ImpulseKind::PerHour },
+        }
+    }
+
+    /// The reward's name, used to retrieve its estimate from run results.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_names_and_kinds() {
+        let r = RewardSpec::time_averaged_rate("avail", |_m| 1.0);
+        assert_eq!(r.name(), "avail");
+        assert!(matches!(r.variant, RewardVariant::Rate { kind: RewardKind::TimeAveraged, .. }));
+
+        let r = RewardSpec::accumulated_rate("downtime", |_m| 1.0);
+        assert!(matches!(r.variant, RewardVariant::Rate { kind: RewardKind::Accumulated, .. }));
+
+        let r = RewardSpec::instant_of_time("final", |_m| 1.0);
+        assert!(matches!(r.variant, RewardVariant::Rate { kind: RewardKind::InstantOfTime, .. }));
+
+        let r = RewardSpec::impulse_total("replacements", ActivityId(3), 1.0);
+        assert!(matches!(
+            r.variant,
+            RewardVariant::Impulse { kind: ImpulseKind::Total, amount, .. } if amount == 1.0
+        ));
+
+        let r = RewardSpec::impulse_per_hour("rate", ActivityId(3), 2.0);
+        assert!(matches!(r.variant, RewardVariant::Impulse { kind: ImpulseKind::PerHour, .. }));
+    }
+
+    #[test]
+    fn debug_output_mentions_kind() {
+        let r = RewardSpec::impulse_total("x", ActivityId(1), 1.0);
+        let text = format!("{r:?}");
+        assert!(text.contains("impulse"));
+        let r = RewardSpec::time_averaged_rate("y", |_m| 0.0);
+        assert!(format!("{r:?}").contains("rate"));
+    }
+}

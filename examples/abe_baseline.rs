@@ -1,0 +1,46 @@
+//! ABE baseline study: regenerate the paper's log-analysis tables
+//! (Tables 1–4) from the calibrated synthetic failure log, estimate the
+//! model parameters from them, and validate the estimates against Table 5.
+//!
+//! Run with `cargo run --release --example abe_baseline`.
+
+use petascale_cfs::cfs_model::experiments::{
+    table1_outages, table2_mount_failures, table3_jobs, table4_disk_failures, table5_parameters,
+};
+use petascale_cfs::cfs_model::ModelParameters;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 2007;
+
+    let t1 = table1_outages(seed)?;
+    println!("{}", t1.to_table().render());
+    println!("SAN availability from the outage log: {:.4} (paper: 0.97-0.98)\n", t1.availability);
+
+    let t2 = table2_mount_failures(seed)?;
+    println!("{}", t2.to_table().render());
+    println!(
+        "Mount-failure storm days: {} (peak {} nodes; paper peak: 591)\n",
+        t2.analysis.days().len(),
+        t2.analysis.peak_day_nodes()
+    );
+
+    let t3 = table3_jobs(seed)?;
+    println!("{}", t3.to_table().render());
+    println!(
+        "Transient network errors are {:.1}x more likely to kill a job than other errors (paper: ~5x)\n",
+        t3.analysis.transient_to_other_ratio()
+    );
+
+    let t4 = table4_disk_failures(seed)?;
+    println!("{}", t4.to_table().render());
+    println!(
+        "Weibull survival fit: shape {:.3} +/- {:.3} (paper: 0.696 +/- 0.192), {:.2} replacements/week\n",
+        t4.weibull.shape, t4.weibull.shape_std_error, t4.mean_per_week
+    );
+
+    // The parameters those analyses feed into (Table 5).
+    let params = ModelParameters::abe();
+    params.validate()?;
+    println!("{}", table5_parameters(&params).render());
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! End-to-end log pipeline: generate a synthetic failure log, serialise it
+//! to the text format, parse it back, estimate model parameters from it
+//! (survival analysis, outage availability, job statistics), and feed those
+//! estimates into the cluster model — the full
+//! *log → filter → estimate → model → prediction* chain the paper follows.
+//!
+//! Run with `cargo run --release --example log_pipeline`.
+
+use petascale_cfs::faultlog::parser;
+use petascale_cfs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate the calibrated synthetic ABE log (substitute for the real
+    //    NCSA logs) and round-trip it through the text format.
+    let config = LogGenConfig::abe_calibrated();
+    let disks = config.disks;
+    let log = LogGenerator::new(config).generate(99)?;
+    let text = parser::to_text(&log);
+    println!("Generated {} events ({} bytes of log text)", log.len(), text.len());
+    let log = parser::from_text(&text)?;
+
+    // 2. Analyse the log the way Section 3.3 does.
+    let outages = OutageAnalysis::from_log(&log)?;
+    let jobs = JobAnalysis::from_log(&log)?;
+    let disks_analysis = DiskReplacementAnalysis::from_log(&log, disks)?;
+    let weibull = disks_analysis.weibull_fit(&log)?;
+    println!("SAN availability from the log:      {:.4}", outages.availability());
+    println!("Transient:other job failure ratio:  {:.1}", jobs.transient_to_other_ratio());
+    println!("Disk Weibull shape estimate:        {:.3}", weibull.shape);
+    println!("Disk replacements per week:         {:.2}", disks_analysis.mean_per_week());
+
+    // 3. Feed the estimates into the model parameters and simulate the ABE
+    //    cluster with them.
+    let mut abe = ClusterConfig::abe();
+    abe.params.disk_weibull_shape = weibull.shape.clamp(0.6, 1.0);
+    abe.params.job_rate_per_hour = jobs.jobs_per_hour().clamp(12.0, 15.0);
+    abe.params.validate()?;
+
+    let predicted = evaluate_cluster(&abe, 8760.0, 24, 17)?;
+    println!();
+    println!("Model prediction with log-estimated parameters:");
+    println!("  CFS availability: {}", predicted.cfs_availability);
+    println!("  Measured (log):   {:.4}", outages.availability());
+    println!(
+        "  Difference:       {:+.4}",
+        predicted.cfs_availability.point - outages.availability()
+    );
+    Ok(())
+}

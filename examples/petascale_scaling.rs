@@ -1,0 +1,39 @@
+//! Petascale scaling study (the Figure 4 experiment): how CFS availability
+//! and cluster utility degrade as the ABE design is scaled to a
+//! petaflop-petabyte system, and how much the spare-OSS and multi-path
+//! mitigations recover.
+//!
+//! Run with `cargo run --release --example petascale_scaling`.
+
+use petascale_cfs::cfs_model::experiments::figure4_cfs_availability;
+use petascale_cfs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let horizon = 8760.0;
+    let replications = 24;
+
+    // The Figure 4 sweep: ABE (96 TB) up to the 12 PB petascale target.
+    let fig4 = figure4_cfs_availability(&[96.0, 768.0, 3072.0, 12_288.0], horizon, replications, 7)?;
+    println!("{}", fig4.to_table().render());
+
+    let abe = fig4.points.first().expect("sweep has points");
+    let peta = fig4.points.last().expect("sweep has points");
+    println!(
+        "CFS availability declines from {:.3} to {:.3} (paper: 0.972 -> 0.909)",
+        abe.cfs_availability.point, peta.cfs_availability.point
+    );
+    println!(
+        "A standby spare OSS recovers {:+.3} at petascale (paper: ~+3%)",
+        peta.cfs_availability_spare_oss.point - peta.cfs_availability.point
+    );
+
+    // The second mitigation discussed in Section 5.2: multiple network paths
+    // between the compute nodes and the CFS to absorb transient errors.
+    let base = evaluate_cluster(&ClusterConfig::petascale(), horizon, replications, 11)?;
+    let multipath =
+        evaluate_cluster(&ClusterConfig::petascale().with_multipath_network(), horizon, replications, 11)?;
+    println!();
+    println!("Cluster utility at petascale:           {}", base.cluster_utility);
+    println!("Cluster utility with multi-path fabric: {}", multipath.cluster_utility);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build the ABE cluster-file-system dependability model,
+//! simulate one year, and print the paper's reward measures.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use petascale_cfs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The ABE baseline: 1200 compute nodes, 8 OSS fail-over pairs plus one
+    // metadata pair, two DDN S2A9550 units with 480 disks in RAID6 (8+2).
+    let abe = ClusterConfig::abe();
+    println!(
+        "ABE configuration: {} nodes, {} OSS pairs, {} DDN units, {:.0} TB scratch ({} disks)",
+        abe.compute_nodes,
+        abe.total_oss_pairs(),
+        abe.storage.ddn_units,
+        abe.capacity_tb(),
+        abe.storage.total_disks()
+    );
+
+    // Simulate one year of operation, 32 independent replications.
+    let result = evaluate_cluster(&abe, 8760.0, 32, 42)?;
+    println!("CFS availability:        {}", result.cfs_availability);
+    println!("Storage availability:    {}", result.storage_availability);
+    println!("Cluster utility (CU):    {}", result.cluster_utility);
+    println!("Disk replacements/week:  {}", result.disk_replacements_per_week);
+
+    // Scale the same design to a petaflop-petabyte system and compare.
+    let peta = ClusterConfig::petascale();
+    let peta_result = evaluate_cluster(&peta, 8760.0, 32, 42)?;
+    println!();
+    println!(
+        "Petascale ({} nodes, {} OSS pairs, {:.0} TB):",
+        peta.compute_nodes,
+        peta.total_oss_pairs(),
+        peta.capacity_tb()
+    );
+    println!("CFS availability:        {}", peta_result.cfs_availability);
+    println!("Cluster utility (CU):    {}", peta_result.cluster_utility);
+    println!(
+        "Availability lost by scaling: {:.3}",
+        result.cfs_availability.point - peta_result.cfs_availability.point
+    );
+
+    // The paper's mitigation: a standby spare OSS.
+    let spared = evaluate_cluster(&peta.with_spare_oss(), 8760.0, 32, 42)?;
+    println!(
+        "With a standby spare OSS:     {} ({:+.3} vs. no spare)",
+        spared.cfs_availability,
+        spared.cfs_availability.point - peta_result.cfs_availability.point
+    );
+    Ok(())
+}

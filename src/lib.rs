@@ -1,0 +1,74 @@
+//! `petascale-cfs` — umbrella crate for the dependability analysis of
+//! petascale cluster file systems.
+//!
+//! This crate re-exports the workspace's five libraries under one roof so
+//! downstream users (and the bundled examples and integration tests) need a
+//! single dependency:
+//!
+//! * [`probdist`] — lifetime distributions, statistics, and survival
+//!   analysis.
+//! * [`sanet`] — the stochastic activity network formalism and
+//!   discrete-event simulation engine (a Möbius work-alike).
+//! * [`faultlog`] — synthetic failure-log generation, parsing, filtering,
+//!   and analysis calibrated to the published ABE statistics.
+//! * [`raidsim`] — RAID tier / controller / DDN storage reliability models.
+//! * [`cfs_model`] — the composed ABE cluster-file-system dependability
+//!   model, its reward measures, and the drivers that regenerate every
+//!   table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use petascale_cfs::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Evaluate the ABE baseline for one simulated year, 32 replications.
+//! let abe = ClusterConfig::abe();
+//! let result = evaluate_cluster(&abe, 8760.0, 32, 42)?;
+//! println!("CFS availability: {}", result.cfs_availability);
+//!
+//! // Scale to the petaflop-petabyte design point and compare.
+//! let peta = ClusterConfig::petascale();
+//! let result = evaluate_cluster(&peta, 8760.0, 32, 42)?;
+//! println!("petascale CFS availability: {}", result.cfs_availability);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cfs_model;
+pub use faultlog;
+pub use probdist;
+pub use raidsim;
+pub use sanet;
+
+/// The most commonly used items, importable with
+/// `use petascale_cfs::prelude::*`.
+pub mod prelude {
+    pub use cfs_model::analysis::evaluate_cluster;
+    pub use cfs_model::config::ClusterConfig;
+    pub use cfs_model::experiments;
+    pub use cfs_model::{CfsError, ModelParameters};
+    pub use faultlog::analysis::{
+        DiskReplacementAnalysis, JobAnalysis, MountFailureAnalysis, OutageAnalysis,
+    };
+    pub use faultlog::generator::{LogGenConfig, LogGenerator};
+    pub use probdist::{Distribution, Exponential, SimRng, Weibull};
+    pub use raidsim::{DiskModel, RaidGeometry, StorageConfig, StorageSimulator};
+    pub use sanet::{Experiment, ModelBuilder};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_entry_points() {
+        use crate::prelude::*;
+        let abe = ClusterConfig::abe();
+        assert_eq!(abe.compute_nodes, 1200);
+        let storage = StorageConfig::abe_scratch();
+        assert_eq!(storage.total_disks(), 480);
+        let _params = ModelParameters::abe();
+    }
+}

@@ -1,0 +1,49 @@
+//! Integration test: the full log → estimate → model → prediction pipeline
+//! across `faultlog`, `probdist`, and `cfs_model`.
+
+use petascale_cfs::faultlog::parser;
+use petascale_cfs::prelude::*;
+
+#[test]
+fn log_roundtrip_feeds_parameter_estimation_and_simulation() {
+    // Generate the calibrated synthetic ABE log and round-trip it through
+    // the text serialisation.
+    let config = LogGenConfig::abe_calibrated();
+    let disks = config.disks;
+    let log = LogGenerator::new(config).generate(1234).expect("log generation succeeds");
+    let parsed = parser::from_text(&parser::to_text(&log)).expect("round-trip parse succeeds");
+    assert_eq!(parsed.len(), log.len());
+
+    // Estimate parameters from the parsed log.
+    let outages = OutageAnalysis::from_log(&parsed).expect("outage analysis");
+    let jobs = JobAnalysis::from_log(&parsed).expect("job analysis");
+    let replacements = DiskReplacementAnalysis::from_log(&parsed, disks).expect("disk analysis");
+    assert!(outages.availability() > 0.9);
+    assert!(jobs.transient_to_other_ratio() > 1.0);
+    assert!(replacements.mean_per_week() < 5.0);
+
+    // Feed the estimates into the model and check that the prediction lands
+    // near the measured SAN availability (both should be in the mid-to-high
+    // 0.9x band).
+    let mut abe = ClusterConfig::abe();
+    abe.params.job_rate_per_hour = jobs.jobs_per_hour().clamp(12.0, 15.0);
+    abe.params.validate().expect("estimated parameters stay within Table 5 ranges");
+    let predicted = evaluate_cluster(&abe, 8760.0, 16, 5).expect("simulation succeeds");
+    let gap = (predicted.cfs_availability.point - outages.availability()).abs();
+    assert!(gap < 0.05, "model prediction {} vs log-measured {}", predicted.cfs_availability.point, outages.availability());
+}
+
+#[test]
+fn weibull_estimate_from_large_synthetic_population_matches_generator() {
+    // A larger disk population gives the survival analysis enough observed
+    // failures to pin the shape parameter near the generator's 0.7.
+    let mut config = LogGenConfig::abe_calibrated();
+    config.disks = 10_000;
+    config.window_hours = 2000.0;
+    let disks = config.disks;
+    let log = LogGenerator::new(config).generate(7).expect("log generation succeeds");
+    let analysis = DiskReplacementAnalysis::from_log(&log, disks).expect("disk analysis");
+    let fit = analysis.weibull_fit(&log).expect("weibull fit");
+    assert!((fit.shape - 0.7).abs() < 0.15, "estimated shape {}", fit.shape);
+    assert!(fit.censored > fit.failures, "most disks never fail inside the window");
+}
