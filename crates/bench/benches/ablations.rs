@@ -2,28 +2,14 @@
 //! RAID parity width, disk replacement time, standby spare OSS, and the
 //! correlated-failure probability.
 
-use cfs_bench::{horizon_hours, replications, run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::{
-    ablation_correlation, ablation_raid_parity, ablation_repair_time, ablation_spare_oss,
-};
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::Study;
 
 fn main() {
-    let reps = replications();
-    let horizon = horizon_hours();
-    run_and_print("Ablation - RAID parity", || ablation_raid_parity(horizon, reps, DEFAULT_SEED), |r| {
-        r.to_table().render()
-    });
+    let spec = study_spec();
     run_and_print(
-        "Ablation - disk replacement time",
-        || ablation_repair_time(horizon, reps, DEFAULT_SEED),
-        |r| r.to_table().render(),
-    );
-    run_and_print("Ablation - spare OSS", || ablation_spare_oss(horizon, reps, DEFAULT_SEED), |r| {
-        r.to_table().render()
-    });
-    run_and_print(
-        "Ablation - correlated failures",
-        || ablation_correlation(horizon, reps, DEFAULT_SEED),
-        |r| r.to_table().render(),
+        "Ablations - all four design choices",
+        || Study::ablations().run(&spec),
+        |r| r.to_text(),
     );
 }

@@ -4,21 +4,19 @@
 //! configuration, degradation at petascale for the pessimistic
 //! configurations, and (8+3) strictly better than (8+2).
 
-use cfs_bench::{horizon_hours, replications, run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::figure2_storage_availability;
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::scenario::Figure2StorageAvailability;
+use cfs_model::Study;
 
 fn main() {
-    let result = run_and_print(
+    let spec = study_spec();
+    let report = run_and_print(
         "Figure 2 - storage availability vs scale",
-        || figure2_storage_availability(&[], horizon_hours(), replications(), DEFAULT_SEED),
-        |r| r.to_table().render(),
+        || Study::new().with(Figure2StorageAvailability::default()).run(&spec),
+        |r| r.to_text(),
     );
-    for series in &result.series {
-        let first = series.points.first().expect("non-empty sweep");
-        let last = series.points.last().expect("non-empty sweep");
-        println!(
-            "{:<22} ABE-scale availability {:.5} -> petascale {:.5}",
-            series.label, first.availability.point, last.availability.point
-        );
+    let output = report.output("figure2_storage_availability").expect("scenario ran");
+    for metric in output.metrics.iter().filter(|m| m.name.starts_with("availability")) {
+        println!("{:<56} {:.5}", metric.name, metric.value);
     }
 }

@@ -3,24 +3,24 @@
 //! Expected shape: linear growth in both disk count and AFR, with the ABE
 //! point (480 disks, 2.92 %) at 0–2 replacements per week.
 
-use cfs_bench::{horizon_hours, replications, run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::figure3_disk_replacements;
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::scenario::Figure3DiskReplacements;
+use cfs_model::Study;
 
 fn main() {
-    let result = run_and_print(
+    let spec = study_spec();
+    let report = run_and_print(
         "Figure 3 - disk replacements per week",
-        || figure3_disk_replacements(&[], horizon_hours(), replications(), DEFAULT_SEED),
-        |r| r.to_table().render(),
+        || Study::new().with(Figure3DiskReplacements::default()).run(&spec),
+        |r| r.to_text(),
     );
-    if let Some(abe) = result
-        .series
-        .iter()
-        .find(|s| (s.afr_percent - 2.92).abs() < 1e-9)
-        .and_then(|s| s.points.first())
-    {
+    let output = report.output("figure3_disk_replacements").expect("scenario ran");
+    if let Some(abe) = output.metrics.iter().find(|m| {
+        m.name.starts_with("replacements_per_week (0.7,2.92") && m.name.ends_with("@480 disks")
+    }) {
         println!(
             "paper: ABE configuration 0-2 replacements/week | measured: {:.2}/week at 480 disks",
-            abe.simulated_per_week.point
+            abe.value
         );
     }
 }

@@ -4,21 +4,22 @@
 //! availability ≈ 1 throughout, CFS availability declining from ≈0.97 to
 //! ≈0.91, CU below CFS availability, spare OSS recovering ≈3 %.
 
-use cfs_bench::{horizon_hours, replications, run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::figure4_cfs_availability;
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::scenario::Figure4CfsAvailability;
+use cfs_model::Study;
 
 fn main() {
-    let result = run_and_print(
+    let spec = study_spec();
+    let report = run_and_print(
         "Figure 4 - CFS availability and cluster utility vs scale",
-        || figure4_cfs_availability(&[], horizon_hours(), replications(), DEFAULT_SEED),
-        |r| r.to_table().render(),
+        || Study::new().with(Figure4CfsAvailability::default()).run(&spec),
+        |r| r.to_text(),
     );
-    let abe = result.points.first().expect("non-empty sweep");
-    let peta = result.points.last().expect("non-empty sweep");
+    let output = report.output("figure4_cfs_availability").expect("scenario ran");
     println!(
         "paper: CFS availability 0.972 -> 0.909, spare OSS +3% | measured: {:.3} -> {:.3}, spare OSS {:+.3}",
-        abe.cfs_availability.point,
-        peta.cfs_availability.point,
-        peta.cfs_availability_spare_oss.point - peta.cfs_availability.point
+        output.metric("cfs_availability_first").expect("first point"),
+        output.metric("cfs_availability_last").expect("last point"),
+        output.metric("spare_oss_gain_last").expect("spare gain"),
     );
 }

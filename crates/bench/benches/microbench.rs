@@ -1,29 +1,47 @@
-//! Criterion micro-benchmarks of the simulation substrates: lifetime
-//! sampling, the stochastic-activity-network engine, and the storage
-//! Monte-Carlo kernel. These track the cost of the inner loops that the
-//! table/figure harnesses are built on.
+//! Micro-benchmarks of the simulation substrates: lifetime sampling, the
+//! stochastic-activity-network engine, and the storage Monte-Carlo kernel.
+//! These track the cost of the inner loops that the table/figure harnesses
+//! are built on.
+//!
+//! The harness is self-contained (no external benchmarking crate is
+//! available offline): each kernel is warmed up, then timed over enough
+//! iterations to smooth scheduler noise, reporting ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use probdist::{Distribution, Exponential, SimRng, Weibull};
 use raidsim::{StorageConfig, StorageSimulator};
 use sanet::reward::RewardSpec;
 use sanet::{ModelBuilder, Simulator};
 
-fn bench_distributions(c: &mut Criterion) {
-    let weibull = Weibull::from_shape_and_mean(0.7, 300_000.0).unwrap();
-    let exponential = Exponential::from_mean(300_000.0).unwrap();
-    c.bench_function("weibull_sample", |b| {
-        let mut rng = SimRng::seed_from_u64(1);
-        b.iter(|| weibull.sample(&mut rng))
-    });
-    c.bench_function("exponential_sample", |b| {
-        let mut rng = SimRng::seed_from_u64(1);
-        b.iter(|| exponential.sample(&mut rng))
-    });
+/// Times `f` over `iters` iterations (after `warmup` untimed ones) and
+/// prints nanoseconds per iteration.
+fn bench<T>(name: &str, warmup: u64, iters: u64, mut f: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<42} {:>12.1} ns/iter   ({iters} iters)",
+        elapsed.as_nanos() as f64 / iters as f64
+    );
 }
 
-fn bench_san_engine(c: &mut Criterion) {
+fn bench_distributions() {
+    let weibull = Weibull::from_shape_and_mean(0.7, 300_000.0).unwrap();
+    let exponential = Exponential::from_mean(300_000.0).unwrap();
+    let mut rng = SimRng::seed_from_u64(1);
+    bench("weibull_sample", 10_000, 1_000_000, || weibull.sample(&mut rng));
+    let mut rng2 = SimRng::seed_from_u64(1);
+    bench("exponential_sample", 10_000, 1_000_000, || exponential.sample(&mut rng2));
+}
+
+fn bench_san_engine() {
     let mut builder = ModelBuilder::new("unit");
     let up = builder.add_place("up", 1).unwrap();
     let down = builder.add_place("down", 0).unwrap();
@@ -43,21 +61,25 @@ fn bench_san_engine(c: &mut Criterion) {
         .unwrap();
     let model = builder.build().unwrap();
     let rewards =
-        vec![RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 })];
-    c.bench_function("san_engine_one_year_repairable_unit", |b| {
-        let sim = Simulator::new(&model);
-        let mut rng = SimRng::seed_from_u64(7);
-        b.iter(|| sim.run(&rewards, 8760.0, 0.0, &mut rng).unwrap())
+        vec![RewardSpec::time_averaged_rate(
+            "avail",
+            move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 },
+        )];
+    let sim = Simulator::new(&model);
+    let mut rng = SimRng::seed_from_u64(7);
+    bench("san_engine_one_year_repairable_unit", 5, 200, || {
+        sim.run(&rewards, 8760.0, 0.0, &mut rng).unwrap()
     });
 }
 
-fn bench_storage_kernel(c: &mut Criterion) {
+fn bench_storage_kernel() {
     let sim = StorageSimulator::new(StorageConfig::abe_scratch()).unwrap();
-    c.bench_function("storage_monte_carlo_abe_one_year", |b| {
-        let mut rng = SimRng::seed_from_u64(3);
-        b.iter(|| sim.run_once(8760.0, &mut rng))
-    });
+    let mut rng = SimRng::seed_from_u64(3);
+    bench("storage_monte_carlo_abe_one_year", 5, 200, || sim.run_once(8760.0, &mut rng));
 }
 
-criterion_group!(benches, bench_distributions, bench_san_engine, bench_storage_kernel);
-criterion_main!(benches);
+fn main() {
+    bench_distributions();
+    bench_san_engine();
+    bench_storage_kernel();
+}

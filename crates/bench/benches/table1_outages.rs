@@ -1,16 +1,21 @@
 //! Regenerates Table 1: user-visible Lustre-FS outage notifications and the
 //! SAN availability they imply (paper: availability 0.97–0.98).
 
-use cfs_bench::{run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::table1_outages;
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::scenario::Table1Outages;
+use cfs_model::Study;
 
 fn main() {
-    let result = run_and_print("Table 1 - Lustre-FS outages", || table1_outages(DEFAULT_SEED), |r| {
-        r.to_table().render()
-    });
+    let spec = study_spec();
+    let report = run_and_print(
+        "Table 1 - Lustre-FS outages",
+        || Study::new().with(Table1Outages).run(&spec),
+        |r| r.to_text(),
+    );
+    let output = report.output("table1_outages").expect("scenario ran");
     println!(
-        "paper: SAN availability 0.97-0.98 | measured: {:.4} over {} outages",
-        result.availability,
-        result.analysis.outages().len()
+        "paper: SAN availability 0.97-0.98 | measured: {:.4} over {:.0} outages",
+        output.metric("san_availability").expect("availability metric"),
+        output.metric("outages").expect("outage count metric"),
     );
 }

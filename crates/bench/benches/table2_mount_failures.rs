@@ -1,16 +1,21 @@
 //! Regenerates Table 2: Lustre mount failures reported by compute nodes,
 //! aggregated per day (paper: storm days ranging from 2 to 591 nodes).
 
-use cfs_bench::{run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::table2_mount_failures;
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::scenario::Table2MountFailures;
+use cfs_model::Study;
 
 fn main() {
-    let result = run_and_print("Table 2 - mount failures", || table2_mount_failures(DEFAULT_SEED), |r| {
-        r.to_table().render()
-    });
+    let spec = study_spec();
+    let report = run_and_print(
+        "Table 2 - mount failures",
+        || Study::new().with(Table2MountFailures).run(&spec),
+        |r| r.to_text(),
+    );
+    let output = report.output("table2_mount_failures").expect("scenario ran");
     println!(
-        "paper: 12 storm days, peak 591 nodes | measured: {} storm days, peak {} nodes",
-        result.analysis.days().len(),
-        result.analysis.peak_day_nodes()
+        "paper: 12 storm days, peak 591 nodes | measured: {:.0} storm days, peak {:.0} nodes",
+        output.metric("storm_days").expect("storm-day metric"),
+        output.metric("peak_day_nodes").expect("peak metric"),
     );
 }

@@ -1,14 +1,20 @@
 //! Regenerates Table 3: job execution statistics (paper: 44 085 jobs, 1234
 //! transient-network failures, 184 other failures — a ≈5:1 ratio).
 
-use cfs_bench::{run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::table3_jobs;
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::scenario::Table3Jobs;
+use cfs_model::Study;
 
 fn main() {
-    let result =
-        run_and_print("Table 3 - job statistics", || table3_jobs(DEFAULT_SEED), |r| r.to_table().render());
+    let spec = study_spec();
+    let report = run_and_print(
+        "Table 3 - job statistics",
+        || Study::new().with(Table3Jobs).run(&spec),
+        |r| r.to_text(),
+    );
+    let output = report.output("table3_jobs").expect("scenario ran");
     println!(
         "paper: transient:other ratio ~6.7 (1234/184) | measured: {:.2}",
-        result.analysis.transient_to_other_ratio()
+        output.metric("transient_to_other_ratio").expect("ratio metric"),
     );
 }

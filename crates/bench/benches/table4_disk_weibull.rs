@@ -1,15 +1,22 @@
 //! Regenerates Table 4: the disk replacement log and its Weibull survival
 //! analysis (paper: shape 0.696 ± 0.192, 0–2 replacements per week).
 
-use cfs_bench::{run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::table4_disk_failures;
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::scenario::Table4DiskWeibull;
+use cfs_model::Study;
 
 fn main() {
-    let result = run_and_print("Table 4 - disk failures", || table4_disk_failures(DEFAULT_SEED), |r| {
-        r.to_table().render()
-    });
+    let spec = study_spec();
+    let report = run_and_print(
+        "Table 4 - disk failures",
+        || Study::new().with(Table4DiskWeibull).run(&spec),
+        |r| r.to_text(),
+    );
+    let output = report.output("table4_disk_weibull").expect("scenario ran");
     println!(
         "paper: Weibull shape 0.696 (sd 0.192), 0-2 replacements/week | measured: shape {:.3} (sd {:.3}), {:.2}/week",
-        result.weibull.shape, result.weibull.shape_std_error, result.mean_per_week
+        output.metric("weibull_shape").expect("shape metric"),
+        output.metric("weibull_shape_std_error").expect("std-error metric"),
+        output.metric("mean_replacements_per_week").expect("rate metric"),
     );
 }

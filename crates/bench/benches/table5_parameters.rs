@@ -1,15 +1,17 @@
 //! Regenerates Table 5: the simulation model parameters, their ranges, and
 //! provenance, and validates that the ABE defaults fall inside the ranges.
 
-use cfs_bench::run_and_print;
-use cfs_model::experiments::table5_parameters;
-use cfs_model::ModelParameters;
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::scenario::Table5Parameters;
+use cfs_model::{ModelParameters, Study};
 
 fn main() {
+    let spec = study_spec();
     let params = ModelParameters::abe();
+    params.validate().expect("ABE parameters stay within Table 5 ranges");
     run_and_print(
         "Table 5 - model parameters",
-        || params.validate().map(|()| table5_parameters(&params)),
-        |t| t.render(),
+        || Study::new().with(Table5Parameters).run(&spec),
+        |r| r.to_text(),
     );
 }

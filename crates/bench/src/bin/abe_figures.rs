@@ -1,63 +1,39 @@
-//! Prints the reproductions of Figures 2–4 and the ablation studies.
+//! Prints the reproductions of Figures 2–4 and the ablation studies,
+//! through the unified `Study` API.
 //!
-//! Usage: `cargo run --release -p cfs-bench --bin abe-figures [fig2|fig3|fig4|ablations|all]`
+//! Usage:
+//! `cargo run --release -p cfs-bench --bin abe-figures [fig2|fig3|fig4|ablations|all] [text|csv|json]`
 //!
-//! Replication counts and horizons honour the `CFS_BENCH_REPLICATIONS` and
-//! `CFS_BENCH_HORIZON_HOURS` environment variables.
+//! Replication counts, horizons, and worker-thread counts honour the
+//! `CFS_BENCH_REPLICATIONS`, `CFS_BENCH_HORIZON_HOURS`, and
+//! `CFS_BENCH_WORKERS` environment variables.
 
-use cfs_bench::{horizon_hours, replications, run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::{
-    ablation_correlation, ablation_raid_parity, ablation_repair_time, ablation_spare_oss,
-    figure2_storage_availability, figure3_disk_replacements, figure4_cfs_availability,
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::scenario::{
+    Figure2StorageAvailability, Figure3DiskReplacements, Figure4CfsAvailability,
 };
+use cfs_model::{ReportFormat, Study};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let reps = replications();
-    let horizon = horizon_hours();
-    let seed = DEFAULT_SEED;
+    let format = std::env::args()
+        .nth(2)
+        .map(|name| ReportFormat::parse(&name).expect("format must be text, csv, or json"))
+        .unwrap_or(ReportFormat::Text);
+    let spec = study_spec();
 
-    if which == "fig2" || which == "all" {
-        run_and_print(
-            "Figure 2 - storage availability vs scale",
-            || figure2_storage_availability(&[], horizon, reps, seed),
-            |r| r.to_table().render(),
-        );
-    }
-    if which == "fig3" || which == "all" {
-        run_and_print(
-            "Figure 3 - disk replacements per week",
-            || figure3_disk_replacements(&[], horizon, reps, seed),
-            |r| r.to_table().render(),
-        );
-    }
-    if which == "fig4" || which == "all" {
-        run_and_print(
-            "Figure 4 - CFS availability and cluster utility vs scale",
-            || figure4_cfs_availability(&[], horizon, reps, seed),
-            |r| r.to_table().render(),
-        );
-    }
-    if which == "ablations" || which == "all" {
-        run_and_print(
-            "Ablation - RAID parity",
-            || ablation_raid_parity(horizon, reps, seed),
-            |r| r.to_table().render(),
-        );
-        run_and_print(
-            "Ablation - disk replacement time",
-            || ablation_repair_time(horizon, reps, seed),
-            |r| r.to_table().render(),
-        );
-        run_and_print(
-            "Ablation - spare OSS",
-            || ablation_spare_oss(horizon, reps, seed),
-            |r| r.to_table().render(),
-        );
-        run_and_print(
-            "Ablation - correlated failures",
-            || ablation_correlation(horizon, reps, seed),
-            |r| r.to_table().render(),
-        );
-    }
+    let study = match which.as_str() {
+        "fig2" => Study::new().with(Figure2StorageAvailability::default()),
+        "fig3" => Study::new().with(Figure3DiskReplacements::default()),
+        "fig4" => Study::new().with(Figure4CfsAvailability::default()),
+        "ablations" => Study::ablations(),
+        "all" => Study::figures().and(Study::ablations()),
+        other => panic!("unknown selection '{other}': use fig2, fig3, fig4, ablations, or all"),
+    };
+
+    run_and_print(
+        &format!("Figures and ablations ({which})"),
+        || study.run(&spec),
+        |r| r.render(format),
+    );
 }

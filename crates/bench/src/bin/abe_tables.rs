@@ -1,24 +1,29 @@
 //! Prints the reproductions of Tables 1–5 of the paper from the calibrated
-//! synthetic ABE failure log.
+//! synthetic ABE failure log, through the unified `Study` API.
 //!
-//! Usage: `cargo run -p cfs-bench --bin abe-tables [seed]`
+//! Usage: `cargo run -p cfs-bench --bin abe-tables [seed] [text|csv|json]`
 
-use cfs_bench::{run_and_print, DEFAULT_SEED};
-use cfs_model::experiments::{
-    table1_outages, table2_mount_failures, table3_jobs, table4_disk_failures, table5_parameters,
-};
-use cfs_model::ModelParameters;
+use cfs_bench::{run_and_print, study_spec};
+use cfs_model::{ReportFormat, Study};
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    // Both arguments are optional and distinguishable by shape, so accept
+    // them in any order: a number is the seed, a known name is the format.
+    let mut spec = study_spec();
+    let mut format = ReportFormat::Text;
+    for arg in std::env::args().skip(1) {
+        if let Ok(seed) = arg.parse::<u64>() {
+            spec = spec.with_base_seed(seed);
+        } else if let Some(parsed) = ReportFormat::parse(&arg) {
+            format = parsed;
+        } else {
+            panic!("unrecognised argument '{arg}': expected a numeric seed or text|csv|json");
+        }
+    }
 
-    run_and_print("Table 1 - Lustre-FS outages", || table1_outages(seed), |r| r.to_table().render());
-    run_and_print("Table 2 - mount failures", || table2_mount_failures(seed), |r| r.to_table().render());
-    run_and_print("Table 3 - job statistics", || table3_jobs(seed), |r| r.to_table().render());
-    run_and_print("Table 4 - disk failures", || table4_disk_failures(seed), |r| r.to_table().render());
     run_and_print(
-        "Table 5 - model parameters",
-        || Ok::<_, cfs_model::CfsError>(table5_parameters(&ModelParameters::abe())),
-        |t| t.render(),
+        "Tables 1-5 (synthetic ABE failure log)",
+        || Study::tables().run(&spec),
+        |r| r.render(format),
     );
 }

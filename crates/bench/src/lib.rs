@@ -2,14 +2,16 @@
 //! figure of the paper's evaluation.
 //!
 //! Each bench target (`cargo bench -p cfs-bench --bench <name>`) runs the
-//! corresponding experiment driver from [`cfs_model::experiments`], prints
-//! the same rows/series the paper reports, and prints how long the
-//! regeneration took. Replication counts default to values that finish in
-//! seconds-to-minutes on a laptop and can be overridden with the
-//! `CFS_BENCH_REPLICATIONS` and `CFS_BENCH_HORIZON_HOURS` environment
-//! variables for higher-precision runs.
+//! corresponding [`cfs_model::Scenario`] through the [`cfs_model::Study`]
+//! API, prints the same rows/series the paper reports, and prints how long
+//! the regeneration took. Replication counts default to values that finish
+//! in seconds-to-minutes on a laptop and can be overridden with the
+//! `CFS_BENCH_REPLICATIONS`, `CFS_BENCH_HORIZON_HOURS`, and
+//! `CFS_BENCH_WORKERS` environment variables for higher-precision runs.
 
 use std::time::Instant;
+
+use cfs_model::RunSpec;
 
 /// Default number of simulation replications per experiment point.
 pub const DEFAULT_REPLICATIONS: usize = 16;
@@ -38,6 +40,21 @@ pub fn horizon_hours() -> f64 {
         .unwrap_or(DEFAULT_HORIZON_HOURS)
 }
 
+/// Worker-thread count, overridable via `CFS_BENCH_WORKERS` (`0` = auto).
+pub fn workers() -> usize {
+    std::env::var("CFS_BENCH_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// The harness's run spec: the environment-variable overrides above applied
+/// on top of the reproducible defaults.
+pub fn study_spec() -> RunSpec {
+    RunSpec::new()
+        .with_horizon_hours(horizon_hours())
+        .with_replications(replications())
+        .with_base_seed(DEFAULT_SEED)
+        .with_workers(workers())
+}
+
 /// Runs a closure, printing a banner, its result table, and the elapsed
 /// time. Panics (failing the bench run) if the experiment errors, which is
 /// the desired behaviour for a regression harness.
@@ -64,10 +81,11 @@ mod tests {
 
     #[test]
     fn defaults_are_sane() {
-        assert!(DEFAULT_REPLICATIONS >= 2);
-        assert!(DEFAULT_HORIZON_HOURS > 0.0);
         assert!(replications() >= 2);
         assert!(horizon_hours() > 0.0);
+        let spec = study_spec();
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.base_seed(), DEFAULT_SEED);
     }
 
     #[test]

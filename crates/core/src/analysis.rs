@@ -11,6 +11,7 @@ use crate::rewards::{
     cluster_utility, standard_rewards, CFS_AVAILABILITY, DISK_REPLACEMENTS, LOST_NODE_HOURS,
     MEAN_OSS_PAIRS_DOWN, STORAGE_AVAILABILITY,
 };
+use crate::run::RunSpec;
 use crate::CfsError;
 
 /// Dependability measures of a cluster configuration, each with a 95 %
@@ -35,63 +36,107 @@ pub struct ClusterDependability {
     pub horizon_hours: f64,
 }
 
-/// Builds the composed model for `config`, simulates `replications`
-/// independent replications of `horizon_hours` each, and returns every
-/// reward measure with confidence intervals.
+/// Builds the composed model for `config`, simulates the replications the
+/// spec asks for (fanned out across the spec's worker threads, each drawing
+/// from its own index-derived RNG stream), and returns every reward measure
+/// with confidence intervals at the spec's level.
+///
+/// This is the primary evaluation entry point; the old positional
+/// [`evaluate_cluster`] is a deprecated shim over it.
 ///
 /// # Errors
 ///
 /// Returns [`CfsError::InvalidConfig`] for an invalid configuration or run
-/// parameters and propagates simulation errors.
-pub fn evaluate_cluster(
-    config: &ClusterConfig,
-    horizon_hours: f64,
-    replications: usize,
-    seed: u64,
-) -> Result<ClusterDependability, CfsError> {
-    if replications < 2 {
-        return Err(CfsError::InvalidConfig { reason: "at least two replications are required".into() });
-    }
-    if !(horizon_hours.is_finite() && horizon_hours > 0.0) {
-        return Err(CfsError::InvalidConfig {
-            reason: format!("horizon must be positive, got {horizon_hours}"),
-        });
-    }
+/// spec, or when a replication produces a non-finite reward (which would
+/// otherwise silently poison every statistic); propagates simulation
+/// errors.
+pub fn evaluate(config: &ClusterConfig, spec: &RunSpec) -> Result<ClusterDependability, CfsError> {
+    spec.validate()?;
+    let horizon_hours = spec.horizon_hours();
 
     let cluster = build_cluster_model(config)?;
     let rewards = standard_rewards(&cluster);
     let mut experiment = Experiment::new(cluster.model.clone(), horizon_hours);
+    experiment.set_workers(spec.workers());
     for reward in rewards {
         experiment.add_reward(reward);
     }
 
-    let runs = experiment.run_raw(replications, seed)?;
+    let runs = experiment.run_raw(spec.replications(), spec.base_seed())?;
 
     let mut cfs = RunningStats::new();
     let mut storage = RunningStats::new();
     let mut cu = RunningStats::new();
     let mut replacements = RunningStats::new();
     let mut oss_down = RunningStats::new();
-    for run in &runs {
+    for (index, run) in runs.iter().enumerate() {
         let availability = run.reward(CFS_AVAILABILITY)?;
         let lost = run.reward(LOST_NODE_HOURS)?;
+        let storage_availability = run.reward(STORAGE_AVAILABILITY)?;
+        let disk_replacements = run.reward(DISK_REPLACEMENTS)?;
+        let pairs_down = run.reward(MEAN_OSS_PAIRS_DOWN)?;
+        for (name, value) in [
+            (CFS_AVAILABILITY, availability),
+            (LOST_NODE_HOURS, lost),
+            (STORAGE_AVAILABILITY, storage_availability),
+            (DISK_REPLACEMENTS, disk_replacements),
+            (MEAN_OSS_PAIRS_DOWN, pairs_down),
+        ] {
+            if !value.is_finite() {
+                return Err(CfsError::InvalidConfig {
+                    reason: format!(
+                        "replication {index} of '{}' produced a non-finite value {value} for \
+                         reward '{name}' — the configuration drives the model outside its \
+                         numeric range",
+                        config.name
+                    ),
+                });
+            }
+        }
         cfs.push(availability);
-        storage.push(run.reward(STORAGE_AVAILABILITY)?);
+        storage.push(storage_availability);
         cu.push(cluster_utility(availability, lost, config.compute_nodes, horizon_hours));
-        replacements.push(run.reward(DISK_REPLACEMENTS)? / (horizon_hours / 168.0));
-        oss_down.push(run.reward(MEAN_OSS_PAIRS_DOWN)?);
+        replacements.push(disk_replacements / (horizon_hours / 168.0));
+        oss_down.push(pairs_down);
     }
 
+    let level = spec.confidence_level();
     Ok(ClusterDependability {
         config_name: config.name.clone(),
-        cfs_availability: confidence_interval(&cfs, 0.95)?,
-        storage_availability: confidence_interval(&storage, 0.95)?,
-        cluster_utility: confidence_interval(&cu, 0.95)?,
-        disk_replacements_per_week: confidence_interval(&replacements, 0.95)?,
-        mean_oss_pairs_down: confidence_interval(&oss_down, 0.95)?,
+        cfs_availability: confidence_interval(&cfs, level)?,
+        storage_availability: confidence_interval(&storage, level)?,
+        cluster_utility: confidence_interval(&cu, level)?,
+        disk_replacements_per_week: confidence_interval(&replacements, level)?,
+        mean_oss_pairs_down: confidence_interval(&oss_down, level)?,
         replications: runs.len(),
         horizon_hours,
     })
+}
+
+/// Positional-argument shim retained for downstream code; new code should
+/// build a [`RunSpec`] and call [`evaluate`] (or run a
+/// [`crate::study::Study`]).
+///
+/// # Errors
+///
+/// See [`evaluate`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `RunSpec` and call `analysis::evaluate`, or run the scenario through a `Study`"
+)]
+pub fn evaluate_cluster(
+    config: &ClusterConfig,
+    horizon_hours: f64,
+    replications: usize,
+    seed: u64,
+) -> Result<ClusterDependability, CfsError> {
+    evaluate(
+        config,
+        &RunSpec::new()
+            .with_horizon_hours(horizon_hours)
+            .with_replications(replications)
+            .with_base_seed(seed),
+    )
 }
 
 #[cfg(test)]
@@ -100,19 +145,37 @@ mod tests {
 
     const YEAR: f64 = 8760.0;
 
+    fn spec(replications: usize, seed: u64) -> RunSpec {
+        RunSpec::new().with_horizon_hours(YEAR).with_replications(replications).with_base_seed(seed)
+    }
+
     #[test]
     fn run_parameters_are_validated() {
         let abe = ClusterConfig::abe();
-        assert!(evaluate_cluster(&abe, YEAR, 1, 1).is_err());
-        assert!(evaluate_cluster(&abe, 0.0, 8, 1).is_err());
-        assert!(evaluate_cluster(&abe, -1.0, 8, 1).is_err());
+        assert!(evaluate(&abe, &spec(1, 1)).is_err());
+        assert!(evaluate(&abe, &spec(8, 1).with_horizon_hours(0.0)).is_err());
+        assert!(evaluate(&abe, &spec(8, 1).with_horizon_hours(-1.0)).is_err());
+        assert!(evaluate(&abe, &spec(100_001, 1)).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_the_spec_api() {
+        let abe = ClusterConfig::abe();
+        let via_shim = evaluate_cluster(&abe, 2000.0, 4, 9).unwrap();
+        let via_spec = evaluate(
+            &abe,
+            &RunSpec::new().with_horizon_hours(2000.0).with_replications(4).with_base_seed(9),
+        )
+        .unwrap();
+        assert_eq!(via_shim, via_spec);
     }
 
     #[test]
     fn abe_availability_matches_the_measured_band() {
         // The paper measures ABE CFS availability at about 0.97 (Table 1 /
         // Figure 4 first point) and storage availability ≈ 1.
-        let result = evaluate_cluster(&ClusterConfig::abe(), YEAR, 24, 7).unwrap();
+        let result = evaluate(&ClusterConfig::abe(), &spec(24, 7)).unwrap();
         let a = result.cfs_availability.point;
         assert!(a > 0.955 && a < 0.99, "ABE CFS availability {a}");
         assert!(result.storage_availability.point > 0.9999);
@@ -130,18 +193,20 @@ mod tests {
     fn petascale_availability_drops_toward_the_paper_value() {
         // Figure 4: CFS availability falls from ≈0.97 to ≈0.91 as the system
         // scales to petaflop-petabyte; CU falls further.
-        let result = evaluate_cluster(&ClusterConfig::petascale(), YEAR, 16, 11).unwrap();
+        let result = evaluate(&ClusterConfig::petascale(), &spec(16, 11)).unwrap();
         let a = result.cfs_availability.point;
         assert!(a > 0.85 && a < 0.945, "petascale CFS availability {a}");
         assert!(result.storage_availability.point > 0.999);
-        assert!(result.cluster_utility.point < a - 0.02, "CU should fall well below CFS availability");
+        assert!(
+            result.cluster_utility.point < a - 0.02,
+            "CU should fall well below CFS availability"
+        );
     }
 
     #[test]
     fn spare_oss_improves_petascale_availability() {
-        let base = evaluate_cluster(&ClusterConfig::petascale(), YEAR, 16, 13).unwrap();
-        let spared =
-            evaluate_cluster(&ClusterConfig::petascale().with_spare_oss(), YEAR, 16, 13).unwrap();
+        let base = evaluate(&ClusterConfig::petascale(), &spec(16, 13)).unwrap();
+        let spared = evaluate(&ClusterConfig::petascale().with_spare_oss(), &spec(16, 13)).unwrap();
         let gain = spared.cfs_availability.point - base.cfs_availability.point;
         assert!(gain > 0.005, "spare OSS should improve availability, gain {gain}");
         assert!(gain < 0.12, "gain should stay in a plausible range, gain {gain}");
@@ -149,9 +214,9 @@ mod tests {
 
     #[test]
     fn multipath_network_improves_cluster_utility() {
-        let base = evaluate_cluster(&ClusterConfig::petascale(), YEAR, 12, 17).unwrap();
+        let base = evaluate(&ClusterConfig::petascale(), &spec(12, 17)).unwrap();
         let multi =
-            evaluate_cluster(&ClusterConfig::petascale().with_multipath_network(), YEAR, 12, 17).unwrap();
+            evaluate(&ClusterConfig::petascale().with_multipath_network(), &spec(12, 17)).unwrap();
         assert!(
             multi.cluster_utility.point > base.cluster_utility.point,
             "multipath {} vs base {}",

@@ -79,8 +79,9 @@ impl ClusterConfig {
         let abe = ClusterConfig::abe();
         // Geometric interpolation exponent in [0, 1] over the 96 TB → 12 PB
         // range (clamped outside it).
-        let frac = ((capacity_tb / ABE_CAPACITY_TB).ln() / (PETASCALE_CAPACITY_TB / ABE_CAPACITY_TB).ln())
-            .clamp(0.0, 1.5);
+        let frac = ((capacity_tb / ABE_CAPACITY_TB).ln()
+            / (PETASCALE_CAPACITY_TB / ABE_CAPACITY_TB).ln())
+        .clamp(0.0, 1.5);
 
         let compute_nodes = (1200.0 * (32_000.0_f64 / 1200.0).powf(frac)).round() as u32;
         let oss_pairs = (8.0 * 10.0_f64.powf(frac)).round().max(1.0) as u32;
@@ -89,7 +90,8 @@ impl ClusterConfig {
         // Plan the storage with the same 250 GB disks as ABE so the disk
         // count scales with capacity (Figure 2's x-axis); experiments that
         // want capacity growth swap the disk model afterwards.
-        let mut plan = plan_for_capacity(capacity_tb, abe.storage.disk.capacity_gb, abe.storage.geometry)?;
+        let mut plan =
+            plan_for_capacity(capacity_tb, abe.storage.disk.capacity_gb, abe.storage.geometry)?;
         // Use the interpolated DDN-unit count, but never more units than
         // there are tiers to spread across them.
         plan.ddn_units = ddn_units.min(plan.tiers).max(1);
@@ -155,13 +157,17 @@ impl ClusterConfig {
     /// error) describing the first problem found.
     pub fn validate(&self) -> Result<(), CfsError> {
         if self.compute_nodes == 0 {
-            return Err(CfsError::InvalidConfig { reason: "compute_nodes must be at least 1".into() });
+            return Err(CfsError::InvalidConfig {
+                reason: "compute_nodes must be at least 1".into(),
+            });
         }
         if self.oss_pairs == 0 {
             return Err(CfsError::InvalidConfig { reason: "oss_pairs must be at least 1".into() });
         }
         if self.metadata_pairs == 0 {
-            return Err(CfsError::InvalidConfig { reason: "metadata_pairs must be at least 1".into() });
+            return Err(CfsError::InvalidConfig {
+                reason: "metadata_pairs must be at least 1".into(),
+            });
         }
         self.storage.validate()?;
         self.params.validate()?;

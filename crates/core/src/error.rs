@@ -28,7 +28,9 @@ pub enum CfsError {
 impl fmt::Display for CfsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CfsError::InvalidConfig { reason } => write!(f, "invalid cluster configuration: {reason}"),
+            CfsError::InvalidConfig { reason } => {
+                write!(f, "invalid cluster configuration: {reason}")
+            }
             CfsError::San(e) => write!(f, "model error: {e}"),
             CfsError::Raid(e) => write!(f, "storage model error: {e}"),
             CfsError::Log(e) => write!(f, "failure log error: {e}"),

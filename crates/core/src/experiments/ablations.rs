@@ -8,9 +8,10 @@ use probdist::stats::ConfidenceInterval;
 use raidsim::scaling::{config_from_plan, plan_for_capacity};
 use raidsim::{DiskModel, RaidGeometry, StorageConfig, StorageSimulator};
 
-use crate::analysis::evaluate_cluster;
+use crate::analysis::evaluate;
 use crate::config::ClusterConfig;
 use crate::report::{fmt_ci, TextTable};
+use crate::run::RunSpec;
 use crate::CfsError;
 
 /// One configuration of an ablation sweep and the availability it achieves.
@@ -56,14 +57,13 @@ impl AblationResult {
 
 /// Petascale storage configuration used by the storage-side ablations:
 /// pessimistic disks (Weibull 0.6, AFR 8.76 %) at 12 PB.
-fn pessimistic_petascale_storage(geometry: RaidGeometry, replacement_hours: f64) -> Result<StorageConfig, CfsError> {
+fn pessimistic_petascale_storage(
+    geometry: RaidGeometry,
+    replacement_hours: f64,
+) -> Result<StorageConfig, CfsError> {
     let disk = DiskModel { weibull_shape: 0.6, mtbf_hours: 100_000.0, capacity_gb: 250.0 };
-    let template = StorageConfig {
-        geometry,
-        disk,
-        replacement_hours,
-        ..StorageConfig::abe_scratch()
-    };
+    let template =
+        StorageConfig { geometry, disk, replacement_hours, ..StorageConfig::abe_scratch() };
     let plan = plan_for_capacity(12_288.0, disk.capacity_gb, geometry)?;
     Ok(config_from_plan(&plan, &template)?)
 }
@@ -74,11 +74,19 @@ fn pessimistic_petascale_storage(geometry: RaidGeometry, replacement_hours: f64)
 /// # Errors
 ///
 /// Propagates configuration and simulation errors.
-pub fn ablation_raid_parity(horizon_hours: f64, replications: usize, seed: u64) -> Result<AblationResult, CfsError> {
+pub fn ablation_raid_parity_with(spec: &RunSpec) -> Result<AblationResult, CfsError> {
+    spec.validate()?;
     let mut points = Vec::new();
-    for geometry in [RaidGeometry::raid5_8p1(), RaidGeometry::raid6_8p2(), RaidGeometry::raid_8p3()] {
+    for geometry in [RaidGeometry::raid5_8p1(), RaidGeometry::raid6_8p2(), RaidGeometry::raid_8p3()]
+    {
         let storage = pessimistic_petascale_storage(geometry, 4.0)?;
-        let summary = StorageSimulator::new(storage)?.run(horizon_hours, replications, seed)?;
+        let summary = StorageSimulator::new(storage)?.run_with(
+            spec.horizon_hours(),
+            spec.replications(),
+            spec.base_seed(),
+            spec.confidence_level(),
+            spec.workers(),
+        )?;
         points.push(AblationPoint {
             label: geometry.label(),
             availability: summary.availability,
@@ -94,18 +102,28 @@ pub fn ablation_raid_parity(horizon_hours: f64, replications: usize, seed: u64) 
 /// # Errors
 ///
 /// Propagates configuration and simulation errors.
-pub fn ablation_repair_time(horizon_hours: f64, replications: usize, seed: u64) -> Result<AblationResult, CfsError> {
+pub fn ablation_repair_time_with(spec: &RunSpec) -> Result<AblationResult, CfsError> {
+    spec.validate()?;
     let mut points = Vec::new();
     for hours in [1.0, 4.0, 12.0] {
         let storage = pessimistic_petascale_storage(RaidGeometry::raid6_8p2(), hours)?;
-        let summary = StorageSimulator::new(storage)?.run(horizon_hours, replications, seed)?;
+        let summary = StorageSimulator::new(storage)?.run_with(
+            spec.horizon_hours(),
+            spec.replications(),
+            spec.base_seed(),
+            spec.confidence_level(),
+            spec.workers(),
+        )?;
         points.push(AblationPoint {
             label: format!("replacement = {hours} h"),
             availability: summary.availability,
             secondary: Some(("data-loss events".into(), summary.data_loss_events.point)),
         });
     }
-    Ok(AblationResult { name: "Disk replacement time at petascale (8+2, 0.6, 8.76% AFR)".into(), points })
+    Ok(AblationResult {
+        name: "Disk replacement time at petascale (8+2, 0.6, 8.76% AFR)".into(),
+        points,
+    })
 }
 
 /// Ablation: standby spare OSS on/off at petascale (the Section 5.2
@@ -114,12 +132,13 @@ pub fn ablation_repair_time(horizon_hours: f64, replications: usize, seed: u64) 
 /// # Errors
 ///
 /// Propagates configuration and simulation errors.
-pub fn ablation_spare_oss(horizon_hours: f64, replications: usize, seed: u64) -> Result<AblationResult, CfsError> {
+pub fn ablation_spare_oss_with(spec: &RunSpec) -> Result<AblationResult, CfsError> {
+    spec.validate()?;
     let base = ClusterConfig::petascale();
     let spared = base.clone().with_spare_oss();
     let mut points = Vec::new();
     for config in [base, spared] {
-        let result = evaluate_cluster(&config, horizon_hours, replications, seed)?;
+        let result = evaluate(&config, spec)?;
         points.push(AblationPoint {
             label: config.name.clone(),
             availability: result.cfs_availability,
@@ -135,13 +154,14 @@ pub fn ablation_spare_oss(horizon_hours: f64, replications: usize, seed: u64) ->
 /// # Errors
 ///
 /// Propagates configuration and simulation errors.
-pub fn ablation_correlation(horizon_hours: f64, replications: usize, seed: u64) -> Result<AblationResult, CfsError> {
+pub fn ablation_correlation_with(spec: &RunSpec) -> Result<AblationResult, CfsError> {
+    spec.validate()?;
     let mut points = Vec::new();
     for p in [0.0, 0.0075, 0.03] {
         let mut config = ClusterConfig::petascale();
         config.params.correlation_probability = p;
         config.name = format!("p = {p}");
-        let result = evaluate_cluster(&config, horizon_hours, replications, seed)?;
+        let result = evaluate(&config, spec)?;
         points.push(AblationPoint {
             label: config.name.clone(),
             availability: result.cfs_availability,
@@ -151,13 +171,68 @@ pub fn ablation_correlation(horizon_hours: f64, replications: usize, seed: u64) 
     Ok(AblationResult { name: "Correlated-failure probability at petascale".into(), points })
 }
 
+macro_rules! deprecated_ablation_shim {
+    ($(#[$doc:meta])* $old:ident => $new:ident, $note:literal) => {
+        $(#[$doc])*
+        ///
+        /// # Errors
+        ///
+        /// Propagates configuration and simulation errors.
+        #[deprecated(since = "0.2.0", note = $note)]
+        pub fn $old(
+            horizon_hours: f64,
+            replications: usize,
+            seed: u64,
+        ) -> Result<AblationResult, CfsError> {
+            $new(
+                &RunSpec::new()
+                    .with_horizon_hours(horizon_hours)
+                    .with_replications(replications)
+                    .with_base_seed(seed),
+            )
+        }
+    };
+}
+
+deprecated_ablation_shim! {
+    /// Positional-argument shim for the RAID-parity ablation.
+    ablation_raid_parity => ablation_raid_parity_with,
+    "build a `RunSpec` and call `ablation_raid_parity_with`, or run the `RaidParityAblation` \
+     scenario through a `Study`"
+}
+deprecated_ablation_shim! {
+    /// Positional-argument shim for the disk-replacement-time ablation.
+    ablation_repair_time => ablation_repair_time_with,
+    "build a `RunSpec` and call `ablation_repair_time_with`, or run the `RepairTimeAblation` \
+     scenario through a `Study`"
+}
+deprecated_ablation_shim! {
+    /// Positional-argument shim for the standby-spare-OSS ablation.
+    ablation_spare_oss => ablation_spare_oss_with,
+    "build a `RunSpec` and call `ablation_spare_oss_with`, or run the `SpareOssAblation` \
+     scenario through a `Study`"
+}
+deprecated_ablation_shim! {
+    /// Positional-argument shim for the correlated-failure ablation.
+    ablation_correlation => ablation_correlation_with,
+    "build a `RunSpec` and call `ablation_correlation_with`, or run the `CorrelationAblation` \
+     scenario through a `Study`"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn spec(replications: usize, seed: u64) -> RunSpec {
+        RunSpec::new()
+            .with_horizon_hours(4380.0)
+            .with_replications(replications)
+            .with_base_seed(seed)
+    }
+
     #[test]
     fn raid_parity_ablation_orders_geometries() {
-        let result = ablation_raid_parity(4380.0, 8, 3).unwrap();
+        let result = ablation_raid_parity_with(&spec(8, 3)).unwrap();
         assert_eq!(result.points.len(), 3);
         let avail: Vec<f64> = result.points.iter().map(|p| p.availability.point).collect();
         // 8+1 <= 8+2 <= 8+3 (allowing tiny Monte-Carlo noise).
@@ -168,7 +243,7 @@ mod tests {
 
     #[test]
     fn repair_time_ablation_prefers_fast_replacement() {
-        let result = ablation_repair_time(4380.0, 8, 5).unwrap();
+        let result = ablation_repair_time_with(&spec(8, 5)).unwrap();
         let one_hour = result.points[0].availability.point;
         let twelve_hours = result.points[2].availability.point;
         assert!(one_hour >= twelve_hours - 1e-6);
@@ -176,7 +251,7 @@ mod tests {
 
     #[test]
     fn correlation_ablation_shows_monotone_damage() {
-        let result = ablation_correlation(4380.0, 6, 7).unwrap();
+        let result = ablation_correlation_with(&spec(6, 7)).unwrap();
         let none = result.points[0].availability.point;
         let high = result.points[2].availability.point;
         assert!(none > high, "correlation should reduce availability: {none} vs {high}");
@@ -184,7 +259,7 @@ mod tests {
 
     #[test]
     fn spare_oss_ablation_reports_both_configurations() {
-        let result = ablation_spare_oss(4380.0, 6, 9).unwrap();
+        let result = ablation_spare_oss_with(&spec(6, 9)).unwrap();
         assert_eq!(result.points.len(), 2);
         assert!(result.points[1].availability.point >= result.points[0].availability.point - 0.01);
         assert!(result.to_table().render().contains("spare"));

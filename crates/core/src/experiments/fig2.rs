@@ -12,6 +12,7 @@ use raidsim::scaling::{config_from_plan, figure2_capacity_points_tb, plan_for_ca
 use raidsim::{DiskModel, RaidGeometry, StorageConfig, StorageSimulator};
 
 use crate::report::{fmt_ci, TextTable};
+use crate::run::RunSpec;
 use crate::CfsError;
 
 /// One storage-reliability configuration (one curve of Figure 2).
@@ -150,7 +151,8 @@ impl Fig2Result {
         );
         if let Some(first) = self.series.first() {
             for (i, point) in first.points.iter().enumerate() {
-                let mut row = vec![format!("{:.0}", point.capacity_tb), point.total_disks.to_string()];
+                let mut row =
+                    vec![format!("{:.0}", point.capacity_tb), point.total_disks.to_string()];
                 for series in &self.series {
                     row.push(fmt_ci(&series.points[i].availability, 5));
                 }
@@ -162,7 +164,7 @@ impl Fig2Result {
 }
 
 /// Runs the Figure 2 experiment: storage availability versus capacity for
-/// every configuration tuple.
+/// every configuration tuple, under the given run spec.
 ///
 /// `capacities_tb` defaults to the paper's 96 TB → 12 PB doubling sweep when
 /// empty.
@@ -170,14 +172,16 @@ impl Fig2Result {
 /// # Errors
 ///
 /// Propagates configuration and simulation errors.
-pub fn figure2_storage_availability(
+pub fn figure2_storage_availability_with(
     capacities_tb: &[f64],
-    horizon_hours: f64,
-    replications: usize,
-    seed: u64,
+    spec: &RunSpec,
 ) -> Result<Fig2Result, CfsError> {
-    let capacities: Vec<f64> =
-        if capacities_tb.is_empty() { figure2_capacity_points_tb() } else { capacities_tb.to_vec() };
+    spec.validate()?;
+    let capacities: Vec<f64> = if capacities_tb.is_empty() {
+        figure2_capacity_points_tb()
+    } else {
+        capacities_tb.to_vec()
+    };
 
     let mut series = Vec::new();
     for (series_idx, config) in Fig2Config::paper_series().into_iter().enumerate() {
@@ -186,10 +190,12 @@ pub fn figure2_storage_availability(
             let storage = config.storage_for_capacity(capacity_tb)?;
             let total_disks = storage.total_disks();
             let simulator = StorageSimulator::new(storage)?;
-            let summary = simulator.run(
-                horizon_hours,
-                replications,
-                seed.wrapping_add((series_idx * 1000 + cap_idx) as u64),
+            let summary = simulator.run_with(
+                spec.horizon_hours(),
+                spec.replications(),
+                spec.base_seed().wrapping_add((series_idx * 1000 + cap_idx) as u64),
+                spec.confidence_level(),
+                spec.workers(),
             )?;
             points.push(Fig2Point {
                 capacity_tb,
@@ -200,7 +206,36 @@ pub fn figure2_storage_availability(
         }
         series.push(Fig2Series { label: config.label(), config, points });
     }
-    Ok(Fig2Result { series, horizon_hours, replications })
+    Ok(Fig2Result {
+        series,
+        horizon_hours: spec.horizon_hours(),
+        replications: spec.replications(),
+    })
+}
+
+/// Positional-argument shim retained for downstream code.
+///
+/// # Errors
+///
+/// See [`figure2_storage_availability_with`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `RunSpec` and call `figure2_storage_availability_with`, or run the \
+            `Figure2StorageAvailability` scenario through a `Study`"
+)]
+pub fn figure2_storage_availability(
+    capacities_tb: &[f64],
+    horizon_hours: f64,
+    replications: usize,
+    seed: u64,
+) -> Result<Fig2Result, CfsError> {
+    figure2_storage_availability_with(
+        capacities_tb,
+        &RunSpec::new()
+            .with_horizon_hours(horizon_hours)
+            .with_replications(replications)
+            .with_base_seed(seed),
+    )
 }
 
 #[cfg(test)]
@@ -232,7 +267,8 @@ mod tests {
         // while still checking the headline observations: ABE-scale
         // availability ≈ 1 for every configuration, and the ABE disk
         // configuration stays ≥ the pessimistic one at the larger scale.
-        let result = figure2_storage_availability(&[96.0, 1536.0], 4380.0, 8, 3).unwrap();
+        let spec = RunSpec::new().with_horizon_hours(4380.0).with_replications(8).with_base_seed(3);
+        let result = figure2_storage_availability_with(&[96.0, 1536.0], &spec).unwrap();
         assert_eq!(result.series.len(), 5);
         for series in &result.series {
             assert_eq!(series.points.len(), 2);

@@ -11,6 +11,7 @@ use raidsim::scaling::figure3_disk_counts;
 use raidsim::{DiskModel, StorageConfig, StorageSimulator};
 
 use crate::report::{fmt_ci, TextTable};
+use crate::run::RunSpec;
 use crate::CfsError;
 
 /// One point of a Figure 3 curve.
@@ -77,19 +78,19 @@ impl Fig3Result {
     }
 }
 
-/// Runs the Figure 3 experiment.
+/// Runs the Figure 3 experiment under the given run spec.
 ///
 /// `disk_counts` defaults to the paper's 480…4800 sweep when empty.
 ///
 /// # Errors
 ///
 /// Propagates configuration and simulation errors.
-pub fn figure3_disk_replacements(
+pub fn figure3_disk_replacements_with(
     disk_counts: &[u32],
-    horizon_hours: f64,
-    replications: usize,
-    seed: u64,
+    spec: &RunSpec,
 ) -> Result<Fig3Result, CfsError> {
+    spec.validate()?;
+    let horizon_hours = spec.horizon_hours();
     let counts: Vec<u32> =
         if disk_counts.is_empty() { figure3_disk_counts() } else { disk_counts.to_vec() };
 
@@ -100,21 +101,21 @@ pub fn figure3_disk_replacements(
         for (count_idx, &disks) in counts.iter().enumerate() {
             if disks == 0 || disks % 10 != 0 {
                 return Err(CfsError::InvalidConfig {
-                    reason: format!("disk count {disks} must be a positive multiple of the 10-disk tier size"),
+                    reason: format!(
+                        "disk count {disks} must be a positive multiple of the 10-disk tier size"
+                    ),
                 });
             }
             let tiers = disks / 10;
-            let storage = StorageConfig {
-                tiers,
-                ddn_units: 1,
-                disk,
-                ..StorageConfig::abe_scratch()
-            };
+            let storage =
+                StorageConfig { tiers, ddn_units: 1, disk, ..StorageConfig::abe_scratch() };
             let simulator = StorageSimulator::new(storage)?;
-            let summary = simulator.run(
+            let summary = simulator.run_with(
                 horizon_hours,
-                replications,
-                seed.wrapping_add((series_idx * 100 + count_idx) as u64),
+                spec.replications(),
+                spec.base_seed().wrapping_add((series_idx * 100 + count_idx) as u64),
+                spec.confidence_level(),
+                spec.workers(),
             )?;
             let analytic = expected_replacements_per_week(disks, &disk, horizon_hours)?;
             points.push(Fig3Point {
@@ -125,25 +126,58 @@ pub fn figure3_disk_replacements(
         }
         series.push(Fig3Series { label: format!("(0.7,{afr},8+2,4)"), afr_percent: afr, points });
     }
-    Ok(Fig3Result { series, horizon_hours, replications })
+    Ok(Fig3Result { series, horizon_hours, replications: spec.replications() })
+}
+
+/// Positional-argument shim retained for downstream code.
+///
+/// # Errors
+///
+/// See [`figure3_disk_replacements_with`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `RunSpec` and call `figure3_disk_replacements_with`, or run the \
+            `Figure3DiskReplacements` scenario through a `Study`"
+)]
+pub fn figure3_disk_replacements(
+    disk_counts: &[u32],
+    horizon_hours: f64,
+    replications: usize,
+    seed: u64,
+) -> Result<Fig3Result, CfsError> {
+    figure3_disk_replacements_with(
+        disk_counts,
+        &RunSpec::new()
+            .with_horizon_hours(horizon_hours)
+            .with_replications(replications)
+            .with_base_seed(seed),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn spec(replications: usize, seed: u64) -> RunSpec {
+        RunSpec::new()
+            .with_horizon_hours(4380.0)
+            .with_replications(replications)
+            .with_base_seed(seed)
+    }
+
     #[test]
     fn rejects_invalid_disk_counts() {
-        assert!(figure3_disk_replacements(&[0], 4380.0, 4, 1).is_err());
-        assert!(figure3_disk_replacements(&[487], 4380.0, 4, 1).is_err());
+        assert!(figure3_disk_replacements_with(&[0], &spec(4, 1)).is_err());
+        assert!(figure3_disk_replacements_with(&[487], &spec(4, 1)).is_err());
     }
 
     #[test]
     fn abe_point_matches_the_observed_replacement_rate() {
         // 480 disks at AFR 2.92 % should give the paper's 0–2 replacements
         // per week.
-        let result = figure3_disk_replacements(&[480], 4380.0, 8, 5).unwrap();
-        let abe_series = result.series.iter().find(|s| (s.afr_percent - 2.92).abs() < 1e-9).unwrap();
+        let result = figure3_disk_replacements_with(&[480], &spec(8, 5)).unwrap();
+        let abe_series =
+            result.series.iter().find(|s| (s.afr_percent - 2.92).abs() < 1e-9).unwrap();
         let point = &abe_series.points[0];
         assert!(
             point.simulated_per_week.point > 0.2 && point.simulated_per_week.point < 3.0,
@@ -155,15 +189,21 @@ mod tests {
 
     #[test]
     fn replacements_grow_with_disks_and_afr() {
-        let result = figure3_disk_replacements(&[480, 2400], 4380.0, 8, 9).unwrap();
+        let result = figure3_disk_replacements_with(&[480, 2400], &spec(8, 9)).unwrap();
         for series in &result.series {
-            assert!(series.points[1].simulated_per_week.point > series.points[0].simulated_per_week.point);
+            assert!(
+                series.points[1].simulated_per_week.point
+                    > series.points[0].simulated_per_week.point
+            );
             assert!(series.points[1].analytic_per_week > series.points[0].analytic_per_week);
         }
         // Higher AFR → more replacements at the same scale.
         let worst = result.series.iter().find(|s| s.afr_percent == 8.76).unwrap();
         let best = result.series.iter().find(|s| s.afr_percent == 0.88).unwrap();
-        assert!(worst.points[1].simulated_per_week.point > best.points[1].simulated_per_week.point * 3.0);
+        assert!(
+            worst.points[1].simulated_per_week.point
+                > best.points[1].simulated_per_week.point * 3.0
+        );
 
         let table = result.to_table();
         assert_eq!(table.len(), 2);

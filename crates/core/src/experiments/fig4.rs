@@ -7,9 +7,10 @@ use serde::{Deserialize, Serialize};
 
 use probdist::stats::ConfidenceInterval;
 
-use crate::analysis::evaluate_cluster;
+use crate::analysis::evaluate;
 use crate::config::ClusterConfig;
 use crate::report::{fmt_ci, TextTable};
+use crate::run::RunSpec;
 use crate::CfsError;
 
 /// One scale point of Figure 4.
@@ -82,29 +83,30 @@ impl Fig4Result {
     }
 }
 
-/// Runs the Figure 4 experiment.
+/// Runs the Figure 4 experiment under the given run spec.
 ///
 /// `capacities_tb` defaults to [`figure4_capacity_points_tb`] when empty.
 ///
 /// # Errors
 ///
 /// Propagates configuration and simulation errors.
-pub fn figure4_cfs_availability(
+pub fn figure4_cfs_availability_with(
     capacities_tb: &[f64],
-    horizon_hours: f64,
-    replications: usize,
-    seed: u64,
+    spec: &RunSpec,
 ) -> Result<Fig4Result, CfsError> {
-    let capacities: Vec<f64> =
-        if capacities_tb.is_empty() { figure4_capacity_points_tb() } else { capacities_tb.to_vec() };
+    spec.validate()?;
+    let capacities: Vec<f64> = if capacities_tb.is_empty() {
+        figure4_capacity_points_tb()
+    } else {
+        capacities_tb.to_vec()
+    };
 
     let mut points = Vec::new();
     for (idx, &capacity_tb) in capacities.iter().enumerate() {
         let config = ClusterConfig::scaled_to_capacity(capacity_tb)?;
         let spared = config.clone().with_spare_oss();
-        let base = evaluate_cluster(&config, horizon_hours, replications, seed.wrapping_add(idx as u64))?;
-        let with_spare =
-            evaluate_cluster(&spared, horizon_hours, replications, seed.wrapping_add(1000 + idx as u64))?;
+        let base = evaluate(&config, &spec.offset_seed(idx as u64))?;
+        let with_spare = evaluate(&spared, &spec.offset_seed(1000 + idx as u64))?;
         points.push(Fig4Point {
             capacity_tb,
             compute_nodes: config.compute_nodes,
@@ -116,7 +118,36 @@ pub fn figure4_cfs_availability(
             cfs_availability_spare_oss: with_spare.cfs_availability,
         });
     }
-    Ok(Fig4Result { points, horizon_hours, replications })
+    Ok(Fig4Result {
+        points,
+        horizon_hours: spec.horizon_hours(),
+        replications: spec.replications(),
+    })
+}
+
+/// Positional-argument shim retained for downstream code.
+///
+/// # Errors
+///
+/// See [`figure4_cfs_availability_with`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `RunSpec` and call `figure4_cfs_availability_with`, or run the \
+            `Figure4CfsAvailability` scenario through a `Study`"
+)]
+pub fn figure4_cfs_availability(
+    capacities_tb: &[f64],
+    horizon_hours: f64,
+    replications: usize,
+    seed: u64,
+) -> Result<Fig4Result, CfsError> {
+    figure4_cfs_availability_with(
+        capacities_tb,
+        &RunSpec::new()
+            .with_horizon_hours(horizon_hours)
+            .with_replications(replications)
+            .with_base_seed(seed),
+    )
 }
 
 #[cfg(test)]
@@ -129,12 +160,18 @@ mod tests {
         // count: CFS availability declines with scale, storage availability
         // stays ≈ 1, CU sits below CFS availability, and the spare OSS
         // recovers part of the loss at petascale.
-        let result = figure4_cfs_availability(&[96.0, 12_288.0], 8760.0, 12, 7).unwrap();
+        let spec =
+            RunSpec::new().with_horizon_hours(8760.0).with_replications(12).with_base_seed(7);
+        let result = figure4_cfs_availability_with(&[96.0, 12_288.0], &spec).unwrap();
         assert_eq!(result.points.len(), 2);
         let abe = &result.points[0];
         let peta = &result.points[1];
 
-        assert!(abe.cfs_availability.point > 0.95, "ABE availability {}", abe.cfs_availability.point);
+        assert!(
+            abe.cfs_availability.point > 0.95,
+            "ABE availability {}",
+            abe.cfs_availability.point
+        );
         assert!(
             peta.cfs_availability.point < abe.cfs_availability.point - 0.02,
             "petascale availability {} should be clearly below ABE {}",

@@ -1,10 +1,12 @@
 //! Experiment drivers: one per table and figure of the paper's evaluation,
 //! plus the ablations called out in DESIGN.md.
 //!
-//! Every driver takes an explicit replication count and seed so the
-//! benchmark harness can trade precision against runtime, returns a
-//! structured result, and can render itself as a [`crate::report::TextTable`]
-//! whose rows mirror the paper's presentation.
+//! Every driver takes a [`crate::run::RunSpec`], returns a structured
+//! result, and can render itself as a [`crate::report::TextTable`] whose
+//! rows mirror the paper's presentation. These are the functions the
+//! [`crate::scenario::Scenario`] implementations wrap; run them through a
+//! [`crate::study::Study`] unless you need the raw result structs. The old
+//! positional-argument entry points remain as deprecated shims.
 //!
 //! | Paper artefact | Driver |
 //! |---|---|
@@ -13,9 +15,9 @@
 //! | Table 3 (job statistics) | [`tables::table3_jobs`] |
 //! | Table 4 (disk failures, Weibull fit) | [`tables::table4_disk_failures`] |
 //! | Table 5 (model parameters) | [`tables::table5_parameters`] |
-//! | Figure 2 (storage availability vs scale) | [`fig2::figure2_storage_availability`] |
-//! | Figure 3 (disk replacements per week) | [`fig3::figure3_disk_replacements`] |
-//! | Figure 4 (CFS availability and CU vs scale) | [`fig4::figure4_cfs_availability`] |
+//! | Figure 2 (storage availability vs scale) | [`fig2::figure2_storage_availability_with`] |
+//! | Figure 3 (disk replacements per week) | [`fig3::figure3_disk_replacements_with`] |
+//! | Figure 4 (CFS availability and CU vs scale) | [`fig4::figure4_cfs_availability_with`] |
 //! | Ablations (§6 of DESIGN.md) | [`ablations`] |
 
 pub mod ablations;
@@ -24,13 +26,23 @@ pub mod fig3;
 pub mod fig4;
 pub mod tables;
 
+#[allow(deprecated)]
 pub use ablations::{
     ablation_correlation, ablation_raid_parity, ablation_repair_time, ablation_spare_oss,
-    AblationPoint, AblationResult,
 };
-pub use fig2::{figure2_storage_availability, Fig2Config, Fig2Point, Fig2Result, Fig2Series};
-pub use fig3::{figure3_disk_replacements, Fig3Point, Fig3Result, Fig3Series};
-pub use fig4::{figure4_cfs_availability, Fig4Point, Fig4Result};
+pub use ablations::{
+    ablation_correlation_with, ablation_raid_parity_with, ablation_repair_time_with,
+    ablation_spare_oss_with, AblationPoint, AblationResult,
+};
+#[allow(deprecated)]
+pub use fig2::figure2_storage_availability;
+pub use fig2::{figure2_storage_availability_with, Fig2Config, Fig2Point, Fig2Result, Fig2Series};
+#[allow(deprecated)]
+pub use fig3::figure3_disk_replacements;
+pub use fig3::{figure3_disk_replacements_with, Fig3Point, Fig3Result, Fig3Series};
+#[allow(deprecated)]
+pub use fig4::figure4_cfs_availability;
+pub use fig4::{figure4_cfs_availability_with, Fig4Point, Fig4Result};
 pub use tables::{
     table1_outages, table2_mount_failures, table3_jobs, table4_disk_failures, table5_parameters,
     Table1Result, Table2Result, Table3Result, Table4Result,

@@ -58,7 +58,12 @@ impl Table1Result {
                 format!("{:.2}", row.hours),
             ]);
         }
-        t.add_row(&["SAN availability".into(), String::new(), String::new(), format!("{:.4}", self.availability)]);
+        t.add_row(&[
+            "SAN availability".into(),
+            String::new(),
+            String::new(),
+            format!("{:.4}", self.availability),
+        ]);
         t
     }
 }
@@ -122,9 +127,18 @@ impl Table3Result {
         );
         let a = &self.analysis;
         t.add_row(&["Total jobs submitted".into(), a.total_jobs.to_string()]);
-        t.add_row(&["Failures due to transient network errors".into(), a.transient_failures.to_string()]);
-        t.add_row(&["Failures due to other/file system errors".into(), a.other_failures.to_string()]);
-        t.add_row(&["Transient : other failure ratio".into(), format!("{:.2}", a.transient_to_other_ratio())]);
+        t.add_row(&[
+            "Failures due to transient network errors".into(),
+            a.transient_failures.to_string(),
+        ]);
+        t.add_row(&[
+            "Failures due to other/file system errors".into(),
+            a.other_failures.to_string(),
+        ]);
+        t.add_row(&[
+            "Transient : other failure ratio".into(),
+            format!("{:.2}", a.transient_to_other_ratio()),
+        ]);
         t.add_row(&["Job submissions per hour".into(), format!("{:.1}", a.jobs_per_hour())]);
         t
     }
@@ -164,7 +178,10 @@ impl Table4Result {
             "Table 4. Disk failure log and Weibull survival analysis (synthetic log)",
             &["Measure", "Value"],
         );
-        t.add_row(&["Total disk replacements".into(), self.analysis.total_replacements().to_string()]);
+        t.add_row(&[
+            "Total disk replacements".into(),
+            self.analysis.total_replacements().to_string(),
+        ]);
         t.add_row(&["Mean replacements per week".into(), format!("{:.2}", self.mean_per_week)]);
         t.add_row(&["Weibull shape (beta)".into(), format!("{:.3}", self.weibull.shape)]);
         t.add_row(&["Shape standard error".into(), format!("{:.3}", self.weibull.shape_std_error)]);

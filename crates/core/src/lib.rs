@@ -19,21 +19,42 @@
 //!   availability, cluster utility (CU), and disk-replacement rate.
 //! * [`analysis`] — runs the composed model and returns the reward
 //!   estimates with confidence intervals.
-//! * [`experiments`] — one driver per table and figure of the evaluation
-//!   (Tables 1–5, Figures 2–4) plus the ablations listed in DESIGN.md.
-//! * [`report`] — plain-text table rendering for the experiment drivers.
+//! * [`run`] — the [`RunSpec`] builder: horizon, replications, base seed,
+//!   confidence level, and worker-thread count for any evaluation.
+//! * [`scenario`] — the [`Scenario`] trait implemented by every paper
+//!   artefact (Tables 1–5, Figures 2–4, the four ablations) and by raw
+//!   [`ClusterConfig`] evaluation.
+//! * [`study`] — the [`Study`] runner: executes any set of scenarios under
+//!   one spec, fanning replications across worker threads with bit-identical
+//!   serial/parallel statistics.
+//! * [`experiments`] — the underlying experiment drivers the scenarios
+//!   wrap, one per table and figure of the evaluation.
+//! * [`report`] — the unified [`Report`] sink: aligned text tables, CSV,
+//!   and JSON rendering for every result.
 //!
 //! # Example
 //!
+//! Evaluate one configuration directly, then every paper artefact through
+//! the single `Study` entry point:
+//!
 //! ```no_run
-//! use cfs_model::config::ClusterConfig;
-//! use cfs_model::analysis::evaluate_cluster;
+//! use cfs_model::{analysis, ClusterConfig, ReportFormat, RunSpec, Study};
 //!
 //! # fn main() -> Result<(), cfs_model::CfsError> {
-//! let abe = ClusterConfig::abe();
-//! let result = evaluate_cluster(&abe, 8760.0, 32, 42)?;
+//! let spec = RunSpec::new()
+//!     .with_horizon_hours(8760.0)
+//!     .with_replications(32)
+//!     .with_base_seed(42)
+//!     .with_workers(4);
+//!
+//! // A single configuration…
+//! let result = analysis::evaluate(&ClusterConfig::abe(), &spec)?;
 //! println!("CFS availability: {}", result.cfs_availability);
-//! println!("Cluster utility:  {}", result.cluster_utility);
+//!
+//! // …or any mix of scenarios, rendered through one report sink.
+//! let report = Study::paper_artefacts().run(&spec)?;
+//! println!("{}", report.render(ReportFormat::Text));
+//! println!("{}", report.render(ReportFormat::Json));
 //! # Ok(())
 //! # }
 //! ```
@@ -49,11 +70,20 @@ pub mod model;
 pub mod params;
 pub mod report;
 pub mod rewards;
+pub mod run;
+pub mod scenario;
+pub mod study;
 
-pub use analysis::{evaluate_cluster, ClusterDependability};
+#[allow(deprecated)]
+pub use analysis::evaluate_cluster;
+pub use analysis::ClusterDependability;
 pub use config::ClusterConfig;
 pub use error::CfsError;
 pub use params::ModelParameters;
+pub use report::{Report, ReportFormat, TextTable};
+pub use run::RunSpec;
+pub use scenario::{Metric, Scenario, ScenarioOutput};
+pub use study::Study;
 
 #[cfg(test)]
 mod crate_tests {

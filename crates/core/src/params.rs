@@ -171,7 +171,8 @@ impl ModelParameters {
         }
         if self.transient_work_loss_hours < 0.0 || self.spare_oss_takeover_hours <= 0.0 {
             return Err(CfsError::InvalidConfig {
-                reason: "work-loss and spare-takeover durations must be non-negative/positive".into(),
+                reason: "work-loss and spare-takeover durations must be non-negative/positive"
+                    .into(),
             });
         }
         Ok(())
@@ -246,7 +247,10 @@ impl ParameterTable {
             ParameterRow {
                 name: "Hardware failure rate",
                 range: "1-2 per 720 hours",
-                abe_value: format!("{:.1} per 720 hours", params.hardware_failure_rate_per_pair * 720.0),
+                abe_value: format!(
+                    "{:.1} per 720 hours",
+                    params.hardware_failure_rate_per_pair * 720.0
+                ),
                 source: LogAnalysis,
             },
             ParameterRow {

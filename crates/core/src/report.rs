@@ -1,15 +1,23 @@
-//! Plain-text table rendering for experiment drivers.
+//! The unified report sink: aligned text tables, CSV, and JSON rendering
+//! for every experiment result.
 //!
-//! Every experiment in [`crate::experiments`] can render its results as an
-//! aligned text table, so the benchmark harness prints the same rows the
-//! paper's tables and figures report.
+//! Every experiment in [`crate::experiments`] renders its results as a
+//! [`TextTable`]; a [`Report`] collects the [`ScenarioOutput`]s of a
+//! [`crate::study::Study`] run and renders them all in any
+//! [`ReportFormat`], replacing the per-driver rendering paths that used to
+//! live here and in [`csv`].
 
 pub mod csv;
 
 use std::fmt::Write as _;
 
+use serde::Serialize;
+
+use crate::run::RunSpec;
+use crate::scenario::ScenarioOutput;
+
 /// A simple column-aligned text table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct TextTable {
     title: String,
     headers: Vec<String>,
@@ -57,6 +65,30 @@ impl TextTable {
         &self.title
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as CSV (headers plus data rows, RFC-4180 quoting).
+    /// This is the generic replacement for the per-figure CSV exporters in
+    /// [`csv`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv::record(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&csv::record(row));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let columns = self.headers.len();
@@ -99,6 +131,119 @@ pub fn fmt_ci(interval: &probdist::stats::ConfidenceInterval, decimals: usize) -
     format!("{:.prec$} ±{:.prec$}", interval.point, interval.half_width, prec = decimals)
 }
 
+/// Output format of a [`Report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Aligned plain-text tables plus a metrics summary.
+    Text,
+    /// One tidy CSV of every scenario's metrics
+    /// (`scenario,metric,value,ci_half_width`).
+    Csv,
+    /// The full report (spec, tables, and metrics) as indented JSON.
+    Json,
+}
+
+impl ReportFormat {
+    /// Parses a format name (`text` / `csv` / `json`), case-insensitively.
+    pub fn parse(name: &str) -> Option<ReportFormat> {
+        match name.to_ascii_lowercase().as_str() {
+            "text" | "txt" => Some(ReportFormat::Text),
+            "csv" => Some(ReportFormat::Csv),
+            "json" => Some(ReportFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// The unified result sink of a [`crate::study::Study`] run: the spec the
+/// study ran under plus every scenario's output, renderable as text, CSV,
+/// or JSON through one interface.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Report {
+    /// The run spec every scenario was evaluated under.
+    pub spec: RunSpec,
+    /// Scenario outputs, in study execution order.
+    pub outputs: Vec<ScenarioOutput>,
+}
+
+impl Report {
+    /// Creates a report from a spec and the outputs it produced.
+    pub fn new(spec: RunSpec, outputs: Vec<ScenarioOutput>) -> Self {
+        Report { spec, outputs }
+    }
+
+    /// Looks up a scenario's output by name.
+    pub fn output(&self, scenario: &str) -> Option<&ScenarioOutput> {
+        self.outputs.iter().find(|o| o.scenario == scenario)
+    }
+
+    /// Renders the report in the requested format.
+    pub fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => self.to_text(),
+            ReportFormat::Csv => self.to_csv(),
+            ReportFormat::Json => self.to_json(),
+        }
+    }
+
+    /// Renders every scenario's tables and metrics as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Study report: {} scenario(s), horizon {} h, {} replications, seed {}, {:.0}% CI",
+            self.outputs.len(),
+            self.spec.horizon_hours(),
+            self.spec.replications(),
+            self.spec.base_seed(),
+            self.spec.confidence_level() * 100.0,
+        );
+        for output in &self.outputs {
+            let _ = writeln!(out, "\n==== {} ====", output.scenario);
+            for table in &output.tables {
+                let _ = writeln!(out, "{}", table.render());
+            }
+            for metric in &output.metrics {
+                match metric.half_width {
+                    Some(half_width) => {
+                        let _ = writeln!(out, "{}: {} ±{}", metric.name, metric.value, half_width);
+                    }
+                    None => {
+                        let _ = writeln!(out, "{}: {}", metric.name, metric.value);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every scenario's metrics as one tidy CSV
+    /// (`scenario,metric,value,ci_half_width`), the machine-readable
+    /// companion to the presentation tables (render those individually with
+    /// [`TextTable::to_csv`]).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("scenario,metric,value,ci_half_width\n");
+        for output in &self.outputs {
+            for metric in &output.metrics {
+                out.push_str(&csv::record(&[
+                    output.scenario.clone(),
+                    metric.name.clone(),
+                    format!("{}", metric.value),
+                    metric.half_width.map(|h| format!("{h}")).unwrap_or_default(),
+                ]));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Renders the full report — spec, tables, and metrics — as indented
+    /// JSON via serde.
+    pub fn to_json(&self) -> String {
+        serde::to_json_pretty(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,7 +283,8 @@ mod tests {
         t.add_display_row(&[1.5, 2.25]);
         assert!(t.render().contains("2.25"));
 
-        let ci = ConfidenceInterval { point: 0.97218, half_width: 0.00123, level: 0.95, samples: 32 };
+        let ci =
+            ConfidenceInterval { point: 0.97218, half_width: 0.00123, level: 0.95, samples: 32 };
         assert_eq!(fmt_ci(&ci, 4), "0.9722 ±0.0012");
     }
 }

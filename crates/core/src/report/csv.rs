@@ -1,15 +1,16 @@
-//! CSV export of experiment results, for plotting the figures with external
-//! tools (gnuplot, matplotlib, a spreadsheet).
+//! Per-figure CSV exporters, retained as deprecated shims.
 //!
-//! Each `to_csv` function returns the full file contents as a `String`;
-//! callers decide where to write it (the library itself never touches the
-//! filesystem).
+//! New code should render any experiment table with
+//! [`crate::report::TextTable::to_csv`], or a whole study with
+//! [`crate::report::Report::to_csv`]; both return the full file contents as
+//! a `String` and leave filesystem decisions to the caller, like the
+//! functions here always did.
 
 use crate::experiments::{Fig2Result, Fig3Result, Fig4Result};
 
 /// Escapes one CSV cell (quotes cells containing commas, quotes, or
 /// newlines).
-fn escape(cell: &str) -> String {
+pub(crate) fn escape(cell: &str) -> String {
     if cell.contains([',', '"', '\n']) {
         format!("\"{}\"", cell.replace('"', "\"\""))
     } else {
@@ -18,14 +19,20 @@ fn escape(cell: &str) -> String {
 }
 
 /// Joins cells into one CSV record.
-fn record(cells: &[String]) -> String {
+pub(crate) fn record(cells: &[String]) -> String {
     cells.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
 }
 
 /// Exports Figure 2 (storage availability vs. capacity) as CSV with one row
 /// per (capacity, series) pair.
+#[deprecated(
+    since = "0.2.0",
+    note = "render the result's `to_table()` with `TextTable::to_csv`, or a whole study with `Report::to_csv`"
+)]
 pub fn fig2_to_csv(result: &Fig2Result) -> String {
-    let mut out = String::from("capacity_tb,total_disks,series,availability,ci_half_width,prob_any_data_loss\n");
+    let mut out = String::from(
+        "capacity_tb,total_disks,series,availability,ci_half_width,prob_any_data_loss\n",
+    );
     for series in &result.series {
         for point in &series.points {
             out.push_str(&record(&[
@@ -43,9 +50,14 @@ pub fn fig2_to_csv(result: &Fig2Result) -> String {
 }
 
 /// Exports Figure 3 (disk replacements per week vs. disk count) as CSV.
+#[deprecated(
+    since = "0.2.0",
+    note = "render the result's `to_table()` with `TextTable::to_csv`, or a whole study with `Report::to_csv`"
+)]
 pub fn fig3_to_csv(result: &Fig3Result) -> String {
-    let mut out =
-        String::from("disks,afr_percent,series,simulated_per_week,ci_half_width,analytic_per_week\n");
+    let mut out = String::from(
+        "disks,afr_percent,series,simulated_per_week,ci_half_width,analytic_per_week\n",
+    );
     for series in &result.series {
         for point in &series.points {
             out.push_str(&record(&[
@@ -63,6 +75,10 @@ pub fn fig3_to_csv(result: &Fig3Result) -> String {
 }
 
 /// Exports Figure 4 (availability and utility vs. scale) as CSV.
+#[deprecated(
+    since = "0.2.0",
+    note = "render the result's `to_table()` with `TextTable::to_csv`, or a whole study with `Report::to_csv`"
+)]
 pub fn fig4_to_csv(result: &Fig4Result) -> String {
     let mut out = String::from(
         "capacity_tb,compute_nodes,oss_pairs,ddn_units,storage_availability,cfs_availability,cfs_ci_half_width,cluster_utility,cfs_availability_spare_oss\n",
@@ -85,9 +101,15 @@ pub fn fig4_to_csv(result: &Fig4Result) -> String {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::experiments::{figure2_storage_availability, figure3_disk_replacements};
+    use crate::experiments::{figure2_storage_availability_with, figure3_disk_replacements_with};
+    use crate::run::RunSpec;
+
+    fn spec() -> RunSpec {
+        RunSpec::new().with_horizon_hours(2000.0).with_replications(4).with_base_seed(1)
+    }
 
     #[test]
     fn cell_escaping_follows_csv_rules() {
@@ -99,7 +121,7 @@ mod tests {
 
     #[test]
     fn fig2_csv_has_one_row_per_series_point() {
-        let result = figure2_storage_availability(&[96.0], 2000.0, 4, 1).unwrap();
+        let result = figure2_storage_availability_with(&[96.0], &spec()).unwrap();
         let csv = fig2_to_csv(&result);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + result.series.len());
@@ -111,7 +133,7 @@ mod tests {
 
     #[test]
     fn fig3_csv_roundtrips_points() {
-        let result = figure3_disk_replacements(&[480], 2000.0, 4, 1).unwrap();
+        let result = figure3_disk_replacements_with(&[480], &spec()).unwrap();
         let csv = fig3_to_csv(&result);
         assert_eq!(csv.lines().count(), 1 + result.series.len());
         assert!(csv.contains("480"));

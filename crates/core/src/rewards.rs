@@ -47,7 +47,9 @@ pub fn standard_rewards(model: &ClusterModel) -> Vec<RewardSpec> {
                 0.0
             }
         }),
-        RewardSpec::instant_of_time(LOST_NODE_HOURS, move |m| m.tokens(places.lost_node_hours) as f64),
+        RewardSpec::instant_of_time(LOST_NODE_HOURS, move |m| {
+            m.tokens(places.lost_node_hours) as f64
+        }),
         RewardSpec::impulse_total(DISK_REPLACEMENTS, model.activities.disk_replacement, 1.0),
         RewardSpec::time_averaged_rate(MEAN_OSS_PAIRS_DOWN, move |m| {
             m.tokens(places.oss_pairs_down) as f64

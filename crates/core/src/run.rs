@@ -1,0 +1,236 @@
+//! [`RunSpec`]: the validated, named-field description of *how* to run an
+//! evaluation — simulation horizon, replication count, base seed,
+//! confidence level, and worker-thread count.
+//!
+//! `RunSpec` replaces the positional-argument convention
+//! (`evaluate_cluster(config, horizon, reps, seed)`) that made call sites
+//! easy to get wrong: every knob is set by name, every value is validated
+//! in one place, and the same spec drives a single configuration, a
+//! [`crate::scenario::Scenario`], or a whole [`crate::study::Study`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::CfsError;
+
+/// Hard cap on replications per evaluation: beyond this a run is almost
+/// certainly a mis-typed argument (the old positional API made it easy to
+/// swap the replication and seed arguments).
+pub const MAX_REPLICATIONS: usize = 100_000;
+
+/// Execution parameters shared by every scenario of a study.
+///
+/// Build one with the fluent constructors and pass it by reference;
+/// validation happens once in [`RunSpec::validate`] (called by every
+/// consumer) rather than ad hoc at each driver.
+///
+/// # Example
+///
+/// ```
+/// use cfs_model::RunSpec;
+///
+/// let spec = RunSpec::new()
+///     .with_horizon_hours(8760.0)
+///     .with_replications(32)
+///     .with_base_seed(42)
+///     .with_confidence_level(0.95)
+///     .with_workers(4);
+/// assert!(spec.validate().is_ok());
+/// assert_eq!(spec.replications(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    horizon_hours: f64,
+    replications: usize,
+    base_seed: u64,
+    confidence_level: f64,
+    workers: usize,
+}
+
+impl Default for RunSpec {
+    /// One simulated year, 16 replications, seed 42, 95 % confidence,
+    /// auto-sized worker pool.
+    fn default() -> Self {
+        RunSpec {
+            horizon_hours: 8760.0,
+            replications: 16,
+            base_seed: 42,
+            confidence_level: 0.95,
+            workers: 0,
+        }
+    }
+}
+
+impl RunSpec {
+    /// Creates a spec with the default parameters (see [`RunSpec::default`]).
+    pub fn new() -> Self {
+        RunSpec::default()
+    }
+
+    /// Sets the simulation horizon per replication, in hours.
+    pub fn with_horizon_hours(mut self, hours: f64) -> Self {
+        self.horizon_hours = hours;
+        self
+    }
+
+    /// Sets the number of independent replications.
+    pub fn with_replications(mut self, replications: usize) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// Sets the base seed. Replication `i` of any evaluation draws from the
+    /// RNG stream derived from this seed and `i`, so results are
+    /// reproducible and independent of execution order or parallelism.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the confidence level for reported intervals (e.g. `0.95`).
+    pub fn with_confidence_level(mut self, level: f64) -> Self {
+        self.confidence_level = level;
+        self
+    }
+
+    /// Sets the number of worker threads replications are fanned out
+    /// across. `0` (the default) uses the machine's available parallelism;
+    /// `1` forces serial execution. Any value yields bit-identical
+    /// statistics.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The simulation horizon per replication, hours.
+    pub fn horizon_hours(&self) -> f64 {
+        self.horizon_hours
+    }
+
+    /// The number of replications.
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
+    /// The base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The confidence level for reported intervals.
+    pub fn confidence_level(&self) -> f64 {
+        self.confidence_level
+    }
+
+    /// The worker-thread count (`0` = auto).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A copy of this spec with the base seed offset by `offset` — used by
+    /// sweep scenarios so every sweep point gets a well-separated seed while
+    /// remaining a pure function of the study's base seed.
+    pub fn offset_seed(&self, offset: u64) -> Self {
+        let mut spec = self.clone();
+        spec.base_seed = self.base_seed.wrapping_add(offset);
+        spec
+    }
+
+    /// Checks every parameter, returning a [`CfsError::InvalidConfig`] that
+    /// names the offending field.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite or non-positive horizon, fewer than 2 or more
+    /// than [`MAX_REPLICATIONS`] replications, and a confidence level
+    /// outside the open interval (0, 1).
+    pub fn validate(&self) -> Result<(), CfsError> {
+        if !(self.horizon_hours.is_finite() && self.horizon_hours > 0.0) {
+            return Err(CfsError::InvalidConfig {
+                reason: format!(
+                    "run spec: horizon must be positive and finite, got {}",
+                    self.horizon_hours
+                ),
+            });
+        }
+        if self.replications < 2 {
+            return Err(CfsError::InvalidConfig {
+                reason: format!(
+                    "run spec: at least two replications are required for a confidence interval, got {}",
+                    self.replications
+                ),
+            });
+        }
+        if self.replications > MAX_REPLICATIONS {
+            return Err(CfsError::InvalidConfig {
+                reason: format!(
+                    "run spec: {} replications exceeds the {} cap — this is usually a swapped \
+                     replications/seed argument",
+                    self.replications, MAX_REPLICATIONS
+                ),
+            });
+        }
+        if !(self.confidence_level > 0.0 && self.confidence_level < 1.0) {
+            return Err(CfsError::InvalidConfig {
+                reason: format!(
+                    "run spec: confidence level must be in (0, 1), got {}",
+                    self.confidence_level
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        assert!(RunSpec::default().validate().is_ok());
+        assert_eq!(RunSpec::new(), RunSpec::default());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let spec = RunSpec::new()
+            .with_horizon_hours(100.0)
+            .with_replications(8)
+            .with_base_seed(7)
+            .with_confidence_level(0.9)
+            .with_workers(3);
+        assert_eq!(spec.horizon_hours(), 100.0);
+        assert_eq!(spec.replications(), 8);
+        assert_eq!(spec.base_seed(), 7);
+        assert_eq!(spec.confidence_level(), 0.9);
+        assert_eq!(spec.workers(), 3);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        assert!(RunSpec::new().with_horizon_hours(0.0).validate().is_err());
+        assert!(RunSpec::new().with_horizon_hours(f64::NAN).validate().is_err());
+        assert!(RunSpec::new().with_horizon_hours(f64::INFINITY).validate().is_err());
+        assert!(RunSpec::new().with_replications(1).validate().is_err());
+        assert!(RunSpec::new().with_replications(MAX_REPLICATIONS + 1).validate().is_err());
+        assert!(RunSpec::new().with_confidence_level(0.0).validate().is_err());
+        assert!(RunSpec::new().with_confidence_level(1.0).validate().is_err());
+        assert!(RunSpec::new().with_replications(MAX_REPLICATIONS).validate().is_ok());
+    }
+
+    #[test]
+    fn replication_cap_error_mentions_the_footgun() {
+        let err = RunSpec::new().with_replications(20_080_625).validate().unwrap_err();
+        assert!(err.to_string().contains("swapped"), "{err}");
+    }
+
+    #[test]
+    fn offset_seed_only_changes_the_seed() {
+        let spec = RunSpec::new().with_base_seed(10).with_replications(4);
+        let shifted = spec.offset_seed(5);
+        assert_eq!(shifted.base_seed(), 15);
+        assert_eq!(shifted.replications(), 4);
+        assert_eq!(shifted.horizon_hours(), spec.horizon_hours());
+    }
+}

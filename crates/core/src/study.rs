@@ -1,0 +1,225 @@
+//! [`Study`]: the single entry point that executes any set of
+//! [`Scenario`]s under one [`RunSpec`] and collects the results into a
+//! [`Report`].
+//!
+//! A study evaluates its scenarios in registration order; inside each
+//! scenario the replications are fanned out across `std::thread::scope`
+//! workers (as many as [`RunSpec::workers`] asks for), with replication `i`
+//! always drawing from the RNG stream derived from the base seed and `i`.
+//! Serial (`workers = 1`) and parallel runs therefore produce bit-identical
+//! statistics — the property the determinism integration tests pin down.
+
+use crate::report::Report;
+use crate::run::RunSpec;
+use crate::scenario::{
+    CorrelationAblation, Figure2StorageAvailability, Figure3DiskReplacements,
+    Figure4CfsAvailability, RaidParityAblation, RepairTimeAblation, Scenario, ScenarioOutput,
+    SpareOssAblation, Table1Outages, Table2MountFailures, Table3Jobs, Table4DiskWeibull,
+    Table5Parameters,
+};
+use crate::CfsError;
+
+/// An ordered collection of scenarios that run under one spec.
+///
+/// # Example
+///
+/// ```no_run
+/// use cfs_model::{ClusterConfig, RunSpec, Study};
+///
+/// # fn main() -> Result<(), cfs_model::CfsError> {
+/// let spec = RunSpec::new().with_replications(8).with_workers(4);
+/// let report = Study::new()
+///     .with(ClusterConfig::abe())
+///     .with(ClusterConfig::petascale())
+///     .run(&spec)?;
+/// println!("{}", report.to_text());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct Study {
+    scenarios: Vec<Box<dyn Scenario>>,
+}
+
+impl std::fmt::Debug for Study {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Study").field("scenarios", &self.names()).finish()
+    }
+}
+
+impl Study {
+    /// Creates an empty study.
+    pub fn new() -> Self {
+        Study::default()
+    }
+
+    /// Appends a scenario (builder style).
+    pub fn with(mut self, scenario: impl Scenario + 'static) -> Self {
+        self.scenarios.push(Box::new(scenario));
+        self
+    }
+
+    /// Appends an already-boxed scenario.
+    pub fn add(&mut self, scenario: Box<dyn Scenario>) -> &mut Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Appends every scenario of `other`, preserving order — the way to
+    /// compose the preset studies (e.g. `Study::figures().and(Study::ablations())`).
+    pub fn and(mut self, other: Study) -> Self {
+        self.scenarios.extend(other.scenarios);
+        self
+    }
+
+    /// The log-analysis tables of the paper (Tables 1–5).
+    pub fn tables() -> Self {
+        Study::new()
+            .with(Table1Outages)
+            .with(Table2MountFailures)
+            .with(Table3Jobs)
+            .with(Table4DiskWeibull)
+            .with(Table5Parameters)
+    }
+
+    /// The simulation figures of the paper (Figures 2–4).
+    pub fn figures() -> Self {
+        Study::new()
+            .with(Figure2StorageAvailability::default())
+            .with(Figure3DiskReplacements::default())
+            .with(Figure4CfsAvailability::default())
+    }
+
+    /// The four design-choice ablations.
+    pub fn ablations() -> Self {
+        Study::new()
+            .with(RaidParityAblation)
+            .with(RepairTimeAblation)
+            .with(SpareOssAblation)
+            .with(CorrelationAblation)
+    }
+
+    /// Every paper artefact: Tables 1–5, Figures 2–4, and the four
+    /// ablations, in presentation order.
+    pub fn paper_artefacts() -> Self {
+        Study::tables().and(Study::figures()).and(Study::ablations())
+    }
+
+    /// The number of scenarios registered.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the study has no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// The registered scenario names, in execution order.
+    pub fn names(&self) -> Vec<&str> {
+        self.scenarios.iter().map(|s| s.name()).collect()
+    }
+
+    /// Runs every scenario under `spec` and collects the outputs into a
+    /// [`Report`].
+    ///
+    /// Scenarios execute in registration order; each scenario's
+    /// replications are fanned out across the spec's worker threads. The
+    /// report is a pure function of `(scenarios, spec)` — re-running with
+    /// the same inputs, serially or in parallel, reproduces it bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfsError::InvalidConfig`] for an invalid spec, an empty
+    /// study, or duplicate scenario names (the report is keyed by name, so
+    /// duplicates would silently shadow each other in every lookup), and
+    /// propagates the first scenario error.
+    pub fn run(&self, spec: &RunSpec) -> Result<Report, CfsError> {
+        spec.validate()?;
+        if self.scenarios.is_empty() {
+            return Err(CfsError::InvalidConfig { reason: "study has no scenarios to run".into() });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for scenario in &self.scenarios {
+            if !seen.insert(scenario.name()) {
+                return Err(CfsError::InvalidConfig {
+                    reason: format!(
+                        "study contains two scenarios named '{}' — report lookups are keyed by \
+                         name, so one would shadow the other; rename one (for a ClusterConfig, \
+                         set a distinct `name`)",
+                        scenario.name()
+                    ),
+                });
+            }
+        }
+        let outputs: Vec<ScenarioOutput> = self
+            .scenarios
+            .iter()
+            .map(|scenario| scenario.evaluate(spec))
+            .collect::<Result<_, _>>()?;
+        Ok(Report::new(spec.clone(), outputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    fn quick_spec() -> RunSpec {
+        RunSpec::new().with_horizon_hours(2000.0).with_replications(4).with_base_seed(11)
+    }
+
+    #[test]
+    fn empty_study_is_rejected() {
+        assert!(Study::new().run(&quick_spec()).is_err());
+        assert!(Study::new().is_empty());
+    }
+
+    #[test]
+    fn duplicate_scenario_names_are_rejected() {
+        let study = Study::new().with(ClusterConfig::petascale()).with(ClusterConfig::petascale());
+        let err = study.run(&quick_spec()).unwrap_err();
+        assert!(err.to_string().contains("two scenarios named"), "{err}");
+
+        // Distinct names for the same base configuration are fine.
+        let mut renamed = ClusterConfig::petascale();
+        renamed.name = "petascale-variant".into();
+        let study = Study::new().with(ClusterConfig::petascale()).with(renamed);
+        assert!(study.run(&quick_spec()).is_ok());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_before_any_work() {
+        let study = Study::new().with(ClusterConfig::abe());
+        assert!(study.run(&RunSpec::new().with_replications(0)).is_err());
+    }
+
+    #[test]
+    fn preset_studies_cover_the_paper() {
+        assert_eq!(Study::tables().len(), 5);
+        assert_eq!(Study::figures().len(), 3);
+        assert_eq!(Study::ablations().len(), 4);
+        let all = Study::paper_artefacts();
+        assert_eq!(all.len(), 12);
+        let names = all.names();
+        assert!(names.contains(&"table1_outages"));
+        assert!(names.contains(&"figure4_cfs_availability"));
+        assert!(names.contains(&"ablation_correlation"));
+        assert!(format!("{all:?}").contains("table1_outages"));
+    }
+
+    #[test]
+    fn study_runs_scenarios_in_order_and_reports_each() {
+        let report = Study::new()
+            .with(ClusterConfig::abe())
+            .with(Table5Parameters)
+            .run(&quick_spec())
+            .unwrap();
+        assert_eq!(report.outputs.len(), 2);
+        assert_eq!(report.outputs[0].scenario, "ABE");
+        assert_eq!(report.outputs[1].scenario, "table5_parameters");
+        assert!(report.output("ABE").is_some());
+        assert!(report.output("missing").is_none());
+    }
+}

@@ -440,7 +440,10 @@ mod tests {
         let mut log = FailureLog::new(SimDate::new(2007, 7, 1, 0, 0), 100.0).unwrap();
         // Three reports on day 0 from two distinct nodes, one report on day 2.
         for (t, node) in [(1.0, 5), (1.1, 5), (2.0, 9), (49.0, 3)] {
-            log.push(LogEvent::new(EventKind::MountFailure(MountFailure { time_hours: t, node_id: node })));
+            log.push(LogEvent::new(EventKind::MountFailure(MountFailure {
+                time_hours: t,
+                node_id: node,
+            })));
         }
         let a = MountFailureAnalysis::from_log(&log).unwrap();
         assert_eq!(a.days().len(), 2);
@@ -487,14 +490,21 @@ mod tests {
         let log = abe_log(4);
         let a = DiskReplacementAnalysis::from_log(&log, 480).unwrap();
         assert_eq!(a.weekly_counts().iter().sum::<usize>(), a.total_replacements());
-        assert!(a.mean_per_week() > 0.0 && a.mean_per_week() < 4.0, "per week {}", a.mean_per_week());
+        assert!(
+            a.mean_per_week() > 0.0 && a.mean_per_week() < 4.0,
+            "per week {}",
+            a.mean_per_week()
+        );
     }
 
     #[test]
     fn lifetimes_cover_every_slot_and_replacement() {
         let mut log = FailureLog::new(SimDate::new(2007, 9, 5, 0, 0), 1000.0).unwrap();
         for (t, id) in [(100.0, 0), (400.0, 0), (250.0, 3)] {
-            log.push(LogEvent::new(EventKind::DiskReplacement(DiskReplacement { time_hours: t, disk_id: id })));
+            log.push(LogEvent::new(EventKind::DiskReplacement(DiskReplacement {
+                time_hours: t,
+                disk_id: id,
+            })));
         }
         log.sort();
         let a = DiskReplacementAnalysis::from_log(&log, 4).unwrap();

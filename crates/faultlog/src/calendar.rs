@@ -106,8 +106,7 @@ impl SimDate {
 
     /// The date `hours` hours after `self` (rounded down to the minute).
     pub fn plus_hours(&self, hours: f64) -> SimDate {
-        let total_minutes =
-            (self.as_hours_since_epoch() * 60.0 + hours * 60.0).round() as i64;
+        let total_minutes = (self.as_hours_since_epoch() * 60.0 + hours * 60.0).round() as i64;
         let days = total_minutes.div_euclid(24 * 60);
         let rem = total_minutes.rem_euclid(24 * 60);
         let (year, month, day) = SimDate::from_days_from_civil(days);

@@ -29,7 +29,12 @@ impl OutageCause {
 
     /// All cause categories.
     pub fn all() -> [OutageCause; 4] {
-        [OutageCause::IoHardware, OutageCause::BatchSystem, OutageCause::Network, OutageCause::FileSystem]
+        [
+            OutageCause::IoHardware,
+            OutageCause::BatchSystem,
+            OutageCause::Network,
+            OutageCause::FileSystem,
+        ]
     }
 }
 
@@ -189,8 +194,9 @@ impl FailureLog {
 
     /// Sorts events by time.
     pub fn sort(&mut self) {
-        self.events
-            .sort_by(|a, b| a.time_hours.partial_cmp(&b.time_hours).expect("event times are finite"));
+        self.events.sort_by(|a, b| {
+            a.time_hours.partial_cmp(&b.time_hours).expect("event times are finite")
+        });
     }
 
     /// All events in the log.
@@ -269,7 +275,10 @@ mod tests {
             start_hours: 503.05,
             end_hours: 516.0,
         })));
-        log.push(LogEvent::new(EventKind::MountFailure(MountFailure { time_hours: 50.0, node_id: 7 })));
+        log.push(LogEvent::new(EventKind::MountFailure(MountFailure {
+            time_hours: 50.0,
+            node_id: 7,
+        })));
         log.push(LogEvent::new(EventKind::Job(JobRecord {
             submit_hours: 10.0,
             outcome: JobOutcome::Completed,
@@ -312,13 +321,17 @@ mod tests {
 
     #[test]
     fn log_event_takes_time_from_payload() {
-        let e = LogEvent::new(EventKind::Job(JobRecord { submit_hours: 99.5, outcome: JobOutcome::FailedOther }));
+        let e = LogEvent::new(EventKind::Job(JobRecord {
+            submit_hours: 99.5,
+            outcome: JobOutcome::FailedOther,
+        }));
         assert_eq!(e.time_hours, 99.5);
     }
 
     #[test]
     fn outage_duration_and_cause_labels() {
-        let o = OutageRecord { cause: OutageCause::IoHardware, start_hours: 10.0, end_hours: 22.95 };
+        let o =
+            OutageRecord { cause: OutageCause::IoHardware, start_hours: 10.0, end_hours: 22.95 };
         assert!((o.duration() - 12.95).abs() < 1e-12);
         assert_eq!(OutageCause::IoHardware.to_string(), "I/O hardware");
         assert_eq!(OutageCause::all().len(), 4);

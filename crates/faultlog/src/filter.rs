@@ -34,7 +34,8 @@ pub struct MountStorm {
 pub fn coalesce_outages(outages: &[OutageRecord], gap_hours: f64) -> Vec<OutageRecord> {
     let mut result: Vec<OutageRecord> = Vec::new();
     for cause in crate::event::OutageCause::all() {
-        let mut of_cause: Vec<OutageRecord> = outages.iter().filter(|o| o.cause == cause).copied().collect();
+        let mut of_cause: Vec<OutageRecord> =
+            outages.iter().filter(|o| o.cause == cause).copied().collect();
         of_cause.sort_by(|a, b| a.start_hours.partial_cmp(&b.start_hours).expect("finite times"));
         let mut merged: Vec<OutageRecord> = Vec::new();
         for o in of_cause {

@@ -107,7 +107,9 @@ impl LogGenConfig {
             ],
             // Twelve storm days over the ~93-day compute-log window.
             storm_mean_interarrival_hours: 2232.0 / 12.0,
-            storm_sizes: vec![102.0, 258.0, 375.0, 591.0, 5.0, 2.0, 4.0, 3.0, 463.0, 477.0, 51.0, 35.0],
+            storm_sizes: vec![
+                102.0, 258.0, 375.0, 591.0, 5.0, 2.0, 4.0, 3.0, 463.0, 477.0, 51.0, 35.0,
+            ],
             // 44 085 jobs over ~3400 h ≈ 13 jobs/hour.
             job_mean_interarrival_hours: 1.0 / 13.0,
             p_job_transient_failure: 1234.0 / 44_085.0,
@@ -274,9 +276,15 @@ impl LogGenerator {
         Ok(())
     }
 
-    fn generate_disk_replacements(&self, log: &mut FailureLog, rng: &mut SimRng) -> Result<(), LogError> {
-        let lifetime =
-            Weibull::from_shape_and_mean(self.config.disk_weibull_shape, self.config.disk_mtbf_hours)?;
+    fn generate_disk_replacements(
+        &self,
+        log: &mut FailureLog,
+        rng: &mut SimRng,
+    ) -> Result<(), LogError> {
+        let lifetime = Weibull::from_shape_and_mean(
+            self.config.disk_weibull_shape,
+            self.config.disk_mtbf_hours,
+        )?;
         for disk_id in 0..self.config.disks {
             // Each slot holds a disk; when it fails it is replaced with a new
             // one whose lifetime restarts, so a slot can fail more than once.
@@ -365,7 +373,8 @@ mod tests {
         let jobs = log.jobs();
         // ~13 jobs/hour over 3480 h ≈ 45 000 jobs.
         assert!(jobs.len() > 40_000 && jobs.len() < 51_000, "jobs {}", jobs.len());
-        let transient = jobs.iter().filter(|j| j.outcome == JobOutcome::FailedTransientNetwork).count();
+        let transient =
+            jobs.iter().filter(|j| j.outcome == JobOutcome::FailedTransientNetwork).count();
         let other = jobs.iter().filter(|j| j.outcome == JobOutcome::FailedOther).count();
         assert!(transient > other, "transient failures should dominate");
         let ratio = transient as f64 / other.max(1) as f64;

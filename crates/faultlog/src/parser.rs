@@ -65,9 +65,8 @@ pub fn to_text(log: &FailureLog) -> String {
 pub fn from_text(text: &str) -> Result<FailureLog, LogError> {
     let mut lines = text.lines().enumerate();
 
-    let (_, header) = lines
-        .next()
-        .ok_or(LogError::Parse { line: 1, reason: "empty input".into() })?;
+    let (_, header) =
+        lines.next().ok_or(LogError::Parse { line: 1, reason: "empty input".into() })?;
     let (origin, window_hours) = parse_header(header)?;
     let mut log = FailureLog::new(origin, window_hours)?;
 
@@ -289,7 +288,9 @@ OUTAGE io_hardware 10.0
             let token = cause_token(cause);
             assert_eq!(parse_cause(token, 1).unwrap(), cause);
         }
-        for outcome in [JobOutcome::Completed, JobOutcome::FailedTransientNetwork, JobOutcome::FailedOther] {
+        for outcome in
+            [JobOutcome::Completed, JobOutcome::FailedTransientNetwork, JobOutcome::FailedOther]
+        {
             assert_eq!(parse_outcome(outcome_token(outcome), 1).unwrap(), outcome);
         }
     }

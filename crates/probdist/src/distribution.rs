@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn dist_enum_delegates() {
         let exp = Exponential::from_mean(2.0).unwrap();
-        let d: Dist = exp.clone().into();
+        let d: Dist = exp.into();
         assert_eq!(d.mean(), exp.mean());
         assert_eq!(d.variance(), exp.variance());
         assert_eq!(d.cdf(1.0), exp.cdf(1.0));
@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn dist_enum_samples_match_inner_with_same_rng_state() {
         let w = Weibull::new(0.7, 1000.0).unwrap();
-        let d: Dist = w.clone().into();
+        let d: Dist = w.into();
         let mut r1 = SimRng::seed_from_u64(10);
         let mut r2 = SimRng::seed_from_u64(10);
         assert_eq!(w.sample(&mut r1), d.sample(&mut r2));
@@ -259,7 +259,15 @@ mod tests {
         let names: Vec<&str> = variants.iter().map(|d| d.family()).collect();
         assert_eq!(
             names,
-            vec!["exponential", "weibull", "deterministic", "lognormal", "gamma", "uniform", "empirical"]
+            vec![
+                "exponential",
+                "weibull",
+                "deterministic",
+                "lognormal",
+                "gamma",
+                "uniform",
+                "empirical"
+            ]
         );
     }
 

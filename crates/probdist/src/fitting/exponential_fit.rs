@@ -134,8 +134,11 @@ mod tests {
 
     #[test]
     fn distribution_and_rate_accessors_agree() {
-        let data =
-            vec![Lifetime::failure(10.0).unwrap(), Lifetime::failure(20.0).unwrap(), Lifetime::censored(30.0).unwrap()];
+        let data = vec![
+            Lifetime::failure(10.0).unwrap(),
+            Lifetime::failure(20.0).unwrap(),
+            Lifetime::censored(30.0).unwrap(),
+        ];
         let fit = fit_exponential(&data).unwrap();
         assert!((fit.rate - 2.0 / 60.0).abs() < 1e-12);
         assert!((fit.distribution().unwrap().rate() - fit.rate).abs() < 1e-15);

@@ -179,8 +179,7 @@ mod tests {
 
     #[test]
     fn survival_is_monotone_nonincreasing() {
-        let data: Vec<Lifetime> =
-            (1..50).map(|i| lt(i as f64 * 3.0, i % 3 != 0)).collect();
+        let data: Vec<Lifetime> = (1..50).map(|i| lt(i as f64 * 3.0, i % 3 != 0)).collect();
         let km = KaplanMeier::fit(&data).unwrap();
         let mut last = 1.0;
         for p in km.points() {
@@ -191,7 +190,8 @@ mod tests {
 
     #[test]
     fn median_none_when_curve_stays_above_half() {
-        let data = vec![lt(1.0, true), lt(2.0, false), lt(3.0, false), lt(4.0, false), lt(5.0, false)];
+        let data =
+            vec![lt(1.0, true), lt(2.0, false), lt(3.0, false), lt(4.0, false), lt(5.0, false)];
         let km = KaplanMeier::fit(&data).unwrap();
         assert_eq!(km.median_survival(), None);
     }

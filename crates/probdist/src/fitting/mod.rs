@@ -83,7 +83,10 @@ impl Lifetime {
 
 /// Validates a lifetime data set for fitting: non-empty and containing at
 /// least `min_failures` observed failures.
-pub(crate) fn validate_lifetimes(data: &[Lifetime], min_failures: usize) -> Result<usize, DistError> {
+pub(crate) fn validate_lifetimes(
+    data: &[Lifetime],
+    min_failures: usize,
+) -> Result<usize, DistError> {
     if data.is_empty() {
         return Err(DistError::EmptyData);
     }

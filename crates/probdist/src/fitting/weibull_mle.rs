@@ -66,10 +66,13 @@ pub fn fit_weibull(data: &[Lifetime]) -> Result<WeibullFit, DistError> {
     let failures = validate_lifetimes(data, 2)?;
     let censored = data.len() - failures;
 
-    let failure_times: Vec<f64> = data.iter().filter(|l| l.is_failure()).map(|l| l.time()).collect();
+    let failure_times: Vec<f64> =
+        data.iter().filter(|l| l.is_failure()).map(|l| l.time()).collect();
     let first = failure_times[0];
     if failure_times.iter().all(|&t| (t - first).abs() < 1e-12) {
-        return Err(DistError::DegenerateData { reason: "all observed failure times are identical" });
+        return Err(DistError::DegenerateData {
+            reason: "all observed failure times are identical",
+        });
     }
 
     // Profile score function in the shape parameter.
@@ -152,7 +155,13 @@ mod tests {
     use super::*;
     use crate::{Distribution, SimRng};
 
-    fn simulate_lifetimes(shape: f64, scale: f64, n: usize, censor_at: f64, seed: u64) -> Vec<Lifetime> {
+    fn simulate_lifetimes(
+        shape: f64,
+        scale: f64,
+        n: usize,
+        censor_at: f64,
+        seed: u64,
+    ) -> Vec<Lifetime> {
         let w = Weibull::new(shape, scale).unwrap();
         let mut rng = SimRng::seed_from_u64(seed);
         (0..n)
@@ -206,7 +215,8 @@ mod tests {
         assert!(fit_weibull(&one).is_err());
         let identical = vec![Lifetime::failure(5.0).unwrap(), Lifetime::failure(5.0).unwrap()];
         assert!(fit_weibull(&identical).is_err());
-        let censored_only = vec![Lifetime::censored(5.0).unwrap(), Lifetime::censored(6.0).unwrap()];
+        let censored_only =
+            vec![Lifetime::censored(5.0).unwrap(), Lifetime::censored(6.0).unwrap()];
         assert!(fit_weibull(&censored_only).is_err());
     }
 

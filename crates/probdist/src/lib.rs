@@ -45,9 +45,10 @@ mod distribution;
 mod empirical;
 mod error;
 mod exponential;
+pub mod fitting;
 mod gamma;
 mod lognormal;
-pub mod fitting;
+pub mod parallel;
 pub mod rates;
 mod rng;
 pub(crate) mod special;

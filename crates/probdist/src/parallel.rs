@@ -1,0 +1,103 @@
+//! Deterministic replication fan-out shared by the simulation engines.
+//!
+//! [`replicate`] runs one closure per replication index, each with the RNG
+//! stream derived from that index, and collects the results **in index
+//! order**. Because the stream depends only on `(root seed, index)` and the
+//! collection order is fixed, the returned vector is bit-identical for any
+//! worker count — the invariant both the SAN experiment runner and the
+//! storage Monte-Carlo rely on.
+
+use crate::SimRng;
+
+/// Minimum batch size worth spinning up worker threads for.
+const MIN_PARALLEL_COUNT: usize = 4;
+
+/// Runs `run(index, rng)` for every index in `indices`, fanning the work
+/// across `workers` scoped threads (`0` = the machine's available
+/// parallelism, `1` = serial), and returns the results in index order.
+///
+/// Each call receives a fresh [`SimRng`] derived from `root` and its own
+/// index, so the output is a pure function of `(root, indices)` —
+/// independent of worker count and scheduling.
+pub fn replicate<T, F>(
+    indices: std::ops::Range<usize>,
+    root: &SimRng,
+    workers: usize,
+    run: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut SimRng) -> T + Sync,
+{
+    let count = indices.len();
+    let workers = if workers > 0 {
+        workers
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    }
+    .min(count.max(1));
+
+    let indices: Vec<usize> = indices.collect();
+    if workers <= 1 || count < MIN_PARALLEL_COUNT {
+        return indices.into_iter().map(|i| run(i, &mut root.derive_stream(i as u64))).collect();
+    }
+
+    let chunk_size = count.div_ceil(workers);
+    let run = &run;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = indices
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&i| run(i, &mut root.derive_stream(i as u64)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        // Chunks are joined in submission order, preserving index order.
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("replication thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let root = SimRng::seed_from_u64(1);
+        let out = replicate(0..100, &root, 7, |i, _| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let root = SimRng::seed_from_u64(42);
+        let draw = |i: usize, rng: &mut SimRng| (i, rng.next_u64());
+        let serial = replicate(0..37, &root, 1, draw);
+        for workers in [0, 2, 4, 16] {
+            assert_eq!(serial, replicate(0..37, &root, workers, draw), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn offset_ranges_reuse_the_same_streams() {
+        let root = SimRng::seed_from_u64(7);
+        let draw = |i: usize, rng: &mut SimRng| (i, rng.next_u64());
+        let full = replicate(0..20, &root, 4, draw);
+        let tail = replicate(10..20, &root, 4, draw);
+        assert_eq!(&full[10..], &tail[..]);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let root = SimRng::seed_from_u64(3);
+        let out: Vec<u64> = replicate(0..0, &root, 4, |_, rng| rng.next_u64());
+        assert!(out.is_empty());
+    }
+}

@@ -195,7 +195,9 @@ mod tests {
     fn figure_label_afrs_match_round_mtbfs() {
         // The tuples in Figures 2 and 3 use AFRs 8.76, 4.38, 2.92, 0.88 —
         // i.e. MTBFs of 100k, 200k, 300k and ~1M hours.
-        for (mtbf, afr) in [(100_000.0, 8.76), (200_000.0, 4.38), (300_000.0, 2.92), (1_000_000.0, 0.876)] {
+        for (mtbf, afr) in
+            [(100_000.0, 8.76), (200_000.0, 4.38), (300_000.0, 2.92), (1_000_000.0, 0.876)]
+        {
             let got = Mtbf::new(mtbf).unwrap().to_afr().percent();
             assert!((got - afr).abs() < 0.005, "mtbf {mtbf}: got {got}, want {afr}");
         }

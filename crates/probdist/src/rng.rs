@@ -1,21 +1,20 @@
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// Deterministic random number generator used throughout the simulation
 /// stack.
 ///
-/// `SimRng` wraps [`rand::rngs::StdRng`] and adds *stream derivation*: from a
-/// single experiment seed, independent child streams can be derived for each
-/// replication, each submodel, or each parameter point so that changing the
-/// number of replications (or running them in parallel) never perturbs the
-/// sample path of any other replication. This is the property the paper's
-/// Möbius experiments rely on for reproducible confidence intervals.
+/// `SimRng` is a self-contained xoshiro256++ generator (seeded through a
+/// SplitMix64 expansion, as its authors recommend) with *stream
+/// derivation*: from a single experiment seed, independent child streams can
+/// be derived for each replication, each submodel, or each parameter point
+/// so that changing the number of replications (or running them in
+/// parallel) never perturbs the sample path of any other replication. This
+/// is the property the paper's Möbius experiments rely on for reproducible
+/// confidence intervals, and the property the `Study` runner relies on for
+/// bit-identical serial and parallel statistics.
 ///
 /// # Example
 ///
 /// ```
 /// use probdist::SimRng;
-/// use rand::RngCore;
 ///
 /// let mut a = SimRng::seed_from_u64(7).derive_stream(0);
 /// let mut b = SimRng::seed_from_u64(7).derive_stream(0);
@@ -27,13 +26,20 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { seed, inner: StdRng::seed_from_u64(seed) }
+        // Expand the seed into four non-zero state words with SplitMix64.
+        let mut expander = seed;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            expander = expander.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *word = split_mix64(expander);
+        }
+        SimRng { seed, state }
     }
 
     /// Returns the seed this generator (or its parent stream) was created
@@ -48,13 +54,45 @@ impl SimRng {
     /// stream index, which gives well-separated seeds even for consecutive
     /// stream indices.
     pub fn derive_stream(&self, stream: u64) -> SimRng {
-        let derived = split_mix64(self.seed ^ split_mix64(stream.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+        let derived =
+            split_mix64(self.seed ^ split_mix64(stream.wrapping_add(0x9E37_79B9_7F4A_7C15)));
         SimRng::seed_from_u64(derived)
+    }
+
+    /// Returns the next 64 random bits (one xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Returns the next 32 random bits (the high half of a 64-bit step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 
     /// Samples a uniform value in the half-open interval `[0, 1)`.
     pub fn uniform01(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random bits scaled by 2^-53: every double in [0, 1) with a
+        // dyadic denominator is reachable, and 1.0 is not.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Samples a uniform value in the open interval `(0, 1)`.
@@ -63,7 +101,7 @@ impl SimRng {
     /// function is unbounded at 0 or 1 (e.g. the exponential at 1).
     pub fn uniform_open01(&mut self) -> f64 {
         loop {
-            let u = self.inner.gen::<f64>();
+            let u = self.uniform01();
             if u > 0.0 && u < 1.0 {
                 return u;
             }
@@ -90,7 +128,16 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn uniform_index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample an index from an empty range");
-        self.inner.gen_range(0..n)
+        // Rejection sampling over the largest multiple of `n` that fits in
+        // 64 bits, so every index is exactly equally likely.
+        let n = n as u64;
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
     }
 
     /// Returns `true` with probability `p`.
@@ -122,25 +169,7 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
-/// SplitMix64 finalizer used for stream derivation.
+/// SplitMix64 finalizer used for state expansion and stream derivation.
 fn split_mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -178,6 +207,18 @@ mod tests {
         assert_eq!(s0a.next_u64(), s0b.next_u64());
         let mut s0c = root.derive_stream(0);
         assert_ne!(s0c.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_covers_partial_chunks() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        let mut buf_a = [0u8; 13];
+        let mut buf_b = [0u8; 13];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+        assert!(buf_a.iter().any(|&x| x != 0));
     }
 
     #[test]

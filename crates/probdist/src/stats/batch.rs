@@ -143,7 +143,8 @@ mod tests {
         // With 500-observation batches each batch mean is either 0 or 1, so
         // the batch-means interval is much wider than the naive interval
         // that treats every observation as independent.
-        let data: Vec<f64> = (0..10_000).map(|i| if (i / 2000) % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let data: Vec<f64> =
+            (0..10_000).map(|i| if (i / 2000) % 2 == 0 { 0.0 } else { 1.0 }).collect();
         let naive: RunningStats = data.iter().copied().collect();
         let naive_ci = confidence_interval(&naive, 0.95).unwrap();
 

@@ -63,7 +63,14 @@ impl ConfidenceInterval {
 
 impl std::fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.6} ± {:.6} ({:.0}% CI, n={})", self.point, self.half_width, self.level * 100.0, self.samples)
+        write!(
+            f,
+            "{:.6} ± {:.6} ({:.0}% CI, n={})",
+            self.point,
+            self.half_width,
+            self.level * 100.0,
+            self.samples
+        )
     }
 }
 
@@ -75,7 +82,10 @@ impl std::fmt::Display for ConfidenceInterval {
 /// Returns [`DistError::EmptyData`] if fewer than two observations have been
 /// accumulated (a variance estimate requires at least two), and
 /// [`DistError::InvalidProbability`] if `level` is not in `(0, 1)`.
-pub fn confidence_interval(stats: &RunningStats, level: f64) -> Result<ConfidenceInterval, DistError> {
+pub fn confidence_interval(
+    stats: &RunningStats,
+    level: f64,
+) -> Result<ConfidenceInterval, DistError> {
     if !(0.0..1.0).contains(&level) || level <= 0.0 {
         return Err(DistError::InvalidProbability { value: level });
     }
@@ -132,7 +142,8 @@ mod tests {
     #[test]
     fn t_quantile_matches_tables() {
         // Two-sided 95 % critical values from standard t tables.
-        let cases = [(1u64, 12.706), (2, 4.303), (5, 2.571), (10, 2.228), (30, 2.042), (100, 1.984)];
+        let cases =
+            [(1u64, 12.706), (2, 4.303), (5, 2.571), (10, 2.228), (30, 2.042), (100, 1.984)];
         for (dof, expected) in cases {
             let t = student_t_quantile(dof, 0.975);
             let tol = if dof <= 2 { 0.01 } else { 0.02 };
@@ -148,7 +159,7 @@ mod tests {
 
     #[test]
     fn interval_from_constant_data_has_zero_width() {
-        let acc: RunningStats = std::iter::repeat(0.5).take(20).collect();
+        let acc: RunningStats = std::iter::repeat_n(0.5, 20).collect();
         let ci = confidence_interval(&acc, 0.95).unwrap();
         assert_eq!(ci.point, 0.5);
         assert_eq!(ci.half_width, 0.0);

@@ -24,7 +24,11 @@ use crate::{RaidError, RaidGeometry};
 /// # Errors
 ///
 /// Returns [`RaidError::InvalidConfig`] if any parameter is non-positive.
-pub fn tier_mttdl(geometry: RaidGeometry, mtbf_hours: f64, mttr_hours: f64) -> Result<f64, RaidError> {
+pub fn tier_mttdl(
+    geometry: RaidGeometry,
+    mtbf_hours: f64,
+    mttr_hours: f64,
+) -> Result<f64, RaidError> {
     geometry.validate()?;
     if mtbf_hours <= 0.0 || mttr_hours <= 0.0 {
         return Err(RaidError::InvalidConfig {
@@ -183,6 +187,9 @@ mod tests {
         // agreement within 40 % which is ample to catch structural bugs
         // (e.g. off-by-one in the parity threshold changes this by >10x).
         let ratio = simulated / expected_losses_per_system;
-        assert!(ratio > 0.6 && ratio < 1.65, "simulated {simulated}, analytic {expected_losses_per_system}");
+        assert!(
+            ratio > 0.6 && ratio < 1.65,
+            "simulated {simulated}, analytic {expected_losses_per_system}"
+        );
     }
 }

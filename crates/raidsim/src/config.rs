@@ -218,7 +218,10 @@ impl StorageConfig {
     /// [`StorageConfig::abe_scratch`] plus RAID-controller fail-over pairs
     /// (one dual-controller pair per DDN unit).
     pub fn abe_scratch_with_controllers() -> Self {
-        StorageConfig { controllers: Some(ControllerModel::abe_default()), ..StorageConfig::abe_scratch() }
+        StorageConfig {
+            controllers: Some(ControllerModel::abe_default()),
+            ..StorageConfig::abe_scratch()
+        }
     }
 
     /// Total number of disks in the system.
@@ -239,19 +242,29 @@ impl StorageConfig {
     /// found.
     pub fn validate(&self) -> Result<(), RaidError> {
         if self.ddn_units == 0 {
-            return Err(RaidError::InvalidConfig { reason: "at least one DDN unit is required".into() });
+            return Err(RaidError::InvalidConfig {
+                reason: "at least one DDN unit is required".into(),
+            });
         }
         if self.tiers == 0 {
-            return Err(RaidError::InvalidConfig { reason: "at least one tier is required".into() });
-        }
-        if self.tiers % self.ddn_units != 0 {
             return Err(RaidError::InvalidConfig {
-                reason: format!("{} tiers cannot be split evenly across {} DDN units", self.tiers, self.ddn_units),
+                reason: "at least one tier is required".into(),
+            });
+        }
+        if !self.tiers.is_multiple_of(self.ddn_units) {
+            return Err(RaidError::InvalidConfig {
+                reason: format!(
+                    "{} tiers cannot be split evenly across {} DDN units",
+                    self.tiers, self.ddn_units
+                ),
             });
         }
         self.geometry.validate()?;
         self.disk.validate()?;
-        if self.replacement_hours <= 0.0 || self.rebuild_hours < 0.0 || self.data_loss_recovery_hours <= 0.0 {
+        if self.replacement_hours <= 0.0
+            || self.rebuild_hours < 0.0
+            || self.data_loss_recovery_hours <= 0.0
+        {
             return Err(RaidError::InvalidConfig {
                 reason: "replacement, rebuild, and recovery times must be positive".into(),
             });

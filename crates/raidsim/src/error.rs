@@ -26,7 +26,9 @@ pub enum RaidError {
 impl fmt::Display for RaidError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RaidError::InvalidConfig { reason } => write!(f, "invalid storage configuration: {reason}"),
+            RaidError::InvalidConfig { reason } => {
+                write!(f, "invalid storage configuration: {reason}")
+            }
             RaidError::InvalidRun { reason } => write!(f, "invalid simulation run: {reason}"),
             RaidError::Distribution(e) => write!(f, "distribution error: {e}"),
         }

@@ -37,7 +37,11 @@ pub fn steady_state_replacements_per_week(disks: u32, disk: &DiskModel) -> Resul
 ///
 /// Returns [`RaidError::InvalidConfig`] if the disk model is invalid or the
 /// window is not positive.
-pub fn expected_replacements(disks: u32, disk: &DiskModel, window_hours: f64) -> Result<f64, RaidError> {
+pub fn expected_replacements(
+    disks: u32,
+    disk: &DiskModel,
+    window_hours: f64,
+) -> Result<f64, RaidError> {
     disk.validate()?;
     if !(window_hours.is_finite() && window_hours > 0.0) {
         return Err(RaidError::InvalidConfig {
@@ -113,7 +117,10 @@ mod tests {
         // With shape 1 the renewal function is exactly t/MTBF.
         let disk = DiskModel { weibull_shape: 1.0, mtbf_hours: 10_000.0, capacity_gb: 250.0 };
         let expected = expected_replacements(100, &disk, 5_000.0).unwrap();
-        assert!((expected - 100.0 * 5_000.0 / 10_000.0).abs() / expected < 0.01, "expected {expected}");
+        assert!(
+            (expected - 100.0 * 5_000.0 / 10_000.0).abs() / expected < 0.01,
+            "expected {expected}"
+        );
     }
 
     #[test]

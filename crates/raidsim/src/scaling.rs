@@ -56,7 +56,9 @@ pub fn plan_for_capacity(
     geometry.validate()?;
     if usable_tb <= 0.0 || disk_capacity_gb <= 0.0 {
         return Err(RaidError::InvalidConfig {
-            reason: format!("capacity ({usable_tb} TB) and disk size ({disk_capacity_gb} GB) must be positive"),
+            reason: format!(
+                "capacity ({usable_tb} TB) and disk size ({disk_capacity_gb} GB) must be positive"
+            ),
         });
     }
     let tb_per_tier = geometry.data_disks as f64 * disk_capacity_gb / 1000.0;
@@ -80,7 +82,10 @@ pub fn plan_for_capacity(
 ///
 /// Returns [`RaidError::InvalidConfig`] if the resulting configuration is
 /// invalid.
-pub fn config_from_plan(plan: &ScalePlan, template: &StorageConfig) -> Result<StorageConfig, RaidError> {
+pub fn config_from_plan(
+    plan: &ScalePlan,
+    template: &StorageConfig,
+) -> Result<StorageConfig, RaidError> {
     // Keep tiers divisible by DDN units by rounding tiers up.
     let tiers = plan.tiers.div_ceil(plan.ddn_units) * plan.ddn_units;
     let config = StorageConfig {
@@ -149,7 +154,8 @@ mod tests {
     fn plan_validation() {
         assert!(plan_for_capacity(0.0, 250.0, RaidGeometry::raid6_8p2()).is_err());
         assert!(plan_for_capacity(96.0, 0.0, RaidGeometry::raid6_8p2()).is_err());
-        assert!(plan_for_capacity(96.0, 250.0, RaidGeometry { data_disks: 0, parity_disks: 1 }).is_err());
+        assert!(plan_for_capacity(96.0, 250.0, RaidGeometry { data_disks: 0, parity_disks: 1 })
+            .is_err());
     }
 
     #[test]

@@ -116,51 +116,62 @@ impl StorageSimulator {
     }
 
     /// Runs `replications` independent missions of `horizon_hours` each and
-    /// aggregates the results. Replications are executed in parallel when
-    /// more than a handful are requested.
+    /// aggregates the results at the 95 % confidence level. Replications are
+    /// executed in parallel when more than a handful are requested.
     ///
     /// # Errors
     ///
     /// Returns [`RaidError::InvalidRun`] for a non-positive horizon or fewer
     /// than two replications.
-    pub fn run(&self, horizon_hours: f64, replications: usize, seed: u64) -> Result<StorageSummary, RaidError> {
+    pub fn run(
+        &self,
+        horizon_hours: f64,
+        replications: usize,
+        seed: u64,
+    ) -> Result<StorageSummary, RaidError> {
+        self.run_with(horizon_hours, replications, seed, 0.95, 0)
+    }
+
+    /// Runs `replications` independent missions with an explicit confidence
+    /// level and worker-thread count. `workers == 0` uses the machine's
+    /// available parallelism; `1` forces serial execution. Every replication
+    /// draws from the RNG stream derived from its own index and results are
+    /// collected in index order, so the aggregated statistics are
+    /// bit-identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaidError::InvalidRun`] for a non-positive horizon, fewer
+    /// than two replications, or a confidence level outside `(0, 1)`.
+    pub fn run_with(
+        &self,
+        horizon_hours: f64,
+        replications: usize,
+        seed: u64,
+        confidence_level: f64,
+        workers: usize,
+    ) -> Result<StorageSummary, RaidError> {
         if !(horizon_hours.is_finite() && horizon_hours > 0.0) {
             return Err(RaidError::InvalidRun {
                 reason: format!("horizon must be positive, got {horizon_hours}"),
             });
         }
         if replications < 2 {
-            return Err(RaidError::InvalidRun { reason: "at least two replications are required".into() });
+            return Err(RaidError::InvalidRun {
+                reason: "at least two replications are required".into(),
+            });
+        }
+        if !(confidence_level > 0.0 && confidence_level < 1.0) {
+            return Err(RaidError::InvalidRun {
+                reason: format!("confidence level must be in (0, 1), got {confidence_level}"),
+            });
         }
 
         let root = SimRng::seed_from_u64(seed);
-        let runs: Vec<StorageRunStats> = if replications < 4 {
-            (0..replications)
-                .map(|i| self.run_once(horizon_hours, &mut root.derive_stream(i as u64)))
-                .collect()
-        } else {
-            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(replications);
-            let chunk = replications.div_ceil(threads);
-            let indices: Vec<usize> = (0..replications).collect();
-            let root = &root;
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = indices
-                    .chunks(chunk)
-                    .map(|ids| {
-                        scope.spawn(move |_| {
-                            ids.iter()
-                                .map(|&i| self.run_once(horizon_hours, &mut root.derive_stream(i as u64)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("replication thread panicked"))
-                    .collect()
-            })
-            .expect("replication scope panicked")
-        };
+        let runs: Vec<StorageRunStats> =
+            probdist::parallel::replicate(0..replications, &root, workers, |_, rng| {
+                self.run_once(horizon_hours, rng)
+            });
 
         let availability: RunningStats = runs.iter().map(|r| r.availability()).collect();
         let per_week: RunningStats = runs.iter().map(|r| r.replacements_per_week()).collect();
@@ -168,9 +179,9 @@ impl StorageSimulator {
         let any_loss = runs.iter().filter(|r| r.data_loss_events > 0).count();
 
         Ok(StorageSummary {
-            availability: confidence_interval(&availability, 0.95)?,
-            replacements_per_week: confidence_interval(&per_week, 0.95)?,
-            data_loss_events: confidence_interval(&losses, 0.95)?,
+            availability: confidence_interval(&availability, confidence_level)?,
+            replacements_per_week: confidence_interval(&per_week, confidence_level)?,
+            data_loss_events: confidence_interval(&losses, confidence_level)?,
             prob_any_data_loss: any_loss as f64 / replications as f64,
             replications,
             horizon_hours,
@@ -271,7 +282,10 @@ impl StorageSimulator {
                         tier_failed_count[tier as usize] = 0;
                         queue.push(Event {
                             time: t + cfg.data_loss_recovery_hours,
-                            kind: EventKind::TierRecovered { tier, generation: tier_generation[tier as usize] },
+                            kind: EventKind::TierRecovered {
+                                tier,
+                                generation: tier_generation[tier as usize],
+                            },
                         });
                     } else {
                         queue.push(Event {
@@ -293,7 +307,9 @@ impl StorageSimulator {
                     });
                 }
                 EventKind::TierRecovered { tier, generation } => {
-                    if generation != tier_generation[tier as usize] || !tier_in_recovery[tier as usize] {
+                    if generation != tier_generation[tier as usize]
+                        || !tier_in_recovery[tier as usize]
+                    {
                         continue;
                     }
                     tier_in_recovery[tier as usize] = false;
@@ -303,7 +319,10 @@ impl StorageSimulator {
                     for d in first..first + disks_per_tier {
                         queue.push(Event {
                             time: t + self.lifetime.sample(rng),
-                            kind: EventKind::DiskFailure { disk: d, generation: disk_generation[d as usize] },
+                            kind: EventKind::DiskFailure {
+                                disk: d,
+                                generation: disk_generation[d as usize],
+                            },
                         });
                     }
                 }
@@ -317,8 +336,13 @@ impl StorageSimulator {
                         controller_down_units += 1;
                         down_conditions += 1;
                     }
-                    let repair = controller.expect("controller events only exist when configured").repair_hours;
-                    queue.push(Event { time: t + repair, kind: EventKind::ControllerRepaired { unit, slot } });
+                    let repair = controller
+                        .expect("controller events only exist when configured")
+                        .repair_hours;
+                    queue.push(Event {
+                        time: t + repair,
+                        kind: EventKind::ControllerRepaired { unit, slot },
+                    });
                 }
                 EventKind::ControllerRepaired { unit, slot } => {
                     let pair = &mut controller_failed[unit as usize];
@@ -461,7 +485,10 @@ mod tests {
         let mut c = quick_config();
         // Make controller failures frequent and repairs slow so double faults
         // are common, while disks are extremely reliable.
-        c.controllers = Some(crate::ControllerModel { failure_rate_per_hour: 1.0 / 100.0, repair_hours: 100.0 });
+        c.controllers = Some(crate::ControllerModel {
+            failure_rate_per_hour: 1.0 / 100.0,
+            repair_hours: 100.0,
+        });
         c.disk = DiskModel { weibull_shape: 1.0, mtbf_hours: 1e9, capacity_gb: 250.0 };
         let sim = StorageSimulator::new(c).unwrap();
         let summary = sim.run(8760.0, 16, 17).unwrap();

@@ -45,7 +45,9 @@ impl Ctmc {
     /// Returns [`SanError::InvalidExperiment`] if `states` is zero.
     pub fn new(states: usize) -> Result<Self, SanError> {
         if states == 0 {
-            return Err(SanError::InvalidExperiment { reason: "a CTMC needs at least one state".into() });
+            return Err(SanError::InvalidExperiment {
+                reason: "a CTMC needs at least one state".into(),
+            });
         }
         Ok(Ctmc { states, rates: vec![vec![0.0; states]; states] })
     }
@@ -67,10 +69,14 @@ impl Ctmc {
             return Err(SanError::UnknownId { what: format!("CTMC state {from}->{to}") });
         }
         if from == to {
-            return Err(SanError::InvalidExperiment { reason: "self-loops are not allowed in a CTMC".into() });
+            return Err(SanError::InvalidExperiment {
+                reason: "self-loops are not allowed in a CTMC".into(),
+            });
         }
         if !(rate.is_finite() && rate > 0.0) {
-            return Err(SanError::InvalidExperiment { reason: format!("transition rate must be positive, got {rate}") });
+            return Err(SanError::InvalidExperiment {
+                reason: format!("transition rate must be positive, got {rate}"),
+            });
         }
         self.rates[from][to] += rate;
         Ok(())
@@ -85,6 +91,8 @@ impl Ctmc {
     /// transitions at all or the linear system is singular beyond the usual
     /// rank-1 deficiency (e.g. the chain is not irreducible enough to have a
     /// unique stationary distribution).
+    // Index-style loops mirror the Qᵀπ = 0 linear-algebra notation.
+    #[allow(clippy::needless_range_loop)]
     pub fn steady_state(&self) -> Result<Vec<f64>, SanError> {
         let n = self.states;
         if n == 1 {
@@ -330,9 +338,6 @@ mod tests {
         }));
         let summary = exp.run(24, 5).unwrap();
         let simulated = summary.reward("avail").unwrap().interval.point;
-        assert!(
-            (simulated - exact).abs() < 5e-4,
-            "simulated {simulated} vs exact {exact}"
-        );
+        assert!((simulated - exact).abs() < 5e-4, "simulated {simulated} vs exact {exact}");
     }
 }

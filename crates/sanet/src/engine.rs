@@ -149,7 +149,11 @@ impl<'m> Simulator<'m> {
             if let RewardVariant::Impulse { activity, .. } = &spec.variant {
                 if activity.index() >= self.model.num_activities() {
                     return Err(SanError::UnknownId {
-                        what: format!("activity #{} referenced by reward `{}`", activity.index(), spec.name),
+                        what: format!(
+                            "activity #{} referenced by reward `{}`",
+                            activity.index(),
+                            spec.name
+                        ),
                     });
                 }
             }
@@ -170,7 +174,17 @@ impl<'m> Simulator<'m> {
 
         // Fire any instantaneous activities enabled in the initial marking,
         // then schedule timed activities.
-        fire_instantaneous(model, &mut marking, rng, &mut trace, &mut events, now, rewards, &mut impulse_totals, warmup)?;
+        fire_instantaneous(
+            model,
+            &mut marking,
+            rng,
+            &mut trace,
+            &mut events,
+            now,
+            rewards,
+            &mut impulse_totals,
+            warmup,
+        )?;
         refresh_schedule(model, &marking, &mut schedule, rng, now, true);
 
         loop {
@@ -186,7 +200,14 @@ impl<'m> Simulator<'m> {
                 _ => {
                     // No more events before the horizon: accumulate rewards
                     // for the remaining interval and stop.
-                    accumulate_rate_rewards(rewards, &marking, now, horizon, warmup, &mut rate_integrals);
+                    accumulate_rate_rewards(
+                        rewards,
+                        &marking,
+                        now,
+                        horizon,
+                        warmup,
+                        &mut rate_integrals,
+                    );
                     now = horizon;
                     break;
                 }
@@ -214,7 +235,17 @@ impl<'m> Simulator<'m> {
             }
 
             // Process any instantaneous cascade triggered by the firing.
-            fire_instantaneous(model, &mut marking, rng, &mut trace, &mut events, now, rewards, &mut impulse_totals, warmup)?;
+            fire_instantaneous(
+                model,
+                &mut marking,
+                rng,
+                &mut trace,
+                &mut events,
+                now,
+                rewards,
+                &mut impulse_totals,
+                warmup,
+            )?;
 
             // Update the timed-activity schedule after the marking change.
             refresh_schedule(model, &marking, &mut schedule, rng, now, false);
@@ -415,14 +446,30 @@ mod tests {
         let mut b = ModelBuilder::new("unit");
         let up = b.add_place("up", 1).unwrap();
         let down = b.add_place("down", 0).unwrap();
-        b.timed_activity("fail", det(10.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
-        let repair =
-            b.timed_activity("repair", det(2.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        b.timed_activity("fail", det(10.0))
+            .unwrap()
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build()
+            .unwrap();
+        let repair = b
+            .timed_activity("repair", det(2.0))
+            .unwrap()
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
         let model = b.build().unwrap();
 
         let rewards = vec![
-            RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 }),
-            RewardSpec::accumulated_rate("downtime", move |m| if m.tokens(down) > 0 { 1.0 } else { 0.0 }),
+            RewardSpec::time_averaged_rate(
+                "avail",
+                move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 },
+            ),
+            RewardSpec::accumulated_rate(
+                "downtime",
+                move |m| if m.tokens(down) > 0 { 1.0 } else { 0.0 },
+            ),
             RewardSpec::impulse_total("repairs", repair, 1.0),
             RewardSpec::instant_of_time("up_at_end", move |m| m.tokens(up) as f64),
         ];
@@ -444,8 +491,18 @@ mod tests {
         let mut b = ModelBuilder::new("unit");
         let up = b.add_place("up", 1).unwrap();
         let down = b.add_place("down", 0).unwrap();
-        b.timed_activity("fail", det(5.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
-        b.timed_activity("repair", det(1.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        b.timed_activity("fail", det(5.0))
+            .unwrap()
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build()
+            .unwrap();
+        b.timed_activity("repair", det(1.0))
+            .unwrap()
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
         let model = b.build().unwrap();
         let sim = Simulator::new(&model);
         let mut rng = SimRng::seed_from_u64(1);
@@ -465,11 +522,24 @@ mod tests {
         let mut b = ModelBuilder::new("unit");
         let up = b.add_place("up", 1).unwrap();
         let down = b.add_place("down", 0).unwrap();
-        b.timed_activity("fail", exp(100.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
-        b.timed_activity("repair", exp(10.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        b.timed_activity("fail", exp(100.0))
+            .unwrap()
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build()
+            .unwrap();
+        b.timed_activity("repair", exp(10.0))
+            .unwrap()
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
         let model = b.build().unwrap();
         let rewards =
-            vec![RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 })];
+            vec![RewardSpec::time_averaged_rate(
+                "avail",
+                move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 },
+            )];
         let sim = Simulator::new(&model);
         let mut rng = SimRng::seed_from_u64(99);
         let mut total = 0.0;
@@ -582,10 +652,18 @@ mod tests {
         let mut b = ModelBuilder::new("warmup");
         let up = b.add_place("up", 0).unwrap();
         let down = b.add_place("down", 1).unwrap();
-        b.timed_activity("repair", det(10.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        b.timed_activity("repair", det(10.0))
+            .unwrap()
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
         let model = b.build().unwrap();
         let rewards =
-            vec![RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 })];
+            vec![RewardSpec::time_averaged_rate(
+                "avail",
+                move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 },
+            )];
         let sim = Simulator::new(&model);
         let mut rng = SimRng::seed_from_u64(5);
         let with_warmup = sim.run(&rewards, 120.0, 20.0, &mut rng).unwrap();
@@ -626,11 +704,24 @@ mod tests {
         let mut b = ModelBuilder::new("unit");
         let up = b.add_place("up", 1).unwrap();
         let down = b.add_place("down", 0).unwrap();
-        b.timed_activity("fail", exp(50.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
-        b.timed_activity("repair", exp(5.0)).unwrap().input_arc(down, 1).output_arc(up, 1).build().unwrap();
+        b.timed_activity("fail", exp(50.0))
+            .unwrap()
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build()
+            .unwrap();
+        b.timed_activity("repair", exp(5.0))
+            .unwrap()
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
         let model = b.build().unwrap();
         let rewards =
-            vec![RewardSpec::time_averaged_rate("avail", move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 })];
+            vec![RewardSpec::time_averaged_rate(
+                "avail",
+                move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 },
+            )];
         let sim = Simulator::new(&model);
         let r1 = sim.run(&rewards, 10_000.0, 0.0, &mut SimRng::seed_from_u64(3)).unwrap();
         let r2 = sim.run(&rewards, 10_000.0, 0.0, &mut SimRng::seed_from_u64(3)).unwrap();

@@ -123,7 +123,7 @@ mod tests {
         assert_eq!(m.tokens(p1), 0);
 
         m.set_tokens(p0, 7);
-        assert_eq!(m.total_tokens(), 7 + 0 + 5);
+        assert_eq!(m.total_tokens(), 7 + 5);
         assert_eq!(m.as_slice(), &[7, 0, 5]);
     }
 

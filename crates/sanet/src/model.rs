@@ -338,7 +338,11 @@ impl ModelBuilder {
         self.activity_builder(name, Timing::Instantaneous)
     }
 
-    fn activity_builder(&mut self, name: &str, timing: Timing) -> Result<ActivityBuilder<'_>, SanError> {
+    fn activity_builder(
+        &mut self,
+        name: &str,
+        timing: Timing,
+    ) -> Result<ActivityBuilder<'_>, SanError> {
         let full = self.scoped_name(name);
         if self.activity_index.contains_key(&full) {
             return Err(SanError::DuplicateName { name: full });
@@ -350,7 +354,11 @@ impl ModelBuilder {
                 timing,
                 input_arcs: Vec::new(),
                 input_gates: Vec::new(),
-                cases: vec![Case { probability: 1.0, output_arcs: Vec::new(), output_gates: Vec::new() }],
+                cases: vec![Case {
+                    probability: 1.0,
+                    output_arcs: Vec::new(),
+                    output_gates: Vec::new(),
+                }],
                 resample_on_change: false,
             },
             explicit_cases: false,
@@ -441,7 +449,11 @@ impl<'a> ActivityBuilder<'a> {
             self.activity.cases.clear();
             self.explicit_cases = true;
         }
-        self.activity.cases.push(Case { probability, output_arcs: Vec::new(), output_gates: Vec::new() });
+        self.activity.cases.push(Case {
+            probability,
+            output_arcs: Vec::new(),
+            output_gates: Vec::new(),
+        });
         self
     }
 
@@ -502,7 +514,9 @@ impl<'a> ActivityBuilder<'a> {
             if a.cases.iter().any(|c| c.probability < 0.0) || (total - 1.0).abs() > 1e-9 {
                 return Err(SanError::InvalidActivity {
                     name: a.name.clone(),
-                    reason: format!("case probabilities must be non-negative and sum to 1, got {total}"),
+                    reason: format!(
+                        "case probabilities must be non-negative and sum to 1, got {total}"
+                    ),
                 });
             }
         }
@@ -527,7 +541,12 @@ mod tests {
         let mut b = ModelBuilder::new("failure-repair");
         let up = b.add_place("up", 1).unwrap();
         let down = b.add_place("down", 0).unwrap();
-        b.timed_activity("fail", exp(100.0)).unwrap().input_arc(up, 1).output_arc(down, 1).build().unwrap();
+        b.timed_activity("fail", exp(100.0))
+            .unwrap()
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build()
+            .unwrap();
         b.timed_activity("repair", Deterministic::new(4.0).unwrap())
             .unwrap()
             .input_arc(down, 1)

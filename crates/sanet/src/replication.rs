@@ -82,6 +82,7 @@ pub struct Experiment {
     rewards: Vec<RewardSpec>,
     confidence_level: f64,
     parallel: bool,
+    workers: usize,
 }
 
 impl std::fmt::Debug for Experiment {
@@ -93,6 +94,7 @@ impl std::fmt::Debug for Experiment {
             .field("rewards", &self.rewards.len())
             .field("confidence_level", &self.confidence_level)
             .field("parallel", &self.parallel)
+            .field("workers", &self.workers)
             .finish()
     }
 }
@@ -108,6 +110,7 @@ impl Experiment {
             rewards: Vec::new(),
             confidence_level: 0.95,
             parallel: true,
+            workers: 0,
         }
     }
 
@@ -126,6 +129,16 @@ impl Experiment {
     /// Enables or disables parallel execution of replications.
     pub fn set_parallel(&mut self, parallel: bool) -> &mut Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Sets the number of worker threads replications are fanned out across.
+    /// `0` (the default) uses the machine's available parallelism; `1` forces
+    /// serial execution. Because every replication draws from its own
+    /// index-derived RNG stream and results are collected in index order,
+    /// the statistics are bit-identical for any worker count.
+    pub fn set_workers(&mut self, workers: usize) -> &mut Self {
+        self.workers = workers;
         self
     }
 
@@ -182,7 +195,8 @@ impl Experiment {
             let results = self.run_indices(done, batch, seed)?;
             for r in &results {
                 events += r.events;
-                collected.push(self.rewards.iter().map(|s| r.reward(s.name()).unwrap_or(0.0)).collect());
+                collected
+                    .push(self.rewards.iter().map(|s| r.reward(s.name()).unwrap_or(0.0)).collect());
             }
             done += batch;
 
@@ -209,7 +223,12 @@ impl Experiment {
             let interval = confidence_interval(&stats, self.confidence_level)?;
             estimates.push(RewardEstimate { name: spec.name().to_string(), interval, stats });
         }
-        Ok(RunSummary { estimates, replications: done, horizon: self.horizon, total_events: events })
+        Ok(RunSummary {
+            estimates,
+            replications: done,
+            horizon: self.horizon,
+            total_events: events,
+        })
     }
 
     /// Runs a fixed number of replications and returns the raw per-
@@ -221,7 +240,11 @@ impl Experiment {
     ///
     /// Returns [`SanError::InvalidExperiment`] if `replications` is zero and
     /// propagates any simulation error.
-    pub fn run_raw(&self, replications: usize, seed: u64) -> Result<Vec<crate::RunResult>, SanError> {
+    pub fn run_raw(
+        &self,
+        replications: usize,
+        seed: u64,
+    ) -> Result<Vec<crate::RunResult>, SanError> {
         if replications == 0 {
             return Err(SanError::InvalidExperiment {
                 reason: "at least one replication is required".into(),
@@ -231,54 +254,30 @@ impl Experiment {
     }
 
     /// Runs replications `start..start+count` (by stream index) and returns
-    /// their raw results.
-    fn run_indices(&self, start: usize, count: usize, seed: u64) -> Result<Vec<crate::RunResult>, SanError> {
+    /// their raw results. The deterministic fan-out lives in
+    /// [`probdist::parallel::replicate`], so the results are bit-identical
+    /// for any worker count.
+    fn run_indices(
+        &self,
+        start: usize,
+        count: usize,
+        seed: u64,
+    ) -> Result<Vec<crate::RunResult>, SanError> {
         let root = SimRng::seed_from_u64(seed);
-        let indices: Vec<usize> = (start..start + count).collect();
-
-        if !self.parallel || count < 4 {
-            let sim = Simulator::new(&self.model);
-            return indices
-                .iter()
-                .map(|&i| {
-                    let mut rng = root.derive_stream(i as u64);
-                    sim.run(&self.rewards, self.horizon, self.warmup, &mut rng)
-                })
-                .collect();
-        }
-
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(count);
-        let chunk_size = count.div_ceil(threads);
-        let chunks: Vec<&[usize]> = indices.chunks(chunk_size).collect();
-
-        let root = &root;
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        let sim = Simulator::new(&self.model);
-                        chunk
-                            .iter()
-                            .map(|&i| {
-                                let mut rng = root.derive_stream(i as u64);
-                                sim.run(&self.rewards, self.horizon, self.warmup, &mut rng)
-                            })
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("replication thread panicked"))
-                .collect::<Result<Vec<Vec<_>>, _>>()
+        let workers = if self.parallel { self.workers } else { 1 };
+        let sim = Simulator::new(&self.model);
+        probdist::parallel::replicate(start..start + count, &root, workers, |_, rng| {
+            sim.run(&self.rewards, self.horizon, self.warmup, rng)
         })
-        .expect("replication scope panicked")?;
-
-        Ok(results.into_iter().flatten().collect())
+        .into_iter()
+        .collect()
     }
 
-    fn summarise(&self, results: Vec<crate::RunResult>, replications: usize) -> Result<RunSummary, SanError> {
+    fn summarise(
+        &self,
+        results: Vec<crate::RunResult>,
+        replications: usize,
+    ) -> Result<RunSummary, SanError> {
         let total_events = results.iter().map(|r| r.events).sum();
         let mut estimates = Vec::with_capacity(self.rewards.len());
         for spec in &self.rewards {
@@ -331,8 +330,11 @@ mod tests {
         let summary = exp.run(32, 7).unwrap();
         let est = summary.reward("avail").unwrap();
         let expected = 1000.0 / 1010.0;
-        assert!(est.interval.contains(expected) || (est.interval.point - expected).abs() < 0.005,
-            "interval {} vs expected {expected}", est.interval);
+        assert!(
+            est.interval.contains(expected) || (est.interval.point - expected).abs() < 0.005,
+            "interval {} vs expected {expected}",
+            est.interval
+        );
         assert_eq!(summary.replications, 32);
         assert!(summary.total_events > 0);
         assert!(summary.reward("nope").is_err());
@@ -369,7 +371,8 @@ mod tests {
         let (model, up) = repairable_unit(100.0, 1.0);
         let mut exp = Experiment::new(model, 50_000.0);
         exp.add_reward(availability_reward(up));
-        let rule = StoppingRule { min_replications: 8, max_replications: 64, relative_half_width: 0.01 };
+        let rule =
+            StoppingRule { min_replications: 8, max_replications: 64, relative_half_width: 0.01 };
         let summary = exp.run_until(rule, 3).unwrap();
         assert!(summary.replications >= 8 && summary.replications <= 64);
         let ci = &summary.reward("avail").unwrap().interval;
@@ -382,9 +385,11 @@ mod tests {
         let (model, up) = repairable_unit(100.0, 1.0);
         let mut exp = Experiment::new(model, 1000.0);
         exp.add_reward(availability_reward(up));
-        let bad = StoppingRule { min_replications: 1, max_replications: 10, relative_half_width: 0.1 };
+        let bad =
+            StoppingRule { min_replications: 1, max_replications: 10, relative_half_width: 0.1 };
         assert!(exp.run_until(bad, 1).is_err());
-        let bad = StoppingRule { min_replications: 10, max_replications: 5, relative_half_width: 0.1 };
+        let bad =
+            StoppingRule { min_replications: 10, max_replications: 5, relative_half_width: 0.1 };
         assert!(exp.run_until(bad, 1).is_err());
     }
 

@@ -75,7 +75,10 @@ impl RewardSpec {
     ) -> Self {
         RewardSpec {
             name: name.into(),
-            variant: RewardVariant::Rate { function: Arc::new(function), kind: RewardKind::TimeAveraged },
+            variant: RewardVariant::Rate {
+                function: Arc::new(function),
+                kind: RewardKind::TimeAveraged,
+            },
         }
     }
 
@@ -87,7 +90,10 @@ impl RewardSpec {
     ) -> Self {
         RewardSpec {
             name: name.into(),
-            variant: RewardVariant::Rate { function: Arc::new(function), kind: RewardKind::Accumulated },
+            variant: RewardVariant::Rate {
+                function: Arc::new(function),
+                kind: RewardKind::Accumulated,
+            },
         }
     }
 
@@ -99,7 +105,10 @@ impl RewardSpec {
     ) -> Self {
         RewardSpec {
             name: name.into(),
-            variant: RewardVariant::Rate { function: Arc::new(function), kind: RewardKind::InstantOfTime },
+            variant: RewardVariant::Rate {
+                function: Arc::new(function),
+                kind: RewardKind::InstantOfTime,
+            },
         }
     }
 

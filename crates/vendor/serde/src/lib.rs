@@ -1,0 +1,395 @@
+//! Offline, vendored work-alike of the `serde` facade.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the small slice of serde the workspace relies on:
+//!
+//! * the `#[derive(Serialize)]` / `#[derive(Deserialize)]` attributes (from
+//!   the sibling `serde_derive` proc-macro crate), and
+//! * a self-describing [`Value`] data model with a JSON writer, so derived
+//!   types can be rendered as JSON by the reporting layer
+//!   ([`to_json`] / [`to_json_pretty`]).
+//!
+//! [`Serialize::to_value`] is the whole serialisation contract: a derived
+//! type converts itself into a [`Value`] tree and the writer turns that tree
+//! into JSON text. `Deserialize` is a marker trait only — nothing in the
+//! workspace parses serialised data back — so swapping this crate for the
+//! real `serde` (plus `serde_json`) is a manifest-only change for
+//! serialisation call sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialised value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A finite floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of field name to value (field order is preserved so
+    /// JSON output is deterministic).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders the value as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value as indented JSON (two spaces per level).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                write_sequence(out, indent, level, '[', ']', items.len(), |out, i| {
+                    items[i].write_json(out, indent, level + 1);
+                });
+            }
+            Value::Object(fields) => {
+                write_sequence(out, indent, level, '{', '}', fields.len(), |out, i| {
+                    write_json_string(out, &fields[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    fields[i].1.write_json(out, indent, level + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can serialise themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a serialised value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait recording that a type opted into deserialisation.
+///
+/// The workspace never parses serialised data back, so this carries no
+/// methods; it exists so `#[derive(Deserialize)]` attributes keep compiling
+/// and downstream code can bound on the trait.
+pub trait Deserialize {}
+
+/// Serialises any [`Serialize`] type to compact JSON.
+pub fn to_json<T: Serialize + ?Sized>(value: &T) -> String {
+    value.to_value().to_json()
+}
+
+/// Serialises any [`Serialize`] type to indented JSON.
+pub fn to_json_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    value.to_value().to_json_pretty()
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_int!(i8 i16 i32 i64 isize);
+impl_serialize_uint!(u8 u16 u32 u64 usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so JSON output is deterministic.
+        let mut fields: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {}
+
+#[cfg(test)]
+mod tests {
+    // The derive macros emit `serde::`-prefixed paths; alias the crate to
+    // its published name so they resolve inside the crate's own tests.
+    use super::*;
+    use crate as serde;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(true.to_value().to_json(), "true");
+        assert_eq!((-3i32).to_value().to_json(), "-3");
+        assert_eq!(7u64.to_value().to_json(), "7");
+        assert_eq!(1.5f64.to_value().to_json(), "1.5");
+        assert_eq!(f64::NAN.to_value().to_json(), "null");
+        assert_eq!("hi".to_string().to_value().to_json(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = "a\"b\\c\nd".to_string().to_value();
+        assert_eq!(v.to_json(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn containers_render_in_order() {
+        let v = Value::Object(vec![
+            ("b".into(), Value::Int(1)),
+            ("a".into(), Value::Array(vec![Value::Bool(false), Value::Null])),
+        ]);
+        assert_eq!(v.to_json(), "{\"b\":1,\"a\":[false,null]}");
+        let pretty = v.to_json_pretty();
+        assert!(pretty.contains("\n  \"b\": 1"));
+    }
+
+    #[test]
+    fn option_and_tuple_serialize() {
+        assert_eq!(Some(2u32).to_value().to_json(), "2");
+        assert_eq!(None::<u32>.to_value().to_json(), "null");
+        assert_eq!(("x".to_string(), 1.25f64).to_value().to_json(), "[\"x\",1.25]");
+    }
+
+    #[test]
+    fn derive_produces_field_objects() {
+        #[derive(Serialize, Deserialize)]
+        struct Point {
+            x: f64,
+            y: u32,
+            label: String,
+        }
+        let p = Point { x: 0.5, y: 2, label: "p".into() };
+        assert_eq!(to_json(&p), "{\"x\":0.5,\"y\":2,\"label\":\"p\"}");
+    }
+
+    #[test]
+    fn derive_handles_enums() {
+        #[derive(Serialize, Deserialize)]
+        enum Shape {
+            Unit,
+            Tuple(u32, u32),
+            Named { w: f64 },
+        }
+        assert_eq!(to_json(&Shape::Unit), "\"Unit\"");
+        assert_eq!(to_json(&Shape::Tuple(1, 2)), "{\"Tuple\":[1,2]}");
+        assert_eq!(to_json(&Shape::Named { w: 2.0 }), "{\"Named\":{\"w\":2}}");
+    }
+
+    #[test]
+    fn derive_handles_tuple_structs() {
+        #[derive(Serialize, Deserialize)]
+        struct Wrapper(f64);
+        #[derive(Serialize, Deserialize)]
+        struct Pair(u32, u32);
+        assert_eq!(to_json(&Wrapper(3.5)), "3.5");
+        assert_eq!(to_json(&Pair(1, 2)), "[1,2]");
+    }
+}

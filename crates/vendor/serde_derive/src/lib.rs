@@ -1,0 +1,263 @@
+//! Derive macros for the vendored `serde` work-alike.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with a
+//! hand-rolled token walk (the real `syn`/`quote` stack is unavailable in
+//! this offline build environment). Supported shapes — which cover every
+//! deriving type in the workspace — are non-generic structs (named, tuple,
+//! and unit) and non-generic enums with unit, tuple, or named-field
+//! variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by generating a `to_value` that mirrors the
+/// item's shape in the `serde::Value` data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes, visibility, and anything else ahead of the keyword.
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => {
+                let text = ident.to_string();
+                if text == "struct" || text == "enum" {
+                    break text;
+                }
+                i += 1;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde derive: no struct or enum keyword found"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let kind = if keyword == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(body.stream()))
+            }
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_field_names(body.stream()))
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_top_level_items(body.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde derive: expected struct body, found {other:?}"),
+        }
+    };
+
+    Item { name, kind }
+}
+
+/// Splits a token stream on commas that sit outside nested groups and angle
+/// brackets (so `HashMap<String, u32>` stays one chunk).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth: i32 = 0;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("chunk list is non-empty").push(token);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Extracts field names from named-struct (or named-variant) body tokens:
+/// for each comma-separated chunk, the last identifier before the `:` that
+/// separates name from type.
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let mut name = None;
+            for token in chunk {
+                match token {
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    TokenTree::Ident(ident) => name = Some(ident.to_string()),
+                    _ => {}
+                }
+            }
+            name.unwrap_or_else(|| panic!("serde derive: field without a name in {chunk:?}"))
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let mut name = None;
+            let mut kind = VariantKind::Unit;
+            let mut idx = 0;
+            while idx < chunk.len() {
+                match &chunk[idx] {
+                    // Skip `#[...]` attributes on the variant.
+                    TokenTree::Punct(p) if p.as_char() == '#' => idx += 2,
+                    TokenTree::Ident(ident) if name.is_none() => {
+                        name = Some(ident.to_string());
+                        idx += 1;
+                    }
+                    TokenTree::Group(body) if name.is_some() => {
+                        kind = match body.delimiter() {
+                            Delimiter::Parenthesis => {
+                                VariantKind::Tuple(count_top_level_items(body.stream()))
+                            }
+                            Delimiter::Brace => {
+                                VariantKind::Named(parse_field_names(body.stream()))
+                            }
+                            _ => VariantKind::Unit,
+                        };
+                        break;
+                    }
+                    _ => idx += 1,
+                }
+            }
+            let name = name.unwrap_or_else(|| panic!("serde derive: unnamed enum variant"));
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "serde::Value::Null".to_string(),
+        ItemKind::NamedStruct(fields) => object_literal(
+            fields.iter().map(|f| (f.clone(), format!("serde::Serialize::to_value(&self.{f})"))),
+        ),
+        ItemKind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => {obj},",
+                                binds = binders.join(", "),
+                                obj = tagged_value(vname, &payload),
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let payload =
+                                object_literal(fields.iter().map(|f| {
+                                    (f.clone(), format!("serde::Serialize::to_value({f})"))
+                                }));
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {obj},",
+                                binds = fields.join(", "),
+                                obj = tagged_value(vname, &payload),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Value::Object` literal from `(field name, value expression)` pairs.
+fn object_literal(fields: impl Iterator<Item = (String, String)>) -> String {
+    let entries: Vec<String> = fields
+        .map(|(name, expr)| format!("(::std::string::String::from(\"{name}\"), {expr})"))
+        .collect();
+    format!("serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+/// `{"Variant": payload}` — the externally-tagged enum representation.
+fn tagged_value(variant: &str, payload: &str) -> String {
+    format!("serde::Value::Object(vec![(::std::string::String::from(\"{variant}\"), {payload})])")
+}

@@ -1,46 +1,40 @@
 //! ABE baseline study: regenerate the paper's log-analysis tables
-//! (Tables 1–4) from the calibrated synthetic failure log, estimate the
-//! model parameters from them, and validate the estimates against Table 5.
+//! (Tables 1–5) through the `Study` API, then validate the headline
+//! estimates against the paper's published values.
 //!
 //! Run with `cargo run --release --example abe_baseline`.
 
-use petascale_cfs::cfs_model::experiments::{
-    table1_outages, table2_mount_failures, table3_jobs, table4_disk_failures, table5_parameters,
-};
-use petascale_cfs::cfs_model::ModelParameters;
+use petascale_cfs::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let seed = 2007;
+    // Tables 1–4 are log analyses: only the base seed matters, and the same
+    // seed regenerates the same synthetic ABE failure log for every table.
+    let spec = RunSpec::new().with_base_seed(2007);
 
-    let t1 = table1_outages(seed)?;
-    println!("{}", t1.to_table().render());
-    println!("SAN availability from the outage log: {:.4} (paper: 0.97-0.98)\n", t1.availability);
+    let report = Study::tables().run(&spec)?;
+    println!("{}", report.to_text());
 
-    let t2 = table2_mount_failures(seed)?;
-    println!("{}", t2.to_table().render());
+    let outages = report.output("table1_outages").expect("table 1 ran");
     println!(
-        "Mount-failure storm days: {} (peak {} nodes; paper peak: 591)\n",
-        t2.analysis.days().len(),
-        t2.analysis.peak_day_nodes()
+        "SAN availability from the outage log: {:.4} (paper: 0.97-0.98)",
+        outages.metric("san_availability").expect("availability metric")
     );
 
-    let t3 = table3_jobs(seed)?;
-    println!("{}", t3.to_table().render());
+    let jobs = report.output("table3_jobs").expect("table 3 ran");
     println!(
-        "Transient network errors are {:.1}x more likely to kill a job than other errors (paper: ~5x)\n",
-        t3.analysis.transient_to_other_ratio()
+        "Transient network errors are {:.1}x more likely to kill a job than other errors (paper: ~5x)",
+        jobs.metric("transient_to_other_ratio").expect("ratio metric")
     );
 
-    let t4 = table4_disk_failures(seed)?;
-    println!("{}", t4.to_table().render());
+    let disks = report.output("table4_disk_weibull").expect("table 4 ran");
     println!(
-        "Weibull survival fit: shape {:.3} +/- {:.3} (paper: 0.696 +/- 0.192), {:.2} replacements/week\n",
-        t4.weibull.shape, t4.weibull.shape_std_error, t4.mean_per_week
+        "Weibull survival fit: shape {:.3} (paper: 0.696 +/- 0.192), {:.2} replacements/week",
+        disks.metric("weibull_shape").expect("shape metric"),
+        disks.metric("mean_replacements_per_week").expect("rate metric"),
     );
 
-    // The parameters those analyses feed into (Table 5).
+    // The parameters those analyses feed into (Table 5) stay within range.
     let params = ModelParameters::abe();
     params.validate()?;
-    println!("{}", table5_parameters(&params).render());
     Ok(())
 }

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     abe.params.job_rate_per_hour = jobs.jobs_per_hour().clamp(12.0, 15.0);
     abe.params.validate()?;
 
-    let predicted = evaluate_cluster(&abe, 8760.0, 24, 17)?;
+    let predicted = evaluate(
+        &abe,
+        &RunSpec::new().with_horizon_hours(8760.0).with_replications(24).with_base_seed(17),
+    )?;
     println!();
     println!("Model prediction with log-estimated parameters:");
     println!("  CFS availability: {}", predicted.cfs_availability);

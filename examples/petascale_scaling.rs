@@ -5,15 +5,14 @@
 //!
 //! Run with `cargo run --release --example petascale_scaling`.
 
-use petascale_cfs::cfs_model::experiments::figure4_cfs_availability;
+use petascale_cfs::cfs_model::experiments::figure4_cfs_availability_with;
 use petascale_cfs::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let horizon = 8760.0;
-    let replications = 24;
+    let spec = RunSpec::new().with_horizon_hours(8760.0).with_replications(24).with_base_seed(7);
 
     // The Figure 4 sweep: ABE (96 TB) up to the 12 PB petascale target.
-    let fig4 = figure4_cfs_availability(&[96.0, 768.0, 3072.0, 12_288.0], horizon, replications, 7)?;
+    let fig4 = figure4_cfs_availability_with(&[96.0, 768.0, 3072.0, 12_288.0], &spec)?;
     println!("{}", fig4.to_table().render());
 
     let abe = fig4.points.first().expect("sweep has points");
@@ -29,9 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The second mitigation discussed in Section 5.2: multiple network paths
     // between the compute nodes and the CFS to absorb transient errors.
-    let base = evaluate_cluster(&ClusterConfig::petascale(), horizon, replications, 11)?;
+    let mitigation_spec = spec.with_base_seed(11);
+    let base = evaluate(&ClusterConfig::petascale(), &mitigation_spec)?;
     let multipath =
-        evaluate_cluster(&ClusterConfig::petascale().with_multipath_network(), horizon, replications, 11)?;
+        evaluate(&ClusterConfig::petascale().with_multipath_network(), &mitigation_spec)?;
     println!();
     println!("Cluster utility at petascale:           {}", base.cluster_utility);
     println!("Cluster utility with multi-path fabric: {}", multipath.cluster_utility);

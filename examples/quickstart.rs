@@ -1,5 +1,6 @@
 //! Quickstart: build the ABE cluster-file-system dependability model,
-//! simulate one year, and print the paper's reward measures.
+//! simulate one year under a `RunSpec`, and compare design points by
+//! running them as one `Study`.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -18,36 +19,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         abe.storage.total_disks()
     );
 
-    // Simulate one year of operation, 32 independent replications.
-    let result = evaluate_cluster(&abe, 8760.0, 32, 42)?;
+    // One simulated year, 32 independent replications, fanned out across 4
+    // worker threads. Replication i always draws from the RNG stream derived
+    // from (base seed, i), so this spec produces bit-identical statistics
+    // whether it runs serially or in parallel.
+    let spec = RunSpec::new()
+        .with_horizon_hours(8760.0)
+        .with_replications(32)
+        .with_base_seed(42)
+        .with_workers(4);
+
+    let result = evaluate(&abe, &spec)?;
     println!("CFS availability:        {}", result.cfs_availability);
     println!("Storage availability:    {}", result.storage_availability);
     println!("Cluster utility (CU):    {}", result.cluster_utility);
     println!("Disk replacements/week:  {}", result.disk_replacements_per_week);
 
-    // Scale the same design to a petaflop-petabyte system and compare.
-    let peta = ClusterConfig::petascale();
-    let peta_result = evaluate_cluster(&peta, 8760.0, 32, 42)?;
-    println!();
-    println!(
-        "Petascale ({} nodes, {} OSS pairs, {:.0} TB):",
-        peta.compute_nodes,
-        peta.total_oss_pairs(),
-        peta.capacity_tb()
-    );
-    println!("CFS availability:        {}", peta_result.cfs_availability);
-    println!("Cluster utility (CU):    {}", peta_result.cluster_utility);
-    println!(
-        "Availability lost by scaling: {:.3}",
-        result.cfs_availability.point - peta_result.cfs_availability.point
-    );
+    // Any `ClusterConfig` is itself a `Scenario`, so design points compare
+    // through one `Study` entry point and render through one report sink.
+    let report = Study::new()
+        .with(ClusterConfig::abe())
+        .with(ClusterConfig::petascale())
+        .with(ClusterConfig::petascale().with_spare_oss())
+        .run(&spec)?;
+    println!("\n{}", report.to_text());
 
-    // The paper's mitigation: a standby spare OSS.
-    let spared = evaluate_cluster(&peta.with_spare_oss(), 8760.0, 32, 42)?;
-    println!(
-        "With a standby spare OSS:     {} ({:+.3} vs. no spare)",
-        spared.cfs_availability,
-        spared.cfs_availability.point - peta_result.cfs_availability.point
-    );
+    let abe_availability = report.output("ABE").and_then(|o| o.metric("cfs_availability"));
+    let peta_availability = report.output("12288TB").and_then(|o| o.metric("cfs_availability"));
+    if let (Some(abe_a), Some(peta_a)) = (abe_availability, peta_availability) {
+        println!("Availability lost by scaling: {:.3}", abe_a - peta_a);
+    }
+
+    // The same report is exportable as machine-readable CSV or JSON.
+    println!("\nMetrics CSV:\n{}", report.to_csv());
     Ok(())
 }

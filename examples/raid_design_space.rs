@@ -6,22 +6,24 @@
 //! Run with `cargo run --release --example raid_design_space`.
 
 use petascale_cfs::cfs_model::experiments::{
-    figure2_storage_availability, figure3_disk_replacements,
+    figure2_storage_availability_with, figure3_disk_replacements_with,
 };
 use petascale_cfs::prelude::*;
 use petascale_cfs::raidsim::analytic::tier_mttdl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let replications = 16;
+    let spec = RunSpec::new().with_horizon_hours(8760.0).with_replications(16);
 
     // Figure 2: storage availability from ABE scale to petascale for the
     // paper's configuration tuples (reduced capacity sweep for a quick run).
-    let fig2 =
-        figure2_storage_availability(&[96.0, 768.0, 3072.0, 12_288.0], 8760.0, replications, 3)?;
+    let fig2 = figure2_storage_availability_with(
+        &[96.0, 768.0, 3072.0, 12_288.0],
+        &spec.clone().with_base_seed(3),
+    )?;
     println!("{}", fig2.to_table().render());
 
     // Figure 3: the operational cost side — disks replaced per week.
-    let fig3 = figure3_disk_replacements(&[480, 1440, 2880, 4800], 8760.0, replications, 5)?;
+    let fig3 = figure3_disk_replacements_with(&[480, 1440, 2880, 4800], &spec.with_base_seed(5))?;
     println!("{}", fig3.to_table().render());
 
     // Analytic cross-check: mean time to data loss per tier for the two

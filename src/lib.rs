@@ -13,24 +13,43 @@
 //!   and analysis calibrated to the published ABE statistics.
 //! * [`raidsim`] — RAID tier / controller / DDN storage reliability models.
 //! * [`cfs_model`] — the composed ABE cluster-file-system dependability
-//!   model, its reward measures, and the drivers that regenerate every
-//!   table and figure of the paper.
+//!   model, its reward measures, and the `RunSpec`/`Scenario`/`Study` API
+//!   that regenerates every table and figure of the paper.
 //!
 //! # Quickstart
+//!
+//! Describe *how* to run once with a [`cfs_model::RunSpec`], then evaluate
+//! anything — a single configuration, or every paper artefact — through the
+//! [`cfs_model::Study`] entry point:
 //!
 //! ```no_run
 //! use petascale_cfs::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Evaluate the ABE baseline for one simulated year, 32 replications.
-//! let abe = ClusterConfig::abe();
-//! let result = evaluate_cluster(&abe, 8760.0, 32, 42)?;
+//! // One simulated year, 32 replications, fanned across 4 worker threads.
+//! // Replication i always draws from the stream derived from (seed, i), so
+//! // serial and parallel runs produce bit-identical statistics.
+//! let spec = RunSpec::new()
+//!     .with_horizon_hours(8760.0)
+//!     .with_replications(32)
+//!     .with_base_seed(42)
+//!     .with_workers(4);
+//!
+//! // Evaluate the ABE baseline directly…
+//! let result = evaluate(&ClusterConfig::abe(), &spec)?;
 //! println!("CFS availability: {}", result.cfs_availability);
 //!
-//! // Scale to the petaflop-petabyte design point and compare.
-//! let peta = ClusterConfig::petascale();
-//! let result = evaluate_cluster(&peta, 8760.0, 32, 42)?;
-//! println!("petascale CFS availability: {}", result.cfs_availability);
+//! // …compare design points by running them as one study…
+//! let report = Study::new()
+//!     .with(ClusterConfig::abe())
+//!     .with(ClusterConfig::petascale())
+//!     .with(ClusterConfig::petascale().with_spare_oss())
+//!     .run(&spec)?;
+//! println!("{}", report.to_text());
+//!
+//! // …or regenerate every paper artefact and export it as JSON/CSV.
+//! let report = Study::paper_artefacts().run(&spec)?;
+//! println!("{}", report.render(ReportFormat::Json));
 //! # Ok(())
 //! # }
 //! ```
@@ -47,10 +66,13 @@ pub use sanet;
 /// The most commonly used items, importable with
 /// `use petascale_cfs::prelude::*`.
 pub mod prelude {
+    pub use cfs_model::analysis::evaluate;
+    #[allow(deprecated)]
     pub use cfs_model::analysis::evaluate_cluster;
     pub use cfs_model::config::ClusterConfig;
     pub use cfs_model::experiments;
-    pub use cfs_model::{CfsError, ModelParameters};
+    pub use cfs_model::scenario::{Metric, Scenario, ScenarioOutput};
+    pub use cfs_model::{CfsError, ModelParameters, Report, ReportFormat, RunSpec, Study};
     pub use faultlog::analysis::{
         DiskReplacementAnalysis, JobAnalysis, MountFailureAnalysis, OutageAnalysis,
     };
@@ -70,5 +92,8 @@ mod tests {
         let storage = StorageConfig::abe_scratch();
         assert_eq!(storage.total_disks(), 480);
         let _params = ModelParameters::abe();
+        let spec = RunSpec::new().with_replications(4);
+        assert!(spec.validate().is_ok());
+        assert_eq!(Study::paper_artefacts().len(), 12);
     }
 }

@@ -28,9 +28,18 @@ fn log_roundtrip_feeds_parameter_estimation_and_simulation() {
     let mut abe = ClusterConfig::abe();
     abe.params.job_rate_per_hour = jobs.jobs_per_hour().clamp(12.0, 15.0);
     abe.params.validate().expect("estimated parameters stay within Table 5 ranges");
-    let predicted = evaluate_cluster(&abe, 8760.0, 16, 5).expect("simulation succeeds");
+    let predicted = evaluate(
+        &abe,
+        &RunSpec::new().with_horizon_hours(8760.0).with_replications(16).with_base_seed(5),
+    )
+    .expect("simulation succeeds");
     let gap = (predicted.cfs_availability.point - outages.availability()).abs();
-    assert!(gap < 0.05, "model prediction {} vs log-measured {}", predicted.cfs_availability.point, outages.availability());
+    assert!(
+        gap < 0.05,
+        "model prediction {} vs log-measured {}",
+        predicted.cfs_availability.point,
+        outages.availability()
+    );
 }
 
 #[test]

@@ -110,8 +110,13 @@ fn replacement_rate_models_agree_for_abe() {
 /// dedicated storage simulator for the ABE configuration (both ≈ 1).
 #[test]
 fn cluster_model_and_raidsim_agree_on_abe_storage_availability() {
-    let cluster = evaluate_cluster(&ClusterConfig::abe(), 8760.0, 12, 31).unwrap();
-    let storage = StorageSimulator::new(StorageConfig::abe_scratch()).unwrap().run(8760.0, 12, 31).unwrap();
+    let cluster = evaluate(
+        &ClusterConfig::abe(),
+        &RunSpec::new().with_horizon_hours(8760.0).with_replications(12).with_base_seed(31),
+    )
+    .unwrap();
+    let storage =
+        StorageSimulator::new(StorageConfig::abe_scratch()).unwrap().run(8760.0, 12, 31).unwrap();
     assert!(cluster.storage_availability.point > 0.9999);
     assert!(storage.availability.point > 0.9999);
     assert!((cluster.storage_availability.point - storage.availability.point).abs() < 1e-3);

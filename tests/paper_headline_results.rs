@@ -6,18 +6,25 @@
 //! simulator, not the authors' Möbius models or the NCSA testbed.
 
 use petascale_cfs::cfs_model::experiments::{
-    figure2_storage_availability, figure4_cfs_availability,
+    figure2_storage_availability_with, figure4_cfs_availability_with,
 };
 use petascale_cfs::prelude::*;
 
 const YEAR_HOURS: f64 = 8760.0;
+
+fn spec(replications: usize, seed: u64) -> RunSpec {
+    RunSpec::new()
+        .with_horizon_hours(YEAR_HOURS)
+        .with_replications(replications)
+        .with_base_seed(seed)
+}
 
 /// Section 5.1 / Figure 2: at ABE scale every disk configuration yields
 /// essentially 100 % storage availability, and RAID6 keeps the ABE
 /// configuration near-perfect even at petascale.
 #[test]
 fn figure2_shape_raid6_masks_disk_failures() {
-    let result = figure2_storage_availability(&[96.0, 12_288.0], YEAR_HOURS, 10, 11)
+    let result = figure2_storage_availability_with(&[96.0, 12_288.0], &spec(10, 11))
         .expect("figure 2 sweep runs");
     for series in &result.series {
         assert!(
@@ -61,7 +68,7 @@ fn eight_plus_three_is_at_least_as_good_as_eight_plus_two() {
 /// loss.
 #[test]
 fn figure4_shape_cfs_availability_declines_with_scale() {
-    let result = figure4_cfs_availability(&[96.0, 12_288.0], YEAR_HOURS, 12, 19)
+    let result = figure4_cfs_availability_with(&[96.0, 12_288.0], &spec(12, 19))
         .expect("figure 4 sweep runs");
     let abe = &result.points[0];
     let peta = &result.points[1];
@@ -83,7 +90,7 @@ fn figure4_shape_cfs_availability_declines_with_scale() {
 fn simulated_abe_availability_matches_log_measurement() {
     let log = LogGenerator::new(LogGenConfig::abe_calibrated()).generate(3).unwrap();
     let measured = OutageAnalysis::from_log(&log).unwrap().availability();
-    let simulated = evaluate_cluster(&ClusterConfig::abe(), YEAR_HOURS, 16, 23).unwrap();
+    let simulated = evaluate(&ClusterConfig::abe(), &spec(16, 23)).unwrap();
     assert!(
         (simulated.cfs_availability.point - measured).abs() < 0.03,
         "simulated {} vs measured {}",
@@ -97,7 +104,10 @@ fn simulated_abe_availability_matches_log_measurement() {
 /// up (the cost argument of Figure 3).
 #[test]
 fn disk_replacement_rate_is_small_at_abe_and_grows_linearly() {
-    let abe = StorageSimulator::new(StorageConfig::abe_scratch()).unwrap().run(YEAR_HOURS, 16, 29).unwrap();
+    let abe = StorageSimulator::new(StorageConfig::abe_scratch())
+        .unwrap()
+        .run(YEAR_HOURS, 16, 29)
+        .unwrap();
     assert!(abe.replacements_per_week.point > 0.2 && abe.replacements_per_week.point < 3.0);
 
     let mut ten_times = StorageConfig::abe_scratch();
