@@ -1,7 +1,7 @@
-//! Micro-benchmarks of the simulation substrates: lifetime sampling, the
-//! stochastic-activity-network engine, and the storage Monte-Carlo kernel.
-//! These track the cost of the inner loops that the table/figure harnesses
-//! are built on.
+//! Micro-benchmarks of the simulation substrates — lifetime sampling, the
+//! stochastic-activity-network engine, and the storage Monte-Carlo kernel —
+//! plus the study scheduler: the global work-stealing pool against the
+//! PR-1-style serial-scenario loop it replaced.
 //!
 //! The harness is self-contained (no external benchmarking crate is
 //! available offline): each kernel is warmed up, then timed over enough
@@ -10,6 +10,8 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use cfs_model::analysis::evaluate;
+use cfs_model::{ClusterConfig, RunSpec, Scenario, Study};
 use probdist::{Distribution, Exponential, SimRng, Weibull};
 use raidsim::{StorageConfig, StorageSimulator};
 use sanet::reward::RewardSpec;
@@ -78,8 +80,79 @@ fn bench_storage_kernel() {
     bench("storage_monte_carlo_abe_one_year", 5, 200, || sim.run_once(8760.0, &mut rng));
 }
 
+/// Four simulation scenarios with fewer replications each than the worker
+/// budget — the shape where the PR 1 execution model (scenarios strictly
+/// serial, only each scenario's own replications parallel) leaves workers
+/// idle, and where the global work-stealing pool overlaps
+/// scenario×replication work units from the whole study.
+fn bench_study_scheduling() {
+    let scenarios: Vec<ClusterConfig> = (0..4)
+        .map(|i| {
+            let mut config = ClusterConfig::abe();
+            config.name = format!("ABE-variant-{i}");
+            config
+        })
+        .collect();
+    let workers = match cfs_bench::workers() {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+        n => n,
+    };
+    // Honour the harness env knobs (the CI bench-smoke step shrinks both)
+    // while keeping the replications-below-workers shape the comparison
+    // needs.
+    let spec = RunSpec::new()
+        .with_horizon_hours(cfs_bench::horizon_hours())
+        .with_replications((workers / 2).max(2).min(cfs_bench::replications()))
+        .with_base_seed(20_080_625)
+        .with_workers(workers);
+
+    let mut study = Study::new();
+    for config in &scenarios {
+        study.add(Box::new(config.clone()) as Box<dyn Scenario>);
+    }
+
+    // One untimed pass of each variant so neither timed run pays one-time
+    // process warm-up (allocator growth, lazy model initialisation).
+    for config in &scenarios {
+        black_box(evaluate(config, &spec).unwrap());
+    }
+    black_box(study.run(&spec).unwrap());
+
+    // PR 1 behaviour: evaluate scenarios one after another; each scenario
+    // still fans its own replications across the worker budget.
+    let start = Instant::now();
+    for config in &scenarios {
+        black_box(evaluate(config, &spec).unwrap());
+    }
+    let serial_loop = start.elapsed();
+
+    // The work-stealing engine: every scenario×replication unit of the
+    // study on one global pool.
+    let start = Instant::now();
+    let report = black_box(study.run(&spec).unwrap());
+    let pooled = start.elapsed();
+    assert_eq!(report.outputs.len(), scenarios.len());
+
+    println!(
+        "study_serial_scenario_loop                 {:>12.1} ms   ({} scenarios x {} reps)",
+        serial_loop.as_secs_f64() * 1e3,
+        scenarios.len(),
+        spec.replications()
+    );
+    println!(
+        "study_global_work_stealing_pool            {:>12.1} ms   ({workers} workers)",
+        pooled.as_secs_f64() * 1e3
+    );
+    println!(
+        "study_scheduling_speedup                   {:>12.2} x{}",
+        serial_loop.as_secs_f64() / pooled.as_secs_f64(),
+        if workers == 1 { "   (single-core machine: ~1x expected)" } else { "" }
+    );
+}
+
 fn main() {
     bench_distributions();
     bench_san_engine();
     bench_storage_kernel();
+    bench_study_scheduling();
 }

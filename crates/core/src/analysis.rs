@@ -1,9 +1,9 @@
 //! Running the composed cluster model and summarising its dependability.
 
-use probdist::stats::{confidence_interval, ConfidenceInterval, RunningStats};
+use probdist::stats::{confidence_interval, run_to_precision, ConfidenceInterval, RunningStats};
 use serde::{Deserialize, Serialize};
 
-use sanet::Experiment;
+use sanet::{Experiment, RunResult};
 
 use crate::config::ClusterConfig;
 use crate::model::build_cluster_model;
@@ -30,29 +30,92 @@ pub struct ClusterDependability {
     pub disk_replacements_per_week: ConfidenceInterval,
     /// Time-averaged number of OSS pairs simultaneously down.
     pub mean_oss_pairs_down: ConfidenceInterval,
-    /// Number of replications run.
+    /// Number of replications actually run (for an adaptive spec, the
+    /// count at which the precision target was met or capped).
     pub replications: usize,
     /// Simulation horizon of each replication, hours.
     pub horizon_hours: f64,
 }
 
-/// Builds the composed model for `config`, simulates the replications the
-/// spec asks for (fanned out across the spec's worker threads, each drawing
-/// from its own index-derived RNG stream), and returns every reward measure
-/// with confidence intervals at the spec's level.
+/// The five dependability measures of one evaluation, accumulated across
+/// replications in index order.
+struct MeasureStats {
+    cfs: RunningStats,
+    storage: RunningStats,
+    cu: RunningStats,
+    replacements: RunningStats,
+    oss_down: RunningStats,
+}
+
+impl MeasureStats {
+    /// Reduces raw per-replication results into the five measures,
+    /// rejecting any non-finite reward (which would otherwise silently
+    /// poison every statistic).
+    fn from_runs(
+        config: &ClusterConfig,
+        horizon_hours: f64,
+        runs: &[RunResult],
+    ) -> Result<MeasureStats, CfsError> {
+        let mut cfs = RunningStats::new();
+        let mut storage = RunningStats::new();
+        let mut cu = RunningStats::new();
+        let mut replacements = RunningStats::new();
+        let mut oss_down = RunningStats::new();
+        for (index, run) in runs.iter().enumerate() {
+            let availability = run.reward(CFS_AVAILABILITY)?;
+            let lost = run.reward(LOST_NODE_HOURS)?;
+            let storage_availability = run.reward(STORAGE_AVAILABILITY)?;
+            let disk_replacements = run.reward(DISK_REPLACEMENTS)?;
+            let pairs_down = run.reward(MEAN_OSS_PAIRS_DOWN)?;
+            for (name, value) in [
+                (CFS_AVAILABILITY, availability),
+                (LOST_NODE_HOURS, lost),
+                (STORAGE_AVAILABILITY, storage_availability),
+                (DISK_REPLACEMENTS, disk_replacements),
+                (MEAN_OSS_PAIRS_DOWN, pairs_down),
+            ] {
+                if !value.is_finite() {
+                    return Err(CfsError::InvalidConfig {
+                        reason: format!(
+                            "replication {index} of '{}' produced a non-finite value {value} for \
+                             reward '{name}' — the configuration drives the model outside its \
+                             numeric range",
+                            config.name
+                        ),
+                    });
+                }
+            }
+            cfs.push(availability);
+            storage.push(storage_availability);
+            cu.push(cluster_utility(availability, lost, config.compute_nodes, horizon_hours));
+            replacements.push(disk_replacements / (horizon_hours / 168.0));
+            oss_down.push(pairs_down);
+        }
+        Ok(MeasureStats { cfs, storage, cu, replacements, oss_down })
+    }
+}
+
+/// Builds the composed model for `config`, simulates it under the spec's
+/// replication policy — a fixed count, or precision-targeted batches when
+/// [`RunSpec::with_precision_target`] is set — and returns every reward
+/// measure with confidence intervals at the spec's level. Replications are
+/// scheduled through the work-stealing executor (the study's global pool
+/// when one is ambient), each drawing from its own index-derived RNG
+/// stream, so the result is a pure function of `(config, spec)`.
 ///
-/// This is the primary evaluation entry point; the old positional
-/// [`evaluate_cluster`] is a deprecated shim over it.
+/// The returned `replications` field records the count actually used,
+/// which for an adaptive run is where the stopping rule was satisfied (or
+/// its cap).
 ///
 /// # Errors
 ///
 /// Returns [`CfsError::InvalidConfig`] for an invalid configuration or run
-/// spec, or when a replication produces a non-finite reward (which would
-/// otherwise silently poison every statistic); propagates simulation
-/// errors.
+/// spec, or when a replication produces a non-finite reward; propagates
+/// simulation errors.
 pub fn evaluate(config: &ClusterConfig, spec: &RunSpec) -> Result<ClusterDependability, CfsError> {
     spec.validate()?;
     let horizon_hours = spec.horizon_hours();
+    let level = spec.confidence_level();
 
     let cluster = build_cluster_model(config)?;
     let rewards = standard_rewards(&cluster);
@@ -62,81 +125,36 @@ pub fn evaluate(config: &ClusterConfig, spec: &RunSpec) -> Result<ClusterDependa
         experiment.add_reward(reward);
     }
 
-    let runs = experiment.run_raw(spec.replications(), spec.base_seed())?;
+    let runs = match spec.stopping_rule()? {
+        None => experiment.run_raw(spec.replications(), spec.base_seed())?,
+        Some(rule) => run_to_precision(
+            &rule,
+            |range| -> Result<Vec<RunResult>, CfsError> {
+                Ok(experiment.run_raw_range(range, spec.base_seed())?)
+            },
+            |runs| {
+                let m = MeasureStats::from_runs(config, horizon_hours, runs)?;
+                for stats in [&m.cfs, &m.storage, &m.cu, &m.replacements, &m.oss_down] {
+                    if !rule.met_by(&confidence_interval(stats, level)?) {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            },
+        )?,
+    };
 
-    let mut cfs = RunningStats::new();
-    let mut storage = RunningStats::new();
-    let mut cu = RunningStats::new();
-    let mut replacements = RunningStats::new();
-    let mut oss_down = RunningStats::new();
-    for (index, run) in runs.iter().enumerate() {
-        let availability = run.reward(CFS_AVAILABILITY)?;
-        let lost = run.reward(LOST_NODE_HOURS)?;
-        let storage_availability = run.reward(STORAGE_AVAILABILITY)?;
-        let disk_replacements = run.reward(DISK_REPLACEMENTS)?;
-        let pairs_down = run.reward(MEAN_OSS_PAIRS_DOWN)?;
-        for (name, value) in [
-            (CFS_AVAILABILITY, availability),
-            (LOST_NODE_HOURS, lost),
-            (STORAGE_AVAILABILITY, storage_availability),
-            (DISK_REPLACEMENTS, disk_replacements),
-            (MEAN_OSS_PAIRS_DOWN, pairs_down),
-        ] {
-            if !value.is_finite() {
-                return Err(CfsError::InvalidConfig {
-                    reason: format!(
-                        "replication {index} of '{}' produced a non-finite value {value} for \
-                         reward '{name}' — the configuration drives the model outside its \
-                         numeric range",
-                        config.name
-                    ),
-                });
-            }
-        }
-        cfs.push(availability);
-        storage.push(storage_availability);
-        cu.push(cluster_utility(availability, lost, config.compute_nodes, horizon_hours));
-        replacements.push(disk_replacements / (horizon_hours / 168.0));
-        oss_down.push(pairs_down);
-    }
-
-    let level = spec.confidence_level();
+    let m = MeasureStats::from_runs(config, horizon_hours, &runs)?;
     Ok(ClusterDependability {
         config_name: config.name.clone(),
-        cfs_availability: confidence_interval(&cfs, level)?,
-        storage_availability: confidence_interval(&storage, level)?,
-        cluster_utility: confidence_interval(&cu, level)?,
-        disk_replacements_per_week: confidence_interval(&replacements, level)?,
-        mean_oss_pairs_down: confidence_interval(&oss_down, level)?,
+        cfs_availability: confidence_interval(&m.cfs, level)?,
+        storage_availability: confidence_interval(&m.storage, level)?,
+        cluster_utility: confidence_interval(&m.cu, level)?,
+        disk_replacements_per_week: confidence_interval(&m.replacements, level)?,
+        mean_oss_pairs_down: confidence_interval(&m.oss_down, level)?,
         replications: runs.len(),
         horizon_hours,
     })
-}
-
-/// Positional-argument shim retained for downstream code; new code should
-/// build a [`RunSpec`] and call [`evaluate`] (or run a
-/// [`crate::study::Study`]).
-///
-/// # Errors
-///
-/// See [`evaluate`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `RunSpec` and call `analysis::evaluate`, or run the scenario through a `Study`"
-)]
-pub fn evaluate_cluster(
-    config: &ClusterConfig,
-    horizon_hours: f64,
-    replications: usize,
-    seed: u64,
-) -> Result<ClusterDependability, CfsError> {
-    evaluate(
-        config,
-        &RunSpec::new()
-            .with_horizon_hours(horizon_hours)
-            .with_replications(replications)
-            .with_base_seed(seed),
-    )
 }
 
 #[cfg(test)]
@@ -159,16 +177,35 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_the_spec_api() {
+    fn adaptive_evaluation_stops_within_bounds() {
         let abe = ClusterConfig::abe();
-        let via_shim = evaluate_cluster(&abe, 2000.0, 4, 9).unwrap();
-        let via_spec = evaluate(
+        // A loose target on a low-variance configuration stops well before
+        // the cap; the result records the count actually used.
+        let loose = spec(4, 9).with_precision_target(0.5, 4, 64);
+        let result = evaluate(&abe, &loose).unwrap();
+        assert!(
+            result.replications >= 4 && result.replications <= 64,
+            "used {} replications",
+            result.replications
+        );
+
+        // An unreachable target runs to the cap.
+        let tight = spec(4, 9).with_horizon_hours(2000.0).with_precision_target(1e-9, 4, 8);
+        let capped = evaluate(&abe, &tight).unwrap();
+        assert_eq!(capped.replications, 8);
+    }
+
+    #[test]
+    fn adaptive_run_matches_fixed_run_of_the_same_count() {
+        let abe = ClusterConfig::abe();
+        let adaptive = evaluate(
             &abe,
-            &RunSpec::new().with_horizon_hours(2000.0).with_replications(4).with_base_seed(9),
+            &spec(4, 9).with_horizon_hours(2000.0).with_precision_target(0.5, 4, 64),
         )
         .unwrap();
-        assert_eq!(via_shim, via_spec);
+        let fixed =
+            evaluate(&abe, &spec(adaptive.replications, 9).with_horizon_hours(2000.0)).unwrap();
+        assert_eq!(adaptive, fixed, "same seed + same count must be bit-identical");
     }
 
     #[test]

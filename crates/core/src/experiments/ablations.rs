@@ -34,6 +34,10 @@ pub struct AblationResult {
     pub name: String,
     /// The swept configurations.
     pub points: Vec<AblationPoint>,
+    /// Replications actually executed (the maximum across swept
+    /// configurations, when an adaptive precision target lets points stop
+    /// early).
+    pub replications: usize,
 }
 
 impl AblationResult {
@@ -77,23 +81,24 @@ fn pessimistic_petascale_storage(
 pub fn ablation_raid_parity_with(spec: &RunSpec) -> Result<AblationResult, CfsError> {
     spec.validate()?;
     let mut points = Vec::new();
+    let mut replications = 0usize;
     for geometry in [RaidGeometry::raid5_8p1(), RaidGeometry::raid6_8p2(), RaidGeometry::raid_8p3()]
     {
         let storage = pessimistic_petascale_storage(geometry, 4.0)?;
-        let summary = StorageSimulator::new(storage)?.run_with(
-            spec.horizon_hours(),
-            spec.replications(),
-            spec.base_seed(),
-            spec.confidence_level(),
-            spec.workers(),
-        )?;
+        let simulator = StorageSimulator::new(storage)?;
+        let summary = crate::experiments::run_storage(&simulator, spec, spec.base_seed())?;
+        replications = replications.max(summary.replications);
         points.push(AblationPoint {
             label: geometry.label(),
             availability: summary.availability,
             secondary: Some(("data-loss events".into(), summary.data_loss_events.point)),
         });
     }
-    Ok(AblationResult { name: "RAID parity width at petascale (0.6, 8.76% AFR)".into(), points })
+    Ok(AblationResult {
+        name: "RAID parity width at petascale (0.6, 8.76% AFR)".into(),
+        points,
+        replications,
+    })
 }
 
 /// Ablation: disk replacement time (1 h, 4 h, 12 h) at petascale with
@@ -105,15 +110,12 @@ pub fn ablation_raid_parity_with(spec: &RunSpec) -> Result<AblationResult, CfsEr
 pub fn ablation_repair_time_with(spec: &RunSpec) -> Result<AblationResult, CfsError> {
     spec.validate()?;
     let mut points = Vec::new();
+    let mut replications = 0usize;
     for hours in [1.0, 4.0, 12.0] {
         let storage = pessimistic_petascale_storage(RaidGeometry::raid6_8p2(), hours)?;
-        let summary = StorageSimulator::new(storage)?.run_with(
-            spec.horizon_hours(),
-            spec.replications(),
-            spec.base_seed(),
-            spec.confidence_level(),
-            spec.workers(),
-        )?;
+        let simulator = StorageSimulator::new(storage)?;
+        let summary = crate::experiments::run_storage(&simulator, spec, spec.base_seed())?;
+        replications = replications.max(summary.replications);
         points.push(AblationPoint {
             label: format!("replacement = {hours} h"),
             availability: summary.availability,
@@ -123,6 +125,7 @@ pub fn ablation_repair_time_with(spec: &RunSpec) -> Result<AblationResult, CfsEr
     Ok(AblationResult {
         name: "Disk replacement time at petascale (8+2, 0.6, 8.76% AFR)".into(),
         points,
+        replications,
     })
 }
 
@@ -137,15 +140,17 @@ pub fn ablation_spare_oss_with(spec: &RunSpec) -> Result<AblationResult, CfsErro
     let base = ClusterConfig::petascale();
     let spared = base.clone().with_spare_oss();
     let mut points = Vec::new();
+    let mut replications = 0usize;
     for config in [base, spared] {
         let result = evaluate(&config, spec)?;
+        replications = replications.max(result.replications);
         points.push(AblationPoint {
             label: config.name.clone(),
             availability: result.cfs_availability,
             secondary: Some(("cluster utility".into(), result.cluster_utility.point)),
         });
     }
-    Ok(AblationResult { name: "Standby spare OSS at petascale".into(), points })
+    Ok(AblationResult { name: "Standby spare OSS at petascale".into(), points, replications })
 }
 
 /// Ablation: correlated-failure propagation probability `p` (Section 4.3)
@@ -157,66 +162,24 @@ pub fn ablation_spare_oss_with(spec: &RunSpec) -> Result<AblationResult, CfsErro
 pub fn ablation_correlation_with(spec: &RunSpec) -> Result<AblationResult, CfsError> {
     spec.validate()?;
     let mut points = Vec::new();
+    let mut replications = 0usize;
     for p in [0.0, 0.0075, 0.03] {
         let mut config = ClusterConfig::petascale();
         config.params.correlation_probability = p;
         config.name = format!("p = {p}");
         let result = evaluate(&config, spec)?;
+        replications = replications.max(result.replications);
         points.push(AblationPoint {
             label: config.name.clone(),
             availability: result.cfs_availability,
             secondary: Some(("mean OSS pairs down".into(), result.mean_oss_pairs_down.point)),
         });
     }
-    Ok(AblationResult { name: "Correlated-failure probability at petascale".into(), points })
-}
-
-macro_rules! deprecated_ablation_shim {
-    ($(#[$doc:meta])* $old:ident => $new:ident, $note:literal) => {
-        $(#[$doc])*
-        ///
-        /// # Errors
-        ///
-        /// Propagates configuration and simulation errors.
-        #[deprecated(since = "0.2.0", note = $note)]
-        pub fn $old(
-            horizon_hours: f64,
-            replications: usize,
-            seed: u64,
-        ) -> Result<AblationResult, CfsError> {
-            $new(
-                &RunSpec::new()
-                    .with_horizon_hours(horizon_hours)
-                    .with_replications(replications)
-                    .with_base_seed(seed),
-            )
-        }
-    };
-}
-
-deprecated_ablation_shim! {
-    /// Positional-argument shim for the RAID-parity ablation.
-    ablation_raid_parity => ablation_raid_parity_with,
-    "build a `RunSpec` and call `ablation_raid_parity_with`, or run the `RaidParityAblation` \
-     scenario through a `Study`"
-}
-deprecated_ablation_shim! {
-    /// Positional-argument shim for the disk-replacement-time ablation.
-    ablation_repair_time => ablation_repair_time_with,
-    "build a `RunSpec` and call `ablation_repair_time_with`, or run the `RepairTimeAblation` \
-     scenario through a `Study`"
-}
-deprecated_ablation_shim! {
-    /// Positional-argument shim for the standby-spare-OSS ablation.
-    ablation_spare_oss => ablation_spare_oss_with,
-    "build a `RunSpec` and call `ablation_spare_oss_with`, or run the `SpareOssAblation` \
-     scenario through a `Study`"
-}
-deprecated_ablation_shim! {
-    /// Positional-argument shim for the correlated-failure ablation.
-    ablation_correlation => ablation_correlation_with,
-    "build a `RunSpec` and call `ablation_correlation_with`, or run the `CorrelationAblation` \
-     scenario through a `Study`"
+    Ok(AblationResult {
+        name: "Correlated-failure probability at petascale".into(),
+        points,
+        replications,
+    })
 }
 
 #[cfg(test)]

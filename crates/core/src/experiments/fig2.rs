@@ -134,7 +134,8 @@ pub struct Fig2Result {
     pub series: Vec<Fig2Series>,
     /// Mission length, hours.
     pub horizon_hours: f64,
-    /// Replications per point.
+    /// Replications actually executed per point (the maximum across
+    /// points, when an adaptive precision target lets points stop early).
     pub replications: usize,
 }
 
@@ -184,19 +185,19 @@ pub fn figure2_storage_availability_with(
     };
 
     let mut series = Vec::new();
+    let mut replications_used = 0usize;
     for (series_idx, config) in Fig2Config::paper_series().into_iter().enumerate() {
         let mut points = Vec::new();
         for (cap_idx, &capacity_tb) in capacities.iter().enumerate() {
             let storage = config.storage_for_capacity(capacity_tb)?;
             let total_disks = storage.total_disks();
             let simulator = StorageSimulator::new(storage)?;
-            let summary = simulator.run_with(
-                spec.horizon_hours(),
-                spec.replications(),
+            let summary = crate::experiments::run_storage(
+                &simulator,
+                spec,
                 spec.base_seed().wrapping_add((series_idx * 1000 + cap_idx) as u64),
-                spec.confidence_level(),
-                spec.workers(),
             )?;
+            replications_used = replications_used.max(summary.replications);
             points.push(Fig2Point {
                 capacity_tb,
                 total_disks,
@@ -206,36 +207,7 @@ pub fn figure2_storage_availability_with(
         }
         series.push(Fig2Series { label: config.label(), config, points });
     }
-    Ok(Fig2Result {
-        series,
-        horizon_hours: spec.horizon_hours(),
-        replications: spec.replications(),
-    })
-}
-
-/// Positional-argument shim retained for downstream code.
-///
-/// # Errors
-///
-/// See [`figure2_storage_availability_with`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `RunSpec` and call `figure2_storage_availability_with`, or run the \
-            `Figure2StorageAvailability` scenario through a `Study`"
-)]
-pub fn figure2_storage_availability(
-    capacities_tb: &[f64],
-    horizon_hours: f64,
-    replications: usize,
-    seed: u64,
-) -> Result<Fig2Result, CfsError> {
-    figure2_storage_availability_with(
-        capacities_tb,
-        &RunSpec::new()
-            .with_horizon_hours(horizon_hours)
-            .with_replications(replications)
-            .with_base_seed(seed),
-    )
+    Ok(Fig2Result { series, horizon_hours: spec.horizon_hours(), replications: replications_used })
 }
 
 #[cfg(test)]

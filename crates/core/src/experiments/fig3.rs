@@ -43,7 +43,8 @@ pub struct Fig3Result {
     pub series: Vec<Fig3Series>,
     /// Mission length, hours.
     pub horizon_hours: f64,
-    /// Replications per point.
+    /// Replications actually executed per point (the maximum across
+    /// points, when an adaptive precision target lets points stop early).
     pub replications: usize,
 }
 
@@ -95,6 +96,7 @@ pub fn figure3_disk_replacements_with(
         if disk_counts.is_empty() { figure3_disk_counts() } else { disk_counts.to_vec() };
 
     let mut series = Vec::new();
+    let mut replications_used = 0usize;
     for (series_idx, &afr) in FIGURE3_AFRS.iter().enumerate() {
         let disk = DiskModel { capacity_gb: 250.0, ..DiskModel::with_afr(afr, 0.7)? };
         let mut points = Vec::new();
@@ -110,13 +112,12 @@ pub fn figure3_disk_replacements_with(
             let storage =
                 StorageConfig { tiers, ddn_units: 1, disk, ..StorageConfig::abe_scratch() };
             let simulator = StorageSimulator::new(storage)?;
-            let summary = simulator.run_with(
-                horizon_hours,
-                spec.replications(),
+            let summary = crate::experiments::run_storage(
+                &simulator,
+                spec,
                 spec.base_seed().wrapping_add((series_idx * 100 + count_idx) as u64),
-                spec.confidence_level(),
-                spec.workers(),
             )?;
+            replications_used = replications_used.max(summary.replications);
             let analytic = expected_replacements_per_week(disks, &disk, horizon_hours)?;
             points.push(Fig3Point {
                 disks,
@@ -126,32 +127,7 @@ pub fn figure3_disk_replacements_with(
         }
         series.push(Fig3Series { label: format!("(0.7,{afr},8+2,4)"), afr_percent: afr, points });
     }
-    Ok(Fig3Result { series, horizon_hours, replications: spec.replications() })
-}
-
-/// Positional-argument shim retained for downstream code.
-///
-/// # Errors
-///
-/// See [`figure3_disk_replacements_with`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `RunSpec` and call `figure3_disk_replacements_with`, or run the \
-            `Figure3DiskReplacements` scenario through a `Study`"
-)]
-pub fn figure3_disk_replacements(
-    disk_counts: &[u32],
-    horizon_hours: f64,
-    replications: usize,
-    seed: u64,
-) -> Result<Fig3Result, CfsError> {
-    figure3_disk_replacements_with(
-        disk_counts,
-        &RunSpec::new()
-            .with_horizon_hours(horizon_hours)
-            .with_replications(replications)
-            .with_base_seed(seed),
-    )
+    Ok(Fig3Result { series, horizon_hours, replications: replications_used })
 }
 
 #[cfg(test)]

@@ -41,7 +41,9 @@ pub struct Fig4Result {
     pub points: Vec<Fig4Point>,
     /// Simulation horizon per replication, hours.
     pub horizon_hours: f64,
-    /// Replications per configuration.
+    /// Replications actually executed per configuration (the maximum
+    /// across scale points, when an adaptive precision target lets points
+    /// stop early).
     pub replications: usize,
 }
 
@@ -102,11 +104,13 @@ pub fn figure4_cfs_availability_with(
     };
 
     let mut points = Vec::new();
+    let mut replications_used = 0usize;
     for (idx, &capacity_tb) in capacities.iter().enumerate() {
         let config = ClusterConfig::scaled_to_capacity(capacity_tb)?;
         let spared = config.clone().with_spare_oss();
         let base = evaluate(&config, &spec.offset_seed(idx as u64))?;
         let with_spare = evaluate(&spared, &spec.offset_seed(1000 + idx as u64))?;
+        replications_used = replications_used.max(base.replications).max(with_spare.replications);
         points.push(Fig4Point {
             capacity_tb,
             compute_nodes: config.compute_nodes,
@@ -118,36 +122,7 @@ pub fn figure4_cfs_availability_with(
             cfs_availability_spare_oss: with_spare.cfs_availability,
         });
     }
-    Ok(Fig4Result {
-        points,
-        horizon_hours: spec.horizon_hours(),
-        replications: spec.replications(),
-    })
-}
-
-/// Positional-argument shim retained for downstream code.
-///
-/// # Errors
-///
-/// See [`figure4_cfs_availability_with`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `RunSpec` and call `figure4_cfs_availability_with`, or run the \
-            `Figure4CfsAvailability` scenario through a `Study`"
-)]
-pub fn figure4_cfs_availability(
-    capacities_tb: &[f64],
-    horizon_hours: f64,
-    replications: usize,
-    seed: u64,
-) -> Result<Fig4Result, CfsError> {
-    figure4_cfs_availability_with(
-        capacities_tb,
-        &RunSpec::new()
-            .with_horizon_hours(horizon_hours)
-            .with_replications(replications)
-            .with_base_seed(seed),
-    )
+    Ok(Fig4Result { points, horizon_hours: spec.horizon_hours(), replications: replications_used })
 }
 
 #[cfg(test)]

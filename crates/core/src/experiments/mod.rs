@@ -5,8 +5,11 @@
 //! result, and can render itself as a [`crate::report::TextTable`] whose
 //! rows mirror the paper's presentation. These are the functions the
 //! [`crate::scenario::Scenario`] implementations wrap; run them through a
-//! [`crate::study::Study`] unless you need the raw result structs. The old
-//! positional-argument entry points remain as deprecated shims.
+//! [`crate::study::Study`] unless you need the raw result structs.
+//! Monte-Carlo drivers honour the spec's replication policy — a fixed
+//! count, or precision-targeted batches when
+//! [`crate::run::RunSpec::with_precision_target`] is set — and record the
+//! replication count actually used in their results.
 //!
 //! | Paper artefact | Driver |
 //! |---|---|
@@ -26,24 +29,46 @@ pub mod fig3;
 pub mod fig4;
 pub mod tables;
 
-#[allow(deprecated)]
-pub use ablations::{
-    ablation_correlation, ablation_raid_parity, ablation_repair_time, ablation_spare_oss,
-};
 pub use ablations::{
     ablation_correlation_with, ablation_raid_parity_with, ablation_repair_time_with,
     ablation_spare_oss_with, AblationPoint, AblationResult,
 };
-#[allow(deprecated)]
-pub use fig2::figure2_storage_availability;
 pub use fig2::{figure2_storage_availability_with, Fig2Config, Fig2Point, Fig2Result, Fig2Series};
-#[allow(deprecated)]
-pub use fig3::figure3_disk_replacements;
 pub use fig3::{figure3_disk_replacements_with, Fig3Point, Fig3Result, Fig3Series};
-#[allow(deprecated)]
-pub use fig4::figure4_cfs_availability;
 pub use fig4::{figure4_cfs_availability_with, Fig4Point, Fig4Result};
 pub use tables::{
     table1_outages, table2_mount_failures, table3_jobs, table4_disk_failures, table5_parameters,
     Table1Result, Table2Result, Table3Result, Table4Result,
 };
+
+use crate::run::RunSpec;
+use crate::CfsError;
+use raidsim::{StorageSimulator, StorageSummary};
+
+/// Runs one storage Monte-Carlo point under the spec's replication policy:
+/// a fixed `run_with` block, or adaptive `run_until` batches when the spec
+/// carries a precision target. Every storage-side driver funnels through
+/// here so fixed and adaptive execution stay interchangeable.
+pub(crate) fn run_storage(
+    simulator: &StorageSimulator,
+    spec: &RunSpec,
+    seed: u64,
+) -> Result<StorageSummary, CfsError> {
+    let summary = match spec.stopping_rule()? {
+        None => simulator.run_with(
+            spec.horizon_hours(),
+            spec.replications(),
+            seed,
+            spec.confidence_level(),
+            spec.workers(),
+        )?,
+        Some(rule) => simulator.run_until(
+            spec.horizon_hours(),
+            &rule,
+            seed,
+            spec.confidence_level(),
+            spec.workers(),
+        )?,
+    };
+    Ok(summary)
+}

@@ -19,14 +19,15 @@
 //!   availability, cluster utility (CU), and disk-replacement rate.
 //! * [`analysis`] — runs the composed model and returns the reward
 //!   estimates with confidence intervals.
-//! * [`run`] — the [`RunSpec`] builder: horizon, replications, base seed,
+//! * [`run`] — the [`RunSpec`] builder: horizon, replication policy (a
+//!   fixed count or an adaptive [`PrecisionTarget`]), base seed,
 //!   confidence level, and worker-thread count for any evaluation.
 //! * [`scenario`] — the [`Scenario`] trait implemented by every paper
 //!   artefact (Tables 1–5, Figures 2–4, the four ablations) and by raw
 //!   [`ClusterConfig`] evaluation.
-//! * [`study`] — the [`Study`] runner: executes any set of scenarios under
-//!   one spec, fanning replications across worker threads with bit-identical
-//!   serial/parallel statistics.
+//! * [`study`] — the [`Study`] runner: schedules every
+//!   scenario×replication work unit of a scenario set onto one global
+//!   work-stealing pool, with bit-identical serial/parallel statistics.
 //! * [`experiments`] — the underlying experiment drivers the scenarios
 //!   wrap, one per table and figure of the evaluation.
 //! * [`report`] — the unified [`Report`] sink: aligned text tables, CSV,
@@ -74,14 +75,12 @@ pub mod run;
 pub mod scenario;
 pub mod study;
 
-#[allow(deprecated)]
-pub use analysis::evaluate_cluster;
 pub use analysis::ClusterDependability;
 pub use config::ClusterConfig;
 pub use error::CfsError;
 pub use params::ModelParameters;
 pub use report::{Report, ReportFormat, TextTable};
-pub use run::RunSpec;
+pub use run::{PrecisionTarget, RunSpec};
 pub use scenario::{Metric, Scenario, ScenarioOutput};
 pub use study::Study;
 

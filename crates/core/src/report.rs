@@ -187,14 +187,25 @@ impl Report {
     }
 
     /// Renders every scenario's tables and metrics as aligned plain text.
+    /// Adaptive specs report their precision target in the header, and each
+    /// Monte-Carlo scenario reports the replication count it actually used.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
+        let replication_policy = match self.spec.precision_target() {
+            Some(target) => format!(
+                "precision ±{:.2}% ({}..{} replications)",
+                target.relative_half_width * 100.0,
+                target.min_replications,
+                target.max_replications
+            ),
+            None => format!("{} replications", self.spec.replications()),
+        };
         let _ = writeln!(
             out,
-            "Study report: {} scenario(s), horizon {} h, {} replications, seed {}, {:.0}% CI",
+            "Study report: {} scenario(s), horizon {} h, {}, seed {}, {:.0}% CI",
             self.outputs.len(),
             self.spec.horizon_hours(),
-            self.spec.replications(),
+            replication_policy,
             self.spec.base_seed(),
             self.spec.confidence_level() * 100.0,
         );
@@ -213,6 +224,9 @@ impl Report {
                     }
                 }
             }
+            if let Some(used) = output.replications_used {
+                let _ = writeln!(out, "replications used: {used}");
+            }
         }
         out
     }
@@ -220,7 +234,9 @@ impl Report {
     /// Renders every scenario's metrics as one tidy CSV
     /// (`scenario,metric,value,ci_half_width`), the machine-readable
     /// companion to the presentation tables (render those individually with
-    /// [`TextTable::to_csv`]).
+    /// [`TextTable::to_csv`]). Monte-Carlo scenarios append a
+    /// `replications_used` row recording the count the replication policy
+    /// actually spent.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("scenario,metric,value,ci_half_width\n");
         for output in &self.outputs {
@@ -230,6 +246,15 @@ impl Report {
                     metric.name.clone(),
                     format!("{}", metric.value),
                     metric.half_width.map(|h| format!("{h}")).unwrap_or_default(),
+                ]));
+                out.push('\n');
+            }
+            if let Some(used) = output.replications_used {
+                out.push_str(&csv::record(&[
+                    output.scenario.clone(),
+                    "replications_used".to_string(),
+                    format!("{used}"),
+                    String::new(),
                 ]));
                 out.push('\n');
             }

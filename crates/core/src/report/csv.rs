@@ -1,12 +1,9 @@
-//! Per-figure CSV exporters, retained as deprecated shims.
+//! CSV encoding primitives shared by the report sink.
 //!
-//! New code should render any experiment table with
-//! [`crate::report::TextTable::to_csv`], or a whole study with
-//! [`crate::report::Report::to_csv`]; both return the full file contents as
-//! a `String` and leave filesystem decisions to the caller, like the
-//! functions here always did.
-
-use crate::experiments::{Fig2Result, Fig3Result, Fig4Result};
+//! Any experiment table renders as CSV through
+//! [`crate::report::TextTable::to_csv`], and a whole study through
+//! [`crate::report::Report::to_csv`]; both return the full file contents
+//! as a `String` and leave filesystem decisions to the caller.
 
 /// Escapes one CSV cell (quotes cells containing commas, quotes, or
 /// newlines).
@@ -23,93 +20,9 @@ pub(crate) fn record(cells: &[String]) -> String {
     cells.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
 }
 
-/// Exports Figure 2 (storage availability vs. capacity) as CSV with one row
-/// per (capacity, series) pair.
-#[deprecated(
-    since = "0.2.0",
-    note = "render the result's `to_table()` with `TextTable::to_csv`, or a whole study with `Report::to_csv`"
-)]
-pub fn fig2_to_csv(result: &Fig2Result) -> String {
-    let mut out = String::from(
-        "capacity_tb,total_disks,series,availability,ci_half_width,prob_any_data_loss\n",
-    );
-    for series in &result.series {
-        for point in &series.points {
-            out.push_str(&record(&[
-                format!("{}", point.capacity_tb),
-                format!("{}", point.total_disks),
-                series.label.clone(),
-                format!("{}", point.availability.point),
-                format!("{}", point.availability.half_width),
-                format!("{}", point.prob_any_data_loss),
-            ]));
-            out.push('\n');
-        }
-    }
-    out
-}
-
-/// Exports Figure 3 (disk replacements per week vs. disk count) as CSV.
-#[deprecated(
-    since = "0.2.0",
-    note = "render the result's `to_table()` with `TextTable::to_csv`, or a whole study with `Report::to_csv`"
-)]
-pub fn fig3_to_csv(result: &Fig3Result) -> String {
-    let mut out = String::from(
-        "disks,afr_percent,series,simulated_per_week,ci_half_width,analytic_per_week\n",
-    );
-    for series in &result.series {
-        for point in &series.points {
-            out.push_str(&record(&[
-                format!("{}", point.disks),
-                format!("{}", series.afr_percent),
-                series.label.clone(),
-                format!("{}", point.simulated_per_week.point),
-                format!("{}", point.simulated_per_week.half_width),
-                format!("{}", point.analytic_per_week),
-            ]));
-            out.push('\n');
-        }
-    }
-    out
-}
-
-/// Exports Figure 4 (availability and utility vs. scale) as CSV.
-#[deprecated(
-    since = "0.2.0",
-    note = "render the result's `to_table()` with `TextTable::to_csv`, or a whole study with `Report::to_csv`"
-)]
-pub fn fig4_to_csv(result: &Fig4Result) -> String {
-    let mut out = String::from(
-        "capacity_tb,compute_nodes,oss_pairs,ddn_units,storage_availability,cfs_availability,cfs_ci_half_width,cluster_utility,cfs_availability_spare_oss\n",
-    );
-    for p in &result.points {
-        out.push_str(&record(&[
-            format!("{}", p.capacity_tb),
-            format!("{}", p.compute_nodes),
-            format!("{}", p.oss_pairs),
-            format!("{}", p.ddn_units),
-            format!("{}", p.storage_availability.point),
-            format!("{}", p.cfs_availability.point),
-            format!("{}", p.cfs_availability.half_width),
-            format!("{}", p.cluster_utility.point),
-            format!("{}", p.cfs_availability_spare_oss.point),
-        ]));
-        out.push('\n');
-    }
-    out
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::experiments::{figure2_storage_availability_with, figure3_disk_replacements_with};
-    use crate::run::RunSpec;
-
-    fn spec() -> RunSpec {
-        RunSpec::new().with_horizon_hours(2000.0).with_replications(4).with_base_seed(1)
-    }
 
     #[test]
     fn cell_escaping_follows_csv_rules() {
@@ -120,23 +33,15 @@ mod tests {
     }
 
     #[test]
-    fn fig2_csv_has_one_row_per_series_point() {
-        let result = figure2_storage_availability_with(&[96.0], &spec()).unwrap();
-        let csv = fig2_to_csv(&result);
-        let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 1 + result.series.len());
-        assert!(lines[0].starts_with("capacity_tb,"));
-        assert!(lines[1].contains("96"));
-        // The series label contains commas and must therefore be quoted.
-        assert!(lines[1].contains("\"(0.6,8.76,8+2,4)\""));
-    }
+    fn quoted_series_labels_survive_a_table_round_trip() {
+        use crate::experiments::figure2_storage_availability_with;
+        use crate::run::RunSpec;
 
-    #[test]
-    fn fig3_csv_roundtrips_points() {
-        let result = figure3_disk_replacements_with(&[480], &spec()).unwrap();
-        let csv = fig3_to_csv(&result);
-        assert_eq!(csv.lines().count(), 1 + result.series.len());
-        assert!(csv.contains("480"));
-        assert!(csv.contains("8.76"));
+        let spec = RunSpec::new().with_horizon_hours(2000.0).with_replications(4).with_base_seed(1);
+        let result = figure2_storage_availability_with(&[96.0], &spec).unwrap();
+        let csv = result.to_table().to_csv();
+        // The series labels contain commas and must therefore be quoted.
+        assert!(csv.contains("\"(0.6,8.76,8+2,4)\""), "{csv}");
+        assert_eq!(csv.lines().count(), 2, "header plus the single capacity row");
     }
 }

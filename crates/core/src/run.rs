@@ -1,6 +1,7 @@
 //! [`RunSpec`]: the validated, named-field description of *how* to run an
-//! evaluation — simulation horizon, replication count, base seed,
-//! confidence level, and worker-thread count.
+//! evaluation — simulation horizon, replication policy (a fixed count or
+//! an adaptive [`PrecisionTarget`]), base seed, confidence level, and
+//! worker-thread count.
 //!
 //! `RunSpec` replaces the positional-argument convention
 //! (`evaluate_cluster(config, horizon, reps, seed)`) that made call sites
@@ -8,6 +9,7 @@
 //! in one place, and the same spec drives a single configuration, a
 //! [`crate::scenario::Scenario`], or a whole [`crate::study::Study`].
 
+use probdist::stats::StoppingRule;
 use serde::{Deserialize, Serialize};
 
 use crate::CfsError;
@@ -44,11 +46,29 @@ pub struct RunSpec {
     base_seed: u64,
     confidence_level: f64,
     workers: usize,
+    precision: Option<PrecisionTarget>,
+}
+
+/// An adaptive replication policy: instead of a fixed replication count,
+/// run batches until every Monte-Carlo measure's confidence interval is
+/// narrower than `relative_half_width` (relative to its point estimate),
+/// bounded by `[min_replications, max_replications]`.
+///
+/// Built by [`RunSpec::with_precision_target`]; converted to a validated
+/// [`probdist::stats::StoppingRule`] by [`RunSpec::stopping_rule`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionTarget {
+    /// Target relative CI half-width (e.g. `0.01` for ±1 %).
+    pub relative_half_width: f64,
+    /// Replications to run before the first precision check.
+    pub min_replications: usize,
+    /// Hard cap on the number of replications.
+    pub max_replications: usize,
 }
 
 impl Default for RunSpec {
     /// One simulated year, 16 replications, seed 42, 95 % confidence,
-    /// auto-sized worker pool.
+    /// auto-sized worker pool, fixed (non-adaptive) replication count.
     fn default() -> Self {
         RunSpec {
             horizon_hours: 8760.0,
@@ -56,6 +76,7 @@ impl Default for RunSpec {
             base_seed: 42,
             confidence_level: 0.95,
             workers: 0,
+            precision: None,
         }
     }
 }
@@ -92,12 +113,41 @@ impl RunSpec {
         self
     }
 
-    /// Sets the number of worker threads replications are fanned out
-    /// across. `0` (the default) uses the machine's available parallelism;
-    /// `1` forces serial execution. Any value yields bit-identical
-    /// statistics.
+    /// Sets the number of worker threads the study's global work-stealing
+    /// pool schedules scenario×replication work units across. `0` (the
+    /// default) uses the machine's available parallelism; `1` forces
+    /// serial execution. Any value yields bit-identical statistics.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Switches the spec to adaptive, precision-targeted replication: every
+    /// Monte-Carlo evaluation runs batches until each of its measures has a
+    /// relative CI half-width of at most `relative_half_width`, running at
+    /// least `min_replications` and at most `max_replications`. The
+    /// replication count actually used is recorded per scenario in the
+    /// [`crate::report::Report`].
+    ///
+    /// An adaptive run that stops after `n` replications is bit-identical
+    /// to a fixed run with `n` replications and the same base seed —
+    /// replication `i` always draws from the stream derived from
+    /// `(base seed, i)`.
+    pub fn with_precision_target(
+        mut self,
+        relative_half_width: f64,
+        min_replications: usize,
+        max_replications: usize,
+    ) -> Self {
+        self.precision =
+            Some(PrecisionTarget { relative_half_width, min_replications, max_replications });
+        self
+    }
+
+    /// Clears the precision target, returning to the fixed replication
+    /// count.
+    pub fn with_fixed_replications(mut self) -> Self {
+        self.precision = None;
         self
     }
 
@@ -124,6 +174,30 @@ impl RunSpec {
     /// The worker-thread count (`0` = auto).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The adaptive precision target, if one is set.
+    pub fn precision_target(&self) -> Option<&PrecisionTarget> {
+        self.precision.as_ref()
+    }
+
+    /// The validated stopping rule of the precision target, or `None` for a
+    /// fixed-count spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfsError::InvalidConfig`] naming the offending parameter
+    /// when the precision target is malformed (non-positive or non-finite
+    /// half-width, `min < 2`, `min > max`).
+    pub fn stopping_rule(&self) -> Result<Option<StoppingRule>, CfsError> {
+        self.precision
+            .map(|p| {
+                StoppingRule::new(p.relative_half_width, p.min_replications, p.max_replications)
+                    .map_err(|e| CfsError::InvalidConfig {
+                        reason: format!("run spec: invalid precision target: {e}"),
+                    })
+            })
+            .transpose()
     }
 
     /// A copy of this spec with the base seed offset by `offset` — used by
@@ -177,6 +251,17 @@ impl RunSpec {
                 ),
             });
         }
+        if let Some(target) = &self.precision {
+            if target.max_replications > MAX_REPLICATIONS {
+                return Err(CfsError::InvalidConfig {
+                    reason: format!(
+                        "run spec: precision target cap of {} replications exceeds the {} limit",
+                        target.max_replications, MAX_REPLICATIONS
+                    ),
+                });
+            }
+            self.stopping_rule()?;
+        }
         Ok(())
     }
 }
@@ -223,6 +308,40 @@ mod tests {
     fn replication_cap_error_mentions_the_footgun() {
         let err = RunSpec::new().with_replications(20_080_625).validate().unwrap_err();
         assert!(err.to_string().contains("swapped"), "{err}");
+    }
+
+    #[test]
+    fn precision_target_round_trips_and_validates() {
+        let spec = RunSpec::new().with_precision_target(0.02, 8, 128);
+        assert!(spec.validate().is_ok());
+        let target = spec.precision_target().unwrap();
+        assert_eq!(target.relative_half_width, 0.02);
+        assert_eq!(target.min_replications, 8);
+        assert_eq!(target.max_replications, 128);
+        let rule = spec.stopping_rule().unwrap().unwrap();
+        assert_eq!(rule.min_replications(), 8);
+        assert_eq!(rule.max_replications(), 128);
+
+        // Fixed specs carry no rule.
+        assert!(RunSpec::new().stopping_rule().unwrap().is_none());
+        assert!(RunSpec::new().precision_target().is_none());
+        let cleared = spec.with_fixed_replications();
+        assert!(cleared.precision_target().is_none());
+    }
+
+    #[test]
+    fn malformed_precision_targets_are_rejected() {
+        assert!(RunSpec::new().with_precision_target(0.0, 8, 128).validate().is_err());
+        assert!(RunSpec::new().with_precision_target(-0.1, 8, 128).validate().is_err());
+        assert!(RunSpec::new().with_precision_target(f64::NAN, 8, 128).validate().is_err());
+        assert!(RunSpec::new().with_precision_target(0.01, 1, 128).validate().is_err());
+        assert!(RunSpec::new().with_precision_target(0.01, 64, 8).validate().is_err());
+        assert!(RunSpec::new()
+            .with_precision_target(0.01, 8, MAX_REPLICATIONS + 1)
+            .validate()
+            .is_err());
+        let err = RunSpec::new().with_precision_target(0.01, 64, 8).validate().unwrap_err();
+        assert!(err.to_string().contains("precision target"), "{err}");
     }
 
     #[test]

@@ -52,12 +52,28 @@ pub struct ScenarioOutput {
     pub tables: Vec<TextTable>,
     /// Headline metrics in a flat, machine-readable form.
     pub metrics: Vec<Metric>,
+    /// Monte-Carlo replications actually executed (the maximum across the
+    /// scenario's evaluation points), recorded so adaptive
+    /// precision-targeted runs surface how much work the stopping rule
+    /// spent. `None` for purely analytic scenarios.
+    pub replications_used: Option<u64>,
 }
 
 impl ScenarioOutput {
     /// Creates an empty output for the named scenario.
     pub fn new(scenario: impl Into<String>) -> Self {
-        ScenarioOutput { scenario: scenario.into(), tables: Vec::new(), metrics: Vec::new() }
+        ScenarioOutput {
+            scenario: scenario.into(),
+            tables: Vec::new(),
+            metrics: Vec::new(),
+            replications_used: None,
+        }
+    }
+
+    /// Records the number of replications actually executed.
+    pub fn with_replications_used(mut self, replications: usize) -> Self {
+        self.replications_used = Some(replications as u64);
+        self
     }
 
     /// Appends a presentation table.
@@ -140,6 +156,7 @@ impl Scenario for ClusterConfig {
         }
         Ok(ScenarioOutput::new(&self.name)
             .with_table(table)
+            .with_replications_used(result.replications)
             .with_metric_ci("cfs_availability", &result.cfs_availability)
             .with_metric_ci("storage_availability", &result.storage_availability)
             .with_metric_ci("cluster_utility", &result.cluster_utility)
@@ -260,7 +277,9 @@ impl Scenario for Figure2StorageAvailability {
 
     fn evaluate(&self, spec: &RunSpec) -> Result<ScenarioOutput, CfsError> {
         let result = figure2_storage_availability_with(&self.capacities_tb, spec)?;
-        let mut output = ScenarioOutput::new(self.name()).with_table(result.to_table());
+        let mut output = ScenarioOutput::new(self.name())
+            .with_table(result.to_table())
+            .with_replications_used(result.replications);
         for series in &result.series {
             // Both sweep endpoints: the small end is the ABE validation
             // point, the large end is the petascale claim.
@@ -296,7 +315,9 @@ impl Scenario for Figure3DiskReplacements {
 
     fn evaluate(&self, spec: &RunSpec) -> Result<ScenarioOutput, CfsError> {
         let result = figure3_disk_replacements_with(&self.disk_counts, spec)?;
-        let mut output = ScenarioOutput::new(self.name()).with_table(result.to_table());
+        let mut output = ScenarioOutput::new(self.name())
+            .with_table(result.to_table())
+            .with_replications_used(result.replications);
         for series in &result.series {
             // Both sweep endpoints: the 480-disk end is the paper's ABE
             // 0–2/week claim, the top end is the scaling cost argument.
@@ -336,7 +357,9 @@ impl Scenario for Figure4CfsAvailability {
 
     fn evaluate(&self, spec: &RunSpec) -> Result<ScenarioOutput, CfsError> {
         let result = figure4_cfs_availability_with(&self.capacities_tb, spec)?;
-        let mut output = ScenarioOutput::new(self.name()).with_table(result.to_table());
+        let mut output = ScenarioOutput::new(self.name())
+            .with_table(result.to_table())
+            .with_replications_used(result.replications);
         if let (Some(first), Some(last)) = (result.points.first(), result.points.last()) {
             output = output
                 .with_metric_ci("cfs_availability_first", &first.cfs_availability)
@@ -353,7 +376,9 @@ impl Scenario for Figure4CfsAvailability {
 
 /// Converts an [`AblationResult`] into the uniform scenario output shape.
 fn ablation_output(name: &str, result: &AblationResult) -> ScenarioOutput {
-    let mut output = ScenarioOutput::new(name).with_table(result.to_table());
+    let mut output = ScenarioOutput::new(name)
+        .with_table(result.to_table())
+        .with_replications_used(result.replications);
     for point in &result.points {
         output =
             output.with_metric_ci(format!("availability {}", point.label), &point.availability);

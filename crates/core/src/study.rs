@@ -2,20 +2,38 @@
 //! [`Scenario`]s under one [`RunSpec`] and collects the results into a
 //! [`Report`].
 //!
-//! A study evaluates its scenarios in registration order; inside each
-//! scenario the replications are fanned out across `std::thread::scope`
-//! workers (as many as [`RunSpec::workers`] asks for), with replication `i`
-//! always drawing from the RNG stream derived from the base seed and `i`.
-//! Serial (`workers = 1`) and parallel runs therefore produce bit-identical
-//! statistics — the property the determinism integration tests pin down.
+//! # Scheduling model
+//!
+//! A study run creates **one global work-stealing pool**
+//! ([`probdist::parallel::Pool`]) sized by [`RunSpec::workers`] and
+//! schedules every scenario×replication work unit of the whole study onto
+//! it. Scenarios are claimed from a shared counter (the calling thread is
+//! itself a worker), and each scenario's replications fan out through the
+//! same pool's permit budget, so:
+//!
+//! * the process never runs more than `workers` busy threads, no matter
+//!   how scenarios and replications nest (nested-pool arbitration);
+//! * a fast scenario that drains early releases its workers to the
+//!   replications of the scenarios still running — wall-clock time is
+//!   bounded by the total work, not by the slowest scenario's slowest
+//!   fixed chunk.
+//!
+//! # Determinism
+//!
+//! Scheduling never touches the statistics: replication `i` of any
+//! evaluation always draws from the RNG stream derived from the base seed
+//! and `i`, results reduce in index order, and scenario outputs are
+//! collected in registration order. Serial (`workers = 1`) and parallel
+//! runs — and adaptive runs that stop at the same replication count —
+//! therefore produce bit-identical reports, the property the determinism
+//! integration tests pin down.
 
 use crate::report::Report;
 use crate::run::RunSpec;
 use crate::scenario::{
     CorrelationAblation, Figure2StorageAvailability, Figure3DiskReplacements,
-    Figure4CfsAvailability, RaidParityAblation, RepairTimeAblation, Scenario, ScenarioOutput,
-    SpareOssAblation, Table1Outages, Table2MountFailures, Table3Jobs, Table4DiskWeibull,
-    Table5Parameters,
+    Figure4CfsAvailability, RaidParityAblation, RepairTimeAblation, Scenario, SpareOssAblation,
+    Table1Outages, Table2MountFailures, Table3Jobs, Table4DiskWeibull, Table5Parameters,
 };
 use crate::CfsError;
 
@@ -120,20 +138,23 @@ impl Study {
         self.scenarios.iter().map(|s| s.name()).collect()
     }
 
-    /// Runs every scenario under `spec` and collects the outputs into a
-    /// [`Report`].
+    /// Runs every scenario under `spec` — scheduling all
+    /// scenario×replication work units onto one global work-stealing pool
+    /// of [`RunSpec::workers`] threads — and collects the outputs into a
+    /// [`Report`] in registration order.
     ///
-    /// Scenarios execute in registration order; each scenario's
-    /// replications are fanned out across the spec's worker threads. The
-    /// report is a pure function of `(scenarios, spec)` — re-running with
-    /// the same inputs, serially or in parallel, reproduces it bit for bit.
+    /// The report is a pure function of `(scenarios, spec)` — re-running
+    /// with the same inputs, serially or in parallel, reproduces it bit
+    /// for bit.
     ///
     /// # Errors
     ///
     /// Returns [`CfsError::InvalidConfig`] for an invalid spec, an empty
     /// study, or duplicate scenario names (the report is keyed by name, so
     /// duplicates would silently shadow each other in every lookup), and
-    /// propagates the first scenario error.
+    /// propagates a scenario error. Once any scenario fails, unstarted
+    /// scenarios are skipped (fail-fast); in-flight ones finish, and the
+    /// earliest-registered error among the scenarios that ran is returned.
     pub fn run(&self, spec: &RunSpec) -> Result<Report, CfsError> {
         spec.validate()?;
         if self.scenarios.is_empty() {
@@ -152,11 +173,28 @@ impl Study {
                 });
             }
         }
-        let outputs: Vec<ScenarioOutput> = self
-            .scenarios
-            .iter()
-            .map(|scenario| scenario.evaluate(spec))
-            .collect::<Result<_, _>>()?;
+        let pool = probdist::parallel::Pool::new(spec.workers());
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let results = pool.run_indexed(self.scenarios.len(), |index| {
+            if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                return None;
+            }
+            let result = self.scenarios[index].evaluate(spec);
+            if result.is_err() {
+                failed.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            Some(result)
+        });
+        let mut outputs = Vec::with_capacity(results.len());
+        for result in results {
+            match result {
+                Some(Ok(output)) => outputs.push(output),
+                Some(Err(error)) => return Err(error),
+                // Skipped after an earlier failure — that failure's `Err`
+                // is in the results and returns above.
+                None => {}
+            }
+        }
         Ok(Report::new(spec.clone(), outputs))
     }
 }
@@ -165,6 +203,7 @@ impl Study {
 mod tests {
     use super::*;
     use crate::config::ClusterConfig;
+    use crate::scenario::ScenarioOutput;
 
     fn quick_spec() -> RunSpec {
         RunSpec::new().with_horizon_hours(2000.0).with_replications(4).with_base_seed(11)
@@ -193,6 +232,24 @@ mod tests {
     fn invalid_spec_is_rejected_before_any_work() {
         let study = Study::new().with(ClusterConfig::abe());
         assert!(study.run(&RunSpec::new().with_replications(0)).is_err());
+    }
+
+    #[test]
+    fn failing_scenario_error_propagates_through_the_pool() {
+        struct Failing;
+        impl crate::scenario::Scenario for Failing {
+            fn name(&self) -> &str {
+                "always-fails"
+            }
+            fn evaluate(&self, _: &RunSpec) -> Result<ScenarioOutput, CfsError> {
+                Err(CfsError::InvalidConfig { reason: "deliberate test failure".into() })
+            }
+        }
+        let study = Study::new().with(Failing).with(ClusterConfig::abe());
+        for workers in [1, 4] {
+            let err = study.run(&quick_spec().with_workers(workers)).unwrap_err();
+            assert!(err.to_string().contains("deliberate test failure"), "{err}");
+        }
     }
 
     #[test]

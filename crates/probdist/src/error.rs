@@ -49,6 +49,12 @@ pub enum DistError {
         /// Number of iterations performed before giving up.
         iterations: usize,
     },
+    /// A sequential stopping rule was malformed (e.g. fewer than two
+    /// minimum replications, or a minimum above the maximum).
+    InvalidStoppingRule {
+        /// Explanation of the rejected combination.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -72,6 +78,9 @@ impl fmt::Display for DistError {
             }
             DistError::NoConvergence { iterations } => {
                 write!(f, "estimator failed to converge after {iterations} iterations")
+            }
+            DistError::InvalidStoppingRule { reason } => {
+                write!(f, "invalid stopping rule: {reason}")
             }
         }
     }

@@ -1,24 +1,283 @@
-//! Deterministic replication fan-out shared by the simulation engines.
+//! The work-stealing execution engine shared by every simulation layer.
+//!
+//! # Scheduling model
+//!
+//! A [`Pool`] owns a fixed budget of worker *permits* (one per worker
+//! thread the caller asked for). Work is scheduled by *claiming*: every
+//! worker — including the thread that called [`Pool::run_indexed`] —
+//! repeatedly claims the next unstarted index from a shared atomic counter
+//! and executes it. There are no fixed chunks, so a fast worker that
+//! drains its share immediately steals the next index instead of idling
+//! behind a slow one; wall-clock time is bounded by the total work, not by
+//! the slowest worker's pre-assigned slice.
+//!
+//! Helper threads are recruited *lazily*: each time a worker claims an
+//! index while more work remains, it tries to acquire spare permits and
+//! spawns one scoped helper per permit granted. A helper returns its
+//! permit the moment the counter is exhausted, so permits flow to
+//! whichever `run_indexed` call still has unclaimed work.
+//!
+//! # Nested-pool arbitration
+//!
+//! While `run_indexed` executes, the pool installs itself as the thread's
+//! *ambient* pool (on the calling thread and on every helper). A nested
+//! fan-out — e.g. a `Study` running scenarios, each of which fans out its
+//! own replications through [`replicate`] — therefore draws helpers from
+//! the **same** permit budget instead of spawning a second pool: the
+//! process never runs more than `workers` busy threads, and a scenario
+//! that finishes early releases its permits to the replications of the
+//! scenarios still running. This is what lets one global pool schedule
+//! scenario×replication work units from an entire study.
+//!
+//! # Determinism
 //!
 //! [`replicate`] runs one closure per replication index, each with the RNG
-//! stream derived from that index, and collects the results **in index
-//! order**. Because the stream depends only on `(root seed, index)` and the
+//! stream derived from `(root seed, index)`, and collects the results **in
+//! index order**. Because the stream depends only on the index and the
 //! collection order is fixed, the returned vector is bit-identical for any
-//! worker count — the invariant both the SAN experiment runner and the
-//! storage Monte-Carlo rely on.
+//! worker count and any scheduling interleaving — the invariant the SAN
+//! experiment runner, the storage Monte-Carlo, and the `Study` runner all
+//! rely on.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 use crate::SimRng;
 
-/// Minimum batch size worth spinning up worker threads for.
+/// Minimum batch size worth recruiting worker threads for.
 const MIN_PARALLEL_COUNT: usize = 4;
 
+/// Resolves a requested worker count (`0` = the machine's available
+/// parallelism).
+fn resolve_workers(workers: usize) -> usize {
+    if workers > 0 {
+        workers
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    }
+}
+
+/// The shared worker budget of a pool: how many helper threads may be live
+/// at once, process-wide for everything scheduled through this pool.
+struct Permits {
+    /// Permits currently available for recruiting helpers.
+    available: AtomicUsize,
+    /// Total worker count (helpers + the claiming caller thread).
+    total: usize,
+}
+
+impl Permits {
+    /// Acquires up to `want` permits and returns how many were granted.
+    /// Never blocks; a claiming worker always makes progress itself, which
+    /// is what makes the nested scheduling deadlock-free.
+    fn try_acquire(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut current = self.available.load(Ordering::Relaxed);
+        loop {
+            if current == 0 {
+                return 0;
+            }
+            let take = current.min(want);
+            match self.available.compare_exchange_weak(
+                current,
+                current - take,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn release(&self, permits: usize) {
+        if permits > 0 {
+            self.available.fetch_add(permits, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Releases one permit when a helper thread finishes (or unwinds).
+struct PermitGuard(Arc<Permits>);
+
+impl Drop for PermitGuard {
+    fn drop(&mut self) {
+        self.0.release(1);
+    }
+}
+
+thread_local! {
+    /// Stack of pools installed on this thread; the innermost one arbitrates
+    /// every fan-out started from here.
+    static AMBIENT: RefCell<Vec<Arc<Permits>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `permits` as this thread's ambient pool until the guard drops.
+fn push_ambient(permits: Arc<Permits>) -> AmbientGuard {
+    AMBIENT.with(|stack| stack.borrow_mut().push(permits));
+    AmbientGuard
+}
+
+struct AmbientGuard;
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+fn ambient_permits() -> Option<Arc<Permits>> {
+    AMBIENT.with(|stack| stack.borrow().last().cloned())
+}
+
+/// A work-stealing worker pool with a fixed permit budget.
+///
+/// See the [module documentation](self) for the scheduling model. A pool is
+/// cheap to create — threads are spawned lazily, per fan-out, only while
+/// there is unclaimed work — and is the arbitration point that keeps nested
+/// fan-outs (study → scenario → replications) from oversubscribing the
+/// machine.
+pub struct Pool {
+    shared: Arc<Permits>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("workers", &self.shared.total).finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with the given worker budget (`0` = the machine's
+    /// available parallelism, `1` = everything runs on the calling thread).
+    pub fn new(workers: usize) -> Pool {
+        let total = resolve_workers(workers);
+        Pool {
+            shared: Arc::new(Permits {
+                available: AtomicUsize::new(total.saturating_sub(1)),
+                total,
+            }),
+        }
+    }
+
+    /// The pool installed on the current thread by an enclosing
+    /// [`Pool::run_indexed`], if any. Fan-outs started while a pool is
+    /// ambient share its permit budget instead of spawning their own
+    /// threads.
+    pub fn current() -> Option<Pool> {
+        ambient_permits().map(|shared| Pool { shared })
+    }
+
+    /// The pool's total worker budget.
+    pub fn workers(&self) -> usize {
+        self.shared.total
+    }
+
+    /// Runs `task(index)` for every `index` in `0..count` on this pool and
+    /// returns the results **in index order**.
+    ///
+    /// The calling thread participates as a worker; helpers are recruited
+    /// from the pool's spare permits while unclaimed work remains. Every
+    /// worker has the pool installed as its ambient pool, so nested
+    /// fan-outs (e.g. [`replicate`] called from inside `task`) draw from
+    /// the same budget — one global scheduler, no oversubscription.
+    pub fn run_indexed<T, F>(&self, count: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let permits = Arc::clone(&self.shared);
+        let _ambient = push_ambient(Arc::clone(&permits));
+        if permits.total <= 1 || count == 1 {
+            return (0..count).map(task).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let ctx = WorkContext { next: &next, count, task: &task, permits: &permits };
+        std::thread::scope(|scope| {
+            // The caller is the first worker; `tx` moves in and is dropped
+            // when its claiming loop ends, so the drain below terminates
+            // once every helper has finished too.
+            work_loop(scope, &ctx, tx);
+        });
+
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
+        slots.resize_with(count, || None);
+        for (index, value) in rx {
+            slots[index] = Some(value);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("work unit {i} produced no result")))
+            .collect()
+    }
+}
+
+/// Shared state of one `run_indexed` fan-out.
+struct WorkContext<'a, F> {
+    next: &'a AtomicUsize,
+    count: usize,
+    task: &'a F,
+    permits: &'a Arc<Permits>,
+}
+
+/// The claiming loop every worker (caller and helpers alike) runs: claim
+/// the next index, recruit helpers for the remainder, execute, repeat.
+fn work_loop<'scope, 'env, T, F>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: &'scope WorkContext<'scope, F>,
+    tx: mpsc::Sender<(usize, T)>,
+) where
+    T: Send + 'scope,
+    F: Fn(usize) -> T + Sync + 'scope,
+{
+    loop {
+        let claimed = ctx.next.fetch_add(1, Ordering::Relaxed);
+        if claimed >= ctx.count {
+            break;
+        }
+        // Recruit one helper per spare permit for the work beyond this
+        // unit. Permits freed elsewhere (another scenario finishing, a
+        // sibling fan-out draining) are picked up at the next claim.
+        let unclaimed = ctx.count - claimed - 1;
+        let granted = ctx.permits.try_acquire(unclaimed);
+        for _ in 0..granted {
+            let tx = tx.clone();
+            let permits = Arc::clone(ctx.permits);
+            scope.spawn(move || {
+                let _permit = PermitGuard(Arc::clone(&permits));
+                let _ambient = push_ambient(permits);
+                work_loop(scope, ctx, tx);
+            });
+        }
+        let value = (ctx.task)(claimed);
+        if tx.send((claimed, value)).is_err() {
+            // The receiver is gone: the fan-out is unwinding after a
+            // sibling worker panicked. Stop claiming.
+            break;
+        }
+    }
+}
+
 /// Runs `run(index, rng)` for every index in `indices`, fanning the work
-/// across `workers` scoped threads (`0` = the machine's available
-/// parallelism, `1` = serial), and returns the results in index order.
+/// across the ambient [`Pool`] when one is installed (a study's global
+/// pool) or a fresh pool of `workers` threads otherwise (`0` = the
+/// machine's available parallelism, `1` = force serial execution), and
+/// returns the results in index order.
 ///
 /// Each call receives a fresh [`SimRng`] derived from `root` and its own
 /// index, so the output is a pure function of `(root, indices)` —
-/// independent of worker count and scheduling.
+/// independent of worker count, pool sharing, and scheduling order.
 pub fn replicate<T, F>(
     indices: std::ops::Range<usize>,
     root: &SimRng,
@@ -30,38 +289,21 @@ where
     F: Fn(usize, &mut SimRng) -> T + Sync,
 {
     let count = indices.len();
-    let workers = if workers > 0 {
-        workers
-    } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    let start = indices.start;
+    let task = |offset: usize| {
+        let index = start + offset;
+        run(index, &mut root.derive_stream(index as u64))
+    };
+    if count == 0 {
+        return Vec::new();
     }
-    .min(count.max(1));
-
-    let indices: Vec<usize> = indices.collect();
-    if workers <= 1 || count < MIN_PARALLEL_COUNT {
-        return indices.into_iter().map(|i| run(i, &mut root.derive_stream(i as u64))).collect();
+    if workers == 1 || count < MIN_PARALLEL_COUNT {
+        // Serial path: iterate the range directly — no index buffer, no
+        // channel, no pool.
+        return (0..count).map(task).collect();
     }
-
-    let chunk_size = count.div_ceil(workers);
-    let run = &run;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = indices
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&i| run(i, &mut root.derive_stream(i as u64)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        // Chunks are joined in submission order, preserving index order.
-        handles
-            .into_iter()
-            .flat_map(|handle| handle.join().expect("replication thread panicked"))
-            .collect()
-    })
+    let pool = Pool::current().unwrap_or_else(|| Pool::new(workers));
+    pool.run_indexed(count, task)
 }
 
 #[cfg(test)]
@@ -99,5 +341,89 @@ mod tests {
         let root = SimRng::seed_from_u64(3);
         let out: Vec<u64> = replicate(0..0, &root, 4, |_, rng| rng.next_u64());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_runs_every_index_exactly_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        let out = pool.run_indexed(50, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i * 2
+        });
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_resolves_auto_worker_count() {
+        assert!(Pool::new(0).workers() >= 1);
+        assert_eq!(Pool::new(3).workers(), 3);
+        assert!(format!("{:?}", Pool::new(3)).contains('3'));
+    }
+
+    #[test]
+    fn no_ambient_pool_outside_run_indexed() {
+        assert!(Pool::current().is_none());
+        let pool = Pool::new(2);
+        pool.run_indexed(1, |_| assert!(Pool::current().is_some()));
+        assert!(Pool::current().is_none());
+    }
+
+    #[test]
+    fn nested_fan_outs_share_one_budget() {
+        // A 4-worker pool fanning out 3 outer tasks, each of which fans out
+        // 8 inner replications: the inner `replicate` calls must find the
+        // ambient pool and the observed helper-thread high-water mark must
+        // stay within the budget (3 helpers + the caller).
+        let pool = Pool::new(4);
+        let live = AtomicUsize::new(1); // the calling thread
+        let peak = AtomicUsize::new(1);
+        let root = SimRng::seed_from_u64(9);
+        let outer = pool.run_indexed(3, |outer_idx| {
+            let inner = replicate(0..8, &root, 4, |i, rng| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                let v = (i as u64) ^ rng.next_u64();
+                live.fetch_sub(1, Ordering::SeqCst);
+                v
+            });
+            (outer_idx, inner.len())
+        });
+        assert_eq!(outer, vec![(0, 8), (1, 8), (2, 8)]);
+        // `live` counts in-flight work units; with a 4-worker budget no more
+        // than 4 (+1 for the outer caller's own bookkeeping slack) may ever
+        // run at once.
+        assert!(peak.load(Ordering::SeqCst) <= 5, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn nested_fan_outs_stay_deterministic() {
+        let root = SimRng::seed_from_u64(11);
+        let run = |pool: &Pool| {
+            pool.run_indexed(3, |outer| {
+                let root = root.derive_stream(outer as u64);
+                replicate(0..6, &root, 8, |_, rng| rng.next_u64())
+            })
+        };
+        let serial = run(&Pool::new(1));
+        for workers in [2, 4, 8] {
+            assert_eq!(serial, run(&Pool::new(workers)), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn uneven_task_durations_do_not_perturb_order() {
+        // Work stealing: the first index is slow, the rest are fast — the
+        // results must still come back in index order and be complete.
+        let pool = Pool::new(3);
+        let out = pool.run_indexed(12, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out, (0..12).collect::<Vec<_>>());
     }
 }

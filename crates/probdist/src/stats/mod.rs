@@ -11,16 +11,21 @@
 //! * [`BatchMeans`] — batch-means estimation for steady-state measures taken
 //!   from a single long run.
 //! * [`Histogram`] — fixed-bin histogram for reward distributions.
+//! * [`StoppingRule`] / [`run_to_precision`] — precision-targeted
+//!   sequential stopping: run replication batches until every tracked CI
+//!   is narrower than a relative half-width target.
 
 mod batch;
 mod confidence;
 mod histogram;
 mod running;
+mod stopping;
 
 pub use batch::BatchMeans;
 pub use confidence::{confidence_interval, student_t_quantile, ConfidenceInterval};
 pub use histogram::Histogram;
 pub use running::RunningStats;
+pub use stopping::{run_to_precision, StoppingRule};
 
 /// Convenience function: sample mean of a slice.
 ///

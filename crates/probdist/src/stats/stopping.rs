@@ -1,0 +1,274 @@
+//! Precision-targeted sequential stopping for replicated experiments.
+//!
+//! The paper reports every simulation measure with a confidence interval;
+//! the engineering question is how many replications that takes. A
+//! [`StoppingRule`] answers it adaptively: run a minimum batch, then keep
+//! doubling the replication count until every tracked measure's relative
+//! CI half-width is below the target (or a hard cap is reached). The rule
+//! lives here, crate-neutral, so the SAN experiment runner, the storage
+//! Monte-Carlo, and the composed-model evaluator all stop the same way —
+//! and so the batch schedule preserves the execution engine's determinism
+//! guarantee: replication `i` always draws from the stream derived from
+//! `(root seed, i)`, whether it runs in a fixed block or as part of an
+//! adaptive batch, so an adaptive run that uses `n` replications is
+//! bit-identical to a fixed run of `n`.
+
+use crate::stats::ConfidenceInterval;
+use crate::DistError;
+
+/// Stopping rule for sequential replication: run at least
+/// [`min_replications`](StoppingRule::min_replications), then stop as soon
+/// as every tracked confidence interval is narrower than
+/// [`relative_half_width`](StoppingRule::relative_half_width) (relative to
+/// its point estimate), or when
+/// [`max_replications`](StoppingRule::max_replications) is reached.
+///
+/// Construction is validated — see [`StoppingRule::new`] — so a rule in
+/// hand is always runnable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    relative_half_width: f64,
+    min_replications: usize,
+    max_replications: usize,
+}
+
+impl Default for StoppingRule {
+    /// ±1 % relative half-width, between 20 and 1000 replications.
+    fn default() -> Self {
+        StoppingRule { relative_half_width: 0.01, min_replications: 20, max_replications: 1000 }
+    }
+}
+
+impl StoppingRule {
+    /// Creates a validated stopping rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonFiniteParameter`] /
+    /// [`DistError::NonPositiveParameter`] for a non-finite or
+    /// non-positive `relative_half_width`, and
+    /// [`DistError::InvalidStoppingRule`] when `min_replications < 2` (a
+    /// confidence interval needs two observations) or
+    /// `min_replications > max_replications`.
+    pub fn new(
+        relative_half_width: f64,
+        min_replications: usize,
+        max_replications: usize,
+    ) -> Result<Self, DistError> {
+        DistError::check_positive("relative_half_width", relative_half_width)?;
+        if min_replications < 2 {
+            return Err(DistError::InvalidStoppingRule {
+                reason: format!(
+                    "a confidence interval needs at least two replications, got min = \
+                     {min_replications}"
+                ),
+            });
+        }
+        if min_replications > max_replications {
+            return Err(DistError::InvalidStoppingRule {
+                reason: format!(
+                    "min_replications ({min_replications}) exceeds max_replications \
+                     ({max_replications})"
+                ),
+            });
+        }
+        Ok(StoppingRule { relative_half_width, min_replications, max_replications })
+    }
+
+    /// The target relative half-width (e.g. `0.01` for ±1 %).
+    pub fn relative_half_width(&self) -> f64 {
+        self.relative_half_width
+    }
+
+    /// Replications to run before the first precision check.
+    pub fn min_replications(&self) -> usize {
+        self.min_replications
+    }
+
+    /// Hard cap on the number of replications.
+    pub fn max_replications(&self) -> usize {
+        self.max_replications
+    }
+
+    /// The next batch size given `completed` replications so far: the
+    /// minimum first, then doubling (batch = completed), always clipped to
+    /// the cap. Returns `0` once the cap is reached.
+    pub fn next_batch(&self, completed: usize) -> usize {
+        if completed >= self.max_replications {
+            0
+        } else if completed == 0 {
+            self.min_replications
+        } else {
+            completed.min(self.max_replications - completed)
+        }
+    }
+
+    /// Whether `interval` is precise enough under this rule. A degenerate
+    /// interval (zero half-width) is always precise; an interval around a
+    /// zero point estimate never is (its relative width is unbounded), so
+    /// rare-event measures should not be tracked by a stopping rule.
+    pub fn met_by(&self, interval: &ConfidenceInterval) -> bool {
+        interval.half_width == 0.0 || interval.relative_half_width() <= self.relative_half_width
+    }
+}
+
+/// Runs replication batches until `is_precise` reports the collected
+/// results meet the target, or the rule's cap is reached, and returns every
+/// per-replication result in index order.
+///
+/// `run_batch` receives the replication-index range to execute
+/// (`start..start + batch`) and must return one result per index, in index
+/// order — exactly the contract of [`crate::parallel::replicate`], which
+/// is what every engine passes through here. Because batches extend the
+/// same index sequence, the collected results — and therefore every
+/// statistic reduced from them — are bit-identical to a fixed-count run of
+/// the same length.
+///
+/// `is_precise` is consulted after each batch, so the returned length is
+/// always `min + k·batches` for some `k`, between the rule's minimum and
+/// cap.
+///
+/// # Errors
+///
+/// Propagates the first error of either closure.
+pub fn run_to_precision<T, E, B, P>(
+    rule: &StoppingRule,
+    mut run_batch: B,
+    mut is_precise: P,
+) -> Result<Vec<T>, E>
+where
+    B: FnMut(std::ops::Range<usize>) -> Result<Vec<T>, E>,
+    P: FnMut(&[T]) -> Result<bool, E>,
+{
+    let mut collected: Vec<T> = Vec::new();
+    loop {
+        let batch = rule.next_batch(collected.len());
+        if batch == 0 {
+            break;
+        }
+        let start = collected.len();
+        collected.extend(run_batch(start..start + batch)?);
+        if is_precise(&collected)? {
+            break;
+        }
+    }
+    Ok(collected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{confidence_interval, RunningStats};
+
+    #[test]
+    fn default_rule_is_valid() {
+        let rule = StoppingRule::default();
+        assert_eq!(rule.relative_half_width(), 0.01);
+        assert_eq!(rule.min_replications(), 20);
+        assert_eq!(rule.max_replications(), 1000);
+        assert_eq!(
+            StoppingRule::new(0.01, 20, 1000).unwrap(),
+            rule,
+            "default must round-trip through the validated constructor"
+        );
+    }
+
+    #[test]
+    fn construction_rejects_bad_parameters() {
+        assert!(matches!(
+            StoppingRule::new(0.0, 2, 10),
+            Err(DistError::NonPositiveParameter { .. })
+        ));
+        assert!(matches!(
+            StoppingRule::new(-0.1, 2, 10),
+            Err(DistError::NonPositiveParameter { .. })
+        ));
+        assert!(matches!(
+            StoppingRule::new(f64::NAN, 2, 10),
+            Err(DistError::NonFiniteParameter { .. })
+        ));
+        assert!(matches!(
+            StoppingRule::new(f64::INFINITY, 2, 10),
+            Err(DistError::NonFiniteParameter { .. })
+        ));
+        assert!(matches!(
+            StoppingRule::new(0.1, 1, 10),
+            Err(DistError::InvalidStoppingRule { .. })
+        ));
+        assert!(matches!(
+            StoppingRule::new(0.1, 10, 5),
+            Err(DistError::InvalidStoppingRule { .. })
+        ));
+        let err = StoppingRule::new(0.1, 10, 5).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn batch_schedule_doubles_up_to_the_cap() {
+        let rule = StoppingRule::new(0.01, 8, 50).unwrap();
+        assert_eq!(rule.next_batch(0), 8);
+        assert_eq!(rule.next_batch(8), 8);
+        assert_eq!(rule.next_batch(16), 16);
+        assert_eq!(rule.next_batch(32), 18); // clipped to the cap
+        assert_eq!(rule.next_batch(50), 0);
+        assert_eq!(rule.next_batch(60), 0);
+    }
+
+    #[test]
+    fn met_by_handles_degenerate_intervals() {
+        let rule = StoppingRule::new(0.05, 2, 10).unwrap();
+        let tight = ConfidenceInterval { point: 1.0, half_width: 0.01, level: 0.95, samples: 8 };
+        let loose = ConfidenceInterval { point: 1.0, half_width: 0.2, level: 0.95, samples: 8 };
+        let exact = ConfidenceInterval::exact(0.0);
+        let zero_mean = ConfidenceInterval { point: 0.0, half_width: 0.1, level: 0.95, samples: 8 };
+        assert!(rule.met_by(&tight));
+        assert!(!rule.met_by(&loose));
+        assert!(rule.met_by(&exact), "zero half-width is always precise");
+        assert!(!rule.met_by(&zero_mean), "a zero point estimate can never satisfy the target");
+    }
+
+    #[test]
+    fn run_to_precision_stops_early_when_precise() {
+        let rule = StoppingRule::new(0.5, 4, 64).unwrap();
+        let runs = run_to_precision::<usize, DistError, _, _>(
+            &rule,
+            |range| Ok(range.collect()),
+            |collected| {
+                let stats: RunningStats =
+                    collected.iter().map(|&i| 10.0 + (i % 2) as f64).collect();
+                Ok(rule.met_by(&confidence_interval(&stats, 0.95)?))
+            },
+        )
+        .unwrap();
+        assert_eq!(runs, vec![0, 1, 2, 3], "a low-variance measure stops at the minimum");
+    }
+
+    #[test]
+    fn run_to_precision_runs_to_the_cap_when_noisy() {
+        let rule = StoppingRule::new(1e-9, 4, 20).unwrap();
+        let mut batches = Vec::new();
+        let runs = run_to_precision::<usize, DistError, _, _>(
+            &rule,
+            |range| {
+                batches.push(range.clone());
+                Ok(range.collect())
+            },
+            |_| Ok(false),
+        )
+        .unwrap();
+        assert_eq!(runs, (0..20).collect::<Vec<_>>());
+        assert_eq!(batches, vec![0..4, 4..8, 8..16, 16..20]);
+    }
+
+    #[test]
+    fn run_to_precision_propagates_errors() {
+        let rule = StoppingRule::new(0.1, 4, 8).unwrap();
+        let err = run_to_precision::<usize, DistError, _, _>(
+            &rule,
+            |_| Err(DistError::EmptyData),
+            |_| Ok(true),
+        )
+        .unwrap_err();
+        assert_eq!(err, DistError::EmptyData);
+    }
+}

@@ -1,7 +1,9 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use probdist::stats::{confidence_interval, ConfidenceInterval, RunningStats};
+use probdist::stats::{
+    confidence_interval, run_to_precision, ConfidenceInterval, RunningStats, StoppingRule,
+};
 use probdist::{Distribution, Exponential, SimRng, Weibull};
 use serde::{Deserialize, Serialize};
 
@@ -151,19 +153,10 @@ impl StorageSimulator {
         confidence_level: f64,
         workers: usize,
     ) -> Result<StorageSummary, RaidError> {
-        if !(horizon_hours.is_finite() && horizon_hours > 0.0) {
-            return Err(RaidError::InvalidRun {
-                reason: format!("horizon must be positive, got {horizon_hours}"),
-            });
-        }
+        Self::validate_run(horizon_hours, confidence_level)?;
         if replications < 2 {
             return Err(RaidError::InvalidRun {
                 reason: "at least two replications are required".into(),
-            });
-        }
-        if !(confidence_level > 0.0 && confidence_level < 1.0) {
-            return Err(RaidError::InvalidRun {
-                reason: format!("confidence level must be in (0, 1), got {confidence_level}"),
             });
         }
 
@@ -172,7 +165,79 @@ impl StorageSimulator {
             probdist::parallel::replicate(0..replications, &root, workers, |_, rng| {
                 self.run_once(horizon_hours, rng)
             });
+        self.summarise(&runs, horizon_hours, confidence_level)
+    }
 
+    /// Runs replication batches until `rule` is satisfied — every tracked
+    /// measure's relative CI half-width below the target — or its cap is
+    /// reached, and aggregates exactly like [`StorageSimulator::run_with`].
+    ///
+    /// Availability and replacements-per-week are tracked by the rule;
+    /// data-loss events are not (a rare-event count has a near-zero mean,
+    /// so its *relative* width is ill-defined and would force every run to
+    /// the cap). The summary's `replications` field records the count
+    /// actually used, and because batches extend one index-derived stream
+    /// sequence, an adaptive run of `n` replications is bit-identical to a
+    /// fixed `run_with` of `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaidError::InvalidRun`] for a non-positive horizon or a
+    /// confidence level outside `(0, 1)`.
+    pub fn run_until(
+        &self,
+        horizon_hours: f64,
+        rule: &StoppingRule,
+        seed: u64,
+        confidence_level: f64,
+        workers: usize,
+    ) -> Result<StorageSummary, RaidError> {
+        Self::validate_run(horizon_hours, confidence_level)?;
+        let root = SimRng::seed_from_u64(seed);
+        let runs = run_to_precision(
+            rule,
+            |range| -> Result<Vec<StorageRunStats>, RaidError> {
+                Ok(probdist::parallel::replicate(range, &root, workers, |_, rng| {
+                    self.run_once(horizon_hours, rng)
+                }))
+            },
+            |runs: &[StorageRunStats]| -> Result<bool, RaidError> {
+                let availability: RunningStats = runs.iter().map(|r| r.availability()).collect();
+                let per_week: RunningStats =
+                    runs.iter().map(|r| r.replacements_per_week()).collect();
+                for stats in [&availability, &per_week] {
+                    let interval = confidence_interval(stats, confidence_level)?;
+                    if !rule.met_by(&interval) {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            },
+        )?;
+        self.summarise(&runs, horizon_hours, confidence_level)
+    }
+
+    fn validate_run(horizon_hours: f64, confidence_level: f64) -> Result<(), RaidError> {
+        if !(horizon_hours.is_finite() && horizon_hours > 0.0) {
+            return Err(RaidError::InvalidRun {
+                reason: format!("horizon must be positive, got {horizon_hours}"),
+            });
+        }
+        if !(confidence_level > 0.0 && confidence_level < 1.0) {
+            return Err(RaidError::InvalidRun {
+                reason: format!("confidence level must be in (0, 1), got {confidence_level}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Aggregates raw replication results into a [`StorageSummary`].
+    fn summarise(
+        &self,
+        runs: &[StorageRunStats],
+        horizon_hours: f64,
+        confidence_level: f64,
+    ) -> Result<StorageSummary, RaidError> {
         let availability: RunningStats = runs.iter().map(|r| r.availability()).collect();
         let per_week: RunningStats = runs.iter().map(|r| r.replacements_per_week()).collect();
         let losses: RunningStats = runs.iter().map(|r| r.data_loss_events as f64).collect();
@@ -182,8 +247,8 @@ impl StorageSimulator {
             availability: confidence_interval(&availability, confidence_level)?,
             replacements_per_week: confidence_interval(&per_week, confidence_level)?,
             data_loss_events: confidence_interval(&losses, confidence_level)?,
-            prob_any_data_loss: any_loss as f64 / replications as f64,
-            replications,
+            prob_any_data_loss: any_loss as f64 / runs.len() as f64,
+            replications: runs.len(),
             horizon_hours,
         })
     }
@@ -494,6 +559,29 @@ mod tests {
         let summary = sim.run(8760.0, 16, 17).unwrap();
         assert!(summary.availability.point < 0.999, "controller faults should cause downtime");
         assert!(summary.data_loss_events.point < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_run_stops_within_bounds_and_matches_fixed() {
+        let sim = StorageSimulator::new(quick_config()).unwrap();
+        let rule = StoppingRule::new(0.25, 4, 32).unwrap();
+        let adaptive = sim.run_until(8760.0, &rule, 9, 0.95, 2).unwrap();
+        assert!(
+            adaptive.replications >= 4 && adaptive.replications <= 32,
+            "used {} replications",
+            adaptive.replications
+        );
+        // Bit-identical to a fixed run of the same length and seed.
+        let fixed = sim.run_with(8760.0, adaptive.replications, 9, 0.95, 1).unwrap();
+        assert_eq!(adaptive, fixed);
+    }
+
+    #[test]
+    fn adaptive_run_validates_parameters() {
+        let sim = StorageSimulator::new(quick_config()).unwrap();
+        let rule = StoppingRule::new(0.25, 4, 32).unwrap();
+        assert!(sim.run_until(0.0, &rule, 1, 0.95, 1).is_err());
+        assert!(sim.run_until(100.0, &rule, 1, 1.5, 1).is_err());
     }
 
     #[test]

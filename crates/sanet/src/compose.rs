@@ -8,7 +8,7 @@
 //!   getting private copies of its places except for the shared ones.
 //!
 //! In this crate a submodel is simply a function that adds places and
-//! activities to a [`ModelBuilder`], receiving the shared [`PlaceId`]s as
+//! activities to a [`ModelBuilder`], receiving the shared [`crate::PlaceId`]s as
 //! arguments and returning whatever handles (place ids, activity ids) the
 //! caller needs. Because every submodel works on the same builder and the
 //! same place-id namespace, "sharing a place" is just passing the same

@@ -1,28 +1,18 @@
-use probdist::stats::{confidence_interval, ConfidenceInterval, RunningStats};
+//! Replicated simulation experiments: a thin adapter that binds the SAN
+//! engine's per-replication runs to the crate-neutral execution machinery
+//! in [`probdist`] — the work-stealing fan-out of
+//! [`probdist::parallel::replicate`] and the precision-targeted stopping
+//! of [`probdist::stats::StoppingRule`] / [`run_to_precision`]. All
+//! scheduling and stopping policy lives there; this module only knows how
+//! to run one SAN replication and how to summarise reward estimates.
+
+use probdist::stats::{confidence_interval, run_to_precision, ConfidenceInterval, RunningStats};
 use probdist::SimRng;
 
 use crate::reward::RewardSpec;
 use crate::{Model, SanError, Simulator};
 
-/// Stopping rule for sequential replication: run at least `min_replications`,
-/// then stop as soon as every reward's confidence interval is narrower than
-/// `relative_half_width` (relative to its point estimate), or when
-/// `max_replications` is reached.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct StoppingRule {
-    /// Minimum number of replications to run before checking precision.
-    pub min_replications: usize,
-    /// Hard cap on the number of replications.
-    pub max_replications: usize,
-    /// Target relative half-width (e.g. `0.01` for ±1 %).
-    pub relative_half_width: f64,
-}
-
-impl Default for StoppingRule {
-    fn default() -> Self {
-        StoppingRule { min_replications: 20, max_replications: 1000, relative_half_width: 0.01 }
-    }
-}
+pub use probdist::stats::StoppingRule;
 
 /// Point estimate and confidence interval for one reward across
 /// replications.
@@ -41,7 +31,8 @@ pub struct RewardEstimate {
 #[derive(Debug, Clone)]
 pub struct RunSummary {
     estimates: Vec<RewardEstimate>,
-    /// Number of replications actually executed.
+    /// Number of replications actually executed (for an adaptive run, the
+    /// count at which the stopping rule was satisfied or capped).
     pub replications: usize,
     /// Simulation horizon of each replication (hours).
     pub horizon: f64,
@@ -134,9 +125,11 @@ impl Experiment {
 
     /// Sets the number of worker threads replications are fanned out across.
     /// `0` (the default) uses the machine's available parallelism; `1` forces
-    /// serial execution. Because every replication draws from its own
-    /// index-derived RNG stream and results are collected in index order,
-    /// the statistics are bit-identical for any worker count.
+    /// serial execution. When an ambient [`probdist::parallel::Pool`] is
+    /// installed (the experiment runs inside a `Study`), replications draw
+    /// from that shared worker budget instead. Because every replication
+    /// draws from its own index-derived RNG stream and results are collected
+    /// in index order, the statistics are bit-identical for any worker count.
     pub fn set_workers(&mut self, workers: usize) -> &mut Self {
         self.workers = workers;
         self
@@ -172,63 +165,37 @@ impl Experiment {
             });
         }
         let results = self.run_indices(0, replications, seed)?;
-        self.summarise(results, replications)
+        self.summarise(results)
     }
 
-    /// Runs replications until the stopping rule is satisfied.
+    /// Runs replication batches until `rule` is satisfied for every
+    /// registered reward, or its cap is reached.
+    ///
+    /// The batches extend one index sequence from the same root seed, so an
+    /// adaptive run that stops after `n` replications is bit-identical to
+    /// [`Experiment::run`] with `replications = n`. The summary's
+    /// `replications` field records the count actually used.
     ///
     /// # Errors
     ///
-    /// Returns [`SanError::InvalidExperiment`] for a malformed stopping rule
-    /// and propagates any simulation error.
+    /// Propagates any simulation or statistics error.
     pub fn run_until(&self, rule: StoppingRule, seed: u64) -> Result<RunSummary, SanError> {
-        if rule.min_replications < 2 || rule.max_replications < rule.min_replications {
-            return Err(SanError::InvalidExperiment {
-                reason: "stopping rule needs min >= 2 and max >= min".into(),
-            });
-        }
-        let mut collected: Vec<Vec<f64>> = Vec::new();
-        let mut events = 0u64;
-        let mut done = 0usize;
-        let mut batch = rule.min_replications;
-        loop {
-            let results = self.run_indices(done, batch, seed)?;
-            for r in &results {
-                events += r.events;
-                collected
-                    .push(self.rewards.iter().map(|s| r.reward(s.name()).unwrap_or(0.0)).collect());
-            }
-            done += batch;
-
-            // Check precision across all rewards.
-            let mut all_precise = true;
-            for (idx, _) in self.rewards.iter().enumerate() {
-                let stats: RunningStats = collected.iter().map(|row| row[idx]).collect();
-                let ci = confidence_interval(&stats, self.confidence_level)?;
-                if ci.relative_half_width() > rule.relative_half_width && ci.half_width > 0.0 {
-                    all_precise = false;
-                    break;
+        let results = run_to_precision(
+            &rule,
+            |range| self.run_indices(range.start, range.len(), seed),
+            |results: &[crate::RunResult]| {
+                for spec in &self.rewards {
+                    let stats: RunningStats =
+                        results.iter().map(|r| r.reward(spec.name()).unwrap_or(0.0)).collect();
+                    let interval = confidence_interval(&stats, self.confidence_level)?;
+                    if !rule.met_by(&interval) {
+                        return Ok(false);
+                    }
                 }
-            }
-            if all_precise || done >= rule.max_replications {
-                break;
-            }
-            batch = (done).min(rule.max_replications - done).max(1);
-        }
-
-        // Re-summarise from the collected rows.
-        let mut estimates = Vec::with_capacity(self.rewards.len());
-        for (idx, spec) in self.rewards.iter().enumerate() {
-            let stats: RunningStats = collected.iter().map(|row| row[idx]).collect();
-            let interval = confidence_interval(&stats, self.confidence_level)?;
-            estimates.push(RewardEstimate { name: spec.name().to_string(), interval, stats });
-        }
-        Ok(RunSummary {
-            estimates,
-            replications: done,
-            horizon: self.horizon,
-            total_events: events,
-        })
+                Ok(true)
+            },
+        )?;
+        self.summarise(results)
     }
 
     /// Runs a fixed number of replications and returns the raw per-
@@ -253,6 +220,23 @@ impl Experiment {
         self.run_indices(0, replications, seed)
     }
 
+    /// Runs the replications of `range` (by stream index) and returns their
+    /// raw results — the batch primitive adaptive callers drive through
+    /// [`probdist::stats::run_to_precision`]. Replication `i` always draws
+    /// from the stream derived from `(seed, i)`, so consecutive ranges
+    /// extend one deterministic sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_raw_range(
+        &self,
+        range: std::ops::Range<usize>,
+        seed: u64,
+    ) -> Result<Vec<crate::RunResult>, SanError> {
+        self.run_indices(range.start, range.len(), seed)
+    }
+
     /// Runs replications `start..start+count` (by stream index) and returns
     /// their raw results. The deterministic fan-out lives in
     /// [`probdist::parallel::replicate`], so the results are bit-identical
@@ -273,11 +257,8 @@ impl Experiment {
         .collect()
     }
 
-    fn summarise(
-        &self,
-        results: Vec<crate::RunResult>,
-        replications: usize,
-    ) -> Result<RunSummary, SanError> {
+    fn summarise(&self, results: Vec<crate::RunResult>) -> Result<RunSummary, SanError> {
+        let replications = results.len();
         let total_events = results.iter().map(|r| r.events).sum();
         let mut estimates = Vec::with_capacity(self.rewards.len());
         for spec in &self.rewards {
@@ -371,8 +352,7 @@ mod tests {
         let (model, up) = repairable_unit(100.0, 1.0);
         let mut exp = Experiment::new(model, 50_000.0);
         exp.add_reward(availability_reward(up));
-        let rule =
-            StoppingRule { min_replications: 8, max_replications: 64, relative_half_width: 0.01 };
+        let rule = StoppingRule::new(0.01, 8, 64).unwrap();
         let summary = exp.run_until(rule, 3).unwrap();
         assert!(summary.replications >= 8 && summary.replications <= 64);
         let ci = &summary.reward("avail").unwrap().interval;
@@ -381,16 +361,27 @@ mod tests {
     }
 
     #[test]
-    fn run_until_validates_rule() {
+    fn adaptive_run_matches_fixed_run_of_the_same_count() {
         let (model, up) = repairable_unit(100.0, 1.0);
-        let mut exp = Experiment::new(model, 1000.0);
+        let mut exp = Experiment::new(model, 50_000.0);
         exp.add_reward(availability_reward(up));
-        let bad =
-            StoppingRule { min_replications: 1, max_replications: 10, relative_half_width: 0.1 };
-        assert!(exp.run_until(bad, 1).is_err());
-        let bad =
-            StoppingRule { min_replications: 10, max_replications: 5, relative_half_width: 0.1 };
-        assert!(exp.run_until(bad, 1).is_err());
+        let rule = StoppingRule::new(0.05, 8, 32).unwrap();
+        let adaptive = exp.run_until(rule, 5).unwrap();
+        let fixed = exp.run(adaptive.replications, 5).unwrap();
+        assert_eq!(
+            adaptive.reward("avail").unwrap().interval.point,
+            fixed.reward("avail").unwrap().interval.point,
+            "adaptive and fixed runs of the same length must be bit-identical"
+        );
+        assert_eq!(adaptive.total_events, fixed.total_events);
+    }
+
+    #[test]
+    fn stopping_rule_is_validated_at_construction() {
+        assert!(StoppingRule::new(0.1, 1, 10).is_err());
+        assert!(StoppingRule::new(0.1, 10, 5).is_err());
+        assert!(StoppingRule::new(0.0, 2, 10).is_err());
+        assert!(StoppingRule::new(0.1, 2, 10).is_ok());
     }
 
     #[test]
@@ -409,11 +400,25 @@ mod tests {
     }
 
     #[test]
+    fn run_raw_range_extends_the_same_sequence() {
+        let (model, up) = repairable_unit(100.0, 1.0);
+        let mut exp = Experiment::new(model, 5_000.0);
+        exp.add_reward(availability_reward(up));
+        let full = exp.run_raw(8, 33).unwrap();
+        let head = exp.run_raw_range(0..4, 33).unwrap();
+        let tail = exp.run_raw_range(4..8, 33).unwrap();
+        for (a, b) in full.iter().zip(head.iter().chain(tail.iter())) {
+            assert_eq!(a.reward("avail").unwrap(), b.reward("avail").unwrap());
+            assert_eq!(a.events, b.events);
+        }
+    }
+
+    #[test]
     fn default_stopping_rule_is_sane() {
         let rule = StoppingRule::default();
-        assert!(rule.min_replications >= 2);
-        assert!(rule.max_replications >= rule.min_replications);
-        assert!(rule.relative_half_width > 0.0);
+        assert!(rule.min_replications() >= 2);
+        assert!(rule.max_replications() >= rule.min_replications());
+        assert!(rule.relative_half_width() > 0.0);
     }
 
     #[test]

@@ -67,16 +67,17 @@ pub use sanet;
 /// `use petascale_cfs::prelude::*`.
 pub mod prelude {
     pub use cfs_model::analysis::evaluate;
-    #[allow(deprecated)]
-    pub use cfs_model::analysis::evaluate_cluster;
     pub use cfs_model::config::ClusterConfig;
     pub use cfs_model::experiments;
     pub use cfs_model::scenario::{Metric, Scenario, ScenarioOutput};
-    pub use cfs_model::{CfsError, ModelParameters, Report, ReportFormat, RunSpec, Study};
+    pub use cfs_model::{
+        CfsError, ModelParameters, PrecisionTarget, Report, ReportFormat, RunSpec, Study,
+    };
     pub use faultlog::analysis::{
         DiskReplacementAnalysis, JobAnalysis, MountFailureAnalysis, OutageAnalysis,
     };
     pub use faultlog::generator::{LogGenConfig, LogGenerator};
+    pub use probdist::stats::StoppingRule;
     pub use probdist::{Distribution, Exponential, SimRng, Weibull};
     pub use raidsim::{DiskModel, RaidGeometry, StorageConfig, StorageSimulator};
     pub use sanet::{Experiment, ModelBuilder};

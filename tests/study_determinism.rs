@@ -1,8 +1,10 @@
-//! Integration tests for the `RunSpec`/`Study` execution guarantees:
-//! replication fan-out across worker threads must not change any statistic
-//! (bit-for-bit), distinct base seeds must give distinct estimates, and the
-//! unified report sink must render the same study identically regardless of
-//! parallelism.
+//! Integration tests for the `RunSpec`/`Study` execution guarantees under
+//! the work-stealing engine: scheduling every scenario×replication work
+//! unit onto one global pool must not change any statistic (bit-for-bit)
+//! at any worker count, distinct base seeds must give distinct estimates,
+//! adaptive precision-targeted runs must stop within their bounds and be
+//! bit-identical to fixed runs of the same length, and the unified report
+//! sink must render the same study identically regardless of parallelism.
 
 use petascale_cfs::prelude::*;
 
@@ -77,4 +79,107 @@ fn storage_simulator_is_worker_count_invariant() {
     let serial = sim.run_with(8760.0, 16, 7, 0.95, 1).unwrap();
     let parallel = sim.run_with(8760.0, 16, 7, 0.95, 4).unwrap();
     assert_eq!(serial, parallel);
+}
+
+/// The work-stealing scheduler under stress: a study whose *first*
+/// scenario is the slowest (the petascale model) mixed with cheap
+/// scenarios, so fast workers finish their claims early and steal from the
+/// slow scenario's replications. The rendered statistics must be
+/// bit-identical at every worker count.
+#[test]
+fn slow_first_scenario_mix_is_bit_identical_across_worker_counts() {
+    let study = || {
+        Study::new()
+            .with(ClusterConfig::petascale()) // slowest first
+            .with(ClusterConfig::abe())
+            .with(cfs_model::scenario::Figure3DiskReplacements { disk_counts: vec![480] })
+            .with(cfs_model::scenario::Table5Parameters)
+    };
+    let base =
+        RunSpec::new().with_horizon_hours(2000.0).with_replications(6).with_base_seed(20_080_625);
+    let serial = study().run(&base.clone().with_workers(1)).unwrap();
+    for workers in [2, 8] {
+        let parallel = study().run(&base.clone().with_workers(workers)).unwrap();
+        assert_eq!(serial.outputs, parallel.outputs, "workers = {workers}");
+        assert_eq!(serial.to_csv(), parallel.to_csv(), "workers = {workers}");
+    }
+}
+
+/// Adaptive stopping through the full pipeline: a spec with a loose
+/// precision target stops within `[min, max]`, records the replication
+/// count actually used, and surfaces it in the text, CSV, and JSON
+/// renderings of the report.
+#[test]
+fn adaptive_stopping_is_recorded_in_every_report_format() {
+    let spec = RunSpec::new()
+        .with_horizon_hours(2000.0)
+        .with_base_seed(11)
+        .with_workers(2)
+        .with_precision_target(0.5, 4, 64);
+    let report = Study::new().with(ClusterConfig::abe()).run(&spec).unwrap();
+    let output = report.output("ABE").unwrap();
+    let used = output.replications_used.expect("Monte-Carlo scenario records its replications");
+    assert!((4..=64).contains(&(used as usize)), "used {used} replications");
+
+    let text = report.to_text();
+    assert!(text.contains(&format!("replications used: {used}")), "{text}");
+    assert!(text.contains("precision ±50.00% (4..64 replications)"), "{text}");
+    let csv = report.to_csv();
+    assert!(csv.contains(&format!("ABE,replications_used,{used},")), "{csv}");
+    let json = report.to_json();
+    assert!(json.contains("replications_used"), "{json}");
+    assert!(json.contains("precision"), "{json}");
+}
+
+/// A high-variance scenario with an unreachable target runs to the cap —
+/// the other side of the stopping-rule contract.
+#[test]
+fn unreachable_precision_target_runs_to_the_cap() {
+    let spec = RunSpec::new()
+        .with_horizon_hours(2000.0)
+        .with_base_seed(3)
+        .with_precision_target(1e-9, 4, 8);
+    let report = Study::new().with(ClusterConfig::abe()).run(&spec).unwrap();
+    assert_eq!(report.output("ABE").unwrap().replications_used, Some(8));
+}
+
+/// Determinism across replication policies: an adaptive run that stops at
+/// `n` replications is bit-identical to a fixed run of `n` replications
+/// with the same base seed — and stays so at any worker count.
+#[test]
+fn adaptive_and_fixed_runs_of_equal_length_are_bit_identical() {
+    let abe = ClusterConfig::abe();
+    let adaptive_spec = RunSpec::new()
+        .with_horizon_hours(2000.0)
+        .with_base_seed(9)
+        .with_workers(2)
+        .with_precision_target(0.5, 4, 64);
+    let adaptive = evaluate(&abe, &adaptive_spec).unwrap();
+    let fixed_spec = RunSpec::new()
+        .with_horizon_hours(2000.0)
+        .with_base_seed(9)
+        .with_replications(adaptive.replications);
+    for workers in [1, 4] {
+        let fixed = evaluate(&abe, &fixed_spec.clone().with_workers(workers)).unwrap();
+        assert_eq!(adaptive, fixed, "workers = {workers}");
+    }
+}
+
+/// The adaptive replication count itself must be worker-count invariant:
+/// the stopping decision reduces from index-ordered statistics, so the
+/// engine may not stop at different counts under different scheduling.
+#[test]
+fn adaptive_replication_count_is_worker_count_invariant() {
+    let spec = |workers: usize| {
+        RunSpec::new()
+            .with_horizon_hours(2000.0)
+            .with_base_seed(17)
+            .with_workers(workers)
+            .with_precision_target(0.05, 4, 32)
+    };
+    let serial = evaluate(&ClusterConfig::abe(), &spec(1)).unwrap();
+    for workers in [2, 8] {
+        let parallel = evaluate(&ClusterConfig::abe(), &spec(workers)).unwrap();
+        assert_eq!(serial, parallel, "workers = {workers}");
+    }
 }
