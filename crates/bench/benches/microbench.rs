@@ -1,25 +1,33 @@
 //! Micro-benchmarks of the simulation substrates — lifetime sampling, the
-//! stochastic-activity-network engine, and the storage Monte-Carlo kernel —
-//! plus the study scheduler: the global work-stealing pool against the
-//! PR-1-style serial-scenario loop it replaced.
+//! stochastic-activity-network engine (event-calendar kernel vs the
+//! retained naive reference kernel, on a 2-activity unit and on the full
+//! composed ABE / petascale cluster models), and the storage Monte-Carlo
+//! kernel — plus the study scheduler: the global work-stealing pool against
+//! the PR-1-style serial-scenario loop it replaced.
 //!
 //! The harness is self-contained (no external benchmarking crate is
 //! available offline): each kernel is warmed up, then timed over enough
-//! iterations to smooth scheduler noise, reporting ns/iter.
+//! iterations to smooth scheduler noise, reporting ns/iter. Alongside the
+//! text lines, every result is recorded into `BENCH.json`
+//! ([`cfs_bench::write_bench_json`]) — name, ns/iter, events/sec, and
+//! speedup-vs-baseline — so CI can archive the performance trajectory.
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use cfs_bench::BenchRecord;
 use cfs_model::analysis::evaluate;
+use cfs_model::model::build_cluster_model;
+use cfs_model::rewards::standard_rewards;
 use cfs_model::{ClusterConfig, RunSpec, Scenario, Study};
 use probdist::{Distribution, Exponential, SimRng, Weibull};
 use raidsim::{StorageConfig, StorageSimulator};
 use sanet::reward::RewardSpec;
 use sanet::{ModelBuilder, Simulator};
 
-/// Times `f` over `iters` iterations (after `warmup` untimed ones) and
-/// prints nanoseconds per iteration.
-fn bench<T>(name: &str, warmup: u64, iters: u64, mut f: impl FnMut() -> T) {
+/// Times `f` over `iters` iterations (after `warmup` untimed ones), prints
+/// nanoseconds per iteration, and returns the ns/iter.
+fn bench<T>(name: &str, warmup: u64, iters: u64, mut f: impl FnMut() -> T) -> f64 {
     for _ in 0..warmup {
         black_box(f());
     }
@@ -28,22 +36,41 @@ fn bench<T>(name: &str, warmup: u64, iters: u64, mut f: impl FnMut() -> T) {
         black_box(f());
     }
     let elapsed = start.elapsed();
-    println!(
-        "{name:<42} {:>12.1} ns/iter   ({iters} iters)",
-        elapsed.as_nanos() as f64 / iters as f64
-    );
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<46} {ns:>12.1} ns/iter   ({iters} iters)");
+    ns
 }
 
-fn bench_distributions() {
+/// Like [`bench`] for simulation kernels: `f` returns the number of events
+/// it processed, and the result carries events/sec throughput.
+fn bench_events(name: &str, warmup: u64, iters: u64, mut f: impl FnMut() -> u64) -> BenchRecord {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut events = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        events += black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    let events_per_sec = events as f64 / elapsed.as_secs_f64();
+    println!("{name:<46} {ns:>12.1} ns/iter   ({iters} iters, {events_per_sec:>12.0} events/s)");
+    BenchRecord::with_events(name, ns, events_per_sec)
+}
+
+fn bench_distributions(records: &mut Vec<BenchRecord>) {
     let weibull = Weibull::from_shape_and_mean(0.7, 300_000.0).unwrap();
     let exponential = Exponential::from_mean(300_000.0).unwrap();
     let mut rng = SimRng::seed_from_u64(1);
-    bench("weibull_sample", 10_000, 1_000_000, || weibull.sample(&mut rng));
+    let ns = bench("weibull_sample", 10_000, 1_000_000, || weibull.sample(&mut rng));
+    records.push(BenchRecord::timing("weibull_sample", ns));
     let mut rng2 = SimRng::seed_from_u64(1);
-    bench("exponential_sample", 10_000, 1_000_000, || exponential.sample(&mut rng2));
+    let ns = bench("exponential_sample", 10_000, 1_000_000, || exponential.sample(&mut rng2));
+    records.push(BenchRecord::timing("exponential_sample", ns));
 }
 
-fn bench_san_engine() {
+fn bench_san_engine(records: &mut Vec<BenchRecord>) {
     let mut builder = ModelBuilder::new("unit");
     let up = builder.add_place("up", 1).unwrap();
     let down = builder.add_place("down", 0).unwrap();
@@ -69,15 +96,53 @@ fn bench_san_engine() {
         )];
     let sim = Simulator::new(&model);
     let mut rng = SimRng::seed_from_u64(7);
-    bench("san_engine_one_year_repairable_unit", 5, 200, || {
-        sim.run(&rewards, 8760.0, 0.0, &mut rng).unwrap()
-    });
+    records.push(bench_events("san_engine_one_year_repairable_unit", 5, 200, || {
+        sim.run(&rewards, 8760.0, 0.0, &mut rng).unwrap().events
+    }));
+    let mut rng = SimRng::seed_from_u64(7);
+    records.push(bench_events("san_engine_one_year_repairable_unit_ref", 5, 200, || {
+        sim.run_reference(&rewards, 8760.0, 0.0, &mut rng).unwrap().events
+    }));
 }
 
-fn bench_storage_kernel() {
+/// The paper's composed cluster models, run single-replication through both
+/// kernels. This is the bench the event-calendar engine exists for: the
+/// reference kernel's per-event cost grows with the activity count (the
+/// full rescan), the calendar kernel's only with the affected set, so the
+/// gap widens from ABE (~34 activities) to petascale (~250).
+fn bench_san_composed_models(records: &mut Vec<BenchRecord>) {
+    // Five simulated years per iteration: long enough that per-replication
+    // setup (schedule allocation, the initial full sampling pass) amortises
+    // away and the numbers measure steady-state event throughput.
+    for (config, horizon, iters) in
+        [(ClusterConfig::abe(), 43_800.0_f64, 100_u64), (ClusterConfig::petascale(), 21_900.0, 20)]
+    {
+        let cluster = build_cluster_model(&config).unwrap();
+        let rewards = standard_rewards(&cluster);
+        let sim = Simulator::new(&cluster.model);
+        let label = config.name.to_lowercase();
+
+        let mut rng = SimRng::seed_from_u64(11);
+        let calendar = bench_events(&format!("san_{label}_model_calendar"), 3, iters, || {
+            sim.run(&rewards, horizon, 0.0, &mut rng).unwrap().events
+        });
+        let mut rng = SimRng::seed_from_u64(11);
+        let reference = bench_events(&format!("san_{label}_model_reference"), 3, iters, || {
+            sim.run_reference(&rewards, horizon, 0.0, &mut rng).unwrap().events
+        });
+
+        let speedup = reference.ns_per_iter / calendar.ns_per_iter;
+        println!("san_{label}_model_calendar_speedup             {speedup:>12.2} x");
+        records.push(calendar.clone().with_speedup(speedup));
+        records.push(reference);
+    }
+}
+
+fn bench_storage_kernel(records: &mut Vec<BenchRecord>) {
     let sim = StorageSimulator::new(StorageConfig::abe_scratch()).unwrap();
     let mut rng = SimRng::seed_from_u64(3);
-    bench("storage_monte_carlo_abe_one_year", 5, 200, || sim.run_once(8760.0, &mut rng));
+    let ns = bench("storage_monte_carlo_abe_one_year", 5, 200, || sim.run_once(8760.0, &mut rng));
+    records.push(BenchRecord::timing("storage_monte_carlo_abe_one_year", ns));
 }
 
 /// Four simulation scenarios with fewer replications each than the worker
@@ -85,7 +150,7 @@ fn bench_storage_kernel() {
 /// serial, only each scenario's own replications parallel) leaves workers
 /// idle, and where the global work-stealing pool overlaps
 /// scenario×replication work units from the whole study.
-fn bench_study_scheduling() {
+fn bench_study_scheduling(records: &mut Vec<BenchRecord>) {
     let scenarios: Vec<ClusterConfig> = (0..4)
         .map(|i| {
             let mut config = ClusterConfig::abe();
@@ -134,25 +199,38 @@ fn bench_study_scheduling() {
     assert_eq!(report.outputs.len(), scenarios.len());
 
     println!(
-        "study_serial_scenario_loop                 {:>12.1} ms   ({} scenarios x {} reps)",
+        "study_serial_scenario_loop                     {:>12.1} ms   ({} scenarios x {} reps)",
         serial_loop.as_secs_f64() * 1e3,
         scenarios.len(),
         spec.replications()
     );
     println!(
-        "study_global_work_stealing_pool            {:>12.1} ms   ({workers} workers)",
+        "study_global_work_stealing_pool                {:>12.1} ms   ({workers} workers)",
         pooled.as_secs_f64() * 1e3
     );
+    let speedup = serial_loop.as_secs_f64() / pooled.as_secs_f64();
     println!(
-        "study_scheduling_speedup                   {:>12.2} x{}",
-        serial_loop.as_secs_f64() / pooled.as_secs_f64(),
+        "study_scheduling_speedup                       {speedup:>12.2} x{}",
         if workers == 1 { "   (single-core machine: ~1x expected)" } else { "" }
+    );
+    records.push(BenchRecord::timing("study_serial_scenario_loop", serial_loop.as_nanos() as f64));
+    records.push(
+        BenchRecord::timing("study_global_work_stealing_pool", pooled.as_nanos() as f64)
+            .with_speedup(speedup),
     );
 }
 
 fn main() {
-    bench_distributions();
-    bench_san_engine();
-    bench_storage_kernel();
-    bench_study_scheduling();
+    let mut records = Vec::new();
+    bench_distributions(&mut records);
+    bench_san_engine(&mut records);
+    bench_san_composed_models(&mut records);
+    bench_storage_kernel(&mut records);
+    bench_study_scheduling(&mut records);
+    match cfs_bench::write_bench_json(&records) {
+        Ok(path) => {
+            println!("\nwrote {} machine-readable records to {}", records.len(), path.display())
+        }
+        Err(err) => panic!("failed to write bench JSON: {err}"),
+    }
 }

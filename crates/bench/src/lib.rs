@@ -12,6 +12,74 @@
 use std::time::Instant;
 
 use cfs_model::RunSpec;
+use serde::Serialize;
+
+/// One machine-readable microbenchmark result.
+///
+/// Serialised into `BENCH.json` (one JSON array of these rows) so CI can
+/// record the performance trajectory across commits instead of scraping the
+/// human-readable text lines.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchRecord {
+    /// Benchmark name (matches the text output line).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Simulation-event throughput, for benches that process events.
+    pub events_per_sec: Option<f64>,
+    /// Speedup against the named baseline bench, for comparison rows.
+    pub speedup: Option<f64>,
+}
+
+impl BenchRecord {
+    /// A plain timing row.
+    pub fn timing(name: impl Into<String>, ns_per_iter: f64) -> Self {
+        BenchRecord { name: name.into(), ns_per_iter, events_per_sec: None, speedup: None }
+    }
+
+    /// A timing row with an events/sec throughput.
+    pub fn with_events(name: impl Into<String>, ns_per_iter: f64, events_per_sec: f64) -> Self {
+        BenchRecord {
+            name: name.into(),
+            ns_per_iter,
+            events_per_sec: Some(events_per_sec),
+            speedup: None,
+        }
+    }
+
+    /// Attaches a speedup-vs-baseline annotation.
+    pub fn with_speedup(mut self, speedup: f64) -> Self {
+        self.speedup = Some(speedup);
+        self
+    }
+}
+
+/// Path the microbench writes its JSON results to: `CFS_BENCH_JSON` if set,
+/// else `BENCH.json` at the workspace root (cargo runs bench binaries with
+/// the *crate* directory as working directory, which would otherwise bury
+/// the artifact under `crates/bench/`).
+pub fn bench_json_path() -> std::path::PathBuf {
+    if let Some(path) = std::env::var_os("CFS_BENCH_JSON") {
+        return std::path::PathBuf::from(path);
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(|root| root.join("BENCH.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH.json"))
+}
+
+/// Writes the collected records as a JSON array to [`bench_json_path`] and
+/// returns the path written.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_bench_json(records: &[BenchRecord]) -> std::io::Result<std::path::PathBuf> {
+    let path = bench_json_path();
+    std::fs::write(&path, serde::to_json_pretty(records))?;
+    Ok(path)
+}
 
 /// Default number of simulation replications per experiment point.
 pub const DEFAULT_REPLICATIONS: usize = 16;
@@ -98,5 +166,31 @@ mod tests {
     #[should_panic(expected = "boom failed")]
     fn run_and_print_panics_on_error() {
         let _ = run_and_print("boom", || Err::<i32, _>("nope".to_string()), |v| v.to_string());
+    }
+
+    #[test]
+    fn bench_records_serialise_with_stable_field_names() {
+        let records = [
+            BenchRecord::timing("plain", 12.5),
+            BenchRecord::with_events("engine", 100.0, 2.0e6).with_speedup(3.5),
+        ];
+        let json = serde::to_json(&records[..]);
+        assert_eq!(
+            json,
+            "[{\"name\":\"plain\",\"ns_per_iter\":12.5,\"events_per_sec\":null,\
+             \"speedup\":null},{\"name\":\"engine\",\"ns_per_iter\":100,\
+             \"events_per_sec\":2000000,\"speedup\":3.5}]"
+        );
+    }
+
+    #[test]
+    fn bench_json_path_defaults_to_workspace_root() {
+        // Without the env override the artifact must land at the workspace
+        // root (not inside crates/bench, cargo's bench working directory).
+        if std::env::var_os("CFS_BENCH_JSON").is_none() {
+            let path = bench_json_path();
+            assert!(path.ends_with("BENCH.json"));
+            assert!(path.parent().map(|p| p.join("Cargo.lock").exists()).unwrap_or(false));
+        }
     }
 }

@@ -176,11 +176,17 @@ fn add_failover_pair(
         }
     };
 
-    // Member hardware failure with aggregate (marking-dependent) rate.
+    // Member hardware failure with aggregate (marking-dependent) rate. The
+    // rate reads only this pair's `working` count, and the per-member
+    // lifetimes are exponential (memoryless), so declaring the timing read
+    // is law-preserving: the sampled delay stays valid until `working`
+    // itself changes, and unrelated events elsewhere in the cluster no
+    // longer force a redraw.
     b.timed_activity_fn("member_fail", move |m: &Marking| {
         let n = m.tokens(working).max(1) as f64;
         Dist::Exponential(Exponential::new(n * member_rate).expect("positive rate"))
     })?
+    .timing_reads(&[working])
     .input_arc(working, 1)
     .case(1.0 - p)
     .output_gate(mark_down_if_dead)
@@ -199,6 +205,10 @@ fn add_failover_pair(
             .expect("valid repair window");
     b.timed_activity("member_repair", repair)?
         .enabling_predicate(move |m: &Marking| m.tokens(working) < 2)
+        // The predicate reads only `working`; declaring that lets the
+        // event-calendar scheduler skip this activity unless a member
+        // fails or recovers.
+        .enabling_reads(&[working])
         .output_arc(working, 1)
         .output_gate(move |m: &mut Marking| {
             if m.tokens(down) == 1 {
@@ -230,6 +240,7 @@ fn add_failover_pair(
         )?
         .input_arc(pool, 1)
         .enabling_predicate(move |m: &Marking| m.tokens(down) == 1)
+        .enabling_reads(&[down])
         .output_arc(holding, 1)
         .output_gate(move |m: &mut Marking| {
             if m.tokens(down) == 1 {
@@ -274,6 +285,8 @@ fn add_controller_pair(
         let n = m.tokens(working).max(1) as f64;
         Dist::Exponential(Exponential::new(n * rate).expect("positive rate"))
     })?
+    // Exponential aggregate rate reading only `working`: see `member_fail`.
+    .timing_reads(&[working])
     .input_arc(working, 1)
     .case(1.0 - p)
     .output_gate(mark_down_if_dead)
@@ -289,6 +302,7 @@ fn add_controller_pair(
         Deterministic::new(controller.repair_hours).expect("positive"),
     )?
     .enabling_predicate(move |m: &Marking| m.tokens(working) < 2)
+    .enabling_reads(&[working])
     .output_arc(working, 1)
     .output_gate(move |m: &mut Marking| {
         if m.tokens(down) == 1 {

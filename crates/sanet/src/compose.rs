@@ -19,6 +19,21 @@
 //! function `N` times under distinct naming scopes (`name[0]`, `name[1]`, …)
 //! and collects the per-replica handles.
 //!
+//! # Composition and the event-calendar scheduler
+//!
+//! Composition is where dependency declarations
+//! ([`crate::ActivityBuilder::enabling_reads`] /
+//! [`crate::ActivityBuilder::timing_reads`]) pay off most: in a model with
+//! `N` replicas, a replica's gate predicates typically read only its own
+//! scoped places (plus a few shared ones), so declaring them lets the
+//! event-calendar engine skip the other `N − 1` replicas entirely when one
+//! replica's state changes — per-event cost stays flat as the composition
+//! grows. Declarations must cover shared places too: a predicate that reads
+//! a joined place (e.g. a shared spare pool or a global failure counter)
+//! must list it, or other submodels' writes to it would be missed. When in
+//! doubt, declare nothing — undeclared gates fall back to conservative
+//! re-examination after every event, which is always sound.
+//!
 //! # Example
 //!
 //! ```

@@ -1,20 +1,49 @@
-use std::collections::HashMap;
+//! The simulation front end shared by both execution kernels.
+//!
+//! Two kernels implement the same Möbius-style execution semantics:
+//!
+//! * [`crate::calendar`] — the production event-calendar engine: an indexed
+//!   binary min-heap keyed by `(firing time, activity index)` selects the
+//!   next completion in `O(log A)`, and a precomputed place→activity
+//!   incidence index plus the marking's dirty-place change log re-examines
+//!   only the activities whose enabling could actually have changed, so the
+//!   per-event cost is `O(log A + affected)`.
+//! * [`crate::reference`] — the retained naive kernel: a full `O(A)` scan
+//!   for next-event selection, instantaneous firing, and schedule refresh
+//!   after every event, with per-reward scans (`O(R)`) for accumulation.
+//!   It is the semantics oracle: differential tests pin the calendar engine
+//!   bit-identical to it (same rewards, event counts, traces, and RNG draw
+//!   sequence), which also catches unsound
+//!   [`enabling_reads`](crate::ActivityBuilder::enabling_reads)
+//!   declarations.
+//!
+//! Both kernels share this module's primitives — activity firing, the
+//! compiled [`RewardTable`] accumulators, and result finalisation — so they
+//! cannot drift apart in reward arithmetic.
 
-use probdist::{Distribution, SimRng};
+use std::sync::Arc;
 
-use crate::model::Timing;
-use crate::reward::{ImpulseKind, RewardKind, RewardSpec, RewardVariant};
+use probdist::SimRng;
+
+use crate::model::Activity;
+use crate::reward::{Finalise, RewardNames, RewardSpec, RewardTable};
 use crate::{ActivityId, Marking, Model, SanError};
 
 /// Maximum number of zero-delay firings processed at a single time point
 /// before the simulator concludes the model has an unstable loop of
 /// instantaneous activities.
-const MAX_INSTANT_FIRINGS: usize = 100_000;
+pub(crate) const MAX_INSTANT_FIRINGS: usize = 100_000;
 
 /// The estimated reward values produced by a single simulation replication.
+///
+/// Values are stored as a dense vector over the run's compiled reward table,
+/// with the reward names interned once per run and shared by every
+/// replication through an `Arc` — a replication allocates one `Vec<f64>`,
+/// not a map of owned strings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
-    values: HashMap<String, f64>,
+    pub(crate) names: Arc<RewardNames>,
+    pub(crate) values: Vec<f64>,
     /// Number of activity completions processed.
     pub events: u64,
     /// Simulated time at which the run ended (the horizon).
@@ -29,27 +58,30 @@ impl RunResult {
     /// Returns [`SanError::UnknownReward`] if the reward was not registered
     /// for the run.
     pub fn reward(&self, name: &str) -> Result<f64, SanError> {
-        self.values
+        self.names
+            .index
             .get(name)
-            .copied()
+            .map(|&slot| self.values[slot])
             .ok_or_else(|| SanError::UnknownReward { name: name.to_string() })
     }
 
-    /// Iterates over `(name, value)` pairs.
+    /// Iterates over `(name, value)` pairs in reward registration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+        self.names.names.iter().map(String::as_str).zip(self.values.iter().copied())
     }
 }
 
 /// One entry of a simulation trace (activity completion).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Only the [`ActivityId`] is stored — resolve the name through
+/// [`Model::activity_name`] when rendering or asserting, so tracing does not
+/// allocate a `String` per event.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// Simulated time of the completion (hours).
     pub time: f64,
     /// The activity that completed.
     pub activity: ActivityId,
-    /// The activity's name.
-    pub activity_name: String,
     /// Index of the probabilistic case chosen.
     pub case: usize,
 }
@@ -60,7 +92,7 @@ pub struct TraceEvent {
 ///
 /// * Instantaneous activities complete immediately and have priority over
 ///   timed activities; a bounded cascade of them is processed at each time
-///   point.
+///   point, lowest activity index first.
 /// * A timed activity samples its firing delay when it becomes enabled
 ///   (activation). If it becomes disabled before firing, the sample is
 ///   discarded. If the marking changes while it stays enabled, the sample is
@@ -69,14 +101,13 @@ pub struct TraceEvent {
 /// * Rate rewards are integrated between events; impulse rewards accumulate
 ///   on activity completion. An optional warm-up period excludes the initial
 ///   transient from both.
+///
+/// [`Simulator::run`] executes on the event-calendar kernel;
+/// [`Simulator::run_reference`] executes the same semantics on the retained
+/// naive full-scan kernel for differential testing and benchmarking.
 #[derive(Debug, Clone)]
 pub struct Simulator<'m> {
     model: &'m Model,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct ScheduledFiring {
-    time: f64,
 }
 
 impl<'m> Simulator<'m> {
@@ -102,7 +133,9 @@ impl<'m> Simulator<'m> {
         warmup: f64,
         rng: &mut SimRng,
     ) -> Result<RunResult, SanError> {
-        self.run_inner(rewards, horizon, warmup, rng, None)
+        validate_window(horizon, warmup)?;
+        let table = RewardTable::compile(self.model, rewards)?;
+        crate::calendar::run(self.model, &table, horizon, warmup, rng, None)
     }
 
     /// Like [`Simulator::run`], but also records every activity completion.
@@ -121,199 +154,162 @@ impl<'m> Simulator<'m> {
         warmup: f64,
         rng: &mut SimRng,
     ) -> Result<(RunResult, Vec<TraceEvent>), SanError> {
+        validate_window(horizon, warmup)?;
+        let table = RewardTable::compile(self.model, rewards)?;
         let mut trace = Vec::new();
-        let result = self.run_inner(rewards, horizon, warmup, rng, Some(&mut trace))?;
+        let result =
+            crate::calendar::run(self.model, &table, horizon, warmup, rng, Some(&mut trace))?;
         Ok((result, trace))
     }
 
-    fn run_inner(
+    /// Runs one replication on the retained naive full-scan kernel.
+    ///
+    /// The reference kernel re-examines every activity after every event and
+    /// selects the next completion with a linear scan — `O(A)` per event. It
+    /// exists so differential tests (and benches) can pin the event-calendar
+    /// engine against an independent implementation of the same semantics:
+    /// for any model and seed, the rewards, event counts, and RNG draw
+    /// sequence are bit-identical. Because it ignores
+    /// [`enabling_reads`](crate::ActivityBuilder::enabling_reads)
+    /// declarations, a divergence also flags an unsound declaration.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_reference(
         &self,
         rewards: &[RewardSpec],
         horizon: f64,
         warmup: f64,
         rng: &mut SimRng,
-        mut trace: Option<&mut Vec<TraceEvent>>,
     ) -> Result<RunResult, SanError> {
-        if !(horizon.is_finite() && horizon > 0.0) {
-            return Err(SanError::InvalidExperiment {
-                reason: format!("simulation horizon must be positive and finite, got {horizon}"),
-            });
-        }
-        if !(0.0..horizon).contains(&warmup) {
-            return Err(SanError::InvalidExperiment {
-                reason: format!("warm-up ({warmup}) must lie in [0, horizon)"),
-            });
-        }
-        // Validate impulse-reward activity references up front.
-        for spec in rewards {
-            if let RewardVariant::Impulse { activity, .. } = &spec.variant {
-                if activity.index() >= self.model.num_activities() {
-                    return Err(SanError::UnknownId {
-                        what: format!(
-                            "activity #{} referenced by reward `{}`",
-                            activity.index(),
-                            spec.name
-                        ),
-                    });
-                }
-            }
-        }
+        validate_window(horizon, warmup)?;
+        let table = RewardTable::compile(self.model, rewards)?;
+        crate::reference::run(self.model, &table, horizon, warmup, rng, None)
+    }
 
-        let model = self.model;
-        let mut marking = model.initial_marking();
-        let mut now = 0.0_f64;
-        let mut events = 0u64;
-        let observed = horizon - warmup;
+    /// Like [`Simulator::run_reference`], but also records every activity
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_reference_traced(
+        &self,
+        rewards: &[RewardSpec],
+        horizon: f64,
+        warmup: f64,
+        rng: &mut SimRng,
+    ) -> Result<(RunResult, Vec<TraceEvent>), SanError> {
+        validate_window(horizon, warmup)?;
+        let table = RewardTable::compile(self.model, rewards)?;
+        let mut trace = Vec::new();
+        let result =
+            crate::reference::run(self.model, &table, horizon, warmup, rng, Some(&mut trace))?;
+        Ok((result, trace))
+    }
 
-        // Per-reward accumulators.
-        let mut rate_integrals = vec![0.0_f64; rewards.len()];
-        let mut impulse_totals = vec![0.0_f64; rewards.len()];
-
-        // Scheduled firing time per timed activity.
-        let mut schedule: Vec<Option<ScheduledFiring>> = vec![None; model.num_activities()];
-
-        // Fire any instantaneous activities enabled in the initial marking,
-        // then schedule timed activities.
-        fire_instantaneous(
-            model,
-            &mut marking,
-            rng,
-            &mut trace,
-            &mut events,
-            now,
-            rewards,
-            &mut impulse_totals,
-            warmup,
-        )?;
-        refresh_schedule(model, &marking, &mut schedule, rng, now, true);
-
-        loop {
-            // Find the earliest scheduled completion.
-            let next = schedule
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.map(|f| (f.time, i)))
-                .min_by(|a, b| a.partial_cmp(b).expect("firing times are finite"));
-
-            let (fire_time, activity_idx) = match next {
-                Some((t, i)) if t <= horizon => (t, i),
-                _ => {
-                    // No more events before the horizon: accumulate rewards
-                    // for the remaining interval and stop.
-                    accumulate_rate_rewards(
-                        rewards,
-                        &marking,
-                        now,
-                        horizon,
-                        warmup,
-                        &mut rate_integrals,
-                    );
-                    now = horizon;
-                    break;
-                }
-            };
-
-            // Integrate rate rewards over [now, fire_time].
-            accumulate_rate_rewards(rewards, &marking, now, fire_time, warmup, &mut rate_integrals);
-            now = fire_time;
-
-            // Fire the activity.
-            let activity_id = ActivityId(activity_idx);
-            let case = fire_activity(model, activity_id, &mut marking, rng);
-            schedule[activity_idx] = None;
-            events += 1;
-            if now >= warmup {
-                credit_impulses(rewards, activity_id, &mut impulse_totals);
-            }
-            if let Some(trace) = trace.as_deref_mut() {
-                trace.push(TraceEvent {
-                    time: now,
-                    activity: activity_id,
-                    activity_name: model.activity_name(activity_id).to_string(),
-                    case,
-                });
-            }
-
-            // Process any instantaneous cascade triggered by the firing.
-            fire_instantaneous(
-                model,
-                &mut marking,
-                rng,
-                &mut trace,
-                &mut events,
-                now,
-                rewards,
-                &mut impulse_totals,
-                warmup,
-            )?;
-
-            // Update the timed-activity schedule after the marking change.
-            refresh_schedule(model, &marking, &mut schedule, rng, now, false);
-        }
-
-        // Assemble reward values.
-        let mut values = HashMap::with_capacity(rewards.len());
-        for (i, spec) in rewards.iter().enumerate() {
-            let value = match &spec.variant {
-                RewardVariant::Rate { function, kind } => match kind {
-                    RewardKind::TimeAveraged => rate_integrals[i] / observed,
-                    RewardKind::Accumulated => rate_integrals[i],
-                    RewardKind::InstantOfTime => function(&marking),
-                },
-                RewardVariant::Impulse { kind, .. } => match kind {
-                    ImpulseKind::Total => impulse_totals[i],
-                    ImpulseKind::PerHour => impulse_totals[i] / observed,
-                },
-            };
-            values.insert(spec.name.clone(), value);
-        }
-
-        Ok(RunResult { values, events, end_time: now })
+    /// Runs one replication against an already-compiled reward table (the
+    /// replication manager compiles once and shares the table across all
+    /// replications of a run).
+    pub(crate) fn run_with_table(
+        &self,
+        table: &RewardTable,
+        horizon: f64,
+        warmup: f64,
+        rng: &mut SimRng,
+    ) -> Result<RunResult, SanError> {
+        validate_window(horizon, warmup)?;
+        crate::calendar::run(self.model, table, horizon, warmup, rng, None)
     }
 }
 
-/// Integrates every rate reward over `[from, to]`, clipped to the
-/// post-warm-up window.
-fn accumulate_rate_rewards(
-    rewards: &[RewardSpec],
+/// Validates the `(horizon, warmup)` observation window.
+pub(crate) fn validate_window(horizon: f64, warmup: f64) -> Result<(), SanError> {
+    if !(horizon.is_finite() && horizon > 0.0) {
+        return Err(SanError::InvalidExperiment {
+            reason: format!("simulation horizon must be positive and finite, got {horizon}"),
+        });
+    }
+    if !(0.0..horizon).contains(&warmup) {
+        return Err(SanError::InvalidExperiment {
+            reason: format!("warm-up ({warmup}) must lie in [0, horizon)"),
+        });
+    }
+    Ok(())
+}
+
+/// Integrates every time-integrated rate reward over `[from, to]`, clipped
+/// to the post-warm-up window.
+pub(crate) fn accumulate_rate_rewards(
+    table: &RewardTable,
     marking: &Marking,
     from: f64,
     to: f64,
     warmup: f64,
-    integrals: &mut [f64],
+    acc: &mut [f64],
 ) {
     let start = from.max(warmup);
     if to <= start {
         return;
     }
     let dt = to - start;
-    for (i, spec) in rewards.iter().enumerate() {
-        if let RewardVariant::Rate { function, kind } = &spec.variant {
-            if matches!(kind, RewardKind::TimeAveraged | RewardKind::Accumulated) {
-                integrals[i] += function(marking) * dt;
-            }
-        }
+    for (slot, function) in &table.integrated {
+        acc[*slot as usize] += function(marking) * dt;
     }
 }
 
-/// Adds impulse amounts for rewards attached to `completed`.
-fn credit_impulses(rewards: &[RewardSpec], completed: ActivityId, totals: &mut [f64]) {
-    for (i, spec) in rewards.iter().enumerate() {
-        if let RewardVariant::Impulse { activity, amount, .. } = &spec.variant {
-            if *activity == completed {
-                totals[i] += amount;
-            }
-        }
+/// Adds the impulse amounts bucketed on the completed activity.
+#[inline]
+pub(crate) fn credit_impulses(table: &RewardTable, completed: usize, acc: &mut [f64]) {
+    for &(slot, amount) in &table.impulses[completed] {
+        acc[slot as usize] += amount;
     }
+}
+
+/// Turns the per-slot accumulators into the reported reward values.
+pub(crate) fn finalise(
+    table: &RewardTable,
+    mut acc: Vec<f64>,
+    marking: &Marking,
+    observed: f64,
+    events: u64,
+    end_time: f64,
+) -> RunResult {
+    for (slot, rule) in table.finals.iter().enumerate() {
+        acc[slot] = match rule {
+            Finalise::RateTimeAveraged | Finalise::ImpulsePerHour => acc[slot] / observed,
+            Finalise::RateAccumulated | Finalise::ImpulseTotal => acc[slot],
+            Finalise::RateInstant(function) => function(marking),
+        };
+    }
+    RunResult { names: Arc::clone(&table.names), values: acc, events, end_time }
 }
 
 /// Applies the marking changes of one activity completion and returns the
 /// chosen case index.
-fn fire_activity(model: &Model, id: ActivityId, marking: &mut Marking, rng: &mut SimRng) -> usize {
+pub(crate) fn fire_activity(
+    model: &Model,
+    id: ActivityId,
+    marking: &mut Marking,
+    rng: &mut SimRng,
+) -> usize {
     let activity = model.activity_ref(id);
     // Input side: arcs consume tokens, gates apply their functions.
     for &(place, tokens) in &activity.input_arcs {
-        marking.remove_tokens(place, tokens);
+        let removed = marking.remove_tokens(place, tokens);
+        // An *enabled* activity always has every input arc covered; an
+        // underflow here means the model fired with stale enabling (or two
+        // arcs drain the same place) — a modelling error that
+        // `Marking::remove_tokens` would otherwise silently saturate away.
+        debug_assert!(
+            removed == tokens,
+            "firing enabled activity `{}` underflowed place #{}: needed {} tokens, found {}",
+            activity.name,
+            place.index(),
+            tokens,
+            removed,
+        );
     }
     for gate in &activity.input_gates {
         (gate.function)(marking);
@@ -344,81 +340,18 @@ fn fire_activity(model: &Model, id: ActivityId, marking: &mut Marking, rng: &mut
     case_idx
 }
 
-/// Fires enabled instantaneous activities until none remain enabled,
-/// returning an error if the cascade does not stabilise.
-#[allow(clippy::too_many_arguments)]
-fn fire_instantaneous(
-    model: &Model,
-    marking: &mut Marking,
-    rng: &mut SimRng,
-    trace: &mut Option<&mut Vec<TraceEvent>>,
-    events: &mut u64,
-    now: f64,
-    rewards: &[RewardSpec],
-    impulse_totals: &mut [f64],
-    warmup: f64,
-) -> Result<(), SanError> {
-    let mut firings = 0usize;
-    loop {
-        let next = model
-            .activities()
-            .iter()
-            .enumerate()
-            .find(|(_, a)| matches!(a.timing, Timing::Instantaneous) && a.is_enabled(marking))
-            .map(|(i, _)| i);
-        let Some(idx) = next else { return Ok(()) };
-        let id = ActivityId(idx);
-        let case = fire_activity(model, id, marking, rng);
-        *events += 1;
-        if now >= warmup {
-            credit_impulses(rewards, id, impulse_totals);
-        }
-        if let Some(trace) = trace.as_deref_mut() {
-            trace.push(TraceEvent {
-                time: now,
-                activity: id,
-                activity_name: model.activity_name(id).to_string(),
-                case,
-            });
-        }
-        firings += 1;
-        if firings > MAX_INSTANT_FIRINGS {
-            return Err(SanError::UnstableInstantaneousLoop { firings });
-        }
-    }
-}
-
-/// Brings the timed-activity schedule in line with the current marking:
-/// disabled activities lose their sample, newly enabled activities sample a
-/// delay, and enabled activities with the restart policy (or marking-
-/// dependent timing) resample.
-fn refresh_schedule(
-    model: &Model,
-    marking: &Marking,
-    schedule: &mut [Option<ScheduledFiring>],
-    rng: &mut SimRng,
-    now: f64,
-    initial: bool,
-) {
-    for (i, activity) in model.activities().iter().enumerate() {
-        let timing = &activity.timing;
-        if matches!(timing, Timing::Instantaneous) {
-            continue;
-        }
-        let enabled = activity.is_enabled(marking);
-        if !enabled {
-            schedule[i] = None;
-            continue;
-        }
-        let needs_sample = schedule[i].is_none() || (!initial && activity.resample_on_change);
-        if needs_sample {
-            let delay = match timing {
-                Timing::Timed(dist) => dist.sample(rng),
-                Timing::TimedFn(f) => f(marking).sample(rng),
-                Timing::Instantaneous => unreachable!("filtered above"),
-            };
-            schedule[i] = Some(ScheduledFiring { time: now + delay });
-        }
+/// Samples a firing delay for a timed activity in the current marking.
+///
+/// # Panics
+///
+/// Panics if called for an instantaneous activity.
+#[inline]
+pub(crate) fn sample_delay(activity: &Activity, marking: &Marking, rng: &mut SimRng) -> f64 {
+    use probdist::Distribution;
+    match &activity.timing {
+        crate::Timing::Timed(dist) => dist.sample(rng),
+        crate::Timing::TimedFn(f) => f(marking).sample(rng),
+        crate::Timing::Instantaneous => unreachable!("instantaneous activities are not scheduled"),
     }
 }
 
@@ -487,6 +420,23 @@ mod tests {
     }
 
     #[test]
+    fn run_result_iterates_in_registration_order() {
+        let mut b = ModelBuilder::new("unit");
+        let up = b.add_place("up", 1).unwrap();
+        b.timed_activity("fail", det(50.0)).unwrap().input_arc(up, 1).build().unwrap();
+        let model = b.build().unwrap();
+        let rewards = vec![
+            RewardSpec::instant_of_time("z_last", |_m| 2.0),
+            RewardSpec::instant_of_time("a_first", |_m| 1.0),
+        ];
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(1);
+        let result = sim.run(&rewards, 10.0, 0.0, &mut rng).unwrap();
+        let names: Vec<&str> = result.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z_last", "a_first"]);
+    }
+
+    #[test]
     fn trace_records_event_sequence() {
         let mut b = ModelBuilder::new("unit");
         let up = b.add_place("up", 1).unwrap();
@@ -509,7 +459,7 @@ mod tests {
         let (result, trace) = sim.run_traced(&[], 13.0, 0.0, &mut rng).unwrap();
         // fail@5, repair@6, fail@11, repair@12 -> 4 events
         assert_eq!(result.events, 4);
-        let names: Vec<&str> = trace.iter().map(|e| e.activity_name.as_str()).collect();
+        let names: Vec<&str> = trace.iter().map(|e| model.activity_name(e.activity)).collect();
         assert_eq!(names, vec!["fail", "repair", "fail", "repair"]);
         assert!((trace[0].time - 5.0).abs() < 1e-12);
         assert!((trace[3].time - 12.0).abs() < 1e-12);
@@ -607,6 +557,9 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         let err = sim.run(&[], 10.0, 0.0, &mut rng).unwrap_err();
         assert!(matches!(err, SanError::UnstableInstantaneousLoop { .. }));
+        let mut rng = SimRng::seed_from_u64(1);
+        let err = sim.run_reference(&[], 10.0, 0.0, &mut rng).unwrap_err();
+        assert!(matches!(err, SanError::UnstableInstantaneousLoop { .. }));
     }
 
     #[test]
@@ -685,6 +638,7 @@ mod tests {
         assert!(sim.run(&[], -5.0, 0.0, &mut rng).is_err());
         assert!(sim.run(&[], 10.0, 10.0, &mut rng).is_err());
         assert!(sim.run(&[], 10.0, -1.0, &mut rng).is_err());
+        assert!(sim.run_reference(&[], 0.0, 0.0, &mut rng).is_err());
     }
 
     #[test]
@@ -726,5 +680,28 @@ mod tests {
         let r1 = sim.run(&rewards, 10_000.0, 0.0, &mut SimRng::seed_from_u64(3)).unwrap();
         let r2 = sim.run(&rewards, 10_000.0, 0.0, &mut SimRng::seed_from_u64(3)).unwrap();
         assert_eq!(r1, r2);
+    }
+
+    /// A model that passes the enabling check but underflows when fired: two
+    /// input arcs drain the same place holding a single token. The enabled
+    /// check covers each arc independently, so the activity fires — and the
+    /// debug underflow check must catch the modelling error instead of
+    /// silently saturating.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn firing_underflow_is_caught_in_debug_builds() {
+        let mut b = ModelBuilder::new("underflow");
+        let p = b.add_place("p", 1).unwrap();
+        b.timed_activity("drain", det(1.0))
+            .unwrap()
+            .input_arc(p, 1)
+            .input_arc(p, 1)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(1);
+        let _ = sim.run(&[], 10.0, 0.0, &mut rng);
     }
 }

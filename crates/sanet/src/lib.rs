@@ -24,6 +24,40 @@
 //!   Student-t confidence interval, with an optional relative-precision
 //!   stopping rule.
 //!
+//! # The event-calendar engine
+//!
+//! [`Simulator::run`] executes on an event-calendar kernel whose per-event
+//! cost is `O(log A + affected)` in the number of activities `A`, instead
+//! of the `O(A + R)` full rescan of early versions (retained as
+//! [`Simulator::run_reference`] for differential testing):
+//!
+//! * The future-event list is an indexed binary min-heap keyed by
+//!   `(firing time, activity index)`; the index tie-break reproduces the
+//!   linear scan's ordering for simultaneous firings exactly.
+//! * A place→activity incidence index, built once per model, combined with
+//!   the marking's dirty-place change log, re-examines after each event
+//!   only the activities whose enabling (or sampled delay) the event's
+//!   writes could actually have affected — in ascending index order, so the
+//!   RNG draw sequence and therefore every statistic is bit-identical to
+//!   the full rescan.
+//! * Reward specifications are compiled once per run into a partitioned
+//!   table (impulse rewards bucketed by activity, rate rewards as a dense
+//!   slice, names interned into one shared `Arc`), so a replication's
+//!   [`RunResult`] is a plain `Vec<f64>`.
+//!
+//! Gate predicates and marking-dependent distributions are opaque closures,
+//! so by default the scheduler treats them conservatively (re-examined
+//! after every event — exactly the legacy behaviour, bit for bit). Models
+//! can sharpen this with two declarations on
+//! [`ActivityBuilder`]: [`ActivityBuilder::enabling_reads`] (which places
+//! the gate predicates read) and [`ActivityBuilder::timing_reads`] (which
+//! places the timing distribution reads; also refines the restart policy to
+//! "keep the sampled delay unless one of these places is written" — the
+//! standard reactivation rule, law-equivalent for exponential timings).
+//! Both kernels honour declarations identically, and gate *writes* never
+//! need declaring — they are tracked exactly through the marking change
+//! log.
+//!
 //! # Example: a single repairable component
 //!
 //! ```
@@ -63,12 +97,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 pub mod compose;
 pub mod ctmc;
 mod engine;
 mod error;
 mod marking;
 mod model;
+mod reference;
 mod replication;
 pub mod reward;
 

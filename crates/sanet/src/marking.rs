@@ -1,4 +1,4 @@
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Identifier of a place within a [`Model`](crate::Model).
 ///
@@ -20,15 +20,29 @@ impl PlaceId {
 /// Token counts are unsigned; gate functions that would drive a count
 /// negative saturate at zero (and this is considered a modelling error to be
 /// caught in tests, not silently relied upon).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// # Change log
+///
+/// While the simulation engine runs, the marking records every *written*
+/// place (whether or not the token count actually changed) in an internal
+/// change log. The event-calendar scheduler drains that log after each
+/// event to re-examine only the activities whose enabling could have been
+/// affected, instead of rescanning the whole model. Tracking is off for
+/// markings created outside the engine, so reward functions and tests pay
+/// nothing for it.
+#[derive(Clone)]
 pub struct Marking {
     tokens: Vec<u64>,
+    /// Indices of places written since the last [`Marking::clear_log`]
+    /// (possibly with duplicates); only populated while `tracking` is set.
+    log: Vec<u32>,
+    tracking: bool,
 }
 
 impl Marking {
     /// Creates a marking with the given token counts (indexed by place id).
     pub fn new(tokens: Vec<u64>) -> Self {
-        Marking { tokens }
+        Marking { tokens, log: Vec::new(), tracking: false }
     }
 
     /// Number of places in the marking.
@@ -56,6 +70,7 @@ impl Marking {
     ///
     /// Panics if `place` does not belong to this marking's model.
     pub fn set_tokens(&mut self, place: PlaceId, count: u64) {
+        self.record_write(place);
         self.tokens[place.0] = count;
     }
 
@@ -65,6 +80,7 @@ impl Marking {
     ///
     /// Panics if `place` does not belong to this marking's model.
     pub fn add_tokens(&mut self, place: PlaceId, count: u64) {
+        self.record_write(place);
         self.tokens[place.0] += count;
     }
 
@@ -75,6 +91,7 @@ impl Marking {
     ///
     /// Panics if `place` does not belong to this marking's model.
     pub fn remove_tokens(&mut self, place: PlaceId, count: u64) -> u64 {
+        self.record_write(place);
         let available = self.tokens[place.0];
         let removed = available.min(count);
         self.tokens[place.0] = available - removed;
@@ -96,7 +113,62 @@ impl Marking {
     pub fn as_slice(&self) -> &[u64] {
         &self.tokens
     }
+
+    #[inline]
+    fn record_write(&mut self, place: PlaceId) {
+        if self.tracking {
+            self.log.push(place.0 as u32);
+        }
+    }
+
+    /// Turns on write tracking (engine use only).
+    pub(crate) fn enable_tracking(&mut self) {
+        self.tracking = true;
+        self.log.clear();
+    }
+
+    /// Place indices written since the last [`Marking::clear_log`], in write
+    /// order and possibly with duplicates.
+    pub(crate) fn log(&self) -> &[u32] {
+        &self.log
+    }
+
+    /// Current length of the change log, for incremental consumers that
+    /// process `log()[checkpoint..]`.
+    pub(crate) fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Clears the change log (start of a new event).
+    pub(crate) fn clear_log(&mut self) {
+        self.log.clear();
+    }
 }
+
+// The change log is scratch state owned by the engine: equality, ordering,
+// formatting, and serialisation all consider token counts only.
+
+impl PartialEq for Marking {
+    fn eq(&self, other: &Self) -> bool {
+        self.tokens == other.tokens
+    }
+}
+
+impl Eq for Marking {}
+
+impl std::fmt::Debug for Marking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Marking").field("tokens", &self.tokens).finish()
+    }
+}
+
+impl Serialize for Marking {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("tokens".to_string(), self.tokens.to_value())])
+    }
+}
+
+impl Deserialize for Marking {}
 
 #[cfg(test)]
 mod tests {
@@ -137,5 +209,37 @@ mod tests {
     #[test]
     fn place_id_exposes_index() {
         assert_eq!(PlaceId(4).index(), 4);
+    }
+
+    #[test]
+    fn change_log_records_writes_only_while_tracking() {
+        let mut m = Marking::new(vec![1, 1]);
+        // Writes before tracking leave no log.
+        m.add_tokens(PlaceId(0), 1);
+        assert!(m.log().is_empty());
+
+        m.enable_tracking();
+        m.set_tokens(PlaceId(1), 0);
+        m.remove_tokens(PlaceId(0), 1);
+        // A no-op write is still logged: the engine is conservative about
+        // which writes *could* have changed an enabling condition.
+        m.remove_tokens(PlaceId(0), 0);
+        assert_eq!(m.log(), &[1, 0, 0]);
+        assert_eq!(m.log_len(), 3);
+
+        m.clear_log();
+        assert!(m.log().is_empty());
+    }
+
+    #[test]
+    fn equality_and_serialisation_ignore_the_log() {
+        let mut a = Marking::new(vec![3, 4]);
+        let b = Marking::new(vec![3, 4]);
+        a.enable_tracking();
+        a.set_tokens(PlaceId(0), 3);
+        assert_eq!(a, b);
+        assert_eq!(serde::to_json(&a), serde::to_json(&b));
+        assert_eq!(serde::to_json(&b), "{\"tokens\":[3,4]}");
+        assert_eq!(format!("{a:?}"), "Marking { tokens: [3, 4] }");
     }
 }

@@ -87,6 +87,28 @@ pub(crate) struct Activity {
     /// timings; for memoryless (exponential) timings it does not change the
     /// distribution of the sample path.
     pub(crate) resample_on_change: bool,
+    /// Places the activity's input-gate predicates read, when declared via
+    /// [`ActivityBuilder::enabling_reads`]. `None` with gates present means
+    /// the reads are unknown and the scheduler must treat the enabling as
+    /// depending on every place.
+    pub(crate) declared_reads: Option<Vec<PlaceId>>,
+    /// Places the activity's timing distribution reads, when declared via
+    /// [`ActivityBuilder::timing_reads`]. For a `resample_on_change`
+    /// activity, `Some` refines the restart policy: the sampled delay is
+    /// kept unless one of these places is written. `None` keeps the
+    /// conservative policy (resample after every marking change).
+    pub(crate) timing_reads: Option<Vec<PlaceId>>,
+}
+
+impl Activity {
+    /// Whether the activity must redraw its firing delay after *every*
+    /// marking change (conservative restart policy): it resamples on change
+    /// but has not declared which places its timing reads. Such activities
+    /// bypass the calendar heap — their schedule is refreshed (and their
+    /// minimum recomputed) on every event anyway.
+    pub(crate) fn scan_resident(&self) -> bool {
+        self.resample_on_change && self.timing_reads.is_none()
+    }
 }
 
 impl fmt::Debug for Activity {
@@ -117,6 +139,182 @@ pub(crate) struct PlaceInfo {
     pub(crate) initial_tokens: u64,
 }
 
+/// Precomputed enabling-dependency index of a model, built once in
+/// [`ModelBuilder::build`] and consulted by the event-calendar scheduler
+/// after every marking change.
+///
+/// An activity's enabling is a pure function of the places it reads: its
+/// input-arc places plus whatever its input-gate predicates inspect. Arc
+/// reads are known from the structure; gate reads are known only when the
+/// model declares them ([`ActivityBuilder::enabling_reads`]), otherwise the
+/// activity is registered conservatively (re-examined after every event).
+/// Activities with the restart policy (`resample_on_change`, which includes
+/// every marking-dependent [`Timing::TimedFn`]) must redraw their firing
+/// delay after *every* marking change regardless, so they are always
+/// revisited — that keeps the RNG draw sequence bit-identical to a full
+/// rescan.
+/// Bit set on a [`Incidence::timed_by_place`] entry whose write also
+/// invalidates the activity's sampled delay (a declared timing read).
+pub(crate) const RESAMPLE_BIT: u32 = 1 << 31;
+
+/// Activity-meta flag: the activity has input gates (the flat arc check must
+/// fall back to the gate predicates).
+pub(crate) const META_HAS_GATES: u8 = 1 << 0;
+/// Activity-meta flag: conservative resampler (redraws after every event and
+/// bypasses the calendar heap).
+pub(crate) const META_SCAN_RESIDENT: u8 = 1 << 1;
+/// Activity-meta flag: restart policy (`resample_on_change`).
+pub(crate) const META_RESAMPLE: u8 = 1 << 2;
+
+/// Compact per-activity scheduling metadata: policy flags plus a span into
+/// the model's flattened input-arc table. The event-calendar kernel's hot
+/// paths (enabling checks, the refresh walk) read these two dense arrays
+/// instead of chasing pointers through each [`Activity`]'s own vectors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ActivityMeta {
+    pub(crate) arc_start: u32,
+    pub(crate) arc_len: u16,
+    pub(crate) flags: u8,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Incidence {
+    /// place index → timed activities registered on it, ascending by
+    /// activity index; an entry is the activity index, with [`RESAMPLE_BIT`]
+    /// set when a write to the place must additionally redraw the
+    /// activity's sampled delay (declared timing read).
+    pub(crate) timed_by_place: Vec<Vec<u32>>,
+    /// place index → instantaneous activities whose enabling may depend on
+    /// it (ascending activity index).
+    pub(crate) instant_by_place: Vec<Vec<u32>>,
+    /// Timed activities revisited after every event: conservative
+    /// resamplers (`resample_on_change` without declared timing reads) and
+    /// gate-bearing activities without declared enabling reads (ascending).
+    pub(crate) always_revisit: Vec<u32>,
+    /// Instantaneous activities with undeclared gate reads, re-checked after
+    /// every firing (ascending).
+    pub(crate) instant_conservative: Vec<u32>,
+    /// Every instantaneous activity (ascending).
+    pub(crate) instants: Vec<u32>,
+    /// Per-activity scheduling metadata (flags + flat-arc span).
+    pub(crate) meta: Vec<ActivityMeta>,
+    /// Every activity's input arcs as `(place index, tokens)`, flattened in
+    /// activity order; indexed through [`ActivityMeta`].
+    pub(crate) arcs: Vec<(u32, u64)>,
+}
+
+impl Incidence {
+    fn build(places: usize, activities: &[Activity]) -> Incidence {
+        let mut inc = Incidence {
+            timed_by_place: vec![Vec::new(); places],
+            instant_by_place: vec![Vec::new(); places],
+            always_revisit: Vec::new(),
+            instant_conservative: Vec::new(),
+            instants: Vec::new(),
+            meta: Vec::with_capacity(activities.len()),
+            arcs: Vec::new(),
+        };
+        let mut dep_seen = vec![usize::MAX; places];
+        let mut dep_slot = vec![0usize; places];
+        for (i, activity) in activities.iter().enumerate() {
+            let idx = i as u32;
+            let instant = matches!(activity.timing, Timing::Instantaneous);
+
+            let arc_start = inc.arcs.len() as u32;
+            inc.arcs.extend(activity.input_arcs.iter().map(|&(p, n)| (p.0 as u32, n)));
+            let mut flags = 0u8;
+            if !activity.input_gates.is_empty() {
+                flags |= META_HAS_GATES;
+            }
+            if activity.scan_resident() {
+                flags |= META_SCAN_RESIDENT;
+            }
+            if activity.resample_on_change {
+                flags |= META_RESAMPLE;
+            }
+            inc.meta.push(ActivityMeta {
+                arc_start,
+                arc_len: activity.input_arcs.len().try_into().expect("fewer than 65536 arcs"),
+                flags,
+            });
+
+            if instant {
+                inc.instants.push(idx);
+            }
+            let gates_conservative =
+                !activity.input_gates.is_empty() && activity.declared_reads.is_none();
+            if instant {
+                if gates_conservative {
+                    inc.instant_conservative.push(idx);
+                }
+            } else if gates_conservative || activity.scan_resident() {
+                inc.always_revisit.push(idx);
+            }
+
+            // Register enabling dependencies (arc places plus declared gate
+            // reads) unless conservative, and — for restart-policy timed
+            // activities — declared timing reads, OR-ing the resample bit
+            // into an existing entry for the same place.
+            let mut register = |place: PlaceId, bit: u32, list: &mut Vec<Vec<u32>>| {
+                if dep_seen[place.0] == i {
+                    list[place.0][dep_slot[place.0]] |= bit;
+                } else {
+                    dep_seen[place.0] = i;
+                    dep_slot[place.0] = list[place.0].len();
+                    list[place.0].push(idx | bit);
+                }
+            };
+            if instant {
+                if !gates_conservative {
+                    for &(place, _) in &activity.input_arcs {
+                        register(place, 0, &mut inc.instant_by_place);
+                    }
+                    for &place in activity.declared_reads.iter().flatten() {
+                        register(place, 0, &mut inc.instant_by_place);
+                    }
+                }
+            } else {
+                if !gates_conservative {
+                    for &(place, _) in &activity.input_arcs {
+                        register(place, 0, &mut inc.timed_by_place);
+                    }
+                    for &place in activity.declared_reads.iter().flatten() {
+                        register(place, 0, &mut inc.timed_by_place);
+                    }
+                }
+                if activity.resample_on_change {
+                    for &place in activity.timing_reads.iter().flatten() {
+                        register(place, RESAMPLE_BIT, &mut inc.timed_by_place);
+                    }
+                }
+            }
+        }
+        inc
+    }
+
+    /// Fast enabling check through the flat arc table, falling back to the
+    /// activity's gate predicates only when it has gates. Equivalent to
+    /// [`Activity::is_enabled`] by construction.
+    #[inline]
+    pub(crate) fn enabled_fast(
+        &self,
+        idx: usize,
+        activities: &[Activity],
+        tokens: &[u64],
+        marking: &Marking,
+    ) -> bool {
+        let meta = &self.meta[idx];
+        let span = meta.arc_start as usize..meta.arc_start as usize + meta.arc_len as usize;
+        for &(place, need) in &self.arcs[span] {
+            if tokens[place as usize] < need {
+                return false;
+            }
+        }
+        meta.flags & META_HAS_GATES == 0
+            || activities[idx].input_gates.iter().all(|g| (g.predicate)(marking))
+    }
+}
+
 /// An immutable stochastic activity network, ready to simulate.
 ///
 /// Build one with [`ModelBuilder`]. A `Model` is cheap to clone (all gate
@@ -129,6 +327,7 @@ pub struct Model {
     activities: Vec<Activity>,
     place_index: HashMap<String, PlaceId>,
     activity_index: HashMap<String, ActivityId>,
+    incidence: Incidence,
 }
 
 impl Model {
@@ -196,6 +395,10 @@ impl Model {
 
     pub(crate) fn activity_ref(&self, id: ActivityId) -> &Activity {
         &self.activities[id.0]
+    }
+
+    pub(crate) fn incidence(&self) -> &Incidence {
+        &self.incidence
     }
 }
 
@@ -360,6 +563,8 @@ impl ModelBuilder {
                     output_gates: Vec::new(),
                 }],
                 resample_on_change: false,
+                declared_reads: None,
+                timing_reads: None,
             },
             explicit_cases: false,
         })
@@ -375,12 +580,14 @@ impl ModelBuilder {
         if self.activities.is_empty() {
             return Err(SanError::InvalidExperiment { reason: "model has no activities".into() });
         }
+        let incidence = Incidence::build(self.places.len(), &self.activities);
         Ok(Model {
             name: self.name,
             places: self.places,
             activities: self.activities,
             place_index: self.place_index,
             activity_index: self.activity_index,
+            incidence,
         })
     }
 
@@ -480,6 +687,55 @@ impl<'a> ActivityBuilder<'a> {
         self
     }
 
+    /// Declares that the activity's input-gate predicates read *only* the
+    /// given places (in addition to its input-arc places, which are always
+    /// known). Repeated calls accumulate.
+    ///
+    /// This is a scheduling hint for the event-calendar engine: a
+    /// gate-bearing activity without a declaration must be re-examined after
+    /// every event (its predicate could read any place), whereas a declared
+    /// activity is re-examined only when one of its read places is written.
+    /// The declaration is a soundness contract — it must cover **every**
+    /// place any of the activity's predicates can read in any marking.
+    /// Under-declaring makes the simulator silently miss enabling changes;
+    /// the retained reference engine
+    /// ([`Simulator::run_reference`](crate::Simulator::run_reference)), which
+    /// ignores declarations, exists to catch exactly that in differential
+    /// tests. Declarations never change which places a gate may *write*:
+    /// writes are tracked exactly at run time through the marking's change
+    /// log.
+    pub fn enabling_reads(mut self, places: &[PlaceId]) -> Self {
+        self.activity.declared_reads.get_or_insert_with(Vec::new).extend_from_slice(places);
+        self
+    }
+
+    /// Declares that the activity's timing distribution reads *only* the
+    /// given places, refining the restart policy of a `resample_on_change`
+    /// activity (every [`ModelBuilder::timed_activity_fn`], or a timed
+    /// activity that opted into
+    /// [`ActivityBuilder::resample_on_marking_change`]): its sampled firing
+    /// delay is kept across marking changes unless one of the declared
+    /// places is *written* during an event, in which case the delay is
+    /// redrawn from the (possibly changed) distribution. Repeated calls
+    /// accumulate. Without a declaration the conservative policy applies —
+    /// the delay is redrawn after every event.
+    ///
+    /// Like [`ActivityBuilder::enabling_reads`], this is a soundness
+    /// contract: the declaration must cover every place the distribution
+    /// function can read in any marking. It also sharpens the stochastic
+    /// semantics — keeping a sample whose distribution did not change is the
+    /// standard Möbius reactivation rule and is law-equivalent to the
+    /// conservative resample for memoryless (exponential) timings, but for
+    /// non-memoryless distributions the two policies define different
+    /// processes, so declare reads only when "keep unless my inputs
+    /// changed" is the semantics you mean. The retained reference kernel
+    /// honours declarations identically, keeping differential runs
+    /// bit-identical.
+    pub fn timing_reads(mut self, places: &[PlaceId]) -> Self {
+        self.activity.timing_reads.get_or_insert_with(Vec::new).extend_from_slice(places);
+        self
+    }
+
     /// Sets the restart policy: when `true` the activity's sampled firing
     /// time is discarded and resampled whenever the marking changes while it
     /// stays enabled. Activities with marking-dependent timing always
@@ -508,6 +764,15 @@ impl<'a> ActivityBuilder<'a> {
                 name: a.name.clone(),
                 reason: "activity has no input arcs, gates, or outputs".into(),
             });
+        }
+        for (reads, what) in
+            [(&a.declared_reads, "an enabling read"), (&a.timing_reads, "a timing read")]
+        {
+            if let Some(place) = reads.iter().flatten().find(|p| p.0 >= self.builder.places.len()) {
+                return Err(SanError::UnknownId {
+                    what: format!("place #{} declared as {what} of activity `{}`", place.0, a.name),
+                });
+            }
         }
         if self.explicit_cases {
             let total: f64 = a.cases.iter().map(|c| c.probability).sum();

@@ -1,0 +1,196 @@
+//! The retained naive full-scan simulation kernel.
+//!
+//! This is the original `O(A)`-per-event engine, kept as the semantics
+//! oracle for the event-calendar kernel ([`crate::calendar`]): next-event
+//! selection is a linear scan over every activity's scheduled firing,
+//! instantaneous firing rescans all activities from index zero, and the
+//! schedule refresh after each event re-examines the whole model. It is
+//! deliberately independent of the incidence index and of
+//! [`enabling_reads`](crate::ActivityBuilder::enabling_reads) declarations,
+//! so a differential run against the calendar kernel catches both engine
+//! bugs and unsound declarations. Reward accumulation goes through the same
+//! compiled [`RewardTable`] primitives, so the arithmetic cannot drift.
+
+use probdist::SimRng;
+
+use crate::engine::{
+    accumulate_rate_rewards, credit_impulses, finalise, fire_activity, sample_delay, RunResult,
+    TraceEvent, MAX_INSTANT_FIRINGS,
+};
+use crate::reward::RewardTable;
+use crate::{ActivityId, Marking, Model, SanError, Timing};
+
+/// Runs one replication with full rescans after every event.
+pub(crate) fn run(
+    model: &Model,
+    table: &RewardTable,
+    horizon: f64,
+    warmup: f64,
+    rng: &mut SimRng,
+    mut trace: Option<&mut Vec<TraceEvent>>,
+) -> Result<RunResult, SanError> {
+    let mut marking = model.initial_marking();
+    // Track writes so declared timing reads can be honoured (naively): a
+    // restart-policy activity with declared reads resamples only when one
+    // of them was written during the event.
+    marking.enable_tracking();
+    let mut now = 0.0_f64;
+    let mut events = 0u64;
+    let observed = horizon - warmup;
+    let mut acc = vec![0.0_f64; table.len()];
+    let mut written = vec![false; model.num_places()];
+
+    // Scheduled firing time per timed activity.
+    let mut schedule: Vec<Option<f64>> = vec![None; model.num_activities()];
+
+    // Fire any instantaneous activities enabled in the initial marking,
+    // then schedule timed activities.
+    fire_instantaneous(
+        model,
+        &mut marking,
+        rng,
+        &mut trace,
+        &mut events,
+        now,
+        table,
+        &mut acc,
+        warmup,
+    )?;
+    marking.clear_log();
+    refresh_schedule(model, &marking, &mut schedule, rng, now, true, &written);
+
+    loop {
+        // Find the earliest scheduled completion by scanning every slot.
+        let next = schedule
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|t| (t, i)))
+            .min_by(|a, b| a.partial_cmp(b).expect("firing times are finite"));
+
+        let (fire_time, activity_idx) = match next {
+            Some((t, i)) if t <= horizon => (t, i),
+            _ => {
+                // No more events before the horizon: accumulate rewards
+                // for the remaining interval and stop.
+                accumulate_rate_rewards(table, &marking, now, horizon, warmup, &mut acc);
+                now = horizon;
+                break;
+            }
+        };
+
+        // Integrate rate rewards over [now, fire_time].
+        accumulate_rate_rewards(table, &marking, now, fire_time, warmup, &mut acc);
+        now = fire_time;
+
+        // Fire the activity.
+        let activity_id = ActivityId(activity_idx);
+        let case = fire_activity(model, activity_id, &mut marking, rng);
+        schedule[activity_idx] = None;
+        events += 1;
+        if now >= warmup {
+            credit_impulses(table, activity_idx, &mut acc);
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(TraceEvent { time: now, activity: activity_id, case });
+        }
+
+        // Process any instantaneous cascade triggered by the firing.
+        fire_instantaneous(
+            model,
+            &mut marking,
+            rng,
+            &mut trace,
+            &mut events,
+            now,
+            table,
+            &mut acc,
+            warmup,
+        )?;
+
+        // Update the timed-activity schedule after the marking change.
+        for &p in marking.log() {
+            written[p as usize] = true;
+        }
+        refresh_schedule(model, &marking, &mut schedule, rng, now, false, &written);
+        for &p in marking.log() {
+            written[p as usize] = false;
+        }
+        marking.clear_log();
+    }
+
+    Ok(finalise(table, acc, &marking, observed, events, now))
+}
+
+/// Fires enabled instantaneous activities until none remain enabled,
+/// rescanning all activities from index zero each time, and returning an
+/// error if the cascade does not stabilise.
+#[allow(clippy::too_many_arguments)]
+fn fire_instantaneous(
+    model: &Model,
+    marking: &mut Marking,
+    rng: &mut SimRng,
+    trace: &mut Option<&mut Vec<TraceEvent>>,
+    events: &mut u64,
+    now: f64,
+    table: &RewardTable,
+    acc: &mut [f64],
+    warmup: f64,
+) -> Result<(), SanError> {
+    let mut firings = 0usize;
+    loop {
+        let next = model
+            .activities()
+            .iter()
+            .enumerate()
+            .find(|(_, a)| matches!(a.timing, Timing::Instantaneous) && a.is_enabled(marking))
+            .map(|(i, _)| i);
+        let Some(idx) = next else { return Ok(()) };
+        let id = ActivityId(idx);
+        let case = fire_activity(model, id, marking, rng);
+        *events += 1;
+        if now >= warmup {
+            credit_impulses(table, idx, acc);
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(TraceEvent { time: now, activity: id, case });
+        }
+        firings += 1;
+        if firings > MAX_INSTANT_FIRINGS {
+            return Err(SanError::UnstableInstantaneousLoop { firings });
+        }
+    }
+}
+
+/// Brings the timed-activity schedule in line with the current marking:
+/// disabled activities lose their sample, newly enabled activities sample a
+/// delay, and enabled activities with the restart policy (or marking-
+/// dependent timing) resample — always, or only when one of their declared
+/// timing-read places is in the event's `written` set.
+fn refresh_schedule(
+    model: &Model,
+    marking: &Marking,
+    schedule: &mut [Option<f64>],
+    rng: &mut SimRng,
+    now: f64,
+    initial: bool,
+    written: &[bool],
+) {
+    for (i, activity) in model.activities().iter().enumerate() {
+        if matches!(activity.timing, Timing::Instantaneous) {
+            continue;
+        }
+        if !activity.is_enabled(marking) {
+            schedule[i] = None;
+            continue;
+        }
+        let resample = !initial
+            && activity.resample_on_change
+            && match &activity.timing_reads {
+                None => true,
+                Some(reads) => reads.iter().any(|p| written[p.index()]),
+            };
+        if schedule[i].is_none() || resample {
+            schedule[i] = Some(now + sample_delay(activity, marking, rng));
+        }
+    }
+}

@@ -250,8 +250,12 @@ impl Experiment {
         let root = SimRng::seed_from_u64(seed);
         let workers = if self.parallel { self.workers } else { 1 };
         let sim = Simulator::new(&self.model);
+        // Compile the reward set once per batch: every replication then
+        // shares the interned name table (one `Arc` clone per result) and
+        // the partitioned accumulator layout instead of re-deriving them.
+        let table = crate::reward::RewardTable::compile(&self.model, &self.rewards)?;
         probdist::parallel::replicate(start..start + count, &root, workers, |_, rng| {
-            sim.run(&self.rewards, self.horizon, self.warmup, rng)
+            sim.run_with_table(&table, self.horizon, self.warmup, rng)
         })
         .into_iter()
         .collect()

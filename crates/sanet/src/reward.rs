@@ -136,6 +136,112 @@ impl RewardSpec {
     }
 }
 
+/// The interned name table of a compiled reward set, shared by every
+/// [`RunResult`](crate::RunResult) of a run through one `Arc`.
+#[derive(Debug, PartialEq, Default)]
+pub(crate) struct RewardNames {
+    /// Reward names in specification (slot) order.
+    pub(crate) names: Vec<String>,
+    /// Name → slot lookup. With duplicate names the last slot wins,
+    /// matching the behaviour of the per-replication `HashMap` this
+    /// replaces.
+    pub(crate) index: std::collections::HashMap<String, usize>,
+}
+
+/// How one reward slot is turned into its reported value at the end of a
+/// replication.
+pub(crate) enum Finalise {
+    /// Accumulated rate integral divided by the observation length.
+    RateTimeAveraged,
+    /// Raw accumulated rate integral.
+    RateAccumulated,
+    /// The rate function evaluated in the final marking.
+    RateInstant(RewardFn),
+    /// Accumulated impulse total.
+    ImpulseTotal,
+    /// Accumulated impulse total divided by the observation length.
+    ImpulsePerHour,
+}
+
+/// A reward specification compiled for the run loop: rate rewards that
+/// integrate over time live in a dense slice walked once per event, impulse
+/// rewards are bucketed by the activity that triggers them (O(1) lookup on
+/// completion instead of a scan over every reward), and names are interned
+/// once into a shared [`RewardNames`] table so per-replication results are
+/// plain `Vec<f64>`s.
+pub(crate) struct RewardTable {
+    pub(crate) names: Arc<RewardNames>,
+    /// `(slot, function)` for every rate reward that integrates over time
+    /// (time-averaged or accumulated), in slot order.
+    pub(crate) integrated: Vec<(u32, RewardFn)>,
+    /// activity index → `(slot, amount)` impulses credited on its
+    /// completion, dense over the model's activities.
+    pub(crate) impulses: Vec<Vec<(u32, f64)>>,
+    /// Per-slot finalisation rule, in slot order.
+    pub(crate) finals: Vec<Finalise>,
+}
+
+impl RewardTable {
+    /// Compiles `specs` against `model`, validating impulse activity
+    /// references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SanError::UnknownId`] if an impulse reward references
+    /// an activity outside the model.
+    pub(crate) fn compile(
+        model: &crate::Model,
+        specs: &[RewardSpec],
+    ) -> Result<RewardTable, crate::SanError> {
+        let mut names = RewardNames {
+            names: Vec::with_capacity(specs.len()),
+            index: std::collections::HashMap::with_capacity(specs.len()),
+        };
+        let mut integrated = Vec::new();
+        let mut impulses = vec![Vec::new(); model.num_activities()];
+        let mut finals = Vec::with_capacity(specs.len());
+        for (slot, spec) in specs.iter().enumerate() {
+            names.names.push(spec.name.clone());
+            names.index.insert(spec.name.clone(), slot);
+            match &spec.variant {
+                RewardVariant::Rate { function, kind } => finals.push(match kind {
+                    RewardKind::TimeAveraged => {
+                        integrated.push((slot as u32, Arc::clone(function)));
+                        Finalise::RateTimeAveraged
+                    }
+                    RewardKind::Accumulated => {
+                        integrated.push((slot as u32, Arc::clone(function)));
+                        Finalise::RateAccumulated
+                    }
+                    RewardKind::InstantOfTime => Finalise::RateInstant(Arc::clone(function)),
+                }),
+                RewardVariant::Impulse { activity, amount, kind } => {
+                    let bucket = impulses.get_mut(activity.index()).ok_or_else(|| {
+                        crate::SanError::UnknownId {
+                            what: format!(
+                                "activity #{} referenced by reward `{}`",
+                                activity.index(),
+                                spec.name
+                            ),
+                        }
+                    })?;
+                    bucket.push((slot as u32, *amount));
+                    finals.push(match kind {
+                        ImpulseKind::Total => Finalise::ImpulseTotal,
+                        ImpulseKind::PerHour => Finalise::ImpulsePerHour,
+                    });
+                }
+            }
+        }
+        Ok(RewardTable { names: Arc::new(names), integrated, impulses, finals })
+    }
+
+    /// Number of reward slots.
+    pub(crate) fn len(&self) -> usize {
+        self.finals.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

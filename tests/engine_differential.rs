@@ -1,0 +1,57 @@
+//! Differential test of the event-calendar kernel on the paper's composed
+//! cluster models.
+//!
+//! The small random-SAN differentials live in
+//! `crates/sanet/tests/calendar_differential.rs`; this test pins the engines
+//! against each other on the *real* workload — the full ABE and petascale
+//! cluster models with their standard reward set — which also proves the
+//! `enabling_reads` declarations in `cfs_model::model` sound: the reference
+//! kernel ignores declarations, so an under-declared gate read would
+//! desynchronise the RNG stream and show up as a diverging trace.
+
+use petascale_cfs::prelude::*;
+use petascale_cfs::sanet::Simulator;
+
+use cfs_model::model::build_cluster_model;
+use cfs_model::rewards::standard_rewards;
+
+fn assert_engines_agree_on(config: &ClusterConfig, horizon: f64, seeds: std::ops::Range<u64>) {
+    let cluster = build_cluster_model(config).unwrap();
+    let rewards = standard_rewards(&cluster);
+    let sim = Simulator::new(&cluster.model);
+    for seed in seeds {
+        let (cal, cal_trace) =
+            sim.run_traced(&rewards, horizon, 0.0, &mut SimRng::seed_from_u64(seed)).unwrap();
+        let (reference, ref_trace) = sim
+            .run_reference_traced(&rewards, horizon, 0.0, &mut SimRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(
+            cal, reference,
+            "calendar and reference kernels diverged on '{}' (seed {seed})",
+            config.name
+        );
+        assert_eq!(cal_trace, ref_trace, "traces diverged on '{}' (seed {seed})", config.name);
+        assert!(cal.events > 0, "the horizon must be long enough to exercise the model");
+    }
+}
+
+#[test]
+fn abe_model_is_bit_identical_across_kernels() {
+    assert_engines_agree_on(&ClusterConfig::abe(), 4_380.0, 0..6);
+}
+
+#[test]
+fn abe_with_spare_oss_is_bit_identical_across_kernels() {
+    assert_engines_agree_on(&ClusterConfig::abe().with_spare_oss(), 4_380.0, 0..4);
+}
+
+#[test]
+fn petascale_model_is_bit_identical_across_kernels() {
+    assert_engines_agree_on(&ClusterConfig::petascale(), 1_500.0, 0..3);
+}
+
+#[test]
+fn petascale_with_mitigations_is_bit_identical_across_kernels() {
+    let config = ClusterConfig::petascale().with_spare_oss().with_multipath_network();
+    assert_engines_agree_on(&config, 1_000.0, 0..3);
+}
