@@ -1,9 +1,11 @@
 //! Micro-benchmarks of the simulation substrates — lifetime sampling, the
 //! stochastic-activity-network engine (event-calendar kernel vs the
 //! retained naive reference kernel, on a 2-activity unit and on the full
-//! composed ABE / petascale cluster models), and the storage Monte-Carlo
-//! kernel — plus the study scheduler: the global work-stealing pool against
-//! the PR-1-style serial-scenario loop it replaced.
+//! composed ABE / petascale cluster models), the storage Monte-Carlo
+//! kernel, and the design-space sweep subsystem (replication-vs-RAID and
+//! Beowulf performability, in design points per second) — plus the study
+//! scheduler: the global work-stealing pool against the PR-1-style
+//! serial-scenario loop it replaced.
 //!
 //! The harness is self-contained (no external benchmarking crate is
 //! available offline): each kernel is warmed up, then timed over enough
@@ -19,9 +21,11 @@ use cfs_bench::BenchRecord;
 use cfs_model::analysis::evaluate;
 use cfs_model::model::build_cluster_model;
 use cfs_model::rewards::standard_rewards;
+use cfs_model::workloads::{BeowulfPerformabilitySweep, RedundancyScheme, ReplicationVsRaid};
 use cfs_model::{ClusterConfig, RunSpec, Scenario, Study};
 use probdist::{Distribution, Exponential, SimRng, Weibull};
-use raidsim::{StorageConfig, StorageSimulator};
+use raidsim::{RaidGeometry, StorageConfig, StorageSimulator};
+use sanet::beowulf::BeowulfConfig;
 use sanet::reward::RewardSpec;
 use sanet::{ModelBuilder, Simulator};
 
@@ -95,6 +99,10 @@ fn bench_san_engine(records: &mut Vec<BenchRecord>) {
             move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 },
         )];
     let sim = Simulator::new(&model);
+    // `run` auto-selects the naive kernel for this 2-activity model (the
+    // small-model crossover fallback), so the two rows should be nearly
+    // equal; before the auto-selection the first row ran the calendar
+    // kernel at ~16.2M events/s vs the reference's ~24.6M.
     let mut rng = SimRng::seed_from_u64(7);
     records.push(bench_events("san_engine_one_year_repairable_unit", 5, 200, || {
         sim.run(&rewards, 8760.0, 0.0, &mut rng).unwrap().events
@@ -136,6 +144,48 @@ fn bench_san_composed_models(records: &mut Vec<BenchRecord>) {
         records.push(calendar.clone().with_speedup(speedup));
         records.push(reference);
     }
+}
+
+/// The design-space sweep subsystem: both workload families evaluated as
+/// scenarios, reporting design-points-per-second throughput (recorded in
+/// the `events_per_sec` slot of BENCH.json, where one "event" is one fully
+/// evaluated design point).
+fn bench_design_space_sweeps(records: &mut Vec<BenchRecord>) {
+    let spec = RunSpec::new()
+        .with_horizon_hours(cfs_bench::horizon_hours().min(4380.0))
+        .with_replications(cfs_bench::replications().min(8))
+        .with_base_seed(2008);
+
+    let raid_vs_repl = ReplicationVsRaid {
+        usable_capacity_tb: 24.0,
+        schemes: vec![
+            RedundancyScheme::Raid(RaidGeometry::raid6_8p2()),
+            RedundancyScheme::Replication { replicas: 3 },
+        ],
+        afr_percents: vec![2.92, 8.76],
+    };
+    let raid_points = (raid_vs_repl.schemes.len() * raid_vs_repl.afr_percents.len()) as u64;
+    let record = bench_events("sweep_replication_vs_raid (points/s)", 2, 10, || {
+        raid_vs_repl.evaluate(&spec).unwrap();
+        raid_points
+    });
+    records.push(record);
+
+    let beowulf = BeowulfPerformabilitySweep {
+        worker_counts: vec![32, 128],
+        repair_crews: vec![1, 4],
+        base: BeowulfConfig {
+            worker_mtbf_hours: 1_000.0,
+            worker_repair_hours: 12.0,
+            ..BeowulfConfig::default()
+        },
+    };
+    let beowulf_points = (beowulf.worker_counts.len() * beowulf.repair_crews.len()) as u64;
+    let record = bench_events("sweep_beowulf_performability (points/s)", 2, 10, || {
+        beowulf.evaluate(&spec).unwrap();
+        beowulf_points
+    });
+    records.push(record);
 }
 
 fn bench_storage_kernel(records: &mut Vec<BenchRecord>) {
@@ -226,6 +276,7 @@ fn main() {
     bench_san_engine(&mut records);
     bench_san_composed_models(&mut records);
     bench_storage_kernel(&mut records);
+    bench_design_space_sweeps(&mut records);
     bench_study_scheduling(&mut records);
     match cfs_bench::write_bench_json(&records) {
         Ok(path) => {

@@ -30,6 +30,12 @@
 //!   work-stealing pool, with bit-identical serial/parallel statistics.
 //! * [`experiments`] — the underlying experiment drivers the scenarios
 //!   wrap, one per table and figure of the evaluation.
+//! * [`sweep`] — the design-space sweep driver: cartesian parameter grids
+//!   ([`DesignSpace`]) evaluated as one scenario ([`SweepScenario`]) with
+//!   per-point adaptive stopping and winner selection.
+//! * [`workloads`] — non-paper workload families riding the sweep driver:
+//!   the replication-vs-RAID redundancy comparison and the Beowulf
+//!   performability sweep.
 //! * [`report`] — the unified [`Report`] sink: aligned text tables, CSV,
 //!   and JSON rendering for every result.
 //!
@@ -74,6 +80,8 @@ pub mod rewards;
 pub mod run;
 pub mod scenario;
 pub mod study;
+pub mod sweep;
+pub mod workloads;
 
 pub use analysis::ClusterDependability;
 pub use config::ClusterConfig;
@@ -83,6 +91,8 @@ pub use report::{Report, ReportFormat, TextTable};
 pub use run::{PrecisionTarget, RunSpec};
 pub use scenario::{Metric, Scenario, ScenarioOutput};
 pub use study::Study;
+pub use sweep::{DesignPoint, DesignSpace, Objective, PointOutcome, SweepScenario};
+pub use workloads::{BeowulfPerformabilitySweep, RedundancyScheme, ReplicationVsRaid};
 
 #[cfg(test)]
 mod crate_tests {

@@ -144,13 +144,24 @@ pub enum ReportFormat {
 }
 
 impl ReportFormat {
-    /// Parses a format name (`text` / `csv` / `json`), case-insensitively.
+    /// Parses a format name (`text` / `csv` / `json`), case-insensitively
+    /// and ignoring surrounding whitespace (names typically arrive from
+    /// command lines and environment variables).
     pub fn parse(name: &str) -> Option<ReportFormat> {
-        match name.to_ascii_lowercase().as_str() {
+        match name.trim().to_ascii_lowercase().as_str() {
             "text" | "txt" => Some(ReportFormat::Text),
             "csv" => Some(ReportFormat::Csv),
             "json" => Some(ReportFormat::Json),
             _ => None,
+        }
+    }
+
+    /// The canonical lower-case name, the inverse of [`ReportFormat::parse`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReportFormat::Text => "text",
+            ReportFormat::Csv => "csv",
+            ReportFormat::Json => "json",
         }
     }
 }
@@ -300,6 +311,37 @@ mod tests {
         let text = t.render();
         assert_eq!(t.len(), 2);
         assert!(!text.contains('4'));
+    }
+
+    #[test]
+    fn report_format_parse_round_trips() {
+        for format in [ReportFormat::Text, ReportFormat::Csv, ReportFormat::Json] {
+            assert_eq!(ReportFormat::parse(format.name()), Some(format));
+            // Case and whitespace variants all resolve to the same format.
+            assert_eq!(ReportFormat::parse(&format.name().to_ascii_uppercase()), Some(format));
+            assert_eq!(ReportFormat::parse(&format!("  {}\t\n", format.name())), Some(format));
+        }
+        assert_eq!(ReportFormat::parse("TXT"), Some(ReportFormat::Text));
+        assert_eq!(ReportFormat::parse(" Json "), Some(ReportFormat::Json));
+        for unknown in ["", "  ", "yaml", "cs v", "json5", "text,csv"] {
+            assert_eq!(ReportFormat::parse(unknown), None, "{unknown:?}");
+        }
+    }
+
+    #[test]
+    fn json_report_escapes_hostile_scenario_names() {
+        use crate::scenario::ScenarioOutput;
+
+        let name = "weird \"scenario\"\\with\ncontrol\u{1}chars";
+        let output = ScenarioOutput::new(name).with_metric("m", 1.0);
+        let report = Report::new(RunSpec::new(), vec![output]);
+        let json = report.to_json();
+        // Quotes, backslashes, and control characters must be escaped so
+        // the document stays valid JSON.
+        assert!(json.contains("weird \\\"scenario\\\"\\\\with\\ncontrol\\u0001chars"), "{json}");
+        assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n' && c != ' '), "{json}");
+        // And the report still round-trips through the named lookup.
+        assert!(report.output(name).is_some());
     }
 
     #[test]

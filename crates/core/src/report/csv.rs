@@ -6,9 +6,10 @@
 //! as a `String` and leave filesystem decisions to the caller.
 
 /// Escapes one CSV cell (quotes cells containing commas, quotes, or
-/// newlines).
+/// either line-break character — RFC 4180 treats a bare `\r` exactly like
+/// `\n`, so both must trigger quoting).
 pub(crate) fn escape(cell: &str) -> String {
-    if cell.contains([',', '"', '\n']) {
+    if cell.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", cell.replace('"', "\"\""))
     } else {
         cell.to_string()
@@ -30,6 +31,16 @@ mod tests {
         assert_eq!(escape("a,b"), "\"a,b\"");
         assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
         assert_eq!(record(&["a".into(), "b,c".into()]), "a,\"b,c\"");
+    }
+
+    #[test]
+    fn line_break_characters_trigger_quoting() {
+        // RFC 4180: a record ends at CRLF, CR, or LF — a cell containing a
+        // bare carriage return must be quoted just like one with a newline.
+        assert_eq!(escape("a\nb"), "\"a\nb\"");
+        assert_eq!(escape("a\rb"), "\"a\rb\"");
+        assert_eq!(escape("a\r\nb"), "\"a\r\nb\"");
+        assert_eq!(record(&["x".into(), "y\rz".into()]), "x,\"y\rz\"");
     }
 
     #[test]

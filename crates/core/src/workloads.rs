@@ -1,0 +1,491 @@
+//! Non-paper workload families riding the [`crate::sweep`] driver: the
+//! cross-system design questions the ROADMAP calls the `Scenario` trait's
+//! extension point.
+//!
+//! * [`ReplicationVsRaid`] — the GFS/HDFS/MinIO question (Dubeyko's
+//!   comparative analysis of distributed file systems' internal
+//!   techniques): at *equal usable capacity* and identical disk hardware,
+//!   does `n+k` RAID reconstruction or `r`-way object replication with
+//!   background re-replication deliver better storage dependability, and
+//!   at what raw-capacity overhead?
+//! * [`BeowulfPerformabilitySweep`] — the Kirsal & Ever question: how does
+//!   the delivered fraction of a Beowulf cluster's nominal capacity
+//!   (performability) scale with the worker count and the number of repair
+//!   crews?
+//!
+//! Both are thin [`SweepScenario`] configurations: a [`DesignSpace`] over
+//! the interesting axes plus a point evaluator that builds the matching
+//! simulator, honours the spec's replication policy (fixed count or
+//! precision-targeted adaptive stopping, per point), and reports named
+//! metrics for the winner selection.
+
+use raidsim::{
+    DiskModel, RaidGeometry, ReplicationConfig, ReplicationSimulator, StorageConfig,
+    StorageSimulator, StorageSummary,
+};
+use sanet::beowulf::{
+    build_beowulf_model, BeowulfConfig, HEAD_AVAILABILITY, MEAN_WORKERS_UP, PERFORMABILITY,
+    SERVICE_AVAILABILITY,
+};
+use sanet::Experiment;
+
+use crate::run::RunSpec;
+use crate::scenario::{Scenario, ScenarioOutput};
+use crate::sweep::{DesignPoint, DesignSpace, Objective, PointOutcome, SweepScenario};
+use crate::CfsError;
+
+/// Runs a storage Monte-Carlo engine under the spec's replication policy —
+/// the adaptive runner when a precision target is set, the fixed-count
+/// runner otherwise. The RAID and replication simulators share this exact
+/// run signature shape, so the spec-to-run mapping lives in one place.
+fn storage_summary_under(
+    spec: &RunSpec,
+    run_fixed: impl FnOnce(f64, usize, u64, f64, usize) -> Result<StorageSummary, raidsim::RaidError>,
+    run_adaptive: impl FnOnce(
+        f64,
+        &probdist::stats::StoppingRule,
+        u64,
+        f64,
+        usize,
+    ) -> Result<StorageSummary, raidsim::RaidError>,
+) -> Result<StorageSummary, CfsError> {
+    let summary = match spec.stopping_rule()? {
+        Some(rule) => run_adaptive(
+            spec.horizon_hours(),
+            &rule,
+            spec.base_seed(),
+            spec.confidence_level(),
+            spec.workers(),
+        )?,
+        None => run_fixed(
+            spec.horizon_hours(),
+            spec.replications(),
+            spec.base_seed(),
+            spec.confidence_level(),
+            spec.workers(),
+        )?,
+    };
+    Ok(summary)
+}
+
+/// One redundancy scheme of the [`ReplicationVsRaid`] comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RedundancyScheme {
+    /// `n+k` RAID tiers with single-spindle reconstruction.
+    Raid(RaidGeometry),
+    /// `r`-way object replication with background re-replication.
+    Replication {
+        /// Copies kept of every object.
+        replicas: u32,
+    },
+}
+
+impl RedundancyScheme {
+    /// Short label used in tables, e.g. `"raid 8+2"` or `"3-way repl"`.
+    pub fn label(&self) -> String {
+        match self {
+            RedundancyScheme::Raid(geometry) => format!("raid {}", geometry.label()),
+            RedundancyScheme::Replication { replicas } => format!("{replicas}-way repl"),
+        }
+    }
+
+    /// Raw bytes stored per usable byte.
+    pub fn storage_overhead(&self) -> f64 {
+        match self {
+            RedundancyScheme::Raid(g) => g.disks_per_tier() as f64 / g.data_disks as f64,
+            RedundancyScheme::Replication { replicas } => *replicas as f64,
+        }
+    }
+}
+
+/// Replication-vs-RAID design-space sweep: every redundancy scheme is
+/// provisioned to the same usable capacity with the same disk model, then
+/// simulated under the study's [`RunSpec`] (with per-point adaptive
+/// stopping when the spec carries a precision target).
+///
+/// Axes of the underlying [`DesignSpace`]:
+///
+/// * `scheme` — index into [`ReplicationVsRaid::schemes`] (categorical
+///   choices are encoded as axis indices; the table rows carry the
+///   human-readable label).
+/// * `afr_percent` — disk annualised failure rate, percent per year
+///   (sweeps the hardware-quality dimension; the ABE disk is 2.92 %).
+///
+/// Reported per point: storage availability and replacements/week (with
+/// confidence half-widths), the probability of any data loss over the
+/// mission, expected data-loss events, the raw disk count, and the
+/// raw-per-usable storage overhead. The winner minimises
+/// `prob_any_data_loss` — the durability question these systems are
+/// actually provisioned for; availability stays in the table for the
+/// trade-off reading.
+#[derive(Debug, Clone)]
+pub struct ReplicationVsRaid {
+    /// Usable capacity every scheme must provide, terabytes.
+    pub usable_capacity_tb: f64,
+    /// The candidate redundancy schemes.
+    pub schemes: Vec<RedundancyScheme>,
+    /// Disk AFR sweep, percent per year.
+    pub afr_percents: Vec<f64>,
+}
+
+impl Default for ReplicationVsRaid {
+    /// The ABE-scale comparison: 96 TB usable; RAID (8+1)/(8+2)/(8+3)
+    /// against 2- and 3-way replication; ABE's 2.92 % AFR plus a
+    /// pessimistic 8.76 % disk.
+    fn default() -> Self {
+        ReplicationVsRaid {
+            usable_capacity_tb: 96.0,
+            schemes: vec![
+                RedundancyScheme::Raid(RaidGeometry::raid5_8p1()),
+                RedundancyScheme::Raid(RaidGeometry::raid6_8p2()),
+                RedundancyScheme::Raid(RaidGeometry::raid_8p3()),
+                RedundancyScheme::Replication { replicas: 2 },
+                RedundancyScheme::Replication { replicas: 3 },
+            ],
+            afr_percents: vec![2.92, 8.76],
+        }
+    }
+}
+
+impl ReplicationVsRaid {
+    /// Builds the storage configuration of a RAID scheme at the sweep's
+    /// usable capacity: one logical DDN enclosure with
+    /// `⌈usable / (data disks · capacity)⌉` tiers.
+    fn raid_config(&self, geometry: RaidGeometry, disk: DiskModel) -> StorageConfig {
+        let tier_usable_tb = geometry.data_disks as f64 * disk.capacity_gb / 1000.0;
+        let tiers = (self.usable_capacity_tb / tier_usable_tb).ceil().max(1.0) as u32;
+        StorageConfig {
+            ddn_units: 1,
+            tiers,
+            geometry,
+            disk,
+            // Same operational assumptions as the replication side's
+            // defaults: 4 h to swap a drive, 24 h to restore lost data.
+            replacement_hours: 4.0,
+            rebuild_hours: 6.0,
+            data_loss_recovery_hours: 24.0,
+            controllers: None,
+        }
+    }
+
+    fn evaluate_point(
+        &self,
+        point: &DesignPoint,
+        spec: &RunSpec,
+    ) -> Result<PointOutcome, CfsError> {
+        let scheme_index = point.value("scheme").expect("scheme axis always present") as usize;
+        let scheme = self.schemes[scheme_index];
+        let afr = point.value("afr_percent").expect("afr axis always present");
+        let disk = DiskModel::with_afr(afr, DiskModel::abe_sata_250gb().weibull_shape)?;
+
+        let (summary, raw_disks): (StorageSummary, u32) = match scheme {
+            RedundancyScheme::Raid(geometry) => {
+                let config = self.raid_config(geometry, disk);
+                let disks = config.total_disks();
+                let sim = StorageSimulator::new(config)?;
+                let summary = storage_summary_under(
+                    spec,
+                    |h, r, s, c, w| sim.run_with(h, r, s, c, w),
+                    |h, rule, s, c, w| sim.run_until(h, rule, s, c, w),
+                )?;
+                (summary, disks)
+            }
+            RedundancyScheme::Replication { replicas } => {
+                let config =
+                    ReplicationConfig::for_usable_capacity(self.usable_capacity_tb, replicas, disk);
+                let disks = config.disks;
+                let sim = ReplicationSimulator::new(config)?;
+                let summary = storage_summary_under(
+                    spec,
+                    |h, r, s, c, w| sim.run_with(h, r, s, c, w),
+                    |h, rule, s, c, w| sim.run_until(h, rule, s, c, w),
+                )?;
+                (summary, disks)
+            }
+        };
+
+        Ok(PointOutcome::new()
+            .with_label(format!("{} @{afr}% AFR", scheme.label()))
+            .with_metric("prob_any_data_loss", summary.prob_any_data_loss)
+            .with_metric_ci("availability", &summary.availability)
+            .with_metric_ci("replacements_per_week", &summary.replacements_per_week)
+            .with_metric_ci("data_loss_events", &summary.data_loss_events)
+            .with_metric("raw_disks", raw_disks as f64)
+            .with_metric("storage_overhead", scheme.storage_overhead())
+            .with_replications_used(summary.replications))
+    }
+
+    fn sweep(&self) -> Result<SweepScenario, CfsError> {
+        if self.schemes.is_empty() {
+            return Err(CfsError::InvalidConfig {
+                reason: "replication-vs-RAID sweep has no redundancy schemes".into(),
+            });
+        }
+        if !(self.usable_capacity_tb.is_finite() && self.usable_capacity_tb > 0.0) {
+            return Err(CfsError::InvalidConfig {
+                reason: format!(
+                    "replication-vs-RAID usable capacity must be positive, got {} TB",
+                    self.usable_capacity_tb
+                ),
+            });
+        }
+        let scheme_axis: Vec<f64> = (0..self.schemes.len()).map(|i| i as f64).collect();
+        let space = DesignSpace::new()
+            .with_axis("scheme", scheme_axis)
+            .with_axis("afr_percent", self.afr_percents.clone());
+        let this = self.clone();
+        Ok(SweepScenario::new(
+            "replication_vs_raid",
+            space,
+            "prob_any_data_loss",
+            Objective::Minimize,
+            move |point, spec| this.evaluate_point(point, spec),
+        ))
+    }
+}
+
+impl Scenario for ReplicationVsRaid {
+    fn name(&self) -> &str {
+        "replication_vs_raid"
+    }
+
+    fn evaluate(&self, spec: &RunSpec) -> Result<ScenarioOutput, CfsError> {
+        let mut output = self.sweep()?.evaluate(spec)?;
+        // Re-label the winning scheme index with its human-readable name.
+        if let Some(index) = output.metric("winner_scheme") {
+            let scheme = self.schemes[index as usize];
+            output = output.with_metric("winner_storage_overhead", scheme.storage_overhead());
+        }
+        Ok(output)
+    }
+}
+
+/// Beowulf performability design-space sweep (Kirsal & Ever): the composed
+/// head-plus-workers SAN of [`sanet::beowulf`] evaluated over a grid of
+/// worker counts and repair-crew counts.
+///
+/// Axes of the underlying [`DesignSpace`]:
+///
+/// * `workers` — worker-node count `N` (nodes).
+/// * `repair_crews` — simultaneous worker repairs (crews).
+///
+/// Reported per point: performability (delivered fraction of nominal
+/// capacity, in `[0, 1]`), service availability (head up and ≥ 1 worker
+/// up), head availability, and the time-averaged operational worker count
+/// — each with confidence half-widths. The winner maximises
+/// performability; since nominal capacity scales with `N`, the sweep reads
+/// as "how many repair crews does each scale need to stay near 1.0".
+#[derive(Debug, Clone)]
+pub struct BeowulfPerformabilitySweep {
+    /// Worker-count axis (nodes).
+    pub worker_counts: Vec<u32>,
+    /// Repair-crew axis (crews).
+    pub repair_crews: Vec<u32>,
+    /// Per-node and head-node reliability parameters; the `workers` and
+    /// `repair_crews` fields of this base are overridden per point.
+    pub base: BeowulfConfig,
+}
+
+impl Default for BeowulfPerformabilitySweep {
+    /// 32–256 workers under 1 or 4 repair crews, with harsher-than-default
+    /// node reliability (1 000-hour worker MTBF) so the repair queue
+    /// actually bites at scale.
+    fn default() -> Self {
+        BeowulfPerformabilitySweep {
+            worker_counts: vec![32, 64, 128, 256],
+            repair_crews: vec![1, 4],
+            base: BeowulfConfig {
+                worker_mtbf_hours: 1_000.0,
+                worker_repair_hours: 12.0,
+                ..BeowulfConfig::default()
+            },
+        }
+    }
+}
+
+impl BeowulfPerformabilitySweep {
+    fn evaluate_point(
+        &self,
+        point: &DesignPoint,
+        spec: &RunSpec,
+    ) -> Result<PointOutcome, CfsError> {
+        let config = BeowulfConfig {
+            workers: point.value("workers").expect("workers axis always present") as u32,
+            repair_crews: point.value("repair_crews").expect("crews axis always present") as u32,
+            ..self.base
+        };
+        let beowulf = build_beowulf_model(&config)?;
+        let mut experiment = Experiment::new(beowulf.model.clone(), spec.horizon_hours());
+        experiment.set_confidence_level(spec.confidence_level());
+        experiment.set_workers(spec.workers());
+        for reward in beowulf.rewards() {
+            experiment.add_reward(reward);
+        }
+        let summary = match spec.stopping_rule()? {
+            Some(rule) => experiment.run_until(rule, spec.base_seed())?,
+            None => experiment.run(spec.replications(), spec.base_seed())?,
+        };
+        let mut outcome = PointOutcome::new();
+        for name in [PERFORMABILITY, SERVICE_AVAILABILITY, HEAD_AVAILABILITY, MEAN_WORKERS_UP] {
+            outcome = outcome.with_metric_ci(name, &summary.reward(name)?.interval);
+        }
+        Ok(outcome.with_replications_used(summary.replications))
+    }
+
+    fn sweep(&self) -> Result<SweepScenario, CfsError> {
+        if self.worker_counts.is_empty() || self.repair_crews.is_empty() {
+            return Err(CfsError::InvalidConfig {
+                reason: "Beowulf sweep needs at least one worker count and one crew count".into(),
+            });
+        }
+        let space = DesignSpace::new()
+            .with_axis("workers", self.worker_counts.iter().map(|&n| n as f64).collect::<Vec<_>>())
+            .with_axis(
+                "repair_crews",
+                self.repair_crews.iter().map(|&n| n as f64).collect::<Vec<_>>(),
+            );
+        let this = self.clone();
+        Ok(SweepScenario::new(
+            "beowulf_performability",
+            space,
+            PERFORMABILITY,
+            Objective::Maximize,
+            move |point, spec| this.evaluate_point(point, spec),
+        ))
+    }
+}
+
+impl Scenario for BeowulfPerformabilitySweep {
+    fn name(&self) -> &str {
+        "beowulf_performability"
+    }
+
+    fn evaluate(&self, spec: &RunSpec) -> Result<ScenarioOutput, CfsError> {
+        self.sweep()?.evaluate(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::Study;
+
+    fn quick_spec() -> RunSpec {
+        RunSpec::new().with_horizon_hours(2000.0).with_replications(4).with_base_seed(7)
+    }
+
+    #[test]
+    fn scheme_labels_and_overheads() {
+        assert_eq!(RedundancyScheme::Raid(RaidGeometry::raid6_8p2()).label(), "raid 8+2");
+        assert_eq!(RedundancyScheme::Replication { replicas: 3 }.label(), "3-way repl");
+        assert!(
+            (RedundancyScheme::Raid(RaidGeometry::raid6_8p2()).storage_overhead() - 1.25).abs()
+                < 1e-12
+        );
+        assert_eq!(RedundancyScheme::Replication { replicas: 2 }.storage_overhead(), 2.0);
+    }
+
+    #[test]
+    fn replication_vs_raid_reports_every_scheme_at_equal_capacity() {
+        let sweep = ReplicationVsRaid {
+            usable_capacity_tb: 24.0,
+            schemes: vec![
+                RedundancyScheme::Raid(RaidGeometry::raid6_8p2()),
+                RedundancyScheme::Replication { replicas: 2 },
+            ],
+            afr_percents: vec![2.92],
+        };
+        let output = sweep.evaluate(&quick_spec()).unwrap();
+        assert_eq!(output.scenario, "replication_vs_raid");
+        assert_eq!(output.tables.len(), 1);
+        assert_eq!(output.tables[0].len(), 2, "one row per design point");
+        // Equal usable capacity: RAID 8+2 needs 24 TB / 2 TB-per-tier = 12
+        // tiers × 10 disks; 2-way replication needs 24·2 TB / 250 GB.
+        let rows = output.tables[0].rows();
+        assert!(rows[0].iter().any(|c| c == "120.000000"), "raid raw disks: {rows:?}");
+        assert!(rows[1].iter().any(|c| c == "192.000000"), "replication raw disks: {rows:?}");
+        assert!(output.metric("winner_index").is_some());
+        assert!(output.metric("winner_prob_any_data_loss").is_some());
+        assert!(output.metric("winner_storage_overhead").is_some());
+        assert!(output.replications_used.is_some());
+    }
+
+    #[test]
+    fn replication_vs_raid_validates_its_configuration() {
+        let mut sweep = ReplicationVsRaid::default();
+        sweep.schemes.clear();
+        assert!(sweep.evaluate(&quick_spec()).is_err());
+
+        let sweep = ReplicationVsRaid { usable_capacity_tb: 0.0, ..ReplicationVsRaid::default() };
+        assert!(sweep.evaluate(&quick_spec()).is_err());
+
+        let mut sweep = ReplicationVsRaid::default();
+        sweep.afr_percents.clear();
+        assert!(sweep.evaluate(&quick_spec()).is_err());
+    }
+
+    #[test]
+    fn beowulf_sweep_prefers_more_repair_crews() {
+        let sweep = BeowulfPerformabilitySweep {
+            worker_counts: vec![64],
+            repair_crews: vec![1, 8],
+            base: BeowulfConfig {
+                worker_mtbf_hours: 200.0,
+                worker_repair_hours: 24.0,
+                ..BeowulfConfig::default()
+            },
+        };
+        let output = sweep.evaluate(&quick_spec().with_horizon_hours(20_000.0)).unwrap();
+        assert_eq!(output.scenario, "beowulf_performability");
+        // With a 24-hour repair monopolising one crew, 8 crews must win.
+        assert_eq!(output.metric("winner_repair_crews"), Some(8.0));
+        let perf = output.metric("winner_performability").unwrap();
+        assert!(perf > 0.0 && perf <= 1.0, "performability {perf}");
+        assert_eq!(output.tables[0].len(), 2);
+    }
+
+    #[test]
+    fn beowulf_sweep_validates_its_configuration() {
+        let mut sweep = BeowulfPerformabilitySweep::default();
+        sweep.worker_counts.clear();
+        assert!(sweep.evaluate(&quick_spec()).is_err());
+
+        let sweep = BeowulfPerformabilitySweep {
+            repair_crews: vec![0],
+            ..BeowulfPerformabilitySweep::default()
+        };
+        assert!(sweep.evaluate(&quick_spec()).is_err(), "zero crews must be rejected");
+    }
+
+    #[test]
+    fn both_workloads_run_under_a_study_with_adaptive_stopping() {
+        let spec = quick_spec().with_precision_target(0.5, 4, 16).with_workers(2);
+        let report = Study::new()
+            .with(ReplicationVsRaid {
+                usable_capacity_tb: 12.0,
+                schemes: vec![
+                    RedundancyScheme::Raid(RaidGeometry::raid6_8p2()),
+                    RedundancyScheme::Replication { replicas: 3 },
+                ],
+                afr_percents: vec![2.92],
+            })
+            .with(BeowulfPerformabilitySweep {
+                worker_counts: vec![16, 32],
+                repair_crews: vec![1],
+                base: BeowulfConfig::default(),
+            })
+            .run(&spec)
+            .unwrap();
+        assert_eq!(report.outputs.len(), 2);
+        for output in &report.outputs {
+            let used = output.replications_used.expect("Monte-Carlo sweeps record replications");
+            assert!((4..=16).contains(&(used as usize)), "{}: used {used}", output.scenario);
+        }
+        // All three report formats render the sweep tables.
+        let text = report.to_text();
+        assert!(text.contains("replication_vs_raid"), "{text}");
+        assert!(text.contains("beowulf_performability"), "{text}");
+        assert!(report.to_csv().contains("winner_index"));
+        assert!(report.to_json().contains("beowulf_performability"));
+    }
+}

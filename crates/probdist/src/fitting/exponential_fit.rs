@@ -55,14 +55,18 @@ impl ExponentialFit {
 /// # Errors
 ///
 /// * [`DistError::EmptyData`] if `data` is empty.
-/// * [`DistError::DegenerateData`] if no failures were observed or the total
-///   observation time is zero.
+/// * [`DistError::DegenerateData`] if no failures were observed, the total
+///   observation time is zero, or it overflows `f64` (which would silently
+///   produce a zero rate and poison every derived quantity).
 pub fn fit_exponential(data: &[Lifetime]) -> Result<ExponentialFit, DistError> {
     let failures = validate_lifetimes(data, 1)?;
     let censored = data.len() - failures;
     let total_time: f64 = data.iter().map(|l| l.time()).sum();
     if total_time <= 0.0 {
         return Err(DistError::DegenerateData { reason: "total time on test is zero" });
+    }
+    if !total_time.is_finite() {
+        return Err(DistError::DegenerateData { reason: "total time on test overflows f64" });
     }
     let rate = failures as f64 / total_time;
     let log_likelihood = failures as f64 * rate.ln() - rate * total_time;
@@ -127,9 +131,17 @@ mod tests {
 
     #[test]
     fn errors_on_bad_data() {
-        assert!(fit_exponential(&[]).is_err());
+        assert!(matches!(fit_exponential(&[]), Err(DistError::EmptyData)));
         let censored_only = vec![Lifetime::censored(5.0).unwrap()];
-        assert!(fit_exponential(&censored_only).is_err());
+        assert!(matches!(fit_exponential(&censored_only), Err(DistError::DegenerateData { .. })));
+    }
+
+    #[test]
+    fn overflowing_total_time_is_a_typed_error_not_a_zero_rate() {
+        // Two observation times near f64::MAX sum to infinity; the fit used
+        // to return rate = 0, which made `mtbf()` / `failure_rate()` panic.
+        let data = vec![Lifetime::failure(f64::MAX).unwrap(), Lifetime::failure(f64::MAX).unwrap()];
+        assert!(matches!(fit_exponential(&data), Err(DistError::DegenerateData { .. })));
     }
 
     #[test]

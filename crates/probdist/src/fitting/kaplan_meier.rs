@@ -58,7 +58,10 @@ impl KaplanMeier {
     pub fn fit(data: &[Lifetime]) -> Result<Self, DistError> {
         let total_failures = validate_lifetimes(data, 1)?;
         let mut sorted: Vec<Lifetime> = data.to_vec();
-        sorted.sort_by(|a, b| a.time().partial_cmp(&b.time()).expect("finite times"));
+        // `total_cmp` rather than `partial_cmp().expect(..)`: the Lifetime
+        // constructors guarantee finite times, but the estimator itself must
+        // not be able to panic on any input.
+        sorted.sort_by(|a, b| a.time().total_cmp(&b.time()));
 
         let mut points = Vec::new();
         let mut survival = 1.0;

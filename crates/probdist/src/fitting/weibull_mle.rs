@@ -90,10 +90,20 @@ pub fn fit_weibull(data: &[Lifetime]) -> Result<WeibullFit, DistError> {
 
     // Bracket the root: score(β) is increasing in β towards a positive
     // limit and tends to -inf as β -> 0+, so scan until the sign changes.
+    // The `t^β` terms can overflow to infinity for extreme observation
+    // times, turning the score into NaN — treat that as non-convergence
+    // rather than bisecting on garbage.
     let mut lo = 0.01;
     let mut hi = 0.1;
     let mut iterations = 0usize;
-    while score(hi) < 0.0 {
+    loop {
+        let s = score(hi);
+        if !s.is_finite() {
+            return Err(DistError::NoConvergence { iterations });
+        }
+        if s >= 0.0 {
+            break;
+        }
         lo = hi;
         hi *= 2.0;
         iterations += 1;
@@ -210,14 +220,29 @@ mod tests {
 
     #[test]
     fn errors_on_degenerate_data() {
-        assert!(fit_weibull(&[]).is_err());
+        assert!(matches!(fit_weibull(&[]), Err(DistError::EmptyData)));
         let one = vec![Lifetime::failure(5.0).unwrap()];
-        assert!(fit_weibull(&one).is_err());
+        assert!(matches!(fit_weibull(&one), Err(DistError::DegenerateData { .. })));
         let identical = vec![Lifetime::failure(5.0).unwrap(), Lifetime::failure(5.0).unwrap()];
-        assert!(fit_weibull(&identical).is_err());
+        assert!(matches!(fit_weibull(&identical), Err(DistError::DegenerateData { .. })));
         let censored_only =
             vec![Lifetime::censored(5.0).unwrap(), Lifetime::censored(6.0).unwrap()];
-        assert!(fit_weibull(&censored_only).is_err());
+        assert!(matches!(fit_weibull(&censored_only), Err(DistError::DegenerateData { .. })));
+        // One failure among censored observations is still too few to fit
+        // both parameters.
+        let one_failure = vec![Lifetime::failure(5.0).unwrap(), Lifetime::censored(9.0).unwrap()];
+        assert!(matches!(fit_weibull(&one_failure), Err(DistError::DegenerateData { .. })));
+    }
+
+    #[test]
+    fn overflowing_observation_times_are_a_typed_error_not_garbage() {
+        // `t^β` overflows during root bracketing for times near f64::MAX,
+        // which used to make the score NaN and silently terminate the
+        // bracket scan on an arbitrary interval.
+        // Nearly identical huge failure times: the profile score stays
+        // negative (≈ −1/β) until far beyond the β at which t^β overflows.
+        let data = vec![Lifetime::failure(9.99e307).unwrap(), Lifetime::failure(1e308).unwrap()];
+        assert!(matches!(fit_weibull(&data), Err(DistError::NoConvergence { .. })));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   fail-over pairs), producing storage availability, data-loss
 //!   probability, and disk-replacement rates with confidence intervals.
 //!   This is the engine behind Figures 2 and 3.
+//! * [`replication`] — an n-way object-replication Monte-Carlo model
+//!   (GFS/HDFS/MinIO style: background re-replication instead of RAID
+//!   reconstruction), reporting the same [`StorageSummary`] so redundancy
+//!   schemes compare at equal usable capacity.
 //! * [`analytic`] — closed-form MTTDL (mean time to data loss)
 //!   approximations for `n+k` redundancy with exponential failures, used to
 //!   cross-check the simulation.
@@ -50,11 +54,13 @@ pub mod analytic;
 mod config;
 mod error;
 pub mod replacement;
+pub mod replication;
 pub mod scaling;
 mod storage;
 
 pub use config::{ControllerModel, DiskModel, RaidGeometry, StorageConfig};
 pub use error::RaidError;
+pub use replication::{ReplicationConfig, ReplicationSimulator};
 pub use storage::{StorageRunStats, StorageSimulator, StorageSummary};
 
 #[cfg(test)]

@@ -59,6 +59,47 @@ pub struct StorageSummary {
     pub horizon_hours: f64,
 }
 
+/// Validates the shared run parameters of both storage Monte-Carlo
+/// engines (the RAID simulator and [`crate::replication`]): a positive
+/// finite horizon and a confidence level in `(0, 1)`.
+pub(crate) fn validate_run(horizon_hours: f64, confidence_level: f64) -> Result<(), RaidError> {
+    if !(horizon_hours.is_finite() && horizon_hours > 0.0) {
+        return Err(RaidError::InvalidRun {
+            reason: format!("horizon must be positive, got {horizon_hours}"),
+        });
+    }
+    if !(confidence_level > 0.0 && confidence_level < 1.0) {
+        return Err(RaidError::InvalidRun {
+            reason: format!("confidence level must be in (0, 1), got {confidence_level}"),
+        });
+    }
+    Ok(())
+}
+
+/// Aggregates raw replication results into a [`StorageSummary`] at the
+/// given confidence level. Shared by the RAID simulator and the n-way
+/// replication simulator ([`crate::replication`]) so both redundancy
+/// families report through exactly the same statistics pipeline.
+pub(crate) fn summarise_runs(
+    runs: &[StorageRunStats],
+    horizon_hours: f64,
+    confidence_level: f64,
+) -> Result<StorageSummary, RaidError> {
+    let availability: RunningStats = runs.iter().map(|r| r.availability()).collect();
+    let per_week: RunningStats = runs.iter().map(|r| r.replacements_per_week()).collect();
+    let losses: RunningStats = runs.iter().map(|r| r.data_loss_events as f64).collect();
+    let any_loss = runs.iter().filter(|r| r.data_loss_events > 0).count();
+
+    Ok(StorageSummary {
+        availability: confidence_interval(&availability, confidence_level)?,
+        replacements_per_week: confidence_interval(&per_week, confidence_level)?,
+        data_loss_events: confidence_interval(&losses, confidence_level)?,
+        prob_any_data_loss: any_loss as f64 / runs.len() as f64,
+        replications: runs.len(),
+        horizon_hours,
+    })
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     DiskFailure { disk: u32, generation: u32 },
@@ -153,7 +194,7 @@ impl StorageSimulator {
         confidence_level: f64,
         workers: usize,
     ) -> Result<StorageSummary, RaidError> {
-        Self::validate_run(horizon_hours, confidence_level)?;
+        validate_run(horizon_hours, confidence_level)?;
         if replications < 2 {
             return Err(RaidError::InvalidRun {
                 reason: "at least two replications are required".into(),
@@ -192,7 +233,7 @@ impl StorageSimulator {
         confidence_level: f64,
         workers: usize,
     ) -> Result<StorageSummary, RaidError> {
-        Self::validate_run(horizon_hours, confidence_level)?;
+        validate_run(horizon_hours, confidence_level)?;
         let root = SimRng::seed_from_u64(seed);
         let runs = run_to_precision(
             rule,
@@ -217,20 +258,6 @@ impl StorageSimulator {
         self.summarise(&runs, horizon_hours, confidence_level)
     }
 
-    fn validate_run(horizon_hours: f64, confidence_level: f64) -> Result<(), RaidError> {
-        if !(horizon_hours.is_finite() && horizon_hours > 0.0) {
-            return Err(RaidError::InvalidRun {
-                reason: format!("horizon must be positive, got {horizon_hours}"),
-            });
-        }
-        if !(confidence_level > 0.0 && confidence_level < 1.0) {
-            return Err(RaidError::InvalidRun {
-                reason: format!("confidence level must be in (0, 1), got {confidence_level}"),
-            });
-        }
-        Ok(())
-    }
-
     /// Aggregates raw replication results into a [`StorageSummary`].
     fn summarise(
         &self,
@@ -238,19 +265,7 @@ impl StorageSimulator {
         horizon_hours: f64,
         confidence_level: f64,
     ) -> Result<StorageSummary, RaidError> {
-        let availability: RunningStats = runs.iter().map(|r| r.availability()).collect();
-        let per_week: RunningStats = runs.iter().map(|r| r.replacements_per_week()).collect();
-        let losses: RunningStats = runs.iter().map(|r| r.data_loss_events as f64).collect();
-        let any_loss = runs.iter().filter(|r| r.data_loss_events > 0).count();
-
-        Ok(StorageSummary {
-            availability: confidence_interval(&availability, confidence_level)?,
-            replacements_per_week: confidence_interval(&per_week, confidence_level)?,
-            data_loss_events: confidence_interval(&losses, confidence_level)?,
-            prob_any_data_loss: any_loss as f64 / runs.len() as f64,
-            replications: runs.len(),
-            horizon_hours,
-        })
+        summarise_runs(runs, horizon_hours, confidence_level)
     }
 
     /// Runs a single mission and returns its raw statistics.

@@ -34,6 +34,23 @@ use crate::{ActivityId, Marking, Model, SanError};
 /// instantaneous activities.
 pub(crate) const MAX_INSTANT_FIRINGS: usize = 100_000;
 
+/// Models with fewer activities than this run on the naive full-rescan
+/// kernel even through [`Simulator::run`]: below the crossover the
+/// calendar's constant per-event bookkeeping (heap maintenance, the dirty
+/// place change log) costs more than the rescan it avoids. Measured on the
+/// 2-activity repairable unit (BENCH.json,
+/// `san_engine_one_year_repairable_unit[_ref]`): the naive kernel does
+/// ~24.6M events/s against the calendar's ~16.2M — about 1.5x — and on
+/// the 4-activity Beowulf model it is still ~1.35x ahead (traced vs
+/// traced, 2.5M events over 50×100k-hour runs), while on the 34-activity
+/// ABE composition the calendar is already 1.7x ahead; the crossover thus
+/// sits just above 4, matching the ROADMAP's "naive scan ~1.5x faster
+/// below ~5 activities". The two
+/// kernels are pinned bit-identical by the differential suites
+/// (`calendar_differential.rs`, `engine_differential.rs`), so the
+/// selection is observably pure.
+pub(crate) const NAIVE_KERNEL_MAX_ACTIVITIES: usize = 5;
+
 /// The estimated reward values produced by a single simulation replication.
 ///
 /// Values are stored as a dense vector over the run's compiled reward table,
@@ -119,6 +136,11 @@ impl<'m> Simulator<'m> {
     /// Runs one replication until `horizon` hours and returns the reward
     /// values.
     ///
+    /// Executes on the event-calendar kernel, except for tiny models
+    /// (fewer than `NAIVE_KERNEL_MAX_ACTIVITIES` = 5 activities) where the
+    /// naive full-rescan kernel is measurably faster and the two kernels
+    /// are bit-identical, so the selection never changes a result.
+    ///
     /// # Errors
     ///
     /// Returns [`SanError::InvalidExperiment`] for a non-positive horizon,
@@ -135,14 +157,32 @@ impl<'m> Simulator<'m> {
     ) -> Result<RunResult, SanError> {
         validate_window(horizon, warmup)?;
         let table = RewardTable::compile(self.model, rewards)?;
-        crate::calendar::run(self.model, &table, horizon, warmup, rng, None)
+        self.run_compiled(&table, horizon, warmup, rng)
+    }
+
+    /// Dispatches a compiled run to the faster kernel for the model size.
+    fn run_compiled(
+        &self,
+        table: &RewardTable,
+        horizon: f64,
+        warmup: f64,
+        rng: &mut SimRng,
+    ) -> Result<RunResult, SanError> {
+        if self.model.num_activities() < NAIVE_KERNEL_MAX_ACTIVITIES {
+            crate::reference::run(self.model, table, horizon, warmup, rng, None)
+        } else {
+            crate::calendar::run(self.model, table, horizon, warmup, rng, None)
+        }
     }
 
     /// Like [`Simulator::run`], but also records every activity completion.
     ///
     /// Intended for debugging and for tests that assert on event orderings;
     /// tracing allocates per event, so do not use it for production
-    /// experiments.
+    /// experiments. Unlike [`Simulator::run`], this always executes the
+    /// event-calendar kernel — never the small-model naive fallback — so
+    /// differential tests that trace tiny handcrafted models really do pin
+    /// the calendar engine against [`Simulator::run_reference_traced`].
     ///
     /// # Errors
     ///
@@ -220,7 +260,7 @@ impl<'m> Simulator<'m> {
         rng: &mut SimRng,
     ) -> Result<RunResult, SanError> {
         validate_window(horizon, warmup)?;
-        crate::calendar::run(self.model, table, horizon, warmup, rng, None)
+        self.run_compiled(table, horizon, warmup, rng)
     }
 }
 
@@ -651,6 +691,44 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         let bogus = RewardSpec::impulse_total("x", ActivityId(42), 1.0);
         assert!(matches!(sim.run(&[bogus], 10.0, 0.0, &mut rng), Err(SanError::UnknownId { .. })));
+    }
+
+    /// The small-model fallback must be observably pure: on a model below
+    /// the crossover threshold `run` (naive kernel), `run_traced` (always
+    /// the calendar kernel), and `run_reference` must all produce the same
+    /// result bit for bit.
+    #[test]
+    fn tiny_model_kernel_selection_is_observably_pure() {
+        let mut b = ModelBuilder::new("unit");
+        let up = b.add_place("up", 1).unwrap();
+        let down = b.add_place("down", 0).unwrap();
+        b.timed_activity("fail", exp(70.0))
+            .unwrap()
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build()
+            .unwrap();
+        b.timed_activity("repair", exp(6.0))
+            .unwrap()
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        assert!(model.num_activities() < NAIVE_KERNEL_MAX_ACTIVITIES);
+        let rewards =
+            vec![RewardSpec::time_averaged_rate(
+                "avail",
+                move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 },
+            )];
+        let sim = Simulator::new(&model);
+        let auto = sim.run(&rewards, 30_000.0, 0.0, &mut SimRng::seed_from_u64(41)).unwrap();
+        let (calendar, _) =
+            sim.run_traced(&rewards, 30_000.0, 0.0, &mut SimRng::seed_from_u64(41)).unwrap();
+        let reference =
+            sim.run_reference(&rewards, 30_000.0, 0.0, &mut SimRng::seed_from_u64(41)).unwrap();
+        assert_eq!(auto, calendar);
+        assert_eq!(auto, reference);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`compose`] — replicate/join helpers that merge submodels while
 //!   sharing selected places, mirroring Möbius' composed-model tree
 //!   (Figure 1 of the paper).
+//! * [`beowulf`] — a ready-made composed workload: the Kirsal & Ever
+//!   Beowulf head-plus-workers performability model, with declared
+//!   dependency read sets (pinned sound by its differential test; being a
+//!   4-activity model, plain runs auto-select the naive kernel).
 //! * [`Simulator`] — a discrete-event executor with restart (resampling)
 //!   semantics for activities whose enabling condition or distribution
 //!   changes.
@@ -97,6 +101,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod beowulf;
 mod calendar;
 pub mod compose;
 pub mod ctmc;

@@ -70,6 +70,10 @@ pub mod prelude {
     pub use cfs_model::config::ClusterConfig;
     pub use cfs_model::experiments;
     pub use cfs_model::scenario::{Metric, Scenario, ScenarioOutput};
+    pub use cfs_model::sweep::{DesignPoint, DesignSpace, Objective, PointOutcome, SweepScenario};
+    pub use cfs_model::workloads::{
+        BeowulfPerformabilitySweep, RedundancyScheme, ReplicationVsRaid,
+    };
     pub use cfs_model::{
         CfsError, ModelParameters, PrecisionTarget, Report, ReportFormat, RunSpec, Study,
     };
@@ -80,6 +84,7 @@ pub mod prelude {
     pub use probdist::stats::StoppingRule;
     pub use probdist::{Distribution, Exponential, SimRng, Weibull};
     pub use raidsim::{DiskModel, RaidGeometry, StorageConfig, StorageSimulator};
+    pub use sanet::beowulf::BeowulfConfig;
     pub use sanet::{Experiment, ModelBuilder};
 }
 

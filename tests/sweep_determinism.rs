@@ -1,0 +1,112 @@
+//! Integration tests for the design-space sweep subsystem: the
+//! `ReplicationVsRaid` and Beowulf performability sweeps must run as
+//! ordinary `Scenario`s under a `Study` with `with_precision_target`,
+//! render in all three report formats, and produce bit-identical sweep
+//! statistics at any worker count.
+
+use petascale_cfs::prelude::*;
+
+/// A small but real two-workload sweep study: 2 redundancy schemes × 1 AFR
+/// plus a 2×2 Beowulf grid, all under one adaptive spec.
+fn sweep_study() -> Study {
+    Study::new()
+        .with(ReplicationVsRaid {
+            usable_capacity_tb: 24.0,
+            schemes: vec![
+                RedundancyScheme::Raid(RaidGeometry::raid6_8p2()),
+                RedundancyScheme::Replication { replicas: 3 },
+            ],
+            afr_percents: vec![8.76],
+        })
+        .with(BeowulfPerformabilitySweep {
+            worker_counts: vec![16, 64],
+            repair_crews: vec![1, 4],
+            base: BeowulfConfig {
+                worker_mtbf_hours: 1_000.0,
+                worker_repair_hours: 12.0,
+                ..BeowulfConfig::default()
+            },
+        })
+}
+
+fn adaptive_spec(workers: usize) -> RunSpec {
+    RunSpec::new()
+        .with_horizon_hours(4380.0)
+        .with_base_seed(20_080_625)
+        .with_workers(workers)
+        .with_precision_target(0.25, 4, 24)
+}
+
+/// The acceptance property: sweep statistics are bit-identical at workers
+/// 1, 2, and 8, under adaptive precision-targeted stopping, in every
+/// report format.
+#[test]
+fn sweep_stats_are_bit_identical_at_any_worker_count() {
+    let serial = sweep_study().run(&adaptive_spec(1)).unwrap();
+    for workers in [2, 8] {
+        let parallel = sweep_study().run(&adaptive_spec(workers)).unwrap();
+        assert_eq!(serial.outputs, parallel.outputs, "workers = {workers}");
+        assert_eq!(serial.to_csv(), parallel.to_csv(), "workers = {workers}");
+        // The rendered report embeds the spec, whose worker count
+        // legitimately differs — re-wrap the parallel outputs with the
+        // serial spec and the text/JSON must match bit for bit.
+        let rewrapped = Report::new(adaptive_spec(1), parallel.outputs);
+        assert_eq!(serial.to_text(), rewrapped.to_text(), "workers = {workers}");
+        assert_eq!(serial.to_json(), rewrapped.to_json(), "workers = {workers}");
+    }
+}
+
+/// Both sweeps honour the adaptive stopping bounds and surface the
+/// replication count actually used in every format.
+#[test]
+fn sweeps_record_adaptive_replications_in_every_format() {
+    let report = sweep_study().run(&adaptive_spec(2)).unwrap();
+    assert_eq!(report.outputs.len(), 2);
+    for scenario in ["replication_vs_raid", "beowulf_performability"] {
+        let output = report.output(scenario).unwrap();
+        let used = output.replications_used.expect("sweeps are Monte-Carlo");
+        assert!((4..=24).contains(&(used as usize)), "{scenario} used {used}");
+        assert!(!output.tables.is_empty(), "{scenario} renders a sweep table");
+        assert!(output.metric("winner_index").is_some(), "{scenario} selects a winner");
+    }
+
+    let text = report.render(ReportFormat::Text);
+    assert!(text.contains("Design-space sweep: replication_vs_raid"), "{text}");
+    assert!(text.contains("Design-space sweep: beowulf_performability"), "{text}");
+    assert!(text.contains("replications used:"), "{text}");
+    let csv = report.render(ReportFormat::Csv);
+    assert!(csv.contains("replication_vs_raid,winner_index"), "{csv}");
+    assert!(csv.contains("beowulf_performability,replications_used"), "{csv}");
+    let json = report.render(ReportFormat::Json);
+    assert!(json.contains("\"replication_vs_raid\""), "{json}");
+    assert!(json.contains("replications_used"), "{json}");
+}
+
+/// The sweep seed derivation is a pure function of the study's base seed:
+/// distinct base seeds explore distinct sample paths, the same seed
+/// reproduces the report exactly.
+#[test]
+fn sweep_seeds_derive_from_the_study_base_seed() {
+    let study = || {
+        Study::new().with(BeowulfPerformabilitySweep {
+            worker_counts: vec![32],
+            repair_crews: vec![1],
+            base: BeowulfConfig {
+                worker_mtbf_hours: 500.0,
+                worker_repair_hours: 24.0,
+                ..BeowulfConfig::default()
+            },
+        })
+    };
+    let spec = |seed: u64| {
+        RunSpec::new().with_horizon_hours(4380.0).with_replications(6).with_base_seed(seed)
+    };
+    let a = study().run(&spec(1)).unwrap();
+    let b = study().run(&spec(2)).unwrap();
+    let a_again = study().run(&spec(1)).unwrap();
+    let perf = |report: &Report| {
+        report.output("beowulf_performability").unwrap().metric("winner_performability").unwrap()
+    };
+    assert_ne!(perf(&a), perf(&b), "different seeds must explore different sample paths");
+    assert_eq!(a.outputs, a_again.outputs, "same seed must reproduce the report exactly");
+}
