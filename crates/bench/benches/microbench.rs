@@ -3,9 +3,11 @@
 //! retained naive reference kernel, on a 2-activity unit and on the full
 //! composed ABE / petascale cluster models), the storage Monte-Carlo
 //! kernel, and the design-space sweep subsystem (replication-vs-RAID and
-//! Beowulf performability, in design points per second) — plus the study
-//! scheduler: the global work-stealing pool against the PR-1-style
-//! serial-scenario loop it replaced.
+//! Beowulf performability, in design points per second) — plus the
+//! rare-event estimators (replications-to-±10 % and variance-reduction
+//! factors of importance sampling and multilevel splitting on their
+//! reference configs) and the study scheduler: the global work-stealing
+//! pool against the PR-1-style serial-scenario loop it replaced.
 //!
 //! The harness is self-contained (no external benchmarking crate is
 //! available offline): each kernel is warmed up, then timed over enough
@@ -188,6 +190,91 @@ fn bench_design_space_sweeps(records: &mut Vec<BenchRecord>) {
     records.push(record);
 }
 
+/// The rare-event estimators on their reference configs, recording the
+/// subsystem's two headline numbers in BENCH.json: the replications spent
+/// to reach a ±10 % relative half-width (`replications_to_target`) and the
+/// measured variance-reduction factor against naive Monte Carlo
+/// (`speedup`); `ns_per_iter`/`events_per_sec` keep their usual meaning —
+/// per-replication time and replications per second.
+fn bench_rare_event(records: &mut Vec<BenchRecord>) {
+    use probdist::rare::naive_replications_for;
+    use probdist::stats::StoppingRule;
+    use raidsim::{DiskModel, ReplicationConfig, ReplicationSimulator};
+    use sanet::rare::{failover_pair, BiasedExperiment, FailureBias};
+
+    // Reference rare-event config #1: the fail-over pair hitting
+    // probability (~2e-5 within a 10-hour window), importance-sampled with
+    // a 60x failure tilt, adaptively run to ±10 %.
+    let (lambda, mu, horizon) = (1e-3, 1.0, 10.0);
+    let pair = failover_pair(lambda, mu).unwrap();
+    let bias = FailureBias::new(60.0, ["fail"]).unwrap();
+    let mut experiment = BiasedExperiment::new(&pair.model, bias, horizon).unwrap();
+    experiment.add_reward(pair.hit_reward());
+    let rule = StoppingRule::new(0.10, 1_000, 100_000).unwrap();
+    let start = Instant::now();
+    let summary = experiment.run_until(rule, cfs_bench::DEFAULT_SEED).unwrap();
+    let elapsed = start.elapsed();
+    let estimate = summary.reward("hit").unwrap();
+    let p = estimate.interval.point;
+    let rhw = estimate.interval.relative_half_width().max(1e-6);
+    let naive = naive_replications_for(p.clamp(1e-12, 0.5), rhw, 0.95).unwrap();
+    let vrf = naive / summary.replications as f64;
+    println!(
+        "rare_event_is_replications_to_10pct            {:>12.0} replications   (p = {p:.3e}, \
+         naive projection {naive:.0})",
+        summary.replications as f64
+    );
+    println!("rare_event_is_variance_reduction               {vrf:>12.0} x");
+    records.push(
+        BenchRecord::with_events(
+            "rare_event_is_replications_to_10pct",
+            elapsed.as_nanos() as f64 / summary.replications as f64,
+            summary.replications as f64 / elapsed.as_secs_f64(),
+        )
+        .with_replications_to_target(summary.replications as f64)
+        .with_speedup(vrf),
+    );
+
+    // Reference rare-event config #2: a 3-way replicated store's data-loss
+    // probability by multilevel splitting, adaptively run to ±10 %.
+    let disk = DiskModel { weibull_shape: 1.0, mtbf_hours: 20_000.0, capacity_gb: 250.0 };
+    let config = ReplicationConfig {
+        disks: 24,
+        replicas: 3,
+        disk,
+        re_replication_hours: 4.0,
+        replacement_hours: 4.0,
+        data_loss_recovery_hours: 24.0,
+    };
+    let sim = ReplicationSimulator::new(config).unwrap();
+    let rule = StoppingRule::new(0.10, 1_000, 64_000).unwrap();
+    let start = Instant::now();
+    let result = sim
+        .splitting_loss_probability_until(2190.0, &rule, cfs_bench::DEFAULT_SEED, 0.95, 0)
+        .unwrap();
+    let elapsed = start.elapsed();
+    println!(
+        "rare_event_splitting_trials_to_10pct           {:>12.0} trials   (p = {:.3e}, rel \
+         {:.3})",
+        result.estimate.replications as f64,
+        result.estimate.interval.point,
+        result.estimate.relative_error(),
+    );
+    println!(
+        "rare_event_splitting_variance_reduction        {:>12.1} x",
+        result.estimate.variance_reduction_factor
+    );
+    records.push(
+        BenchRecord::with_events(
+            "rare_event_splitting_trials_to_10pct",
+            elapsed.as_nanos() as f64 / result.estimate.replications as f64,
+            result.estimate.replications as f64 / elapsed.as_secs_f64(),
+        )
+        .with_replications_to_target(result.estimate.replications as f64)
+        .with_speedup(result.estimate.variance_reduction_factor),
+    );
+}
+
 fn bench_storage_kernel(records: &mut Vec<BenchRecord>) {
     let sim = StorageSimulator::new(StorageConfig::abe_scratch()).unwrap();
     let mut rng = SimRng::seed_from_u64(3);
@@ -277,6 +364,7 @@ fn main() {
     bench_san_composed_models(&mut records);
     bench_storage_kernel(&mut records);
     bench_design_space_sweeps(&mut records);
+    bench_rare_event(&mut records);
     bench_study_scheduling(&mut records);
     match cfs_bench::write_bench_json(&records) {
         Ok(path) => {

@@ -27,14 +27,25 @@ pub struct BenchRecord {
     pub ns_per_iter: f64,
     /// Simulation-event throughput, for benches that process events.
     pub events_per_sec: Option<f64>,
-    /// Speedup against the named baseline bench, for comparison rows.
+    /// Speedup against the named baseline bench, for comparison rows. For
+    /// the rare-event estimator rows this is the measured
+    /// variance-reduction factor — the speedup against naive Monte Carlo.
     pub speedup: Option<f64>,
+    /// Replications (or splitting trials) the estimator spent to reach its
+    /// precision target, for the rare-event rows.
+    pub replications_to_target: Option<f64>,
 }
 
 impl BenchRecord {
     /// A plain timing row.
     pub fn timing(name: impl Into<String>, ns_per_iter: f64) -> Self {
-        BenchRecord { name: name.into(), ns_per_iter, events_per_sec: None, speedup: None }
+        BenchRecord {
+            name: name.into(),
+            ns_per_iter,
+            events_per_sec: None,
+            speedup: None,
+            replications_to_target: None,
+        }
     }
 
     /// A timing row with an events/sec throughput.
@@ -44,12 +55,19 @@ impl BenchRecord {
             ns_per_iter,
             events_per_sec: Some(events_per_sec),
             speedup: None,
+            replications_to_target: None,
         }
     }
 
     /// Attaches a speedup-vs-baseline annotation.
     pub fn with_speedup(mut self, speedup: f64) -> Self {
         self.speedup = Some(speedup);
+        self
+    }
+
+    /// Attaches a replications-to-target-precision annotation.
+    pub fn with_replications_to_target(mut self, replications: f64) -> Self {
+        self.replications_to_target = Some(replications);
         self
     }
 }
@@ -178,8 +196,10 @@ mod tests {
         assert_eq!(
             json,
             "[{\"name\":\"plain\",\"ns_per_iter\":12.5,\"events_per_sec\":null,\
-             \"speedup\":null},{\"name\":\"engine\",\"ns_per_iter\":100,\
-             \"events_per_sec\":2000000,\"speedup\":3.5}]"
+             \"speedup\":null,\"replications_to_target\":null},\
+             {\"name\":\"engine\",\"ns_per_iter\":100,\
+             \"events_per_sec\":2000000,\"speedup\":3.5,\
+             \"replications_to_target\":null}]"
         );
     }
 

@@ -34,8 +34,10 @@
 //!   ([`DesignSpace`]) evaluated as one scenario ([`SweepScenario`]) with
 //!   per-point adaptive stopping and winner selection.
 //! * [`workloads`] — non-paper workload families riding the sweep driver:
-//!   the replication-vs-RAID redundancy comparison and the Beowulf
-//!   performability sweep.
+//!   the replication-vs-RAID redundancy comparison, the Beowulf
+//!   performability sweep, and the ultra-reliable sweep that reaches
+//!   10⁻⁶..10⁻¹⁰ data-loss probabilities by multilevel splitting under a
+//!   [`RareEventPolicy`].
 //! * [`report`] — the unified [`Report`] sink: aligned text tables, CSV,
 //!   and JSON rendering for every result.
 //!
@@ -88,11 +90,13 @@ pub use config::ClusterConfig;
 pub use error::CfsError;
 pub use params::ModelParameters;
 pub use report::{Report, ReportFormat, TextTable};
-pub use run::{PrecisionTarget, RunSpec};
+pub use run::{PrecisionTarget, RareEventPolicy, RunSpec};
 pub use scenario::{Metric, Scenario, ScenarioOutput};
 pub use study::Study;
 pub use sweep::{DesignPoint, DesignSpace, Objective, PointOutcome, SweepScenario};
-pub use workloads::{BeowulfPerformabilitySweep, RedundancyScheme, ReplicationVsRaid};
+pub use workloads::{
+    BeowulfPerformabilitySweep, RedundancyScheme, ReplicationVsRaid, UltraReliableSweep,
+};
 
 #[cfg(test)]
 mod crate_tests {

@@ -47,6 +47,33 @@ pub struct RunSpec {
     confidence_level: f64,
     workers: usize,
     precision: Option<PrecisionTarget>,
+    rare_event: Option<RareEventPolicy>,
+}
+
+/// A rare-event estimation policy: how scenarios whose headline measure is
+/// a tail probability (data loss, total unavailability) should reach the
+/// 10⁻⁶..10⁻¹⁰ regime that plain replication cannot resolve.
+///
+/// Set with [`RunSpec::with_rare_event`]; honoured by rare-event-aware
+/// scenarios such as [`crate::workloads::UltraReliableSweep`] (scenarios
+/// whose measures are not rare ignore it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RareEventPolicy {
+    /// Importance sampling with failure biasing: simulate with failure
+    /// rates tilted up by `bias_factor` and weight every replication by
+    /// its likelihood ratio (see `sanet::rare`).
+    ImportanceSampling {
+        /// Multiplier applied to the targeted failure rates (> 1).
+        bias_factor: f64,
+    },
+    /// Fixed-effort multilevel splitting over exposure depth (see
+    /// `raidsim::splitting`): restart trials from the states that reached
+    /// each intermediate exposure level.
+    MultilevelSplitting {
+        /// Trials per exposure level (per adaptive round, when the spec
+        /// also carries a precision target).
+        trials_per_level: usize,
+    },
 }
 
 /// An adaptive replication policy: instead of a fixed replication count,
@@ -77,6 +104,7 @@ impl Default for RunSpec {
             confidence_level: 0.95,
             workers: 0,
             precision: None,
+            rare_event: None,
         }
     }
 }
@@ -151,6 +179,23 @@ impl RunSpec {
         self
     }
 
+    /// Sets the rare-event estimation policy rare-event-aware scenarios
+    /// honour (importance sampling with failure biasing, or multilevel
+    /// splitting). Composes with [`RunSpec::with_precision_target`]: an
+    /// adaptive spec drives the rare-event estimator's own stopping loop
+    /// (relative half-width on the weighted mean / splitting estimate,
+    /// with the minimum non-zero support the stopping rule demands).
+    pub fn with_rare_event(mut self, policy: RareEventPolicy) -> Self {
+        self.rare_event = Some(policy);
+        self
+    }
+
+    /// Clears the rare-event policy.
+    pub fn without_rare_event(mut self) -> Self {
+        self.rare_event = None;
+        self
+    }
+
     /// The simulation horizon per replication, hours.
     pub fn horizon_hours(&self) -> f64 {
         self.horizon_hours
@@ -179,6 +224,11 @@ impl RunSpec {
     /// The adaptive precision target, if one is set.
     pub fn precision_target(&self) -> Option<&PrecisionTarget> {
         self.precision.as_ref()
+    }
+
+    /// The rare-event estimation policy, if one is set.
+    pub fn rare_event(&self) -> Option<&RareEventPolicy> {
+        self.rare_event.as_ref()
     }
 
     /// The validated stopping rule of the precision target, or `None` for a
@@ -262,7 +312,29 @@ impl RunSpec {
             }
             self.stopping_rule()?;
         }
-        Ok(())
+        match self.rare_event {
+            Some(RareEventPolicy::ImportanceSampling { bias_factor })
+                if !(bias_factor.is_finite() && bias_factor > 1.0) =>
+            {
+                Err(CfsError::InvalidConfig {
+                    reason: format!(
+                        "run spec: importance-sampling bias factor must be finite and above 1 \
+                         (failures tilted *up*), got {bias_factor}"
+                    ),
+                })
+            }
+            Some(RareEventPolicy::MultilevelSplitting { trials_per_level })
+                if !(2..=MAX_REPLICATIONS).contains(&trials_per_level) =>
+            {
+                Err(CfsError::InvalidConfig {
+                    reason: format!(
+                        "run spec: splitting needs between 2 and {MAX_REPLICATIONS} trials per \
+                         level, got {trials_per_level}"
+                    ),
+                })
+            }
+            _ => Ok(()),
+        }
     }
 }
 
@@ -342,6 +414,39 @@ mod tests {
             .is_err());
         let err = RunSpec::new().with_precision_target(0.01, 64, 8).validate().unwrap_err();
         assert!(err.to_string().contains("precision target"), "{err}");
+    }
+
+    #[test]
+    fn rare_event_policy_round_trips_and_validates() {
+        let spec = RunSpec::new()
+            .with_rare_event(RareEventPolicy::ImportanceSampling { bias_factor: 50.0 });
+        assert!(spec.validate().is_ok());
+        assert_eq!(
+            spec.rare_event(),
+            Some(&RareEventPolicy::ImportanceSampling { bias_factor: 50.0 })
+        );
+        assert!(spec.clone().without_rare_event().rare_event().is_none());
+        assert!(RunSpec::new().rare_event().is_none());
+
+        let splitting = RunSpec::new()
+            .with_rare_event(RareEventPolicy::MultilevelSplitting { trials_per_level: 256 });
+        assert!(splitting.validate().is_ok());
+
+        // Invalid policies are named in the error.
+        for bad in [0.5, 1.0, 0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let err = RunSpec::new()
+                .with_rare_event(RareEventPolicy::ImportanceSampling { bias_factor: bad })
+                .validate()
+                .unwrap_err();
+            assert!(err.to_string().contains("bias factor"), "{err}");
+        }
+        for bad in [0, 1, MAX_REPLICATIONS + 1] {
+            let err = RunSpec::new()
+                .with_rare_event(RareEventPolicy::MultilevelSplitting { trials_per_level: bad })
+                .validate()
+                .unwrap_err();
+            assert!(err.to_string().contains("trials"), "{err}");
+        }
     }
 
     #[test]

@@ -397,10 +397,19 @@ impl Scenario for SweepScenario {
             winner.expect("validated non-empty space always yields a winner");
 
         // Presentation table: axes (plus a design-label column when any
-        // point carries one) as the leading columns, then every metric of
-        // the first point in registration order.
+        // point carries one) as the leading columns, then the union of
+        // every point's metrics in first-seen registration order — a
+        // point may legitimately omit a metric (e.g. a rare-event point
+        // whose relative error is unresolved), rendering an empty cell.
         let labelled = outcomes.iter().any(|o| o.label.is_some());
-        let metric_names: Vec<&str> = outcomes[0].metrics.iter().map(|m| m.name.as_str()).collect();
+        let mut metric_names: Vec<&str> = Vec::new();
+        for outcome in &outcomes {
+            for metric in &outcome.metrics {
+                if !metric_names.contains(&metric.name.as_str()) {
+                    metric_names.push(metric.name.as_str());
+                }
+            }
+        }
         let mut headers: Vec<&str> = vec!["#"];
         headers.extend(self.space.axes().iter().map(|a| a.name()));
         if labelled {

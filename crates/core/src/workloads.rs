@@ -12,6 +12,12 @@
 //!   the delivered fraction of a Beowulf cluster's nominal capacity
 //!   (performability) scale with the worker count and the number of repair
 //!   crews?
+//! * [`UltraReliableSweep`] — the regime the plain Monte-Carlo sweeps
+//!   cannot resolve: replication factors and RAID `n+k` widths whose
+//!   data-loss probabilities live at 10⁻⁶..10⁻¹⁰, estimated by
+//!   fixed-effort multilevel splitting over exposure depth
+//!   (`raidsim::splitting`) under the spec's
+//!   [`RareEventPolicy`].
 //!
 //! Both are thin [`SweepScenario`] configurations: a [`DesignSpace`] over
 //! the interesting axes plus a point evaluator that builds the matching
@@ -19,9 +25,10 @@
 //! precision-targeted adaptive stopping, per point), and reports named
 //! metrics for the winner selection.
 
+use probdist::rare::naive_replications_for;
 use raidsim::{
-    DiskModel, RaidGeometry, ReplicationConfig, ReplicationSimulator, StorageConfig,
-    StorageSimulator, StorageSummary,
+    DiskModel, RaidGeometry, ReplicationConfig, ReplicationSimulator, SplittingResult,
+    StorageConfig, StorageSimulator, StorageSummary,
 };
 use sanet::beowulf::{
     build_beowulf_model, BeowulfConfig, HEAD_AVAILABILITY, MEAN_WORKERS_UP, PERFORMABILITY,
@@ -29,7 +36,7 @@ use sanet::beowulf::{
 };
 use sanet::Experiment;
 
-use crate::run::RunSpec;
+use crate::run::{RareEventPolicy, RunSpec};
 use crate::scenario::{Scenario, ScenarioOutput};
 use crate::sweep::{DesignPoint, DesignSpace, Objective, PointOutcome, SweepScenario};
 use crate::CfsError;
@@ -365,6 +372,254 @@ impl Scenario for BeowulfPerformabilitySweep {
     }
 }
 
+/// Default splitting effort when the spec carries no
+/// [`RareEventPolicy::MultilevelSplitting`] and no precision target.
+const DEFAULT_TRIALS_PER_LEVEL: usize = 256;
+
+/// Ultra-reliable design-space sweep: replication factors and RAID `n+k`
+/// widths provisioned to equal usable capacity on identical disks, with
+/// the data-loss probability estimated by **fixed-effort multilevel
+/// splitting** over exposure depth — the estimator that resolves the
+/// 10⁻⁶..10⁻¹⁰ regime where the plain [`ReplicationVsRaid`] Monte-Carlo
+/// sweep reports only zeros.
+///
+/// Axes of the underlying [`DesignSpace`]:
+///
+/// * `scheme` — index into [`UltraReliableSweep::schemes`].
+/// * `mtbf_khours` — disk MTBF in thousands of hours (the hardware-quality
+///   dimension of the ultra-reliable regime).
+///
+/// Reported per point: the estimated loss probability with its splitting
+/// confidence half-width, the 95 % upper bound `loss_probability_upper`
+/// (point + half-width; for a point whose deepest level recorded zero
+/// hits, the rule-of-three bound through the resolved stages), the
+/// achieved relative error, the naive-equivalent effective sample size,
+/// the measured variance-reduction factor, the projected naive
+/// replication count for the same precision, the final-level hit count,
+/// the splitting trials spent, and the scheme's raw-capacity overhead.
+///
+/// The winner minimises `loss_probability_upper` — the honest objective
+/// in this regime: a design whose loss was *not observed* competes on its
+/// proven bound, never on a vacuous zero, and an unresolved point
+/// (infinite relative error, rendered as an empty `relative_error` cell,
+/// `hits = 0`) stays distinguishable from a resolved low one. Raise the
+/// splitting effort to tighten the bounds of the candidates you care
+/// about.
+///
+/// The replication policy comes from the spec: a
+/// [`precision target`](RunSpec::with_precision_target) drives the
+/// adaptive splitting loop (the target's min/max bound the *per-level*
+/// trial count); otherwise
+/// [`RareEventPolicy::MultilevelSplitting`] fixes the per-level effort,
+/// with a default of 256 trials. An
+/// [`RareEventPolicy::ImportanceSampling`] policy does not apply to these
+/// storage kernels and falls back to the default effort.
+#[derive(Debug, Clone)]
+pub struct UltraReliableSweep {
+    /// Usable capacity every scheme must provide, terabytes.
+    pub usable_capacity_tb: f64,
+    /// The candidate redundancy schemes.
+    pub schemes: Vec<RedundancyScheme>,
+    /// Disk MTBF axis, thousands of hours.
+    pub mtbf_khours: Vec<f64>,
+}
+
+impl Default for UltraReliableSweep {
+    /// A 24 TB comparison of (8+2)/(8+3) RAID against 2- and 3-way
+    /// replication on 300k-hour and 1M-hour disks — loss probabilities
+    /// from ~10⁻⁴ down past 10⁻⁸.
+    fn default() -> Self {
+        UltraReliableSweep {
+            usable_capacity_tb: 24.0,
+            schemes: vec![
+                RedundancyScheme::Raid(RaidGeometry::raid6_8p2()),
+                RedundancyScheme::Raid(RaidGeometry::raid_8p3()),
+                RedundancyScheme::Replication { replicas: 2 },
+                RedundancyScheme::Replication { replicas: 3 },
+            ],
+            mtbf_khours: vec![300.0, 1_000.0],
+        }
+    }
+}
+
+/// Runs a splitting estimator under the spec's replication policy — the
+/// adaptive runner when a precision target is set, the fixed-effort runner
+/// otherwise (with the per-level trial count from the spec's
+/// [`RareEventPolicy`] or the default). Mirrors [`storage_summary_under`]:
+/// the RAID and replication simulators share this exact run-signature
+/// shape, so the spec-to-run mapping lives in one place.
+fn splitting_under(
+    spec: &RunSpec,
+    run_fixed: impl FnOnce(f64, usize, u64, f64, usize) -> Result<SplittingResult, raidsim::RaidError>,
+    run_adaptive: impl FnOnce(
+        f64,
+        &probdist::stats::StoppingRule,
+        u64,
+        f64,
+        usize,
+    ) -> Result<SplittingResult, raidsim::RaidError>,
+) -> Result<SplittingResult, CfsError> {
+    let result = match spec.stopping_rule()? {
+        Some(rule) => run_adaptive(
+            spec.horizon_hours(),
+            &rule,
+            spec.base_seed(),
+            spec.confidence_level(),
+            spec.workers(),
+        )?,
+        None => {
+            let trials = match spec.rare_event() {
+                Some(RareEventPolicy::MultilevelSplitting { trials_per_level }) => {
+                    *trials_per_level
+                }
+                _ => DEFAULT_TRIALS_PER_LEVEL,
+            };
+            run_fixed(
+                spec.horizon_hours(),
+                trials,
+                spec.base_seed(),
+                spec.confidence_level(),
+                spec.workers(),
+            )?
+        }
+    };
+    Ok(result)
+}
+
+impl UltraReliableSweep {
+    /// Runs the splitting estimator for one scheme under the spec's
+    /// replication policy.
+    fn split(
+        &self,
+        scheme: RedundancyScheme,
+        disk: DiskModel,
+        spec: &RunSpec,
+    ) -> Result<(SplittingResult, u32), CfsError> {
+        match scheme {
+            RedundancyScheme::Raid(geometry) => {
+                // Reuse the equal-capacity provisioning of the MC sweep so
+                // the two sweeps describe the same hardware.
+                let base = ReplicationVsRaid {
+                    usable_capacity_tb: self.usable_capacity_tb,
+                    schemes: vec![scheme],
+                    afr_percents: vec![],
+                };
+                let config = base.raid_config(geometry, disk);
+                let disks = config.total_disks();
+                let sim = StorageSimulator::new(config)?;
+                let result = splitting_under(
+                    spec,
+                    |h, t, s, c, w| sim.splitting_loss_probability(h, t, s, c, w),
+                    |h, rule, s, c, w| sim.splitting_loss_probability_until(h, rule, s, c, w),
+                )?;
+                Ok((result, disks))
+            }
+            RedundancyScheme::Replication { replicas } => {
+                let config =
+                    ReplicationConfig::for_usable_capacity(self.usable_capacity_tb, replicas, disk);
+                let disks = config.disks;
+                let sim = ReplicationSimulator::new(config)?;
+                let result = splitting_under(
+                    spec,
+                    |h, t, s, c, w| sim.splitting_loss_probability(h, t, s, c, w),
+                    |h, rule, s, c, w| sim.splitting_loss_probability_until(h, rule, s, c, w),
+                )?;
+                Ok((result, disks))
+            }
+        }
+    }
+
+    fn evaluate_point(
+        &self,
+        point: &DesignPoint,
+        spec: &RunSpec,
+    ) -> Result<PointOutcome, CfsError> {
+        let scheme_index = point.value("scheme").expect("scheme axis always present") as usize;
+        let scheme = self.schemes[scheme_index];
+        let mtbf_hours = point.value("mtbf_khours").expect("mtbf axis always present") * 1000.0;
+        let disk = DiskModel {
+            mtbf_hours,
+            weibull_shape: DiskModel::abe_sata_250gb().weibull_shape,
+            capacity_gb: DiskModel::abe_sata_250gb().capacity_gb,
+        };
+
+        let (result, raw_disks) = self.split(scheme, disk, spec)?;
+        let estimate = &result.estimate;
+        let mut outcome = PointOutcome::new()
+            .with_label(format!("{} @{mtbf_hours:.0}h MTBF", scheme.label()))
+            .with_metric_ci("loss_probability", &estimate.interval)
+            .with_metric("loss_probability_upper", estimate.interval.upper())
+            .with_metric("effective_sample_size", estimate.effective_sample_size)
+            .with_metric("variance_reduction_factor", estimate.variance_reduction_factor)
+            .with_metric("hits", estimate.hits as f64)
+            .with_metric("raw_disks", raw_disks as f64)
+            .with_metric("storage_overhead", scheme.storage_overhead())
+            .with_replications_used(estimate.replications);
+        // Infinite values would poison the JSON report, so the precision
+        // metrics are emitted only for resolved points (the table renders
+        // an empty cell for unresolved ones).
+        if estimate.relative_error().is_finite() {
+            outcome = outcome.with_metric("relative_error", estimate.relative_error());
+        }
+        let p = estimate.interval.point;
+        if p > 0.0 && p < 1.0 && estimate.relative_error().is_finite() {
+            let naive = naive_replications_for(
+                p,
+                estimate.relative_error().max(1e-6),
+                spec.confidence_level(),
+            )
+            .map_err(|e| CfsError::InvalidConfig {
+                reason: format!("naive replication projection: {e}"),
+            })?;
+            outcome = outcome.with_metric("naive_replications_projected", naive);
+        }
+        Ok(outcome)
+    }
+
+    fn sweep(&self) -> Result<SweepScenario, CfsError> {
+        if self.schemes.is_empty() {
+            return Err(CfsError::InvalidConfig {
+                reason: "ultra-reliable sweep has no redundancy schemes".into(),
+            });
+        }
+        if !(self.usable_capacity_tb.is_finite() && self.usable_capacity_tb > 0.0) {
+            return Err(CfsError::InvalidConfig {
+                reason: format!(
+                    "ultra-reliable sweep usable capacity must be positive, got {} TB",
+                    self.usable_capacity_tb
+                ),
+            });
+        }
+        let scheme_axis: Vec<f64> = (0..self.schemes.len()).map(|i| i as f64).collect();
+        let space = DesignSpace::new()
+            .with_axis("scheme", scheme_axis)
+            .with_axis("mtbf_khours", self.mtbf_khours.clone());
+        let this = self.clone();
+        Ok(SweepScenario::new(
+            "ultra_reliable_sweep",
+            space,
+            "loss_probability_upper",
+            Objective::Minimize,
+            move |point, spec| this.evaluate_point(point, spec),
+        ))
+    }
+}
+
+impl Scenario for UltraReliableSweep {
+    fn name(&self) -> &str {
+        "ultra_reliable_sweep"
+    }
+
+    fn evaluate(&self, spec: &RunSpec) -> Result<ScenarioOutput, CfsError> {
+        let mut output = self.sweep()?.evaluate(spec)?;
+        if let Some(index) = output.metric("winner_scheme") {
+            let scheme = self.schemes[index as usize];
+            output = output.with_metric("winner_storage_overhead", scheme.storage_overhead());
+        }
+        Ok(output)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +710,78 @@ mod tests {
             ..BeowulfPerformabilitySweep::default()
         };
         assert!(sweep.evaluate(&quick_spec()).is_err(), "zero crews must be rejected");
+    }
+
+    fn tiny_ultra_sweep() -> UltraReliableSweep {
+        UltraReliableSweep {
+            usable_capacity_tb: 1.0,
+            schemes: vec![
+                RedundancyScheme::Raid(RaidGeometry::raid6_8p2()),
+                RedundancyScheme::Replication { replicas: 2 },
+            ],
+            mtbf_khours: vec![5.0],
+        }
+    }
+
+    #[test]
+    fn ultra_reliable_sweep_reports_rare_event_statistics() {
+        let sweep = tiny_ultra_sweep();
+        let spec = quick_spec()
+            .with_horizon_hours(8760.0)
+            .with_rare_event(RareEventPolicy::MultilevelSplitting { trials_per_level: 400 });
+        let output = sweep.evaluate(&spec).unwrap();
+        assert_eq!(output.scenario, "ultra_reliable_sweep");
+        assert_eq!(output.tables[0].len(), 2, "one row per design point");
+        // Every rare-event statistic the report promises is present.
+        assert!(output.metric("winner_index").is_some());
+        assert!(output.metric("winner_loss_probability_upper").is_some());
+        assert!(output.metric("winner_storage_overhead").is_some());
+        let headers = output.tables[0].headers().join(",");
+        for column in [
+            "loss_probability",
+            "relative_error",
+            "effective_sample_size",
+            "variance_reduction_factor",
+            "hits",
+        ] {
+            assert!(headers.contains(column), "missing column {column}: {headers}");
+        }
+        assert!(output.replications_used.is_some());
+        // Unreliable 20k-hour disks at a one-year horizon: both schemes
+        // resolve a non-zero loss probability at this effort.
+        let winner = output.metric("winner_loss_probability_upper").unwrap();
+        assert!(winner.is_finite() && winner >= 0.0);
+    }
+
+    #[test]
+    fn ultra_reliable_sweep_honours_precision_targets() {
+        let sweep = UltraReliableSweep {
+            schemes: vec![RedundancyScheme::Replication { replicas: 2 }],
+            ..tiny_ultra_sweep()
+        };
+        let spec = quick_spec().with_horizon_hours(8760.0).with_precision_target(0.5, 100, 800);
+        let output = sweep.evaluate(&spec).unwrap();
+        let used = output.replications_used.unwrap();
+        assert!(used >= 100, "adaptive splitting must spend at least the minimum, used {used}");
+    }
+
+    #[test]
+    fn ultra_reliable_sweep_validates_its_configuration() {
+        let mut sweep = tiny_ultra_sweep();
+        sweep.schemes.clear();
+        assert!(sweep.evaluate(&quick_spec()).is_err());
+
+        let sweep = UltraReliableSweep { usable_capacity_tb: 0.0, ..tiny_ultra_sweep() };
+        assert!(sweep.evaluate(&quick_spec()).is_err());
+
+        let mut sweep = tiny_ultra_sweep();
+        sweep.mtbf_khours.clear();
+        assert!(sweep.evaluate(&quick_spec()).is_err());
+
+        // An invalid rare-event policy is rejected by spec validation.
+        let bad = quick_spec()
+            .with_rare_event(RareEventPolicy::MultilevelSplitting { trials_per_level: 1 });
+        assert!(tiny_ultra_sweep().evaluate(&bad).is_err());
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! * **Survival analysis** ([`fitting`]): Kaplan–Meier estimation and
 //!   maximum-likelihood Weibull/exponential fitting with right-censoring,
 //!   reproducing the Table 4 analysis (`β ≈ 0.7`, MTBF ≈ 300 000 h).
+//! * **Rare-event estimation** ([`rare`]): the estimator arithmetic of
+//!   importance sampling (likelihood-ratio-weighted observations through
+//!   [`stats::WeightedRunning`], effective sample size, variance-reduction
+//!   factors) and multilevel splitting (per-level passage probabilities
+//!   combined with the independent-stages variance approximation), plus
+//!   the naive-Monte-Carlo sample-size projection both are measured
+//!   against.
 //!
 //! # Example
 //!
@@ -49,6 +56,7 @@ pub mod fitting;
 mod gamma;
 mod lognormal;
 pub mod parallel;
+pub mod rare;
 pub mod rates;
 mod rng;
 pub(crate) mod special;

@@ -30,12 +30,24 @@ pub struct StoppingRule {
     relative_half_width: f64,
     min_replications: usize,
     max_replications: usize,
+    min_nonzero_observations: usize,
 }
+
+/// Default minimum number of non-zero observations a rare-event measure
+/// must produce before [`StoppingRule::met_by_support`] can declare its
+/// relative target met: with fewer hits than this the relative half-width
+/// is an artefact of a handful of lucky draws, not an estimate.
+pub const DEFAULT_MIN_NONZERO_OBSERVATIONS: usize = 5;
 
 impl Default for StoppingRule {
     /// ±1 % relative half-width, between 20 and 1000 replications.
     fn default() -> Self {
-        StoppingRule { relative_half_width: 0.01, min_replications: 20, max_replications: 1000 }
+        StoppingRule {
+            relative_half_width: 0.01,
+            min_replications: 20,
+            max_replications: 1000,
+            min_nonzero_observations: DEFAULT_MIN_NONZERO_OBSERVATIONS,
+        }
     }
 }
 
@@ -72,7 +84,27 @@ impl StoppingRule {
                 ),
             });
         }
-        Ok(StoppingRule { relative_half_width, min_replications, max_replications })
+        Ok(StoppingRule {
+            relative_half_width,
+            min_replications,
+            max_replications,
+            min_nonzero_observations: DEFAULT_MIN_NONZERO_OBSERVATIONS,
+        })
+    }
+
+    /// Sets the minimum number of non-zero observations
+    /// [`StoppingRule::met_by_support`] requires (default
+    /// [`DEFAULT_MIN_NONZERO_OBSERVATIONS`]). Rare-event estimators raise
+    /// this to demand more hits; `0` disables the support check.
+    pub fn with_min_nonzero(mut self, observations: usize) -> Self {
+        self.min_nonzero_observations = observations;
+        self
+    }
+
+    /// The minimum non-zero-observation count required by
+    /// [`StoppingRule::met_by_support`].
+    pub fn min_nonzero_observations(&self) -> usize {
+        self.min_nonzero_observations
     }
 
     /// The target relative half-width (e.g. `0.01` for ±1 %).
@@ -103,12 +135,29 @@ impl StoppingRule {
         }
     }
 
-    /// Whether `interval` is precise enough under this rule. A degenerate
-    /// interval (zero half-width) is always precise; an interval around a
-    /// zero point estimate never is (its relative width is unbounded), so
-    /// rare-event measures should not be tracked by a stopping rule.
+    /// Whether `interval` is precise enough under this rule.
+    ///
+    /// A degenerate interval (zero half-width) around a **non-zero** point
+    /// is precise — the measure looks deterministic. A degenerate interval
+    /// around **zero** is not: every observation was zero, which for a
+    /// rare-event measure means the event simply has not been seen yet, and
+    /// stopping would declare the target met vacuously. Any other interval
+    /// around a zero point estimate is likewise never met (its relative
+    /// width is unbounded).
     pub fn met_by(&self, interval: &ConfidenceInterval) -> bool {
-        interval.half_width == 0.0 || interval.relative_half_width() <= self.relative_half_width
+        if interval.half_width == 0.0 {
+            return interval.point != 0.0;
+        }
+        interval.relative_half_width() <= self.relative_half_width
+    }
+
+    /// Like [`StoppingRule::met_by`], but additionally requires at least
+    /// [`StoppingRule::min_nonzero_observations`] observations with a
+    /// non-zero contribution — the criterion rare-event estimators use, so
+    /// a relative target cannot be declared met off a handful of hits (or
+    /// an importance-sampling run whose effective sample size collapsed).
+    pub fn met_by_support(&self, interval: &ConfidenceInterval, nonzero_observations: u64) -> bool {
+        nonzero_observations >= self.min_nonzero_observations as u64 && self.met_by(interval)
     }
 }
 
@@ -219,12 +268,55 @@ mod tests {
         let rule = StoppingRule::new(0.05, 2, 10).unwrap();
         let tight = ConfidenceInterval { point: 1.0, half_width: 0.01, level: 0.95, samples: 8 };
         let loose = ConfidenceInterval { point: 1.0, half_width: 0.2, level: 0.95, samples: 8 };
-        let exact = ConfidenceInterval::exact(0.0);
+        let exact = ConfidenceInterval::exact(0.5);
         let zero_mean = ConfidenceInterval { point: 0.0, half_width: 0.1, level: 0.95, samples: 8 };
         assert!(rule.met_by(&tight));
         assert!(!rule.met_by(&loose));
-        assert!(rule.met_by(&exact), "zero half-width is always precise");
+        assert!(rule.met_by(&exact), "zero half-width around a non-zero point is precise");
         assert!(!rule.met_by(&zero_mean), "a zero point estimate can never satisfy the target");
+    }
+
+    /// Regression: a rare-event measure whose observations are all zero
+    /// produces the degenerate interval `0 ± 0`, which used to satisfy any
+    /// precision target vacuously (the "zero half-width is always precise"
+    /// shortcut). A measure that has never seen its event must keep
+    /// running.
+    #[test]
+    fn all_zero_observations_never_satisfy_the_target() {
+        let rule = StoppingRule::new(0.05, 2, 10).unwrap();
+        let zero_hit = ConfidenceInterval::exact(0.0);
+        assert!(!rule.met_by(&zero_hit), "0 ± 0 is no information, not infinite precision");
+        assert!(!rule.met_by_support(&zero_hit, 0));
+
+        // The same degenerate interval from an actual all-zero accumulator.
+        let stats: RunningStats = std::iter::repeat_n(0.0, 50).collect();
+        let interval = confidence_interval(&stats, 0.95).unwrap();
+        assert_eq!(interval.point, 0.0);
+        assert_eq!(interval.half_width, 0.0);
+        assert!(!rule.met_by(&interval));
+    }
+
+    /// Regression: a tight relative half-width off too few non-zero
+    /// observations must not stop a rare-event run — the support check
+    /// demands a minimum number of hits first.
+    #[test]
+    fn met_by_support_requires_minimum_nonzero_observations() {
+        let rule = StoppingRule::new(0.05, 2, 10).unwrap();
+        assert_eq!(rule.min_nonzero_observations(), DEFAULT_MIN_NONZERO_OBSERVATIONS);
+        let tight = ConfidenceInterval { point: 1e-8, half_width: 1e-10, level: 0.95, samples: 64 };
+        assert!(rule.met_by(&tight), "precision alone is met");
+        assert!(!rule.met_by_support(&tight, 4), "4 hits < default minimum of 5");
+        assert!(rule.met_by_support(&tight, 5));
+
+        let strict = rule.with_min_nonzero(100);
+        assert_eq!(strict.min_nonzero_observations(), 100);
+        assert!(!strict.met_by_support(&tight, 99));
+        assert!(strict.met_by_support(&tight, 100));
+
+        // Disabling the support check reduces to plain met_by.
+        let lax = rule.with_min_nonzero(0);
+        assert!(lax.met_by_support(&tight, 0));
+        assert!(!lax.met_by_support(&ConfidenceInterval::exact(0.0), 0));
     }
 
     #[test]

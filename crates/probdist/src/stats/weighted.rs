@@ -1,0 +1,468 @@
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{student_t_quantile, ConfidenceInterval};
+use crate::DistError;
+
+/// Numerically stable streaming accumulator for *weighted* observations:
+/// the unbiased mean of the products `w·x` (the importance-sampling
+/// estimator), the self-normalised weighted mean `Σwx / Σw` with its
+/// weighted variance (West's incremental algorithm), and the effective
+/// sample size `(Σw)² / Σw²`.
+///
+/// This is the statistics substrate of the rare-event estimators in
+/// [`crate::rare`]: an importance-sampled replication reports its measure
+/// `x` together with a likelihood-ratio weight `w = dP/dP'`, and the mean
+/// of the products ([`WeightedRunning::mean_product`]) is the unbiased
+/// estimate of the measure under the *original* law `P` — for non-hit
+/// replications the product is zero, so the estimator's spread is carried
+/// entirely by the hits and their weights. The Kish effective sample size
+/// quantifies weight degeneracy — with unit weights it equals the
+/// observation count, and it collapses towards 1 as a few huge weights
+/// dominate.
+///
+/// With unit weights the accumulator reproduces
+/// [`RunningStats`](crate::stats::RunningStats) bit for bit (count, mean,
+/// variance, and standard error, on both the product and the
+/// self-normalised view), which is pinned by a property test, so weighted
+/// and unweighted estimation paths cannot drift apart.
+///
+/// # Example
+///
+/// ```
+/// use probdist::stats::WeightedRunning;
+///
+/// let mut acc = WeightedRunning::new();
+/// acc.push(1.0, 3.0); // value 1 with weight 3
+/// acc.push(5.0, 1.0);
+/// assert_eq!(acc.count(), 2);
+/// assert_eq!(acc.mean_product(), 4.0); // (3·1 + 1·5) / 2
+/// assert_eq!(acc.weighted_mean(), 2.0); // (3·1 + 1·5) / 4
+/// assert!(acc.effective_sample_size() < 2.0); // skewed weights lose ESS
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedRunning {
+    count: u64,
+    nonzero: u64,
+    sum_weights: f64,
+    sum_sq_weights: f64,
+    mean: f64,
+    m2: f64,
+    product_mean: f64,
+    product_m2: f64,
+}
+
+impl Default for WeightedRunning {
+    fn default() -> Self {
+        WeightedRunning::new()
+    }
+}
+
+impl WeightedRunning {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        WeightedRunning {
+            count: 0,
+            nonzero: 0,
+            sum_weights: 0.0,
+            sum_sq_weights: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            product_mean: 0.0,
+            product_m2: 0.0,
+        }
+    }
+
+    /// Adds one observation `x` with weight `w`.
+    ///
+    /// A zero weight counts the observation without influencing the mean or
+    /// variance (an importance-sampled replication whose weight underflowed
+    /// still spent a replication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is negative or not finite, or `x` is not finite.
+    pub fn push(&mut self, x: f64, w: f64) {
+        assert!(w.is_finite() && w >= 0.0, "weight must be finite and non-negative, got {w}");
+        assert!(x.is_finite(), "observation must be finite, got {x}");
+        self.count += 1;
+        if w > 0.0 && x != 0.0 {
+            self.nonzero += 1;
+        }
+        // Unbiased product track: Welford over z = w·x (zero-weight
+        // replications contribute an exact zero, as the estimator demands).
+        let z = w * x;
+        let delta_z = z - self.product_mean;
+        self.product_mean += delta_z / self.count as f64;
+        self.product_m2 += delta_z * (z - self.product_mean);
+        if w == 0.0 {
+            return;
+        }
+        self.sum_weights += w;
+        self.sum_sq_weights += w * w;
+        let delta = x - self.mean;
+        self.mean += w * delta / self.sum_weights;
+        self.m2 += w * delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &WeightedRunning) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta_z = other.product_mean - self.product_mean;
+        self.product_mean += delta_z * other.count as f64 / total as f64;
+        self.product_m2 += other.product_m2
+            + delta_z * delta_z * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.nonzero += other.nonzero;
+        if other.sum_weights == 0.0 {
+            return;
+        }
+        if self.sum_weights == 0.0 {
+            self.sum_weights = other.sum_weights;
+            self.sum_sq_weights = other.sum_sq_weights;
+            self.mean = other.mean;
+            self.m2 = other.m2;
+            return;
+        }
+        let total = self.sum_weights + other.sum_weights;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.sum_weights / total;
+        self.m2 += other.m2 + delta * delta * self.sum_weights * other.sum_weights / total;
+        self.sum_weights = total;
+        self.sum_sq_weights += other.sum_sq_weights;
+    }
+
+    /// Number of observations pushed (including zero-weight ones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of observations that actually contribute to the estimate:
+    /// positive weight and a non-zero value. This is the support count a
+    /// rare-event stopping rule checks before trusting a relative target
+    /// (see [`StoppingRule::met_by_support`](crate::stats::StoppingRule::met_by_support)).
+    pub fn nonzero_count(&self) -> u64 {
+        self.nonzero
+    }
+
+    /// Sum of the weights.
+    pub fn sum_weights(&self) -> f64 {
+        self.sum_weights
+    }
+
+    /// Unbiased mean of the products `w·x` over **all** observations — the
+    /// importance-sampling (Horvitz–Thompson) estimator of `E_P[x]`: under
+    /// the biased law, `E[w·x] = E_P[x]` exactly. Returns `0.0` before any
+    /// observation.
+    pub fn mean_product(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.product_mean
+        }
+    }
+
+    /// Unbiased sample variance of the products `w·x` (n−1 denominator).
+    /// Returns `0.0` with fewer than two observations.
+    pub fn product_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.product_m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Standard error of [`WeightedRunning::mean_product`].
+    pub fn product_std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.product_variance().sqrt() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Weighted (self-normalised) mean `Σwx / Σw`. Returns `0.0` before any
+    /// positively-weighted observation.
+    ///
+    /// This is the ratio-estimator view of the same data: consistent, and
+    /// useful as a diagnostic (a healthy importance-sampling run has
+    /// `Σw/n ≈ 1`, so the two means agree), but the rare-event estimators
+    /// report [`WeightedRunning::mean_product`], which is unbiased at any
+    /// sample size.
+    pub fn weighted_mean(&self) -> f64 {
+        if self.sum_weights == 0.0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Effective sample size `(Σw)² / Σw²` (Kish). Equals the count for
+    /// unit weights and collapses towards 1 under extreme weight skew.
+    /// Returns `0.0` before any positively-weighted observation.
+    pub fn effective_sample_size(&self) -> f64 {
+        if self.sum_sq_weights == 0.0 {
+            0.0
+        } else {
+            self.sum_weights * self.sum_weights / self.sum_sq_weights
+        }
+    }
+
+    /// Unbiased weighted sample variance (reliability-weights denominator
+    /// `Σw − Σw²/Σw`). Reduces to the `n−1` formula for unit weights.
+    /// Returns `0.0` while the denominator is not positive (fewer than two
+    /// effective observations).
+    pub fn variance(&self) -> f64 {
+        if self.sum_weights == 0.0 {
+            return 0.0;
+        }
+        let denominator = self.sum_weights - self.sum_sq_weights / self.sum_weights;
+        if denominator <= 0.0 {
+            0.0
+        } else {
+            self.m2 / denominator
+        }
+    }
+
+    /// Standard error of the weighted mean: `sqrt(variance) / sqrt(ESS)`.
+    /// Reduces to `s / sqrt(n)` for unit weights.
+    pub fn std_error(&self) -> f64 {
+        let ess = self.effective_sample_size();
+        if ess == 0.0 {
+            0.0
+        } else {
+            self.variance().sqrt() / ess.sqrt()
+        }
+    }
+
+    /// Student-t confidence interval on the unbiased weighted-mean
+    /// estimator [`WeightedRunning::mean_product`] — the interval the
+    /// rare-event stopping criterion (relative half-width on the weighted
+    /// mean, see
+    /// [`StoppingRule::met_by_support`](crate::stats::StoppingRule::met_by_support))
+    /// is evaluated on. With unit weights this is exactly the interval
+    /// [`confidence_interval`](crate::stats::confidence_interval) computes
+    /// from a [`RunningStats`](crate::stats::RunningStats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::EmptyData`] with fewer than two observations
+    /// and [`DistError::InvalidProbability`] for a level outside `(0, 1)`.
+    pub fn confidence_interval(&self, level: f64) -> Result<ConfidenceInterval, DistError> {
+        if !(level > 0.0 && level < 1.0) {
+            return Err(DistError::InvalidProbability { value: level });
+        }
+        if self.count < 2 {
+            return Err(DistError::EmptyData);
+        }
+        let t = student_t_quantile(self.count - 1, 0.5 + level / 2.0);
+        Ok(ConfidenceInterval {
+            point: self.mean_product(),
+            half_width: t * self.product_std_error(),
+            level,
+            samples: self.count,
+        })
+    }
+}
+
+impl Extend<(f64, f64)> for WeightedRunning {
+    fn extend<T: IntoIterator<Item = (f64, f64)>>(&mut self, iter: T) {
+        for (x, w) in iter {
+            self.push(x, w);
+        }
+    }
+}
+
+impl FromIterator<(f64, f64)> for WeightedRunning {
+    fn from_iter<T: IntoIterator<Item = (f64, f64)>>(iter: T) -> Self {
+        let mut acc = WeightedRunning::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{confidence_interval, RunningStats};
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_accumulator_defaults() {
+        let acc = WeightedRunning::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.nonzero_count(), 0);
+        assert_eq!(acc.weighted_mean(), 0.0);
+        assert_eq!(acc.mean_product(), 0.0);
+        assert_eq!(acc.product_variance(), 0.0);
+        assert_eq!(acc.product_std_error(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.std_error(), 0.0);
+        assert_eq!(acc.effective_sample_size(), 0.0);
+        assert!(acc.confidence_interval(0.95).is_err());
+        assert!(WeightedRunning::default() == acc);
+    }
+
+    /// Known-answer test: the weighted mean and the reliability-weights
+    /// variance of a small hand-computed data set.
+    #[test]
+    fn weighted_mean_and_variance_hand_checked() {
+        // Values 2, 4, 6 with weights 1, 2, 1: mean = (2 + 8 + 6)/4 = 4.
+        let acc: WeightedRunning = [(2.0, 1.0), (4.0, 2.0), (6.0, 1.0)].into_iter().collect();
+        assert!((acc.weighted_mean() - 4.0).abs() < 1e-12);
+        // m2 = Σw(x-μ)² = 1·4 + 2·0 + 1·4 = 8; denominator = 4 − 6/4 = 2.5.
+        assert!((acc.variance() - 8.0 / 2.5).abs() < 1e-12);
+        // ESS = 16 / 6.
+        assert!((acc.effective_sample_size() - 16.0 / 6.0).abs() < 1e-12);
+        assert_eq!(acc.count(), 3);
+        assert_eq!(acc.nonzero_count(), 3);
+    }
+
+    /// Known-answer test under extreme weight skew: one observation carrying
+    /// essentially all the weight collapses the effective sample size to ~1
+    /// and drags the mean to that observation.
+    #[test]
+    fn extreme_weight_skew_collapses_effective_sample_size() {
+        let mut acc = WeightedRunning::new();
+        acc.push(10.0, 1e12);
+        for _ in 0..99 {
+            acc.push(0.0, 1e-6);
+        }
+        assert_eq!(acc.count(), 100);
+        assert!((acc.weighted_mean() - 10.0).abs() < 1e-9);
+        let ess = acc.effective_sample_size();
+        assert!(ess > 1.0 - 1e-9 && ess < 1.0 + 1e-6, "ESS {ess} must collapse to ~1");
+        // Exact ESS: (W)²/Σw² with W = 1e12 + 99e-6.
+        let w = 1e12 + 99.0 * 1e-6;
+        let sq = 1e24 + 99.0 * 1e-12;
+        assert!((ess - w * w / sq).abs() < 1e-9);
+        // The dominating weight also blows up the product estimator's
+        // interval: one run carries everything, so the relative half-width
+        // is enormous — degeneracy is visible, never hidden.
+        let interval = acc.confidence_interval(0.95).unwrap();
+        assert!(interval.relative_half_width() > 1.0, "{interval}");
+    }
+
+    #[test]
+    fn zero_weights_count_but_do_not_contribute() {
+        let mut acc = WeightedRunning::new();
+        acc.push(100.0, 0.0);
+        acc.push(2.0, 1.0);
+        acc.push(4.0, 1.0);
+        assert_eq!(acc.count(), 3);
+        assert_eq!(acc.nonzero_count(), 2);
+        assert!((acc.weighted_mean() - 3.0).abs() < 1e-12);
+        // The product mean counts the zero-weight replication as an exact
+        // zero contribution (the unbiased-estimator requirement).
+        assert!((acc.mean_product() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonzero_count_tracks_contributing_observations() {
+        let mut acc = WeightedRunning::new();
+        acc.push(0.0, 1.0); // zero value: no support
+        acc.push(1.0, 0.0); // zero weight: no support
+        acc.push(1.0, 2.0); // contributes
+        assert_eq!(acc.count(), 3);
+        assert_eq!(acc.nonzero_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be finite")]
+    fn negative_weights_are_rejected() {
+        WeightedRunning::new().push(1.0, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation must be finite")]
+    fn non_finite_observations_are_rejected() {
+        WeightedRunning::new().push(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<(f64, f64)> =
+            (0..100).map(|i| ((i as f64).sin() + 2.0, 0.5 + (i % 7) as f64)).collect();
+        let sequential: WeightedRunning = data.iter().copied().collect();
+        let mut merged: WeightedRunning = data[..41].iter().copied().collect();
+        let right: WeightedRunning = data[41..].iter().copied().collect();
+        merged.merge(&right);
+        assert_eq!(merged.count(), sequential.count());
+        assert!((merged.weighted_mean() - sequential.weighted_mean()).abs() < 1e-12);
+        assert!((merged.variance() - sequential.variance()).abs() < 1e-10);
+        assert!((merged.effective_sample_size() - sequential.effective_sample_size()).abs() < 1e-9);
+
+        // Merging an empty accumulator is the identity, both ways.
+        let mut acc = sequential;
+        acc.merge(&WeightedRunning::new());
+        assert_eq!(acc, sequential);
+        let mut empty = WeightedRunning::new();
+        empty.merge(&sequential);
+        assert_eq!(empty, sequential);
+    }
+
+    #[test]
+    fn confidence_interval_matches_unweighted_for_unit_weights() {
+        let values = [3.1, 4.1, 5.9, 2.6, 5.3, 5.8, 9.7, 9.3];
+        let weighted: WeightedRunning = values.iter().map(|&x| (x, 1.0)).collect();
+        let unweighted: RunningStats = values.iter().copied().collect();
+        let wi = weighted.confidence_interval(0.95).unwrap();
+        let ui = confidence_interval(&unweighted, 0.95).unwrap();
+        assert_eq!(wi.point, ui.point);
+        assert_eq!(wi.half_width, ui.half_width);
+        assert_eq!(wi.samples, ui.samples);
+        assert!(weighted.confidence_interval(1.5).is_err());
+        assert!(weighted.confidence_interval(0.0).is_err());
+    }
+
+    proptest! {
+        // Unit weights must reproduce the unweighted accumulator bit for
+        // bit: same count, mean, variance, and standard error.
+        #[test]
+        fn unit_weights_reproduce_running_bit_for_bit(
+            data in proptest::collection::vec(-1e3..1e3_f64, 2..200)
+        ) {
+            let weighted: WeightedRunning = data.iter().map(|&x| (x, 1.0)).collect();
+            let unweighted: RunningStats = data.iter().copied().collect();
+            prop_assert_eq!(weighted.count(), unweighted.count());
+            prop_assert_eq!(weighted.weighted_mean(), unweighted.mean());
+            prop_assert_eq!(weighted.variance(), unweighted.variance());
+            prop_assert_eq!(weighted.std_error(), unweighted.std_error());
+            prop_assert_eq!(weighted.mean_product(), unweighted.mean());
+            prop_assert_eq!(weighted.product_variance(), unweighted.variance());
+            prop_assert_eq!(weighted.product_std_error(), unweighted.std_error());
+            prop_assert_eq!(weighted.effective_sample_size(), unweighted.count() as f64);
+        }
+
+        // Scaling every weight by a common positive factor changes neither
+        // the mean, the variance, nor the effective sample size (beyond
+        // floating-point noise).
+        #[test]
+        fn weights_are_scale_invariant(
+            values in proptest::collection::vec(-1e3..1e3_f64, 2..100),
+            scale in 0.01..100.0_f64
+        ) {
+            let data: Vec<(f64, f64)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (x, 0.25 + (i % 7) as f64))
+                .collect();
+            let base: WeightedRunning = data.iter().copied().collect();
+            let scaled: WeightedRunning =
+                data.iter().map(|&(x, w)| (x, w * scale)).collect();
+            prop_assert!((base.weighted_mean() - scaled.weighted_mean()).abs() < 1e-6);
+            prop_assert!(
+                (base.effective_sample_size() - scaled.effective_sample_size()).abs() < 1e-6
+            );
+            let rel = (base.variance() - scaled.variance()).abs()
+                / base.variance().abs().max(1e-12);
+            prop_assert!(rel < 1e-6);
+        }
+    }
+}

@@ -56,12 +56,14 @@ mod error;
 pub mod replacement;
 pub mod replication;
 pub mod scaling;
+pub mod splitting;
 mod storage;
 
 pub use config::{ControllerModel, DiskModel, RaidGeometry, StorageConfig};
 pub use error::RaidError;
-pub use replication::{ReplicationConfig, ReplicationSimulator};
-pub use storage::{StorageRunStats, StorageSimulator, StorageSummary};
+pub use replication::{ReplicationConfig, ReplicationMission, ReplicationSimulator};
+pub use splitting::{SplittableMission, SplittingResult};
+pub use storage::{StorageMission, StorageRunStats, StorageSimulator, StorageSummary};
 
 #[cfg(test)]
 mod crate_tests {

@@ -306,104 +306,193 @@ impl ReplicationSimulator {
 
     /// Runs a single mission and returns its raw statistics.
     pub fn run_once(&self, horizon_hours: f64, rng: &mut SimRng) -> StorageRunStats {
-        let cfg = &self.config;
-        let disks = cfg.disks;
-        let replicas = cfg.replicas;
+        let mut mission = self.start_mission(horizon_hours, rng);
+        mission.advance(rng, None);
+        mission.finish()
+    }
 
+    /// Starts a mission in resumable form: the initial lifetimes are drawn
+    /// and the event calendar is primed, but no event has been processed.
+    /// [`ReplicationMission::advance`] then runs it — to the horizon, or
+    /// only until an exposure-depth level is first reached, which is the
+    /// primitive the multilevel-splitting estimator
+    /// ([`crate::splitting`]) restarts trials from.
+    pub fn start_mission(&self, horizon_hours: f64, rng: &mut SimRng) -> ReplicationMission {
+        let disks = self.config.disks;
         let mut queue: BinaryHeap<Event> = BinaryHeap::with_capacity(disks as usize + 8);
-        // Per-disk generation counters invalidate stale events after the
-        // store-wide reset of a data-loss recovery.
-        let mut generation = vec![0u32; disks as usize];
-        let mut failed = vec![false; disks as usize];
-        // Disks whose objects are currently one replica short.
-        let mut exposed: u32 = 0;
-        let mut store_generation: u32 = 0;
-        let mut in_recovery = false;
-
         for disk in 0..disks {
             queue.push(Event {
                 time: self.lifetime.sample(rng),
                 kind: EventKind::DiskFailure { disk, generation: 0 },
             });
         }
+        ReplicationMission {
+            config: self.config,
+            lifetime: self.lifetime,
+            horizon_hours,
+            queue,
+            generation: vec![0u32; disks as usize],
+            failed: vec![false; disks as usize],
+            exposed: 0,
+            exposure_peak: 0,
+            store_generation: 0,
+            in_recovery: false,
+            last_time: 0.0,
+            downtime: 0.0,
+            data_loss_events: 0,
+            replacements: 0,
+        }
+    }
+}
 
-        let mut last_time = 0.0_f64;
-        let mut downtime = 0.0_f64;
-        let mut data_loss_events = 0u64;
-        let mut replacements = 0u64;
+/// One replication-store mission in resumable form: the full Markov state
+/// of the event-driven kernel (pending events, per-disk state, exposure
+/// and recovery bookkeeping, and the downtime accumulators).
+///
+/// A mission is `Clone`, so the multilevel-splitting estimator can
+/// snapshot it the moment an exposure level is first reached and restart
+/// many continuation trials from the same state, each with its own RNG
+/// stream — the cloned calendar carries the already-drawn future event
+/// times (part of the Markov state), while everything sampled after the
+/// snapshot comes from the continuation's stream.
+#[derive(Debug, Clone)]
+pub struct ReplicationMission {
+    config: ReplicationConfig,
+    lifetime: Weibull,
+    horizon_hours: f64,
+    queue: BinaryHeap<Event>,
+    generation: Vec<u32>,
+    failed: Vec<bool>,
+    /// Disks whose objects are currently one replica short.
+    exposed: u32,
+    /// Highest concurrent exposure count seen so far (monotone — the
+    /// splitting level function).
+    exposure_peak: u32,
+    store_generation: u32,
+    in_recovery: bool,
+    last_time: f64,
+    downtime: f64,
+    data_loss_events: u64,
+    replacements: u64,
+}
 
-        while let Some(event) = queue.pop() {
+impl ReplicationMission {
+    /// Highest concurrent exposure depth reached so far: `replicas`
+    /// concurrently exposed disks is the data-loss level.
+    pub fn exposure_peak(&self) -> u32 {
+        self.exposure_peak
+    }
+
+    /// Data-loss events recorded so far.
+    pub fn data_loss_events(&self) -> u64 {
+        self.data_loss_events
+    }
+
+    /// The exposure depth at which this mission's store loses data.
+    pub fn loss_level(&self) -> u32 {
+        self.config.replicas
+    }
+
+    /// Processes events forward. With `stop_at_exposure = Some(level)` the
+    /// mission pauses right after the event that first lifts the exposure
+    /// peak to `level`, returning `true`; otherwise it runs to the horizon
+    /// and returns `false`. A paused mission resumes with a later call.
+    pub fn advance(&mut self, rng: &mut SimRng, stop_at_exposure: Option<u32>) -> bool {
+        if let Some(level) = stop_at_exposure {
+            if self.exposure_peak >= level {
+                return true;
+            }
+        }
+        let cfg = self.config;
+        let disks = cfg.disks;
+        let replicas = cfg.replicas;
+        while let Some(event) = self.queue.pop() {
             let t = event.time;
-            if t > horizon_hours {
+            if t > self.horizon_hours {
+                // Leave the popped event discarded, exactly as the
+                // non-resumable kernel did: the mission is over.
                 break;
             }
-            if in_recovery {
-                downtime += t - last_time;
+            if self.in_recovery {
+                self.downtime += t - self.last_time;
             }
-            last_time = t;
+            self.last_time = t;
 
             match event.kind {
                 EventKind::DiskFailure { disk, generation: g } => {
-                    if g != generation[disk as usize] || failed[disk as usize] || in_recovery {
+                    if g != self.generation[disk as usize]
+                        || self.failed[disk as usize]
+                        || self.in_recovery
+                    {
                         // Failures popping during a recovery window need no
                         // reschedule: StoreRecovered restarts *every* disk
                         // with a fresh lifetime and a bumped generation.
                         continue;
                     }
-                    failed[disk as usize] = true;
-                    replacements += 1;
-                    exposed += 1;
-                    queue.push(Event {
+                    self.failed[disk as usize] = true;
+                    self.replacements += 1;
+                    self.exposed += 1;
+                    self.exposure_peak = self.exposure_peak.max(self.exposed);
+                    self.queue.push(Event {
                         time: t + cfg.replacement_hours,
                         kind: EventKind::DiskReplaced { disk, generation: g },
                     });
-                    if exposed >= replicas {
+                    if self.exposed >= replicas {
                         // Pessimistic random-placement approximation: r
                         // overlapping exposure windows lose some object.
-                        data_loss_events += 1;
-                        in_recovery = true;
-                        store_generation += 1;
+                        self.data_loss_events += 1;
+                        self.in_recovery = true;
+                        self.store_generation += 1;
                         // The recovery restores full redundancy for every
                         // open window; bumping the store generation
                         // invalidates their pending ReReplicated events.
-                        exposed = 0;
-                        queue.push(Event {
+                        self.exposed = 0;
+                        self.queue.push(Event {
                             time: t + cfg.data_loss_recovery_hours,
-                            kind: EventKind::StoreRecovered { store_generation },
+                            kind: EventKind::StoreRecovered {
+                                store_generation: self.store_generation,
+                            },
                         });
                     } else {
-                        queue.push(Event {
+                        self.queue.push(Event {
                             time: t + cfg.re_replication_hours,
-                            kind: EventKind::ReReplicated { store_generation },
+                            kind: EventKind::ReReplicated {
+                                store_generation: self.store_generation,
+                            },
                         });
+                    }
+                    if let Some(level) = stop_at_exposure {
+                        if self.exposure_peak >= level {
+                            return true;
+                        }
                     }
                 }
                 EventKind::ReReplicated { store_generation: g } => {
                     // A stale stamp means a data-loss recovery already
                     // closed this window (and every other) collectively.
-                    if g != store_generation {
+                    if g != self.store_generation {
                         continue;
                     }
                     // The window closes regardless of where the drive is in
                     // the replacement pipeline — redundancy lives in the
                     // surviving cluster, not in the replaced hardware.
-                    exposed = exposed.saturating_sub(1);
+                    self.exposed = self.exposed.saturating_sub(1);
                 }
                 EventKind::DiskReplaced { disk, generation: g } => {
-                    if g != generation[disk as usize] || !failed[disk as usize] {
+                    if g != self.generation[disk as usize] || !self.failed[disk as usize] {
                         continue;
                     }
-                    failed[disk as usize] = false;
-                    queue.push(Event {
+                    self.failed[disk as usize] = false;
+                    self.queue.push(Event {
                         time: t + self.lifetime.sample(rng),
                         kind: EventKind::DiskFailure { disk, generation: g },
                     });
                 }
                 EventKind::StoreRecovered { store_generation: g } => {
-                    if g != store_generation || !in_recovery {
+                    if g != self.store_generation || !self.in_recovery {
                         continue;
                     }
-                    in_recovery = false;
+                    self.in_recovery = false;
                     // The recovery re-ingested the store's objects; every
                     // disk — failed or healthy — restarts a fresh lifetime
                     // cycle (the same freeze-and-reset the RAID simulator
@@ -411,31 +500,35 @@ impl ReplicationSimulator {
                     // all pending per-disk events, including failures of
                     // healthy disks that were dropped during the window.
                     for disk in 0..disks {
-                        failed[disk as usize] = false;
-                        generation[disk as usize] += 1;
-                        queue.push(Event {
+                        self.failed[disk as usize] = false;
+                        self.generation[disk as usize] += 1;
+                        self.queue.push(Event {
                             time: t + self.lifetime.sample(rng),
                             kind: EventKind::DiskFailure {
                                 disk,
-                                generation: generation[disk as usize],
+                                generation: self.generation[disk as usize],
                             },
                         });
                     }
                 }
             }
         }
+        false
+    }
 
+    /// Closes the mission and returns its raw statistics. Call after
+    /// [`ReplicationMission::advance`] ran to the horizon.
+    pub fn finish(mut self) -> StorageRunStats {
         // Close the interval up to the horizon.
-        if in_recovery {
-            downtime += horizon_hours - last_time;
+        if self.in_recovery {
+            self.downtime += self.horizon_hours - self.last_time;
         }
-
         StorageRunStats {
-            downtime_hours: downtime,
-            data_loss_events,
-            disk_replacements: replacements,
+            downtime_hours: self.downtime,
+            data_loss_events: self.data_loss_events,
+            disk_replacements: self.replacements,
             controller_downtime_hours: 0.0,
-            horizon_hours,
+            horizon_hours: self.horizon_hours,
         }
     }
 }

@@ -270,33 +270,30 @@ impl StorageSimulator {
 
     /// Runs a single mission and returns its raw statistics.
     pub fn run_once(&self, horizon_hours: f64, rng: &mut SimRng) -> StorageRunStats {
+        let mut mission = self.start_mission(horizon_hours, rng);
+        mission.advance(rng, None);
+        mission.finish()
+    }
+
+    /// Starts a mission in resumable form: initial disk lifetimes (and
+    /// controller failure times, when configured) are drawn and the event
+    /// calendar is primed, but no event has been processed.
+    /// [`StorageMission::advance`] then runs it — to the horizon, or only
+    /// until an exposure-depth level (concurrent failed disks within one
+    /// tier) is first reached, the restart primitive of the
+    /// multilevel-splitting estimator ([`crate::splitting`]).
+    pub fn start_mission(&self, horizon_hours: f64, rng: &mut SimRng) -> StorageMission {
         let cfg = &self.config;
-        let disks_per_tier = cfg.geometry.disks_per_tier();
         let total_disks = cfg.total_disks();
-        let tiers = cfg.tiers;
-        let parity = cfg.geometry.parity_disks;
-        let repair_time = cfg.replacement_hours + cfg.rebuild_hours;
-
         let mut queue: BinaryHeap<Event> = BinaryHeap::with_capacity(total_disks as usize + 8);
-
-        // Disk state.
-        let mut disk_generation = vec![0u32; total_disks as usize];
-        let mut disk_failed = vec![false; total_disks as usize];
-        let mut tier_failed_count = vec![0u32; tiers as usize];
-        let mut tier_in_recovery = vec![false; tiers as usize];
-        let mut tier_generation = vec![0u32; tiers as usize];
-
         for disk in 0..total_disks {
             queue.push(Event {
                 time: self.lifetime.sample(rng),
                 kind: EventKind::DiskFailure { disk, generation: 0 },
             });
         }
-
-        // Controller state: two controllers per DDN unit.
-        let controller = cfg.controllers;
-        let mut controller_failed = vec![[false, false]; cfg.ddn_units as usize];
-        let controller_dist = controller
+        let controller_dist = cfg
+            .controllers
             .map(|c| Exponential::new(c.failure_rate_per_hour).expect("validated controller rate"));
         if let Some(dist) = &controller_dist {
             for unit in 0..cfg.ddn_units {
@@ -308,135 +305,226 @@ impl StorageSimulator {
                 }
             }
         }
+        StorageMission {
+            config: self.config.clone(),
+            lifetime: self.lifetime,
+            controller_dist,
+            horizon_hours,
+            queue,
+            disk_generation: vec![0u32; total_disks as usize],
+            disk_failed: vec![false; total_disks as usize],
+            tier_failed_count: vec![0u32; cfg.tiers as usize],
+            tier_in_recovery: vec![false; cfg.tiers as usize],
+            tier_generation: vec![0u32; cfg.tiers as usize],
+            controller_failed: vec![[false, false]; cfg.ddn_units as usize],
+            exposure_peak: 0,
+            down_conditions: 0,
+            controller_down_units: 0,
+            last_time: 0.0,
+            downtime: 0.0,
+            controller_downtime: 0.0,
+            data_loss_events: 0,
+            replacements: 0,
+        }
+    }
+}
 
-        // Downtime bookkeeping.
-        let mut down_conditions: u32 = 0;
-        let mut controller_down_units: u32 = 0;
-        let mut last_time = 0.0_f64;
-        let mut downtime = 0.0_f64;
-        let mut controller_downtime = 0.0_f64;
-        let mut data_loss_events = 0u64;
-        let mut replacements = 0u64;
+/// One RAID-storage mission in resumable form: the full Markov state of
+/// the event-driven kernel (pending events, per-disk and per-tier state,
+/// controller pairs, and the downtime accumulators).
+///
+/// A mission is `Clone`, so the multilevel-splitting estimator can
+/// snapshot it the moment an exposure level — concurrent failed disks
+/// within a single tier — is first reached and restart many continuation
+/// trials from the same state, each with its own RNG stream.
+#[derive(Debug, Clone)]
+pub struct StorageMission {
+    config: StorageConfig,
+    lifetime: Weibull,
+    controller_dist: Option<Exponential>,
+    horizon_hours: f64,
+    queue: BinaryHeap<Event>,
+    disk_generation: Vec<u32>,
+    disk_failed: Vec<bool>,
+    tier_failed_count: Vec<u32>,
+    tier_in_recovery: Vec<bool>,
+    tier_generation: Vec<u32>,
+    controller_failed: Vec<[bool; 2]>,
+    /// Highest concurrent failed-disk count seen in any single tier
+    /// (monotone — the splitting level function).
+    exposure_peak: u32,
+    down_conditions: u32,
+    controller_down_units: u32,
+    last_time: f64,
+    downtime: f64,
+    controller_downtime: f64,
+    data_loss_events: u64,
+    replacements: u64,
+}
 
-        while let Some(event) = queue.pop() {
+impl StorageMission {
+    /// Highest concurrent failed-disk count reached in any single tier:
+    /// `parity + 1` is the data-loss level.
+    pub fn exposure_peak(&self) -> u32 {
+        self.exposure_peak
+    }
+
+    /// Data-loss events recorded so far.
+    pub fn data_loss_events(&self) -> u64 {
+        self.data_loss_events
+    }
+
+    /// The exposure depth at which a tier loses data (`parity + 1`).
+    pub fn loss_level(&self) -> u32 {
+        self.config.geometry.parity_disks + 1
+    }
+
+    /// Processes events forward. With `stop_at_exposure = Some(level)` the
+    /// mission pauses right after the event that first lifts the exposure
+    /// peak to `level`, returning `true`; otherwise it runs to the horizon
+    /// and returns `false`. A paused mission resumes with a later call.
+    pub fn advance(&mut self, rng: &mut SimRng, stop_at_exposure: Option<u32>) -> bool {
+        if let Some(level) = stop_at_exposure {
+            if self.exposure_peak >= level {
+                return true;
+            }
+        }
+        let disks_per_tier = self.config.geometry.disks_per_tier();
+        let parity = self.config.geometry.parity_disks;
+        let repair_time = self.config.replacement_hours + self.config.rebuild_hours;
+
+        while let Some(event) = self.queue.pop() {
             let t = event.time;
-            if t > horizon_hours {
+            if t > self.horizon_hours {
                 break;
             }
             // Accumulate downtime since the previous event.
-            if down_conditions > 0 {
-                downtime += t - last_time;
+            if self.down_conditions > 0 {
+                self.downtime += t - self.last_time;
             }
-            if controller_down_units > 0 {
-                controller_downtime += t - last_time;
+            if self.controller_down_units > 0 {
+                self.controller_downtime += t - self.last_time;
             }
-            last_time = t;
+            self.last_time = t;
 
             match event.kind {
                 EventKind::DiskFailure { disk, generation } => {
-                    if generation != disk_generation[disk as usize] || disk_failed[disk as usize] {
+                    if generation != self.disk_generation[disk as usize]
+                        || self.disk_failed[disk as usize]
+                    {
                         continue;
                     }
                     let tier = disk / disks_per_tier;
-                    if tier_in_recovery[tier as usize] {
+                    if self.tier_in_recovery[tier as usize] {
                         continue;
                     }
-                    disk_failed[disk as usize] = true;
-                    tier_failed_count[tier as usize] += 1;
-                    replacements += 1;
+                    self.disk_failed[disk as usize] = true;
+                    self.tier_failed_count[tier as usize] += 1;
+                    self.exposure_peak =
+                        self.exposure_peak.max(self.tier_failed_count[tier as usize]);
+                    self.replacements += 1;
 
-                    if tier_failed_count[tier as usize] > parity {
+                    if self.tier_failed_count[tier as usize] > parity {
                         // Unrecoverable tier failure.
-                        data_loss_events += 1;
-                        tier_in_recovery[tier as usize] = true;
-                        tier_generation[tier as usize] += 1;
-                        down_conditions += 1;
+                        self.data_loss_events += 1;
+                        self.tier_in_recovery[tier as usize] = true;
+                        self.tier_generation[tier as usize] += 1;
+                        self.down_conditions += 1;
                         // Invalidate every pending event of this tier's disks
                         // and clear their state; they come back fresh when the
                         // tier is restored.
                         let first = tier * disks_per_tier;
                         for d in first..first + disks_per_tier {
-                            disk_generation[d as usize] += 1;
-                            disk_failed[d as usize] = false;
+                            self.disk_generation[d as usize] += 1;
+                            self.disk_failed[d as usize] = false;
                         }
-                        tier_failed_count[tier as usize] = 0;
-                        queue.push(Event {
-                            time: t + cfg.data_loss_recovery_hours,
+                        self.tier_failed_count[tier as usize] = 0;
+                        self.queue.push(Event {
+                            time: t + self.config.data_loss_recovery_hours,
                             kind: EventKind::TierRecovered {
                                 tier,
-                                generation: tier_generation[tier as usize],
+                                generation: self.tier_generation[tier as usize],
                             },
                         });
                     } else {
-                        queue.push(Event {
+                        self.queue.push(Event {
                             time: t + repair_time,
                             kind: EventKind::DiskRestored { disk, generation },
                         });
                     }
+                    if let Some(level) = stop_at_exposure {
+                        if self.exposure_peak >= level {
+                            return true;
+                        }
+                    }
                 }
                 EventKind::DiskRestored { disk, generation } => {
-                    if generation != disk_generation[disk as usize] || !disk_failed[disk as usize] {
+                    if generation != self.disk_generation[disk as usize]
+                        || !self.disk_failed[disk as usize]
+                    {
                         continue;
                     }
                     let tier = disk / disks_per_tier;
-                    disk_failed[disk as usize] = false;
-                    tier_failed_count[tier as usize] -= 1;
-                    queue.push(Event {
+                    self.disk_failed[disk as usize] = false;
+                    self.tier_failed_count[tier as usize] -= 1;
+                    self.queue.push(Event {
                         time: t + self.lifetime.sample(rng),
                         kind: EventKind::DiskFailure { disk, generation },
                     });
                 }
                 EventKind::TierRecovered { tier, generation } => {
-                    if generation != tier_generation[tier as usize]
-                        || !tier_in_recovery[tier as usize]
+                    if generation != self.tier_generation[tier as usize]
+                        || !self.tier_in_recovery[tier as usize]
                     {
                         continue;
                     }
-                    tier_in_recovery[tier as usize] = false;
-                    down_conditions -= 1;
+                    self.tier_in_recovery[tier as usize] = false;
+                    self.down_conditions -= 1;
                     // All disks in the tier start fresh.
                     let first = tier * disks_per_tier;
                     for d in first..first + disks_per_tier {
-                        queue.push(Event {
+                        self.queue.push(Event {
                             time: t + self.lifetime.sample(rng),
                             kind: EventKind::DiskFailure {
                                 disk: d,
-                                generation: disk_generation[d as usize],
+                                generation: self.disk_generation[d as usize],
                             },
                         });
                     }
                 }
                 EventKind::ControllerFailure { unit, slot } => {
-                    let pair = &mut controller_failed[unit as usize];
+                    let pair = &mut self.controller_failed[unit as usize];
                     if pair[slot as usize] {
                         continue;
                     }
                     pair[slot as usize] = true;
                     if pair[0] && pair[1] {
-                        controller_down_units += 1;
-                        down_conditions += 1;
+                        self.controller_down_units += 1;
+                        self.down_conditions += 1;
                     }
-                    let repair = controller
+                    let repair = self
+                        .config
+                        .controllers
                         .expect("controller events only exist when configured")
                         .repair_hours;
-                    queue.push(Event {
+                    self.queue.push(Event {
                         time: t + repair,
                         kind: EventKind::ControllerRepaired { unit, slot },
                     });
                 }
                 EventKind::ControllerRepaired { unit, slot } => {
-                    let pair = &mut controller_failed[unit as usize];
+                    let pair = &mut self.controller_failed[unit as usize];
                     if !pair[slot as usize] {
                         continue;
                     }
                     let was_double = pair[0] && pair[1];
                     pair[slot as usize] = false;
                     if was_double {
-                        controller_down_units -= 1;
-                        down_conditions -= 1;
+                        self.controller_down_units -= 1;
+                        self.down_conditions -= 1;
                     }
-                    if let Some(dist) = &controller_dist {
-                        queue.push(Event {
+                    if let Some(dist) = &self.controller_dist {
+                        self.queue.push(Event {
                             time: t + dist.sample(rng),
                             kind: EventKind::ControllerFailure { unit, slot },
                         });
@@ -444,21 +532,25 @@ impl StorageSimulator {
                 }
             }
         }
+        false
+    }
 
+    /// Closes the mission and returns its raw statistics. Call after
+    /// [`StorageMission::advance`] ran to the horizon.
+    pub fn finish(mut self) -> StorageRunStats {
         // Close the interval up to the horizon.
-        if down_conditions > 0 {
-            downtime += horizon_hours - last_time;
+        if self.down_conditions > 0 {
+            self.downtime += self.horizon_hours - self.last_time;
         }
-        if controller_down_units > 0 {
-            controller_downtime += horizon_hours - last_time;
+        if self.controller_down_units > 0 {
+            self.controller_downtime += self.horizon_hours - self.last_time;
         }
-
         StorageRunStats {
-            downtime_hours: downtime,
-            data_loss_events,
-            disk_replacements: replacements,
-            controller_downtime_hours: controller_downtime,
-            horizon_hours,
+            downtime_hours: self.downtime,
+            data_loss_events: self.data_loss_events,
+            disk_replacements: self.replacements,
+            controller_downtime_hours: self.controller_downtime,
+            horizon_hours: self.horizon_hours,
         }
     }
 }

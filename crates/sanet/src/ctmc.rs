@@ -167,6 +167,115 @@ impl Ctmc {
     pub fn steady_state_reward(&self, reward: impl Fn(usize) -> f64) -> Result<f64, SanError> {
         Ok(self.steady_state()?.iter().enumerate().map(|(s, &p)| p * reward(s)).sum())
     }
+
+    /// Solves the transient state distribution `π(t)` from a deterministic
+    /// start state by uniformization (Jensen's method): with `Λ ≥ max_i
+    /// |q_ii|` and the DTMC `P = I + Q/Λ`,
+    /// `π(t) = Σ_k Poisson(Λt; k) · π(0) Pᵏ`, truncated once the Poisson
+    /// tail mass drops below 10⁻¹². Large `Λt` horizons are split into
+    /// steps so the Poisson weights never underflow.
+    ///
+    /// Absorbing states (rows of zero rates) are handled naturally, so the
+    /// chain doubles as an analytic oracle for finite-horizon *hitting*
+    /// probabilities — exactly the shape of a rare-event measure: make the
+    /// failure state absorbing and read `π(t)` at its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::UnknownId`] if `initial` is out of range and
+    /// [`SanError::InvalidExperiment`] for a negative or non-finite `t`.
+    pub fn transient(&self, initial: usize, t: f64) -> Result<Vec<f64>, SanError> {
+        if initial >= self.states {
+            return Err(SanError::UnknownId { what: format!("CTMC state {initial}") });
+        }
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(SanError::InvalidExperiment {
+                reason: format!("transient horizon must be non-negative and finite, got {t}"),
+            });
+        }
+        let mut pi = vec![0.0; self.states];
+        pi[initial] = 1.0;
+        if t == 0.0 {
+            return Ok(pi);
+        }
+
+        // Uniformization rate: the largest exit rate, floored so a chain
+        // with all-absorbing reachable states still steps.
+        let rate =
+            self.rates.iter().map(|row| row.iter().sum::<f64>()).fold(0.0_f64, f64::max).max(1e-12);
+
+        // Split the horizon so each step's Poisson parameter stays small
+        // enough that e^{-Λτ} does not underflow (Λτ ≤ 64 keeps the series
+        // short and the weights comfortably inside f64 range).
+        let steps = (rate * t / 64.0).ceil().max(1.0);
+        let tau = t / steps;
+        for _ in 0..steps as u64 {
+            pi = self.uniformized_step(&pi, rate, tau);
+        }
+        Ok(pi)
+    }
+
+    /// Expected value of a reward function over the transient distribution
+    /// at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Ctmc::transient`].
+    pub fn transient_reward(
+        &self,
+        initial: usize,
+        t: f64,
+        reward: impl Fn(usize) -> f64,
+    ) -> Result<f64, SanError> {
+        Ok(self.transient(initial, t)?.iter().enumerate().map(|(s, &p)| p * reward(s)).sum())
+    }
+
+    /// One uniformized step of length `tau`: `π ← Σ_k w_k · π Pᵏ` with
+    /// Poisson weights `w_k = e^{-Λτ}(Λτ)ᵏ/k!`, truncated at relative tail
+    /// mass 10⁻¹².
+    fn uniformized_step(&self, pi: &[f64], rate: f64, tau: f64) -> Vec<f64> {
+        let n = self.states;
+        let lambda_t = rate * tau;
+        let mut weight = (-lambda_t).exp();
+        let mut accumulated = weight;
+        let mut term: Vec<f64> = pi.to_vec();
+        let mut out: Vec<f64> = term.iter().map(|&p| p * weight).collect();
+        let mut k = 0u64;
+        // Hard cap well past the Poisson tail for Λτ ≤ 64 (mean + ~40σ).
+        let max_terms = (lambda_t + 40.0 * lambda_t.sqrt() + 64.0) as u64;
+        while accumulated < 1.0 - 1e-12 && k < max_terms {
+            // term ← term · P with P = I + Q/Λ, i.e.
+            // next[j] = term[j]·(1 − Σ_m q_jm/Λ) + Σ_i term[i]·q_ij/Λ.
+            let mut next = vec![0.0; n];
+            for (i, row) in self.rates.iter().enumerate() {
+                let exit: f64 = row.iter().sum();
+                next[i] += term[i] * (1.0 - exit / rate);
+                if term[i] != 0.0 {
+                    for (j, &q) in row.iter().enumerate() {
+                        if q > 0.0 {
+                            next[j] += term[i] * q / rate;
+                        }
+                    }
+                }
+            }
+            term = next;
+            k += 1;
+            weight *= lambda_t / k as f64;
+            accumulated += weight;
+            for (o, &p) in out.iter_mut().zip(&term) {
+                *o += weight * p;
+            }
+        }
+        // Renormalise away the truncated tail so the distribution stays a
+        // distribution.
+        let total: f64 = out.iter().sum();
+        if total > 0.0 {
+            for o in &mut out {
+                *o /= total;
+            }
+        }
+        out
+    }
 }
 
 /// Builds the CTMC of a k-out-of-n repairable redundancy group: `n` units
@@ -297,6 +406,93 @@ mod tests {
         // With monthly failures and 24 h repairs a fail-over pair is down
         // only when both members are failed: about 0.2 % of the time.
         assert!(a_1of2 > 0.997 && a_1of2 < 0.9995, "availability {a_1of2}");
+    }
+
+    /// Transient solution of the 2-state repairable unit against the
+    /// closed form `p_down(t) = λ/(λ+μ) · (1 − e^{−(λ+μ)t})` from state
+    /// "up".
+    #[test]
+    fn transient_matches_two_state_closed_form() {
+        let lambda = 1.0 / 500.0;
+        let mu = 1.0 / 20.0;
+        let mut c = Ctmc::new(2).unwrap();
+        c.add_transition(0, 1, lambda).unwrap();
+        c.add_transition(1, 0, mu).unwrap();
+        for t in [0.0, 1.0, 10.0, 100.0, 1_000.0, 50_000.0] {
+            let pi = c.transient(0, t).unwrap();
+            let expected = lambda / (lambda + mu) * (1.0 - (-(lambda + mu) * t).exp());
+            assert!(
+                (pi[1] - expected).abs() < 1e-10,
+                "t={t}: transient {} vs closed form {expected}",
+                pi[1]
+            );
+            assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        // From the "down" state the complementary closed form applies.
+        let pi = c.transient(1, 30.0).unwrap();
+        let expected =
+            lambda / (lambda + mu) + mu / (lambda + mu) * (-(lambda + mu) * 30.0_f64).exp();
+        assert!((pi[1] - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let (chain, first_down) = k_out_of_n_chain(2, 1, 1.0 / 300.0, 1.0 / 12.0).unwrap();
+        let pi_t = chain.transient(0, 1e6).unwrap();
+        let pi_inf = chain.steady_state().unwrap();
+        for (a, b) in pi_t.iter().zip(&pi_inf) {
+            assert!((a - b).abs() < 1e-9, "transient {a} vs steady {b}");
+        }
+        assert_eq!(first_down, 2);
+    }
+
+    #[test]
+    fn transient_handles_absorbing_states_as_hitting_probabilities() {
+        // Fail-over pair with the both-down state absorbing: π₂(t) is the
+        // probability of having *hit* total failure by t — the analytic
+        // oracle the importance-sampling cross-validation uses.
+        let lambda = 1e-3;
+        let mu = 1.0;
+        let mut c = Ctmc::new(3).unwrap();
+        c.add_transition(0, 1, 2.0 * lambda).unwrap();
+        c.add_transition(1, 0, mu).unwrap();
+        c.add_transition(1, 2, lambda).unwrap(); // no way back: absorbing
+        let p10 = c.transient(0, 10.0).unwrap()[2];
+        let p100 = c.transient(0, 100.0).unwrap()[2];
+        assert!(p10 > 0.0 && p100 > p10, "hitting probability grows: {p10} vs {p100}");
+        // Short-horizon first-order magnitude: ~2λ²t²·μ/2-ish is tiny; the
+        // quasi-stationary hitting rate is 2λ²/μ per hour.
+        let approx = 2.0 * lambda * lambda / mu * 100.0;
+        assert!(
+            (p100 - approx).abs() / approx < 0.15,
+            "p_hit(100) {p100} vs quasi-stationary {approx}"
+        );
+        // t = 0 is the start distribution.
+        assert_eq!(c.transient(0, 0.0).unwrap(), vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn transient_validates_inputs() {
+        let mut c = Ctmc::new(2).unwrap();
+        c.add_transition(0, 1, 1.0).unwrap();
+        assert!(c.transient(5, 1.0).is_err());
+        assert!(c.transient(0, -1.0).is_err());
+        assert!(c.transient(0, f64::NAN).is_err());
+        assert!(c.transient(0, f64::INFINITY).is_err());
+        // A transition-free chain stays where it started.
+        let idle = Ctmc::new(2).unwrap();
+        assert_eq!(idle.transient(1, 100.0).unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn transient_reward_weights_states() {
+        let mut c = Ctmc::new(2).unwrap();
+        c.add_transition(0, 1, 0.01).unwrap();
+        c.add_transition(1, 0, 0.5).unwrap();
+        let availability =
+            c.transient_reward(0, 200.0, |s| if s == 0 { 1.0 } else { 0.0 }).unwrap();
+        let pi = c.transient(0, 200.0).unwrap();
+        assert!((availability - pi[0]).abs() < 1e-15);
     }
 
     #[test]

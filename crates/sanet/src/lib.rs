@@ -27,6 +27,11 @@
 //!   replications (optionally in parallel) and reports each reward with a
 //!   Student-t confidence interval, with an optional relative-precision
 //!   stopping rule.
+//! * [`rare`] — importance sampling with failure biasing: exponential rate
+//!   tilting of failure activities, the per-replication likelihood ratio
+//!   accumulated event by event through the compiled reward table (so both
+//!   kernels support it identically), and weighted estimation that reaches
+//!   probabilities naive replication cannot resolve.
 //!
 //! # The event-calendar engine
 //!
@@ -109,6 +114,7 @@ mod engine;
 mod error;
 mod marking;
 mod model;
+pub mod rare;
 mod reference;
 mod replication;
 pub mod reward;

@@ -400,6 +400,31 @@ impl Model {
     pub(crate) fn incidence(&self) -> &Incidence {
         &self.incidence
     }
+
+    /// Clones the model with some activities' firing timings replaced —
+    /// the substrate of [`crate::rare`]'s exponential rate tilting. The
+    /// structure (places, arcs, gates, declared reads, restart policies)
+    /// is untouched; the incidence index is rebuilt against the new
+    /// activity table for safety, which reproduces the original bit for
+    /// bit because none of its inputs changed.
+    pub(crate) fn clone_with_timings(
+        &self,
+        replace: impl Iterator<Item = (ActivityId, Timing)>,
+    ) -> Model {
+        let mut activities = self.activities.clone();
+        for (id, timing) in replace {
+            activities[id.0].timing = timing;
+        }
+        let incidence = Incidence::build(self.places.len(), &activities);
+        Model {
+            name: self.name.clone(),
+            places: self.places.clone(),
+            activities,
+            place_index: self.place_index.clone(),
+            activity_index: self.activity_index.clone(),
+            incidence,
+        }
+    }
 }
 
 /// Builder for [`Model`]: declare places, then activities with their arcs,

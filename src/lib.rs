@@ -72,19 +72,25 @@ pub mod prelude {
     pub use cfs_model::scenario::{Metric, Scenario, ScenarioOutput};
     pub use cfs_model::sweep::{DesignPoint, DesignSpace, Objective, PointOutcome, SweepScenario};
     pub use cfs_model::workloads::{
-        BeowulfPerformabilitySweep, RedundancyScheme, ReplicationVsRaid,
+        BeowulfPerformabilitySweep, RedundancyScheme, ReplicationVsRaid, UltraReliableSweep,
     };
     pub use cfs_model::{
-        CfsError, ModelParameters, PrecisionTarget, Report, ReportFormat, RunSpec, Study,
+        CfsError, ModelParameters, PrecisionTarget, RareEventPolicy, Report, ReportFormat, RunSpec,
+        Study,
     };
     pub use faultlog::analysis::{
         DiskReplacementAnalysis, JobAnalysis, MountFailureAnalysis, OutageAnalysis,
     };
     pub use faultlog::generator::{LogGenConfig, LogGenerator};
-    pub use probdist::stats::StoppingRule;
+    pub use probdist::rare::{naive_replications_for, RareEventEstimate};
+    pub use probdist::stats::{StoppingRule, WeightedRunning};
     pub use probdist::{Distribution, Exponential, SimRng, Weibull};
-    pub use raidsim::{DiskModel, RaidGeometry, StorageConfig, StorageSimulator};
+    pub use raidsim::{
+        DiskModel, RaidGeometry, ReplicationConfig, ReplicationSimulator, StorageConfig,
+        StorageSimulator,
+    };
     pub use sanet::beowulf::BeowulfConfig;
+    pub use sanet::rare::{BiasedExperiment, FailureBias};
     pub use sanet::{Experiment, ModelBuilder};
 }
 
