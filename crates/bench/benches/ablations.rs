@@ -10,6 +10,6 @@ fn main() {
     run_and_print(
         "Ablations - all four design choices",
         || Study::ablations().run(&spec),
-        |r| r.to_text(),
+        cfs_model::Report::to_text,
     );
 }

@@ -13,7 +13,7 @@ fn main() {
     let report = run_and_print(
         "Figure 2 - storage availability vs scale",
         || Study::new().with(Figure2StorageAvailability::default()).run(&spec),
-        |r| r.to_text(),
+        cfs_model::Report::to_text,
     );
     let output = report.output("figure2_storage_availability").expect("scenario ran");
     for metric in output.metrics.iter().filter(|m| m.name.starts_with("availability")) {

@@ -12,7 +12,7 @@ fn main() {
     let report = run_and_print(
         "Figure 3 - disk replacements per week",
         || Study::new().with(Figure3DiskReplacements::default()).run(&spec),
-        |r| r.to_text(),
+        cfs_model::Report::to_text,
     );
     let output = report.output("figure3_disk_replacements").expect("scenario ran");
     if let Some(abe) = output.metrics.iter().find(|m| {

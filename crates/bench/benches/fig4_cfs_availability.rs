@@ -13,7 +13,7 @@ fn main() {
     let report = run_and_print(
         "Figure 4 - CFS availability and cluster utility vs scale",
         || Study::new().with(Figure4CfsAvailability::default()).run(&spec),
-        |r| r.to_text(),
+        cfs_model::Report::to_text,
     );
     let output = report.output("figure4_cfs_availability").expect("scenario ran");
     println!(

@@ -296,7 +296,7 @@ fn bench_study_scheduling(records: &mut Vec<BenchRecord>) {
         })
         .collect();
     let workers = match cfs_bench::workers() {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get).min(8),
         n => n,
     };
     // Honour the harness env knobs (the CI bench-smoke step shrinks both)
@@ -368,7 +368,7 @@ fn main() {
     bench_study_scheduling(&mut records);
     match cfs_bench::write_bench_json(&records) {
         Ok(path) => {
-            println!("\nwrote {} machine-readable records to {}", records.len(), path.display())
+            println!("\nwrote {} machine-readable records to {}", records.len(), path.display());
         }
         Err(err) => panic!("failed to write bench JSON: {err}"),
     }

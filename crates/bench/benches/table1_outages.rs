@@ -10,7 +10,7 @@ fn main() {
     let report = run_and_print(
         "Table 1 - Lustre-FS outages",
         || Study::new().with(Table1Outages).run(&spec),
-        |r| r.to_text(),
+        cfs_model::Report::to_text,
     );
     let output = report.output("table1_outages").expect("scenario ran");
     println!(

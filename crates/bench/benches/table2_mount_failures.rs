@@ -10,7 +10,7 @@ fn main() {
     let report = run_and_print(
         "Table 2 - mount failures",
         || Study::new().with(Table2MountFailures).run(&spec),
-        |r| r.to_text(),
+        cfs_model::Report::to_text,
     );
     let output = report.output("table2_mount_failures").expect("scenario ran");
     println!(

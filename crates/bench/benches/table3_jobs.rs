@@ -10,7 +10,7 @@ fn main() {
     let report = run_and_print(
         "Table 3 - job statistics",
         || Study::new().with(Table3Jobs).run(&spec),
-        |r| r.to_text(),
+        cfs_model::Report::to_text,
     );
     let output = report.output("table3_jobs").expect("scenario ran");
     println!(

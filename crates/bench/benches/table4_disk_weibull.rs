@@ -10,7 +10,7 @@ fn main() {
     let report = run_and_print(
         "Table 4 - disk failures",
         || Study::new().with(Table4DiskWeibull).run(&spec),
-        |r| r.to_text(),
+        cfs_model::Report::to_text,
     );
     let output = report.output("table4_disk_weibull").expect("scenario ran");
     println!(

@@ -12,6 +12,6 @@ fn main() {
     run_and_print(
         "Table 5 - model parameters",
         || Study::new().with(Table5Parameters).run(&spec),
-        |r| r.to_text(),
+        cfs_model::Report::to_text,
     );
 }

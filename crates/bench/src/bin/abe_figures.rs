@@ -16,10 +16,9 @@ use cfs_model::{ReportFormat, Study};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let format = std::env::args()
-        .nth(2)
-        .map(|name| ReportFormat::parse(&name).expect("format must be text, csv, or json"))
-        .unwrap_or(ReportFormat::Text);
+    let format = std::env::args().nth(2).map_or(ReportFormat::Text, |name| {
+        ReportFormat::parse(&name).expect("format must be text, csv, or json")
+    });
     let spec = study_spec();
 
     let study = match which.as_str() {

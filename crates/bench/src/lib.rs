@@ -9,6 +9,8 @@
 //! `CFS_BENCH_REPLICATIONS`, `CFS_BENCH_HORIZON_HOURS`, and
 //! `CFS_BENCH_WORKERS` environment variables for higher-precision runs.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cfs_model::RunSpec;
@@ -83,8 +85,7 @@ pub fn bench_json_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .map(|root| root.join("BENCH.json"))
-        .unwrap_or_else(|| std::path::PathBuf::from("BENCH.json"))
+        .map_or_else(|| std::path::PathBuf::from("BENCH.json"), |root| root.join("BENCH.json"))
 }
 
 /// Writes the collected records as a JSON array to [`bench_json_path`] and
@@ -183,7 +184,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "boom failed")]
     fn run_and_print_panics_on_error() {
-        let _ = run_and_print("boom", || Err::<i32, _>("nope".to_string()), |v| v.to_string());
+        let _ = run_and_print(
+            "boom",
+            || Err::<i32, _>("nope".to_string()),
+            std::string::ToString::to_string,
+        );
     }
 
     #[test]
@@ -210,7 +215,7 @@ mod tests {
         if std::env::var_os("CFS_BENCH_JSON").is_none() {
             let path = bench_json_path();
             assert!(path.ends_with("BENCH.json"));
-            assert!(path.parent().map(|p| p.join("Cargo.lock").exists()).unwrap_or(false));
+            assert!(path.parent().is_some_and(|p| p.join("Cargo.lock").exists()));
         }
     }
 }

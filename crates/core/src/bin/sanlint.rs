@@ -1,0 +1,121 @@
+//! `sanlint` — static analysis of the built-in SAN models.
+//!
+//! Runs [`cfs_model::lint`] over the registry of shipped models (or a
+//! chosen one), renders the aggregated diagnostics as text or JSON, and
+//! exits non-zero when any model carries a diagnostic at or above the deny
+//! level — the CI gate pinning the shipped models statically clean.
+//!
+//! Usage:
+//!
+//! ```text
+//! sanlint [--model NAME]... [--format text|json] [--deny error|warning|info]
+//!         [--probes N] [--seed N] [--list]
+//! ```
+//!
+//! * `--model NAME` — lint one built-in model (repeatable); default: all.
+//! * `--format` — `text` (default): diagnostics table plus per-model
+//!   verdicts; `json`: the full summary document.
+//! * `--deny` — lowest severity treated as a rejection (default `warning`).
+//! * `--probes` / `--seed` — size and seed of the fuzzed probe corpus.
+//! * `--list` — print the built-in model names and exit.
+
+use std::process::ExitCode;
+
+use cfs_model::lint::{lint_models, BUILT_IN_MODELS};
+use sanet::lint::{LintConfig, Severity};
+
+/// Parsed command line.
+struct Options {
+    models: Vec<String>,
+    json: bool,
+    deny: Severity,
+    config: LintConfig,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        models: Vec::new(),
+        json: false,
+        deny: Severity::Warning,
+        config: LintConfig::default(),
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--model" => options.models.push(value("--model")?),
+            "--format" => match value("--format")?.as_str() {
+                "text" => options.json = false,
+                "json" => options.json = true,
+                other => return Err(format!("unknown format '{other}': use text or json")),
+            },
+            "--deny" => {
+                let name = value("--deny")?;
+                options.deny = Severity::parse(&name).ok_or_else(|| {
+                    format!("unknown deny level '{name}': use error, warning, or info")
+                })?;
+            }
+            "--probes" => {
+                let n = value("--probes")?;
+                options.config.probes = n
+                    .parse()
+                    .map_err(|_| format!("--probes needs a positive integer, got '{n}'"))?;
+            }
+            "--seed" => {
+                let n = value("--seed")?;
+                options.config.seed =
+                    n.parse().map_err(|_| format!("--seed needs an integer, got '{n}'"))?;
+            }
+            "--list" => options.list = true,
+            "--help" | "-h" => {
+                return Err("usage: sanlint [--model NAME]... [--format text|json] \
+                     [--deny error|warning|info] [--probes N] [--seed N] [--list]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    if options.list {
+        for name in BUILT_IN_MODELS {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let names: Vec<&str> = if options.models.is_empty() {
+        BUILT_IN_MODELS.to_vec()
+    } else {
+        options.models.iter().map(String::as_str).collect()
+    };
+    let summary = match lint_models(&names, &options.config, options.deny) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("sanlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.to_text());
+    }
+    if summary.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -145,7 +145,7 @@ impl Fig2Result {
     pub fn to_table(&self) -> TextTable {
         let mut headers: Vec<String> = vec!["TB".to_string(), "Disks".to_string()];
         headers.extend(self.series.iter().map(|s| s.label.clone()));
-        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let header_refs: Vec<&str> = headers.iter().map(std::string::String::as_str).collect();
         let mut t = TextTable::new(
             "Figure 2. Availability of storage with respect to disk failures",
             &header_refs,
@@ -217,7 +217,7 @@ mod tests {
     #[test]
     fn labels_match_the_paper_legend() {
         let series = Fig2Config::paper_series();
-        let labels: Vec<String> = series.iter().map(|c| c.label()).collect();
+        let labels: Vec<String> = series.iter().map(super::Fig2Config::label).collect();
         assert!(labels.contains(&"(0.7,2.92,8+2,4)".to_string()));
         assert!(labels.contains(&"(0.6,8.76,8+2,4)".to_string()));
         assert!(labels.iter().any(|l| l.contains("8+3")));

@@ -60,7 +60,7 @@ impl Fig3Result {
             headers.push(format!("{} sim", s.label));
             headers.push(format!("{} analytic", s.label));
         }
-        let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+        let header_refs: Vec<&str> = headers.iter().map(std::string::String::as_str).collect();
         let mut t = TextTable::new(
             "Figure 3. Average number of disks that need to be replaced per week",
             &header_refs,

@@ -75,6 +75,7 @@ pub mod analysis;
 pub mod config;
 mod error;
 pub mod experiments;
+pub mod lint;
 pub mod model;
 pub mod params;
 pub mod report;
@@ -88,6 +89,7 @@ pub mod workloads;
 pub use analysis::ClusterDependability;
 pub use config::ClusterConfig;
 pub use error::CfsError;
+pub use lint::{lint_all, lint_built_in, LintSummary, BUILT_IN_MODELS};
 pub use params::ModelParameters;
 pub use report::{Report, ReportFormat, TextTable};
 pub use run::{PrecisionTarget, RareEventPolicy, RunSpec};

@@ -29,7 +29,7 @@ impl TextTable {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         TextTable {
             title: title.into(),
-            headers: headers.iter().map(|h| h.to_string()).collect(),
+            headers: headers.iter().map(std::string::ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -46,7 +46,7 @@ impl TextTable {
 
     /// Appends a row of displayable values.
     pub fn add_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) {
-        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        let cells: Vec<String> = cells.iter().map(std::string::ToString::to_string).collect();
         self.add_row(&cells);
     }
 
@@ -92,7 +92,7 @@ impl TextTable {
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let columns = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate().take(columns) {
                 widths[i] = widths[i].max(cell.len());

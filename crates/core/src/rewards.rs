@@ -79,7 +79,7 @@ mod tests {
     fn standard_rewards_cover_all_measures() {
         let cm = build_cluster_model(&ClusterConfig::abe()).unwrap();
         let rewards = standard_rewards(&cm);
-        let names: Vec<&str> = rewards.iter().map(|r| r.name()).collect();
+        let names: Vec<&str> = rewards.iter().map(sanet::RewardSpec::name).collect();
         assert_eq!(
             names,
             vec![

@@ -62,7 +62,7 @@ impl OutageAnalysis {
 
     /// Total downtime over the observation window, hours.
     pub fn total_downtime_hours(&self) -> f64 {
-        self.outages.iter().map(|o| o.duration()).sum()
+        self.outages.iter().map(super::event::OutageRecord::duration).sum()
     }
 
     /// Availability of the storage system over the window:
@@ -75,8 +75,12 @@ impl OutageAnalysis {
     /// file-system causes) — the measure the CFS availability reward of the
     /// simulation model is compared against.
     pub fn cfs_availability(&self) -> f64 {
-        let downtime: f64 =
-            self.outages.iter().filter(|o| is_cfs_outage(o.cause)).map(|o| o.duration()).sum();
+        let downtime: f64 = self
+            .outages
+            .iter()
+            .filter(|o| is_cfs_outage(o.cause))
+            .map(super::event::OutageRecord::duration)
+            .sum();
         (1.0 - downtime / self.window_hours).clamp(0.0, 1.0)
     }
 
@@ -84,7 +88,16 @@ impl OutageAnalysis {
     pub fn downtime_by_cause(&self) -> Vec<(OutageCause, f64)> {
         OutageCause::all()
             .iter()
-            .map(|&c| (c, self.outages.iter().filter(|o| o.cause == c).map(|o| o.duration()).sum()))
+            .map(|&c| {
+                (
+                    c,
+                    self.outages
+                        .iter()
+                        .filter(|o| o.cause == c)
+                        .map(super::event::OutageRecord::duration)
+                        .sum(),
+                )
+            })
             .collect()
     }
 
@@ -513,8 +526,11 @@ mod tests {
         assert_eq!(lifetimes.len(), 7);
         assert_eq!(lifetimes.iter().filter(|l| l.is_failure()).count(), 3);
         // Slot 0 failed at 100 and again 300 hours later.
-        let failure_ages: Vec<f64> =
-            lifetimes.iter().filter(|l| l.is_failure()).map(|l| l.time()).collect();
+        let failure_ages: Vec<f64> = lifetimes
+            .iter()
+            .filter(|l| l.is_failure())
+            .map(probdist::fitting::Lifetime::time)
+            .collect();
         assert!(failure_ages.contains(&100.0));
         assert!(failure_ages.contains(&300.0));
     }

@@ -42,13 +42,13 @@ pub fn to_text(log: &FailureLog) -> String {
                 o.end_hours
             )),
             EventKind::MountFailure(m) => {
-                out.push_str(&format!("MOUNTFAIL {:.4} {}\n", m.time_hours, m.node_id))
+                out.push_str(&format!("MOUNTFAIL {:.4} {}\n", m.time_hours, m.node_id));
             }
             EventKind::Job(j) => {
-                out.push_str(&format!("JOB {:.4} {}\n", j.submit_hours, outcome_token(j.outcome)))
+                out.push_str(&format!("JOB {:.4} {}\n", j.submit_hours, outcome_token(j.outcome)));
             }
             EventKind::DiskReplacement(d) => {
-                out.push_str(&format!("DISK {:.4} {}\n", d.time_hours, d.disk_id))
+                out.push_str(&format!("DISK {:.4} {}\n", d.time_hours, d.disk_id));
             }
         }
     }

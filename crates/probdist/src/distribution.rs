@@ -256,7 +256,7 @@ mod tests {
             Uniform::new(0.0, 1.0).unwrap().into(),
             Empirical::new(vec![1.0, 2.0]).unwrap().into(),
         ];
-        let names: Vec<&str> = variants.iter().map(|d| d.family()).collect();
+        let names: Vec<&str> = variants.iter().map(super::Dist::family).collect();
         assert_eq!(
             names,
             vec![

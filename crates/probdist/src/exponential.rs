@@ -138,6 +138,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn sample_mean_converges() {
         let d = Exponential::from_mean(4.0).unwrap();
         let mut rng = SimRng::seed_from_u64(7);

@@ -61,7 +61,7 @@ impl ExponentialFit {
 pub fn fit_exponential(data: &[Lifetime]) -> Result<ExponentialFit, DistError> {
     let failures = validate_lifetimes(data, 1)?;
     let censored = data.len() - failures;
-    let total_time: f64 = data.iter().map(|l| l.time()).sum();
+    let total_time: f64 = data.iter().map(super::Lifetime::time).sum();
     if total_time <= 0.0 {
         return Err(DistError::DegenerateData { reason: "total time on test is zero" });
     }
@@ -86,6 +86,7 @@ mod tests {
     use crate::{Distribution, SimRng};
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn recovers_rate_without_censoring() {
         let d = Exponential::new(0.01).unwrap();
         let mut rng = SimRng::seed_from_u64(1);
@@ -97,6 +98,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn recovers_rate_with_censoring() {
         let d = Exponential::from_mean(1000.0).unwrap();
         let mut rng = SimRng::seed_from_u64(2);
@@ -117,6 +119,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn std_error_shrinks_with_more_failures() {
         let d = Exponential::from_mean(10.0).unwrap();
         let mut rng = SimRng::seed_from_u64(3);

@@ -67,7 +67,7 @@ pub fn fit_weibull(data: &[Lifetime]) -> Result<WeibullFit, DistError> {
     let censored = data.len() - failures;
 
     let failure_times: Vec<f64> =
-        data.iter().filter(|l| l.is_failure()).map(|l| l.time()).collect();
+        data.iter().filter(|l| l.is_failure()).map(super::Lifetime::time).collect();
     let first = failure_times[0];
     if failure_times.iter().all(|&t| (t - first).abs() < 1e-12) {
         return Err(DistError::DegenerateData {

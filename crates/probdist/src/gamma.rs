@@ -182,6 +182,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn sample_mean_converges_small_shape() {
         let g = Gamma::new(0.5, 2.0).unwrap();
         let mut rng = SimRng::seed_from_u64(3);
@@ -191,6 +192,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn sample_mean_converges_large_shape() {
         let g = Gamma::from_mean_and_shape(8.0, 4.0).unwrap();
         let mut rng = SimRng::seed_from_u64(4);

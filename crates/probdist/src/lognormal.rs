@@ -140,6 +140,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn sample_mean_converges() {
         let d = LogNormal::from_mean_and_cv(4.0, 0.8).unwrap();
         let mut rng = SimRng::seed_from_u64(13);

@@ -54,7 +54,7 @@ fn resolve_workers(workers: usize) -> usize {
     if workers > 0 {
         workers
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
     }
 }
 

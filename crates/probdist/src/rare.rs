@@ -196,7 +196,7 @@ pub fn splitting_probability(
             relative_variance += (1.0 - p_k) / (stage.trials as f64 * p_k);
         }
     }
-    let hits = levels.last().map(|s| s.hits as u64).unwrap_or(0);
+    let hits = levels.last().map_or(0, |s| s.hits as u64);
     if probability == 0.0 {
         // One-sided upper bound: resolved stages contribute their point
         // fractions, the first zero-hit stage its rule-of-three bound. At
@@ -275,6 +275,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn weighted_probability_reduces_to_bernoulli_for_unit_weights() {
         // 1000 unit-weight Bernoulli observations with 100 hits: the
         // estimate is 0.1 and the VRF of "importance sampling that did not

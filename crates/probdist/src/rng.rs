@@ -222,6 +222,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn uniform01_is_in_range() {
         let mut rng = SimRng::seed_from_u64(5);
         for _ in 0..10_000 {
@@ -231,6 +232,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn uniform01_mean_is_about_half() {
         let mut rng = SimRng::seed_from_u64(5);
         let n = 50_000;
@@ -246,6 +248,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn bernoulli_frequency_matches_p() {
         let mut rng = SimRng::seed_from_u64(8);
         let n = 20_000;
@@ -255,6 +258,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn standard_normal_moments() {
         let mut rng = SimRng::seed_from_u64(11);
         let n = 100_000;
@@ -279,6 +283,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn uniform_index_covers_all_values() {
         let mut rng = SimRng::seed_from_u64(17);
         let mut seen = [false; 7];

@@ -114,6 +114,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn mean_of_alternating_sequence_is_half() {
         let mut bm = BatchMeans::new(50).unwrap();
         for i in 0..5_000 {
@@ -138,6 +139,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn batch_means_widen_interval_for_correlated_data() {
         // Highly autocorrelated data: runs of 2000 zeros then 2000 ones.
         // With 500-observation batches each batch mean is either 0 or 1, so

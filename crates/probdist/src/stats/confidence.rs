@@ -180,6 +180,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn interval_narrows_with_more_samples() {
         // Same spread, more samples → narrower interval.
         let few: RunningStats = (0..10).map(|i| (i % 2) as f64).collect();

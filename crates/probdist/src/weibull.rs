@@ -204,6 +204,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // heavy sampling loop
     fn sample_mean_converges() {
         let w = Weibull::from_shape_and_mean(0.7, 1_000.0).unwrap();
         let mut rng = SimRng::seed_from_u64(21);

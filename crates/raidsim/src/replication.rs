@@ -289,9 +289,12 @@ impl ReplicationSimulator {
                 }))
             },
             |runs: &[StorageRunStats]| -> Result<bool, RaidError> {
-                let availability: RunningStats = runs.iter().map(|r| r.availability()).collect();
-                let per_week: RunningStats =
-                    runs.iter().map(|r| r.replacements_per_week()).collect();
+                let availability: RunningStats =
+                    runs.iter().map(super::storage::StorageRunStats::availability).collect();
+                let per_week: RunningStats = runs
+                    .iter()
+                    .map(super::storage::StorageRunStats::replacements_per_week)
+                    .collect();
                 for stats in [&availability, &per_week] {
                     let interval = confidence_interval(stats, confidence_level)?;
                     if !rule.met_by(&interval) {

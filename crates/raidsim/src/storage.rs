@@ -85,8 +85,8 @@ pub(crate) fn summarise_runs(
     horizon_hours: f64,
     confidence_level: f64,
 ) -> Result<StorageSummary, RaidError> {
-    let availability: RunningStats = runs.iter().map(|r| r.availability()).collect();
-    let per_week: RunningStats = runs.iter().map(|r| r.replacements_per_week()).collect();
+    let availability: RunningStats = runs.iter().map(StorageRunStats::availability).collect();
+    let per_week: RunningStats = runs.iter().map(StorageRunStats::replacements_per_week).collect();
     let losses: RunningStats = runs.iter().map(|r| r.data_loss_events as f64).collect();
     let any_loss = runs.iter().filter(|r| r.data_loss_events > 0).count();
 
@@ -243,9 +243,10 @@ impl StorageSimulator {
                 }))
             },
             |runs: &[StorageRunStats]| -> Result<bool, RaidError> {
-                let availability: RunningStats = runs.iter().map(|r| r.availability()).collect();
+                let availability: RunningStats =
+                    runs.iter().map(StorageRunStats::availability).collect();
                 let per_week: RunningStats =
-                    runs.iter().map(|r| r.replacements_per_week()).collect();
+                    runs.iter().map(StorageRunStats::replacements_per_week).collect();
                 for stats in [&availability, &per_week] {
                     let interval = confidence_interval(stats, confidence_level)?;
                     if !rule.met_by(&interval) {

@@ -141,13 +141,20 @@ impl<'m> Simulator<'m> {
     /// naive full-rescan kernel is measurably faster and the two kernels
     /// are bit-identical, so the selection never changes a result.
     ///
+    /// In debug builds the model is statically analysed first
+    /// ([`Model::lint`]) and rejected if the lint reports Error-level
+    /// diagnostics — under-declared gate or timing reads would otherwise
+    /// silently corrupt calendar-kernel results. The verdict is memoised
+    /// per model, and release builds skip the check entirely.
+    ///
     /// # Errors
     ///
     /// Returns [`SanError::InvalidExperiment`] for a non-positive horizon,
     /// [`SanError::UnknownId`] if a reward references an activity that does
-    /// not belong to the model, and
+    /// not belong to the model,
     /// [`SanError::UnstableInstantaneousLoop`] if instantaneous activities
-    /// never stabilise.
+    /// never stabilise, and (debug builds only) [`SanError::LintRejected`]
+    /// if the pre-simulation lint fails.
     pub fn run(
         &self,
         rewards: &[RewardSpec],
@@ -156,6 +163,7 @@ impl<'m> Simulator<'m> {
         rng: &mut SimRng,
     ) -> Result<RunResult, SanError> {
         validate_window(horizon, warmup)?;
+        self.model.debug_lint()?;
         let table = RewardTable::compile(self.model, rewards)?;
         self.run_compiled(&table, horizon, warmup, rng)
     }
@@ -760,15 +768,11 @@ mod tests {
         assert_eq!(r1, r2);
     }
 
-    /// A model that passes the enabling check but underflows when fired: two
-    /// input arcs drain the same place holding a single token. The enabled
-    /// check covers each arc independently, so the activity fires — and the
-    /// debug underflow check must catch the modelling error instead of
-    /// silently saturating.
-    #[cfg(debug_assertions)]
-    #[test]
-    #[should_panic(expected = "underflowed")]
-    fn firing_underflow_is_caught_in_debug_builds() {
+    /// A model that passes the enabling check but underflows when fired:
+    /// two input arcs drain the same place holding a single token. The
+    /// enabled check covers each arc independently, so the activity would
+    /// fire.
+    fn underflow_model() -> Model {
         let mut b = ModelBuilder::new("underflow");
         let p = b.add_place("p", 1).unwrap();
         b.timed_activity("drain", det(1.0))
@@ -777,9 +781,36 @@ mod tests {
             .input_arc(p, 1)
             .build()
             .unwrap();
-        let model = b.build().unwrap();
+        b.build().unwrap()
+    }
+
+    /// Debug runs never reach the firing: the pre-simulation lint flags
+    /// the duplicate-arc hazard statically (`SAN012`) and rejects the
+    /// model up front.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn underflow_hazard_is_rejected_by_the_debug_lint() {
+        let model = underflow_model();
         let sim = Simulator::new(&model);
         let mut rng = SimRng::seed_from_u64(1);
-        let _ = sim.run(&[], 10.0, 0.0, &mut rng);
+        match sim.run(&[], 10.0, 0.0, &mut rng) {
+            Err(SanError::LintRejected { details, .. }) => {
+                assert!(details.contains("SAN012"), "expected SAN012 in: {details}");
+            }
+            other => panic!("expected a lint rejection, got {other:?}"),
+        }
+    }
+
+    /// The runtime debug assertion stays as the last line of defence on
+    /// the unlinted reference-kernel path: firing with stale enabling
+    /// still aborts instead of silently saturating.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn firing_underflow_is_caught_in_debug_builds() {
+        let model = underflow_model();
+        let sim = Simulator::new(&model);
+        let mut rng = SimRng::seed_from_u64(1);
+        let _ = sim.run_reference(&[], 10.0, 0.0, &mut rng);
     }
 }

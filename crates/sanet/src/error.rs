@@ -45,6 +45,16 @@ pub enum SanError {
     },
     /// A distribution parameter error surfaced while building or sampling.
     Distribution(DistError),
+    /// Static analysis ([`Model::lint`](crate::Model::lint)) found
+    /// diagnostics at or above the requested deny level.
+    LintRejected {
+        /// The model name.
+        model: String,
+        /// Number of diagnostics at or above the deny level.
+        rejected: usize,
+        /// The offending diagnostics rendered one per line.
+        details: String,
+    },
 }
 
 impl fmt::Display for SanError {
@@ -62,6 +72,11 @@ impl fmt::Display for SanError {
                 "instantaneous activities did not stabilise after {firings} zero-delay firings"
             ),
             SanError::Distribution(e) => write!(f, "distribution error: {e}"),
+            SanError::LintRejected { model, rejected, details } => write!(
+                f,
+                "static analysis rejected model `{model}`: {rejected} diagnostic(s) at or above \
+                 the deny level\n{details}"
+            ),
         }
     }
 }

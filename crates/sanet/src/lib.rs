@@ -32,6 +32,13 @@
 //!   accumulated event by event through the compiled reward table (so both
 //!   kernels support it identically), and weighted estimation that reaches
 //!   probabilities naive replication cannot resolve.
+//! * [`lint`] — static analysis of compiled models ([`Model::lint`]):
+//!   declaration-soundness probing of gate and timing closures against a
+//!   recording marking, structural checks (dead activities, disconnected
+//!   places, underflow hazards, P-invariants by integer elimination), and
+//!   reward linting, reported as typed `SAN0xx` diagnostics with a
+//!   configurable deny level. Debug builds run it automatically before
+//!   [`Simulator::run`].
 //!
 //! # The event-calendar engine
 //!
@@ -112,6 +119,7 @@ pub mod compose;
 pub mod ctmc;
 mod engine;
 mod error;
+pub mod lint;
 mod marking;
 mod model;
 pub mod rare;
@@ -121,9 +129,11 @@ pub mod reward;
 
 pub use engine::{RunResult, Simulator, TraceEvent};
 pub use error::SanError;
+pub use lint::{Diagnostic, LintConfig, LintReport, Severity};
 pub use marking::{Marking, PlaceId};
 pub use model::{ActivityBuilder, ActivityId, Model, ModelBuilder, Timing};
 pub use replication::{Experiment, RewardEstimate, RunSummary, StoppingRule};
+pub use reward::RewardSpec;
 
 #[cfg(test)]
 mod crate_tests {

@@ -1,3 +1,5 @@
+use std::sync::{Arc, Mutex};
+
 use serde::{Deserialize, Serialize, Value};
 
 /// Identifier of a place within a [`Model`](crate::Model).
@@ -37,12 +39,47 @@ pub struct Marking {
     /// (possibly with duplicates); only populated while `tracking` is set.
     log: Vec<u32>,
     tracking: bool,
+    /// Read recorder attached by the lint probe harness; `None` (the only
+    /// state the engine ever sees) costs one predictable branch per read.
+    reads: Option<Arc<ReadRecorder>>,
+}
+
+/// Shared log of place reads, attached to probe markings by
+/// [`crate::lint`] to infer the true read footprint of gate predicates,
+/// timing functions, and reward functions.
+///
+/// Interior mutability keeps `Marking: Send + Sync` while letting reads be
+/// recorded through the `&Marking` the closures receive.
+#[derive(Debug, Default)]
+pub(crate) struct ReadRecorder {
+    log: Mutex<Vec<u32>>,
+}
+
+impl ReadRecorder {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ReadRecorder::default())
+    }
+
+    fn record(&self, place: usize) {
+        self.log.lock().expect("read recorder lock").push(place as u32);
+    }
+
+    /// Drains and returns the reads recorded since the last call.
+    pub(crate) fn take(&self) -> Vec<u32> {
+        std::mem::take(&mut *self.log.lock().expect("read recorder lock"))
+    }
 }
 
 impl Marking {
     /// Creates a marking with the given token counts (indexed by place id).
     pub fn new(tokens: Vec<u64>) -> Self {
-        Marking { tokens, log: Vec::new(), tracking: false }
+        Marking { tokens, log: Vec::new(), tracking: false, reads: None }
+    }
+
+    /// Creates a probe marking whose reads are recorded into `recorder`
+    /// (lint use only).
+    pub(crate) fn with_read_recorder(tokens: Vec<u64>, recorder: Arc<ReadRecorder>) -> Self {
+        Marking { tokens, log: Vec::new(), tracking: false, reads: Some(recorder) }
     }
 
     /// Number of places in the marking.
@@ -61,6 +98,7 @@ impl Marking {
     ///
     /// Panics if `place` does not belong to this marking's model.
     pub fn tokens(&self, place: PlaceId) -> u64 {
+        self.record_read(place.0);
         self.tokens[place.0]
     }
 
@@ -100,17 +138,20 @@ impl Marking {
 
     /// Whether `place` holds at least `count` tokens.
     pub fn has_at_least(&self, place: PlaceId, count: u64) -> bool {
+        self.record_read(place.0);
         self.tokens[place.0] >= count
     }
 
     /// Total number of tokens across all places.
     pub fn total_tokens(&self) -> u64 {
+        self.record_read_all();
         self.tokens.iter().sum()
     }
 
     /// Raw access to the token vector (for reward functions that want to
     /// iterate).
     pub fn as_slice(&self) -> &[u64] {
+        self.record_read_all();
         &self.tokens
     }
 
@@ -121,10 +162,33 @@ impl Marking {
         }
     }
 
+    #[inline]
+    fn record_read(&self, place: usize) {
+        if let Some(recorder) = &self.reads {
+            recorder.record(place);
+        }
+    }
+
+    #[inline]
+    fn record_read_all(&self) {
+        if let Some(recorder) = &self.reads {
+            for place in 0..self.tokens.len() {
+                recorder.record(place);
+            }
+        }
+    }
+
     /// Turns on write tracking (engine use only).
     pub(crate) fn enable_tracking(&mut self) {
         self.tracking = true;
         self.log.clear();
+    }
+
+    /// Toggles write tracking without clearing the log, so the lint probe
+    /// harness can interleave tracked gate-function writes with untracked
+    /// structural arc updates.
+    pub(crate) fn set_tracking(&mut self, tracking: bool) {
+        self.tracking = tracking;
     }
 
     /// Place indices written since the last [`Marking::clear_log`], in write
@@ -229,6 +293,26 @@ mod tests {
 
         m.clear_log();
         assert!(m.log().is_empty());
+    }
+
+    #[test]
+    fn read_recorder_captures_reads_through_shared_ref() {
+        let recorder = ReadRecorder::new();
+        let m = Marking::with_read_recorder(vec![1, 2, 3], Arc::clone(&recorder));
+        let _ = m.tokens(PlaceId(2));
+        let _ = m.has_at_least(PlaceId(0), 1);
+        assert_eq!(recorder.take(), vec![2, 0]);
+        // `take` drains.
+        assert!(recorder.take().is_empty());
+        // Whole-marking reads record every place.
+        let _ = m.total_tokens();
+        assert_eq!(recorder.take(), vec![0, 1, 2]);
+        let _ = m.as_slice();
+        assert_eq!(recorder.take(), vec![0, 1, 2]);
+        // Plain markings record nothing and carry no recorder.
+        let plain = Marking::new(vec![1]);
+        let _ = plain.tokens(PlaceId(0));
+        assert!(recorder.take().is_empty());
     }
 
     #[test]

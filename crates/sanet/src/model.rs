@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use probdist::Dist;
 
@@ -328,6 +328,10 @@ pub struct Model {
     place_index: HashMap<String, PlaceId>,
     activity_index: HashMap<String, ActivityId>,
     incidence: Incidence,
+    /// Memoised outcome of the debug-build pre-simulation lint; shared by
+    /// plain clones (same structure, same verdict) and reset by
+    /// [`Model::clone_with_timings`].
+    lint_gate: Arc<OnceLock<Option<SanError>>>,
 }
 
 impl Model {
@@ -401,6 +405,43 @@ impl Model {
         &self.incidence
     }
 
+    /// Statically analyses the model with the default probe configuration
+    /// and no rewards; see [`crate::lint`] for the diagnostic code table.
+    pub fn lint(&self) -> crate::lint::LintReport {
+        self.lint_with(&crate::lint::LintConfig::default(), &[])
+    }
+
+    /// Statically analyses the model, probing its gate, timing, and reward
+    /// closures over a fuzzed marking corpus; see [`crate::lint`].
+    pub fn lint_with(
+        &self,
+        config: &crate::lint::LintConfig,
+        rewards: &[crate::RewardSpec],
+    ) -> crate::lint::LintReport {
+        crate::lint::lint_model(self, config, rewards)
+    }
+
+    /// Debug-build guard run by [`Simulator::run`](crate::Simulator::run):
+    /// rejects models with Error-level lint diagnostics before the first
+    /// replication. Memoised per model so repeated runs pay nothing; a
+    /// no-op in release builds (`cfg!` rather than `#[cfg]` so both
+    /// profiles compile the same code, the optimiser erases the branch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::LintRejected`] when the lint finds Error-level
+    /// diagnostics.
+    pub(crate) fn debug_lint(&self) -> Result<(), SanError> {
+        if !cfg!(debug_assertions) {
+            return Ok(());
+        }
+        let verdict = self.lint_gate.get_or_init(|| {
+            let config = crate::lint::LintConfig { probes: 64, ..Default::default() };
+            self.lint_with(&config, &[]).deny(crate::lint::Severity::Error).err()
+        });
+        verdict.clone().map_or(Ok(()), Err)
+    }
+
     /// Clones the model with some activities' firing timings replaced —
     /// the substrate of [`crate::rare`]'s exponential rate tilting. The
     /// structure (places, arcs, gates, declared reads, restart policies)
@@ -423,6 +464,7 @@ impl Model {
             place_index: self.place_index.clone(),
             activity_index: self.activity_index.clone(),
             incidence,
+            lint_gate: Arc::new(OnceLock::new()),
         }
     }
 }
@@ -613,6 +655,7 @@ impl ModelBuilder {
             place_index: self.place_index,
             activity_index: self.activity_index,
             incidence,
+            lint_gate: Arc::new(OnceLock::new()),
         })
     }
 

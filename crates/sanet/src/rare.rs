@@ -581,9 +581,8 @@ impl BiasedExperiment {
             |results: &[RunResult]| {
                 for name in &self.user_rewards {
                     let acc = self.accumulate(name, results)?;
-                    let interval = match acc.confidence_interval(self.confidence_level) {
-                        Ok(interval) => interval,
-                        Err(_) => return Ok(false),
+                    let Ok(interval) = acc.confidence_interval(self.confidence_level) else {
+                        return Ok(false);
                     };
                     if !rule.met_by_support(&interval, acc.nonzero_count()) {
                         return Ok(false);
@@ -627,7 +626,7 @@ impl BiasedExperiment {
         Ok(WeightedSummary {
             estimates,
             replications: results.len(),
-            horizon: results.first().map(|r| r.end_time).unwrap_or(0.0),
+            horizon: results.first().map_or(0.0, |r| r.end_time),
             total_events: results.iter().map(|r| r.events).sum(),
         })
     }

@@ -1,0 +1,221 @@
+//! Property tests of the static linter over randomly generated SANs.
+//!
+//! Two properties pin the linter from both sides:
+//!
+//! * **No false alarms** — a randomly generated *valid* model (every place
+//!   referenced, every gate and marking-dependent timing with its reads
+//!   declared truthfully, arcs demanding one token from populated places)
+//!   lints clean at deny level Warning, whatever shape the generator drew.
+//! * **No misses** — seeding one mutation class into such a model (an
+//!   undeclared gate read, an undeclared timing read, a dangling reward
+//!   target, a dead activity) is flagged with exactly the right `SAN0xx`
+//!   code, again whatever the surrounding structure.
+//!
+//! Together with the fixed-model mutation suite in `tests/lint_mutations.rs`
+//! this makes the linter's verdicts a property of the *bug class*, not of
+//! one hand-picked example.
+
+use proptest::prelude::*;
+
+use probdist::{Dist, Exponential, SimRng};
+use sanet::lint::{codes, LintConfig, Severity};
+use sanet::reward::RewardSpec;
+use sanet::{ActivityId, Marking, Model, ModelBuilder, PlaceId};
+
+/// One seeded bug class, appended to an otherwise sound random model.
+#[derive(Clone, Copy, PartialEq)]
+enum Mutation {
+    None,
+    /// An activity whose gate reads a place its declaration omits.
+    UndeclaredGateRead,
+    /// An activity whose timing reads a place its declaration omits.
+    UndeclaredTimingRead,
+    /// An activity whose gate no reachable (or fuzzed) marking satisfies.
+    DeadActivity,
+}
+
+/// Generates a random *sound* model: 2–5 places (all initially populated),
+/// 2–5 timed activities with truthfully declared gate and timing reads,
+/// distinct unit input arcs, random output arcs and gates — then appends
+/// the requested mutation as one extra activity named `mutant`.
+fn random_model(structure: u64, mutation: Mutation) -> (Model, Vec<RewardSpec>) {
+    let mut g = SimRng::seed_from_u64(structure);
+    let mut pick = |n: u64| -> u64 { g.next_u64() % n };
+
+    let mut b = ModelBuilder::new("random-lint");
+    let num_places = 2 + pick(4) as usize;
+    let places: Vec<PlaceId> =
+        (0..num_places).map(|i| b.add_place(&format!("p{i}"), 1 + pick(3)).unwrap()).collect();
+
+    let num_acts = 2 + pick(4) as usize;
+    for a in 0..num_acts {
+        let name = format!("a{a}");
+        let mut builder = if pick(2) == 0 {
+            let watched = places[pick(places.len() as u64) as usize];
+            b.timed_activity_fn(&name, move |m: &Marking| {
+                let n = m.tokens(watched).max(1) as f64;
+                Dist::Exponential(Exponential::new(0.1 * n).unwrap())
+            })
+            .unwrap()
+            .timing_reads(&[watched])
+        } else {
+            b.timed_activity(&name, Exponential::from_mean(1.0 + pick(8) as f64).unwrap()).unwrap()
+        };
+
+        // Distinct unit input arcs (duplicates would be a real SAN012).
+        let mut arc_places: Vec<PlaceId> =
+            (0..=pick(2)).map(|_| places[pick(places.len() as u64) as usize]).collect();
+        arc_places.sort_unstable();
+        arc_places.dedup();
+        for place in &arc_places {
+            builder = builder.input_arc(*place, 1);
+        }
+
+        if pick(2) == 0 {
+            // A satisfiable gate (threshold 0 or 1 against places fuzzed up
+            // to ≥ 1) with its read declared truthfully.
+            let watched = places[pick(places.len() as u64) as usize];
+            let threshold = pick(2);
+            builder = builder
+                .enabling_predicate(move |m: &Marking| m.tokens(watched) >= threshold)
+                .enabling_reads(&[watched]);
+        }
+
+        for _ in 0..=pick(2) {
+            builder = builder.output_arc(places[pick(places.len() as u64) as usize], 1);
+        }
+        if pick(3) == 0 {
+            let target = places[pick(places.len() as u64) as usize];
+            builder = builder.output_gate(move |m: &mut Marking| m.add_tokens(target, 1));
+        }
+        builder.build().unwrap();
+    }
+
+    let read = places[pick(places.len() as u64) as usize];
+    let declared = places[pick(places.len() as u64) as usize];
+    match mutation {
+        Mutation::None => {}
+        Mutation::UndeclaredGateRead => {
+            let mut builder = b
+                .timed_activity("mutant", Exponential::from_mean(5.0).unwrap())
+                .unwrap()
+                .enabling_predicate(move |m: &Marking| m.tokens(read) > 0);
+            // Declare *something* (possibly even another place) — the bug
+            // is the omission of `read`, not the absence of a declaration.
+            if declared != read {
+                builder = builder.enabling_reads(&[declared]);
+            } else {
+                builder = builder.enabling_reads(&[]);
+            }
+            builder.build().unwrap();
+        }
+        Mutation::UndeclaredTimingRead => {
+            // A self-loop keeps the mutant well-formed (the builder
+            // rejects arc-less activities) and enabled at the initial
+            // marking, so the timing function is actually probed.
+            let mut builder = b
+                .timed_activity_fn("mutant", move |m: &Marking| {
+                    let n = m.tokens(read).max(1) as f64;
+                    Dist::Exponential(Exponential::new(0.1 * n).unwrap())
+                })
+                .unwrap()
+                .input_arc(read, 1)
+                .output_arc(read, 1);
+            if declared != read {
+                builder = builder.timing_reads(&[declared]);
+            } else {
+                builder = builder.timing_reads(&[]);
+            }
+            builder.build().unwrap();
+        }
+        Mutation::DeadActivity => {
+            b.timed_activity("mutant", Exponential::from_mean(5.0).unwrap())
+                .unwrap()
+                .input_arc(read, 1)
+                .enabling_predicate(move |m: &Marking| m.tokens(read) >= 1_000_000)
+                .enabling_reads(&[read])
+                .build()
+                .unwrap();
+        }
+    }
+
+    let model = b.build().unwrap();
+    // A rate reward over the total mass touches every place, so generated
+    // places the arc draw happened to skip are still connected (isolated
+    // places would be a *generator* artefact, not a model bug).
+    let rewards =
+        vec![RewardSpec::time_averaged_rate("mass", |m: &Marking| m.total_tokens() as f64)];
+    (model, rewards)
+}
+
+fn lint(structure: u64, mutation: Mutation) -> sanet::LintReport {
+    let (model, rewards) = random_model(structure, mutation);
+    model.lint_with(&LintConfig::default(), &rewards)
+}
+
+/// An activity id that is out of range for any model the generator builds
+/// (they have at most 10 activities): the last id of a 16-activity model.
+fn out_of_range_activity() -> ActivityId {
+    let mut b = ModelBuilder::new("big");
+    let p = b.add_place("p", 1).unwrap();
+    let mut last = None;
+    for i in 0..16 {
+        let id = b
+            .timed_activity(&format!("a{i}"), Exponential::from_mean(1.0).unwrap())
+            .unwrap()
+            .input_arc(p, 1)
+            .output_arc(p, 1)
+            .build()
+            .unwrap();
+        last = Some(id);
+    }
+    b.build().unwrap();
+    last.unwrap()
+}
+
+proptest! {
+    #[test]
+    fn random_valid_sans_lint_clean(structure in any::<u64>()) {
+        let report = lint(structure, Mutation::None);
+        if let Err(e) = report.deny(Severity::Warning) {
+            panic!("sound random model (structure {structure}) must lint clean:\n{e}");
+        }
+    }
+
+    #[test]
+    fn undeclared_gate_reads_are_flagged_as_san001(structure in any::<u64>()) {
+        let report = lint(structure, Mutation::UndeclaredGateRead);
+        prop_assert!(report.has_code(codes::UNDECLARED_ENABLING_READ), "{report}");
+        prop_assert!(report.deny(Severity::Error).is_err());
+    }
+
+    #[test]
+    fn undeclared_timing_reads_are_flagged_as_san002(structure in any::<u64>()) {
+        let report = lint(structure, Mutation::UndeclaredTimingRead);
+        prop_assert!(report.has_code(codes::UNDECLARED_TIMING_READ), "{report}");
+        prop_assert!(report.deny(Severity::Error).is_err());
+    }
+
+    #[test]
+    fn dead_activities_are_flagged_as_san010(structure in any::<u64>()) {
+        let report = lint(structure, Mutation::DeadActivity);
+        let dead: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code() == codes::DEAD_ACTIVITY)
+            .collect();
+        prop_assert!(
+            dead.iter().any(|d| d.element().contains("mutant")),
+            "expected a SAN010 naming `mutant`: {report}"
+        );
+    }
+
+    #[test]
+    fn dangling_reward_targets_are_flagged_as_san020(structure in any::<u64>()) {
+        let (model, _) = random_model(structure, Mutation::None);
+        let rewards = vec![RewardSpec::impulse_total("dangling", out_of_range_activity(), 1.0)];
+        let report = model.lint_with(&LintConfig::default(), &rewards);
+        prop_assert!(report.has_code(codes::UNKNOWN_REWARD_TARGET), "{report}");
+        prop_assert!(report.deny(Severity::Error).is_err());
+    }
+}

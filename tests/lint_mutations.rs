@@ -1,0 +1,160 @@
+//! Mutation-based self-test of the static linter: seed one bug class at a
+//! time into a known-clean model and require the linter to catch each with
+//! its distinct diagnostic code.
+//!
+//! The linter's job is to catch exactly these regressions before they
+//! corrupt simulations, so each mutation is the *minimal* edit a model
+//! author could plausibly make: dropping a place from a declared read set,
+//! pointing a reward at the wrong activity, leaving an orphaned place
+//! behind after a refactor. The baseline model lints clean at deny level
+//! Warning, which pins the linter's false-positive behaviour at the same
+//! time.
+//!
+//! The second half runs the full built-in registry through
+//! `cfs_model::lint_all` at the CI deny level — the in-tree twin of the CI
+//! `sanlint --deny warning` gate.
+
+use petascale_cfs::probdist::{Dist, Exponential};
+use petascale_cfs::sanet::lint::{codes, LintConfig, Severity};
+use petascale_cfs::sanet::{ActivityId, Marking, Model, ModelBuilder, RewardSpec, SanError};
+
+/// The baseline: a repairable component exercising every declaration kind
+/// (marking-dependent timing with `timing_reads`, a gate predicate with
+/// `enabling_reads`), optionally seeded with one mutation.
+#[derive(Clone, Copy, PartialEq)]
+enum Mutation {
+    None,
+    /// `repair`'s predicate also reads `up`, but keeps declaring `[down]`.
+    DropGateRead,
+    /// `fail`'s rate reads `up`, but the declaration says `[down]`.
+    DropTimingRead,
+    /// A place is added and never referenced again.
+    OrphanPlace,
+}
+
+fn build(mutation: Mutation) -> Result<Model, SanError> {
+    let mut b = ModelBuilder::new("mutant");
+    let up = b.add_place("up", 2)?;
+    let down = b.add_place("down", 0)?;
+    if mutation == Mutation::OrphanPlace {
+        b.add_place("orphan", 3)?;
+    }
+
+    let fail_rate = 1e-3;
+    let mut fail = b.timed_activity_fn("fail", move |m: &Marking| {
+        let n = m.tokens(up).max(1) as f64;
+        Dist::Exponential(Exponential::new(n * fail_rate).expect("positive rate"))
+    })?;
+    fail = match mutation {
+        Mutation::DropTimingRead => fail.timing_reads(&[down]),
+        _ => fail.timing_reads(&[up]),
+    };
+    fail.input_arc(up, 1).output_arc(down, 1).build()?;
+
+    let mut repair =
+        b.timed_activity("repair", Exponential::from_mean(10.0).expect("positive mean"))?;
+    repair = match mutation {
+        Mutation::DropGateRead => repair
+            .enabling_predicate(move |m: &Marking| m.tokens(down) > 0 && m.tokens(up) < 2)
+            .enabling_reads(&[down]),
+        _ => {
+            repair.enabling_predicate(move |m: &Marking| m.tokens(down) > 0).enabling_reads(&[down])
+        }
+    };
+    repair.input_arc(down, 1).output_arc(up, 1).build()?;
+
+    b.build()
+}
+
+fn lint(mutation: Mutation) -> petascale_cfs::sanet::LintReport {
+    build(mutation).unwrap().lint()
+}
+
+#[test]
+fn the_baseline_model_lints_clean() {
+    let report = lint(Mutation::None);
+    report.deny(Severity::Warning).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn dropping_a_declared_gate_read_is_caught_as_san001() {
+    let report = lint(Mutation::DropGateRead);
+    assert!(report.has_code(codes::UNDECLARED_ENABLING_READ), "{report}");
+    assert!(report.deny(Severity::Error).is_err());
+}
+
+#[test]
+fn dropping_a_declared_timing_read_is_caught_as_san002() {
+    let report = lint(Mutation::DropTimingRead);
+    assert!(report.has_code(codes::UNDECLARED_TIMING_READ), "{report}");
+    assert!(report.deny(Severity::Error).is_err());
+}
+
+#[test]
+fn an_orphaned_place_is_caught_as_san011() {
+    let report = lint(Mutation::OrphanPlace);
+    assert!(report.has_code(codes::DISCONNECTED_PLACE), "{report}");
+    // A warning, not an error: the simulation stays correct.
+    assert!(report.deny(Severity::Error).is_ok());
+    assert!(report.deny(Severity::Warning).is_err());
+}
+
+#[test]
+fn a_dangling_reward_target_is_caught_as_san020() {
+    // `ActivityId` is deliberately opaque outside `sanet`, so forge an
+    // out-of-range target the way a real bug would: carry an id from a
+    // larger model into a smaller one (the mutant has only two activities,
+    // so the third id of the big model dangles there).
+    let dangling: ActivityId = {
+        let mut big = ModelBuilder::new("big");
+        let p = big.add_place("p", 1).unwrap();
+        let mut last = None;
+        for i in 0..3 {
+            let id = big
+                .timed_activity(&format!("a{i}"), Exponential::from_mean(1.0).unwrap())
+                .unwrap()
+                .input_arc(p, 1)
+                .output_arc(p, 1)
+                .build()
+                .unwrap();
+            last = Some(id);
+        }
+        big.build().unwrap();
+        last.unwrap()
+    };
+
+    let model = build(Mutation::None).unwrap();
+    let rewards = vec![RewardSpec::impulse_total("dangling", dangling, 1.0)];
+    let report = model.lint_with(&LintConfig::default(), &rewards);
+    assert!(report.has_code(codes::UNKNOWN_REWARD_TARGET), "{report}");
+    assert!(report.deny(Severity::Error).is_err());
+}
+
+#[test]
+fn each_mutation_is_caught_by_a_distinct_code() {
+    let codes_for = |mutation| {
+        let report = lint(mutation);
+        let mut codes: Vec<&str> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity() >= Severity::Warning)
+            .map(petascale_cfs::sanet::Diagnostic::code)
+            .collect();
+        codes.dedup();
+        codes
+    };
+    assert_eq!(codes_for(Mutation::DropGateRead), [codes::UNDECLARED_ENABLING_READ]);
+    assert_eq!(codes_for(Mutation::DropTimingRead), [codes::UNDECLARED_TIMING_READ]);
+    assert_eq!(codes_for(Mutation::OrphanPlace), [codes::DISCONNECTED_PLACE]);
+}
+
+/// The in-tree twin of the CI `sanlint --deny warning` step: every shipped
+/// model is free of warnings and errors.
+#[test]
+fn every_built_in_model_lints_clean_at_the_ci_deny_level() {
+    let config = LintConfig { probes: 64, ..LintConfig::default() };
+    let summary = cfs_model::lint_all(&config, Severity::Warning).unwrap();
+    summary.deny().unwrap_or_else(|e| panic!("{e}"));
+    assert!(summary.is_clean());
+    assert_eq!(summary.reports().len(), cfs_model::BUILT_IN_MODELS.len());
+}
