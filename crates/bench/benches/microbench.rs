@@ -13,8 +13,10 @@
 //! available offline): each kernel is warmed up, then timed over enough
 //! iterations to smooth scheduler noise, reporting ns/iter. Alongside the
 //! text lines, every result is recorded into `BENCH.json`
-//! ([`cfs_bench::write_bench_json`]) — name, ns/iter, events/sec, and
-//! speedup-vs-baseline — so CI can archive the performance trajectory.
+//! ([`cfs_bench::write_bench_json`]) — bare name, explicit unit, worker
+//! count where relevant, ns/iter, throughput, and speedup-vs-baseline — so
+//! CI can archive (and guard, via `bench_guard`) the performance
+//! trajectory.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -29,7 +31,7 @@ use probdist::{Distribution, Exponential, SimRng, Weibull};
 use raidsim::{RaidGeometry, StorageConfig, StorageSimulator};
 use sanet::beowulf::BeowulfConfig;
 use sanet::reward::RewardSpec;
-use sanet::{ModelBuilder, Simulator};
+use sanet::{Experiment, ModelBuilder, Simulator};
 
 /// Times `f` over `iters` iterations (after `warmup` untimed ones), prints
 /// nanoseconds per iteration, and returns the ns/iter.
@@ -167,11 +169,11 @@ fn bench_design_space_sweeps(records: &mut Vec<BenchRecord>) {
         afr_percents: vec![2.92, 8.76],
     };
     let raid_points = (raid_vs_repl.schemes.len() * raid_vs_repl.afr_percents.len()) as u64;
-    let record = bench_events("sweep_replication_vs_raid (points/s)", 2, 10, || {
+    let record = bench_events("sweep_replication_vs_raid", 2, 10, || {
         raid_vs_repl.evaluate(&spec).unwrap();
         raid_points
     });
-    records.push(record);
+    records.push(record.with_unit("points/s"));
 
     let beowulf = BeowulfPerformabilitySweep {
         worker_counts: vec![32, 128],
@@ -183,11 +185,11 @@ fn bench_design_space_sweeps(records: &mut Vec<BenchRecord>) {
         },
     };
     let beowulf_points = (beowulf.worker_counts.len() * beowulf.repair_crews.len()) as u64;
-    let record = bench_events("sweep_beowulf_performability (points/s)", 2, 10, || {
+    let record = bench_events("sweep_beowulf_performability", 2, 10, || {
         beowulf.evaluate(&spec).unwrap();
         beowulf_points
     });
-    records.push(record);
+    records.push(record.with_unit("points/s"));
 }
 
 /// The rare-event estimators on their reference configs, recording the
@@ -286,7 +288,9 @@ fn bench_storage_kernel(records: &mut Vec<BenchRecord>) {
 /// budget — the shape where the PR 1 execution model (scenarios strictly
 /// serial, only each scenario's own replications parallel) leaves workers
 /// idle, and where the global work-stealing pool overlaps
-/// scenario×replication work units from the whole study.
+/// scenario×replication work units from the whole study. One row pair per
+/// benched worker count; each arm takes the best of three timed passes so a
+/// scheduler hiccup cannot manufacture a regression.
 fn bench_study_scheduling(records: &mut Vec<BenchRecord>) {
     let scenarios: Vec<ClusterConfig> = (0..4)
         .map(|i| {
@@ -295,66 +299,154 @@ fn bench_study_scheduling(records: &mut Vec<BenchRecord>) {
             config
         })
         .collect();
-    let workers = match cfs_bench::workers() {
-        0 => std::thread::available_parallelism().map_or(1, std::num::NonZero::get).min(8),
-        n => n,
+    let available = available_workers();
+    let worker_counts: Vec<usize> = match cfs_bench::workers() {
+        0 => [2, 4, 8].into_iter().filter(|&w| w <= available.max(2)).collect(),
+        n => vec![n],
     };
-    // Honour the harness env knobs (the CI bench-smoke step shrinks both)
-    // while keeping the replications-below-workers shape the comparison
-    // needs.
-    let spec = RunSpec::new()
-        .with_horizon_hours(cfs_bench::horizon_hours())
-        .with_replications((workers / 2).max(2).min(cfs_bench::replications()))
-        .with_base_seed(20_080_625)
-        .with_workers(workers);
 
     let mut study = Study::new();
     for config in &scenarios {
         study.add(Box::new(config.clone()) as Box<dyn Scenario>);
     }
 
-    // One untimed pass of each variant so neither timed run pays one-time
-    // process warm-up (allocator growth, lazy model initialisation).
-    for config in &scenarios {
-        black_box(evaluate(config, &spec).unwrap());
+    for &workers in &worker_counts {
+        // Honour the harness env knobs (the CI bench-smoke step shrinks
+        // both) while keeping the replications-below-workers shape the
+        // comparison needs.
+        let spec = RunSpec::new()
+            .with_horizon_hours(cfs_bench::horizon_hours())
+            .with_replications((workers / 2).max(2).min(cfs_bench::replications()))
+            .with_base_seed(20_080_625)
+            .with_workers(workers);
+
+        // One untimed pass of each arm so neither timed run pays one-time
+        // process warm-up (allocator growth, pool-thread spawn, lazy model
+        // initialisation).
+        for config in &scenarios {
+            black_box(evaluate(config, &spec).unwrap());
+        }
+        black_box(study.run(&spec).unwrap());
+
+        let mut serial_loop = f64::INFINITY;
+        let mut pooled = f64::INFINITY;
+        for _ in 0..3 {
+            // PR 1 behaviour: evaluate scenarios one after another; each
+            // scenario still fans its own replications across the budget.
+            let start = Instant::now();
+            for config in &scenarios {
+                black_box(evaluate(config, &spec).unwrap());
+            }
+            serial_loop = serial_loop.min(start.elapsed().as_secs_f64());
+
+            // The work-stealing engine: every scenario×replication unit of
+            // the study on the shared persistent pool.
+            let start = Instant::now();
+            let report = black_box(study.run(&spec).unwrap());
+            pooled = pooled.min(start.elapsed().as_secs_f64());
+            assert_eq!(report.outputs.len(), scenarios.len());
+        }
+
+        println!(
+            "study_serial_scenario_loop [{workers}w]            {:>12.1} ms   ({} scenarios x {} \
+             reps)",
+            serial_loop * 1e3,
+            scenarios.len(),
+            spec.replications()
+        );
+        println!("study_global_work_stealing_pool [{workers}w]       {:>12.1} ms", pooled * 1e3);
+        let speedup = serial_loop / pooled;
+        println!(
+            "study_scheduling_speedup [{workers}w]              {speedup:>12.2} x{}",
+            if available == 1 { "   (single-core machine: ~1x expected)" } else { "" }
+        );
+        records.push(
+            BenchRecord::timing("study_serial_scenario_loop", serial_loop * 1e9)
+                .with_workers(workers),
+        );
+        records.push(
+            BenchRecord::timing("study_global_work_stealing_pool", pooled * 1e9)
+                .with_workers(workers)
+                .with_speedup(speedup),
+        );
     }
-    black_box(study.run(&spec).unwrap());
+}
 
-    // PR 1 behaviour: evaluate scenarios one after another; each scenario
-    // still fans its own replications across the worker budget.
+/// The headline hot-path number: replications per second on a
+/// million-replication experiment over the 2-activity repairable unit, run
+/// through [`sanet::Experiment`] directly (the `RunSpec` surface caps
+/// replications at 100 000; the experiment API has no cap). This is the
+/// path the persistent pool, batched claiming, and per-worker `RunScratch`
+/// exist for: each replication is tens of microseconds of kernel work, so
+/// any per-replication scheduling or allocation overhead shows up directly.
+fn bench_million_replications(records: &mut Vec<BenchRecord>) {
+    let mut builder = ModelBuilder::new("unit");
+    let up = builder.add_place("up", 1).unwrap();
+    let down = builder.add_place("down", 0).unwrap();
+    builder
+        .timed_activity("fail", Exponential::from_mean(1_000.0).unwrap())
+        .unwrap()
+        .input_arc(up, 1)
+        .output_arc(down, 1)
+        .build()
+        .unwrap();
+    builder
+        .timed_activity("repair", Exponential::from_mean(10.0).unwrap())
+        .unwrap()
+        .input_arc(down, 1)
+        .output_arc(up, 1)
+        .build()
+        .unwrap();
+    let model = builder.build().unwrap();
+
+    let mut experiment = Experiment::new(model, 10_000.0);
+    experiment.add_reward(RewardSpec::time_averaged_rate("avail", move |m| {
+        if m.tokens(up) > 0 {
+            1.0
+        } else {
+            0.0
+        }
+    }));
+    experiment.set_workers(cfs_bench::workers());
+    let workers = match cfs_bench::workers() {
+        0 => available_workers(),
+        n => n,
+    };
+
+    // `CFS_BENCH_REPLICATIONS` scales the run down for smoke runs (CI sets
+    // 4); the full default really is one million.
+    let replications = std::env::var("CFS_BENCH_REPLICATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(1_000_000);
+
+    black_box(experiment.run(replications.clamp(2, 1_000), cfs_bench::DEFAULT_SEED).unwrap());
     let start = Instant::now();
-    for config in &scenarios {
-        black_box(evaluate(config, &spec).unwrap());
-    }
-    let serial_loop = start.elapsed();
+    let summary = black_box(experiment.run(replications, cfs_bench::DEFAULT_SEED).unwrap());
+    let elapsed = start.elapsed();
+    assert_eq!(summary.replications, replications);
 
-    // The work-stealing engine: every scenario×replication unit of the
-    // study on one global pool.
-    let start = Instant::now();
-    let report = black_box(study.run(&spec).unwrap());
-    let pooled = start.elapsed();
-    assert_eq!(report.outputs.len(), scenarios.len());
-
+    let per_sec = replications as f64 / elapsed.as_secs_f64();
     println!(
-        "study_serial_scenario_loop                     {:>12.1} ms   ({} scenarios x {} reps)",
-        serial_loop.as_secs_f64() * 1e3,
-        scenarios.len(),
-        spec.replications()
+        "study_million_replications                     {per_sec:>12.0} replications/s   \
+         ({replications} replications, {workers} workers, {:.2} s)",
+        elapsed.as_secs_f64()
     );
-    println!(
-        "study_global_work_stealing_pool                {:>12.1} ms   ({workers} workers)",
-        pooled.as_secs_f64() * 1e3
-    );
-    let speedup = serial_loop.as_secs_f64() / pooled.as_secs_f64();
-    println!(
-        "study_scheduling_speedup                       {speedup:>12.2} x{}",
-        if workers == 1 { "   (single-core machine: ~1x expected)" } else { "" }
-    );
-    records.push(BenchRecord::timing("study_serial_scenario_loop", serial_loop.as_nanos() as f64));
     records.push(
-        BenchRecord::timing("study_global_work_stealing_pool", pooled.as_nanos() as f64)
-            .with_speedup(speedup),
+        BenchRecord::with_events(
+            "study_million_replications",
+            elapsed.as_nanos() as f64 / replications as f64,
+            per_sec,
+        )
+        .with_unit("replications/s")
+        .with_workers(workers),
     );
+}
+
+/// The machine's available parallelism (1 if unknown).
+fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 fn main() {
@@ -366,6 +458,7 @@ fn main() {
     bench_design_space_sweeps(&mut records);
     bench_rare_event(&mut records);
     bench_study_scheduling(&mut records);
+    bench_million_replications(&mut records);
     match cfs_bench::write_bench_json(&records) {
         Ok(path) => {
             println!("\nwrote {} machine-readable records to {}", records.len(), path.display());

@@ -1,0 +1,452 @@
+//! CI bench-regression guard.
+//!
+//! Usage: `bench_guard <baseline BENCH.json> <fresh BENCH.json>`
+//!
+//! Compares a freshly generated `BENCH.json` against the committed baseline
+//! and exits non-zero if any guarded throughput metric regressed by more
+//! than the tolerance (default 25 %). Only *horizon-independent* metrics
+//! are guarded, so CI's shrunken smoke parameters (tiny replication counts
+//! and horizons) still produce comparable numbers:
+//!
+//! * simulation-kernel rows (`san_*` with an `events/s` unit) by
+//!   `events_per_sec` — per-event cost does not depend on how many events a
+//!   smoke run processes;
+//! * the pool row (`study_global_work_stealing_pool`) by `speedup` — a
+//!   dimensionless serial-vs-pooled ratio.
+//!
+//! Wall-clock rows (`ns_per_iter` on horizon-scaled loops) and the
+//! million-replication row (whose replication count the smoke run shrinks)
+//! are deliberately not guarded.
+//!
+//! Records are matched by `(name, workers)`; rows present on only one side
+//! are reported but do not fail the guard, so adding or retiring benches
+//! does not require touching the guard.
+//!
+//! Knobs:
+//!
+//! * `CFS_BENCH_GUARD_SKIP=1` — skip the guard entirely (exit 0), the
+//!   documented escape hatch for machines with known-noisy timing.
+//! * `CFS_BENCH_GUARD_TOLERANCE=<fraction>` — override the allowed relative
+//!   regression (default `0.25`).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// A minimal JSON value — just enough for the flat `BENCH.json` schema.
+/// The vendored `serde` shim only serialises, so parsing is hand-rolled.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over the raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_whitespace();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.error("unexpected end of input"))? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Json::String(self.parse_string()?)),
+            b't' => self.parse_literal("true", Json::Bool(true)),
+            b'f' => self.parse_literal("false", Json::Bool(false)),
+            b'n' => self.parse_literal("null", Json::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid utf-8 in number"))?;
+        text.parse::<f64>().map(Json::Number).map_err(|_| self.error("invalid number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(byte) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let len = match byte {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.error("invalid utf-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing garbage"));
+    }
+    Ok(value)
+}
+
+/// The guarded metric of one record, if the record is guarded at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Metric {
+    /// Higher-is-better event throughput.
+    EventsPerSec(f64),
+    /// Higher-is-better dimensionless speedup.
+    Speedup(f64),
+}
+
+impl Metric {
+    fn value(self) -> f64 {
+        match self {
+            Metric::EventsPerSec(v) | Metric::Speedup(v) => v,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Metric::EventsPerSec(_) => "events/s",
+            Metric::Speedup(_) => "speedup",
+        }
+    }
+}
+
+/// Extracts `(name, workers) -> guarded metric` from a parsed BENCH.json.
+fn guarded_metrics(doc: &Json) -> Result<BTreeMap<(String, i64), Metric>, String> {
+    let Json::Array(records) = doc else {
+        return Err("BENCH.json root must be an array".to_string());
+    };
+    let mut metrics = BTreeMap::new();
+    for record in records {
+        let Some(name) = record.get("name").and_then(Json::as_str) else {
+            return Err("record without a string 'name'".to_string());
+        };
+        let workers = record.get("workers").and_then(Json::as_f64).map_or(-1, |w| w as i64);
+        let unit = record.get("unit").and_then(Json::as_str).unwrap_or("");
+        let metric = if name == "study_global_work_stealing_pool" {
+            record.get("speedup").and_then(Json::as_f64).map(Metric::Speedup)
+        } else if name.starts_with("san_") && unit == "events/s" {
+            record.get("events_per_sec").and_then(Json::as_f64).map(Metric::EventsPerSec)
+        } else {
+            None
+        };
+        if let Some(metric) = metric {
+            metrics.insert((name.to_string(), workers), metric);
+        }
+    }
+    Ok(metrics)
+}
+
+fn tolerance() -> f64 {
+    std::env::var("CFS_BENCH_GUARD_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t: &f64| t > 0.0 && t < 1.0)
+        .unwrap_or(0.25)
+}
+
+fn run(baseline_path: &str, fresh_path: &str) -> Result<bool, String> {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline = guarded_metrics(&parse_json(&read(baseline_path)?)?)?;
+    let fresh = guarded_metrics(&parse_json(&read(fresh_path)?)?)?;
+    let tolerance = tolerance();
+
+    let mut ok = true;
+    for ((name, workers), base) in &baseline {
+        let key_label = if *workers >= 0 { format!("{name} [{workers}w]") } else { name.clone() };
+        let Some(new) = fresh.get(&(name.clone(), *workers)) else {
+            println!("guard: {key_label}: missing from fresh run (skipped)");
+            continue;
+        };
+        let floor = base.value() * (1.0 - tolerance);
+        if new.value() < floor {
+            println!(
+                "guard: FAIL {key_label}: {} fell {:.1}% ({:.4} -> {:.4}, tolerance {:.0}%)",
+                new.label(),
+                (1.0 - new.value() / base.value()) * 100.0,
+                base.value(),
+                new.value(),
+                tolerance * 100.0
+            );
+            ok = false;
+        } else {
+            println!(
+                "guard: ok   {key_label}: {} {:.4} vs baseline {:.4}",
+                new.label(),
+                new.value(),
+                base.value()
+            );
+        }
+    }
+    for key in fresh.keys() {
+        if !baseline.contains_key(key) {
+            println!("guard: new bench {} [{}w] (no baseline yet)", key.0, key.1);
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    if std::env::var("CFS_BENCH_GUARD_SKIP").is_ok_and(|v| v == "1") {
+        println!("guard: skipped (CFS_BENCH_GUARD_SKIP=1)");
+        return ExitCode::SUCCESS;
+    }
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline, fresh] = &args[..] else {
+        eprintln!("usage: bench_guard <baseline BENCH.json> <fresh BENCH.json>");
+        return ExitCode::from(2);
+    };
+    match run(baseline, fresh) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!(
+                "bench guard failed: a guarded metric regressed more than {:.0}% \
+                 (set CFS_BENCH_GUARD_SKIP=1 to bypass on known-noisy machines)",
+                tolerance() * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(error) => {
+            eprintln!("bench guard error: {error}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_schema() {
+        let doc = parse_json(
+            r#"[
+                {"name": "san_abe_model_calendar", "unit": "events/s", "workers": null,
+                 "ns_per_iter": 100.5, "events_per_sec": 6.5e6, "speedup": 1.8,
+                 "replications_to_target": null},
+                {"name": "study_global_work_stealing_pool", "unit": "ns/iter", "workers": 4,
+                 "ns_per_iter": 7e8, "events_per_sec": null, "speedup": 1.4,
+                 "replications_to_target": null}
+            ]"#,
+        )
+        .unwrap();
+        let metrics = guarded_metrics(&doc).unwrap();
+        assert_eq!(
+            metrics.get(&("san_abe_model_calendar".to_string(), -1)),
+            Some(&Metric::EventsPerSec(6.5e6))
+        );
+        assert_eq!(
+            metrics.get(&("study_global_work_stealing_pool".to_string(), 4)),
+            Some(&Metric::Speedup(1.4))
+        );
+    }
+
+    #[test]
+    fn parses_strings_with_escapes() {
+        let doc = parse_json(r#"{"a": "x\n\"y\" A ü"}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_str), Some("x\n\"y\" A ü"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("[] trailing").is_err());
+        assert!(parse_json("nulL").is_err());
+    }
+
+    #[test]
+    fn unguarded_rows_are_ignored() {
+        let doc = parse_json(
+            r#"[
+                {"name": "weibull_sample", "unit": "ns/iter", "workers": null,
+                 "ns_per_iter": 27.0, "events_per_sec": null, "speedup": null,
+                 "replications_to_target": null},
+                {"name": "study_million_replications", "unit": "replications/s",
+                 "workers": 8, "ns_per_iter": 50.0, "events_per_sec": 2e7,
+                 "speedup": null, "replications_to_target": null},
+                {"name": "sweep_replication_vs_raid", "unit": "points/s", "workers": null,
+                 "ns_per_iter": 1e9, "events_per_sec": 4.0, "speedup": null,
+                 "replications_to_target": null}
+            ]"#,
+        )
+        .unwrap();
+        assert!(guarded_metrics(&doc).unwrap().is_empty());
+    }
+}

@@ -23,11 +23,21 @@ use serde::Serialize;
 /// human-readable text lines.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchRecord {
-    /// Benchmark name (matches the text output line).
+    /// Benchmark name (matches the text output line). Bare — units belong
+    /// in [`BenchRecord::unit`], not in the name.
     pub name: String,
+    /// Unit of the record's primary metric: `"ns/iter"` for plain timing
+    /// rows, or the throughput unit (`"events/s"`, `"points/s"`,
+    /// `"replications/s"`, …) when `events_per_sec` carries the headline
+    /// number.
+    pub unit: String,
+    /// Worker-thread count the row was measured with, for parallel benches
+    /// that report one row per worker count.
+    pub workers: Option<u64>,
     /// Mean wall-clock nanoseconds per iteration.
     pub ns_per_iter: f64,
-    /// Simulation-event throughput, for benches that process events.
+    /// Throughput in `unit`s per second, for benches that process events
+    /// (or points, or replications — see `unit`).
     pub events_per_sec: Option<f64>,
     /// Speedup against the named baseline bench, for comparison rows. For
     /// the rare-event estimator rows this is the measured
@@ -43,6 +53,8 @@ impl BenchRecord {
     pub fn timing(name: impl Into<String>, ns_per_iter: f64) -> Self {
         BenchRecord {
             name: name.into(),
+            unit: "ns/iter".to_string(),
+            workers: None,
             ns_per_iter,
             events_per_sec: None,
             speedup: None,
@@ -54,11 +66,26 @@ impl BenchRecord {
     pub fn with_events(name: impl Into<String>, ns_per_iter: f64, events_per_sec: f64) -> Self {
         BenchRecord {
             name: name.into(),
+            unit: "events/s".to_string(),
+            workers: None,
             ns_per_iter,
             events_per_sec: Some(events_per_sec),
             speedup: None,
             replications_to_target: None,
         }
+    }
+
+    /// Overrides the unit label (e.g. `"points/s"` for sweep rows whose
+    /// `events_per_sec` counts design points).
+    pub fn with_unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = unit.into();
+        self
+    }
+
+    /// Attaches the worker-thread count the row was measured with.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers as u64);
+        self
     }
 
     /// Attaches a speedup-vs-baseline annotation.
@@ -196,14 +223,23 @@ mod tests {
         let records = [
             BenchRecord::timing("plain", 12.5),
             BenchRecord::with_events("engine", 100.0, 2.0e6).with_speedup(3.5),
+            BenchRecord::with_events("pool", 50.0, 4.0e6)
+                .with_unit("replications/s")
+                .with_workers(8),
         ];
         let json = serde::to_json(&records[..]);
         assert_eq!(
             json,
-            "[{\"name\":\"plain\",\"ns_per_iter\":12.5,\"events_per_sec\":null,\
+            "[{\"name\":\"plain\",\"unit\":\"ns/iter\",\"workers\":null,\
+             \"ns_per_iter\":12.5,\"events_per_sec\":null,\
              \"speedup\":null,\"replications_to_target\":null},\
-             {\"name\":\"engine\",\"ns_per_iter\":100,\
+             {\"name\":\"engine\",\"unit\":\"events/s\",\"workers\":null,\
+             \"ns_per_iter\":100,\
              \"events_per_sec\":2000000,\"speedup\":3.5,\
+             \"replications_to_target\":null},\
+             {\"name\":\"pool\",\"unit\":\"replications/s\",\"workers\":8,\
+             \"ns_per_iter\":50,\
+             \"events_per_sec\":4000000,\"speedup\":null,\
              \"replications_to_target\":null}]"
         );
     }

@@ -173,7 +173,9 @@ impl Study {
                 });
             }
         }
-        let pool = probdist::parallel::Pool::new(spec.workers());
+        // The cached process-wide pool: repeated studies reuse the same
+        // worker threads instead of spawning a fresh crew per run.
+        let pool = probdist::parallel::Pool::global(spec.workers());
         let failed = std::sync::atomic::AtomicBool::new(false);
         let results = pool.run_indexed(self.scenarios.len(), |index| {
             if failed.load(std::sync::atomic::Ordering::Relaxed) {

@@ -1,33 +1,49 @@
-//! The work-stealing execution engine shared by every simulation layer.
+//! The persistent work-stealing execution engine shared by every
+//! simulation layer.
 //!
 //! # Scheduling model
 //!
-//! A [`Pool`] owns a fixed budget of worker *permits* (one per worker
-//! thread the caller asked for). Work is scheduled by *claiming*: every
-//! worker — including the thread that called [`Pool::run_indexed`] —
-//! repeatedly claims the next unstarted index from a shared atomic counter
-//! and executes it. There are no fixed chunks, so a fast worker that
-//! drains its share immediately steals the next index instead of idling
-//! behind a slow one; wall-clock time is bounded by the total work, not by
-//! the slowest worker's pre-assigned slice.
+//! A [`Pool`] owns `workers - 1` **long-lived worker threads**, spawned
+//! once when the pool is created and parked on a condvar between fan-outs
+//! (the calling thread is the pool's remaining worker). A fan-out
+//! ([`Pool::run_indexed`] / [`Pool::run_indexed_with`]) registers itself
+//! in the pool's registry, wakes parked workers, and participates in the
+//! work itself; when the last index is claimed the workers detach and park
+//! again. No threads are spawned per fan-out, so scheduling a short study
+//! costs two condvar signals instead of a `thread::scope` spawn/join
+//! cycle.
 //!
-//! Helper threads are recruited *lazily*: each time a worker claims an
-//! index while more work remains, it tries to acquire spare permits and
-//! spawns one scoped helper per permit granted. A helper returns its
-//! permit the moment the counter is exhausted, so permits flow to
-//! whichever `run_indexed` call still has unclaimed work.
+//! Work is claimed in **adaptive batches**: each claim takes
+//! `max(1, remaining / (2 * workers))` consecutive indices from a shared
+//! atomic counter, so early claims move in large strides (amortising the
+//! atomic traffic across thousands of replications) while late claims
+//! shrink to single indices (so a fast worker steals the tail from a slow
+//! one instead of idling). Results are written straight into a
+//! caller-owned slot per index — no channels, no per-result allocation —
+//! and handed back **in index order**.
 //!
 //! # Nested-pool arbitration
 //!
 //! While `run_indexed` executes, the pool installs itself as the thread's
-//! *ambient* pool (on the calling thread and on every helper). A nested
-//! fan-out — e.g. a `Study` running scenarios, each of which fans out its
-//! own replications through [`replicate`] — therefore draws helpers from
-//! the **same** permit budget instead of spawning a second pool: the
-//! process never runs more than `workers` busy threads, and a scenario
-//! that finishes early releases its permits to the replications of the
-//! scenarios still running. This is what lets one global pool schedule
-//! scenario×replication work units from an entire study.
+//! *ambient* pool (workers carry it permanently). A nested fan-out — e.g.
+//! a `Study` running scenarios, each of which fans out its own
+//! replications through [`replicate`] — registers on the **same** pool
+//! instead of spawning a second one: the process never runs more than
+//! `workers` busy threads. Workers prefer the **innermost** registered
+//! fan-out with unclaimed work, so nested replication fan-outs drain
+//! first and their waiting scenario can retire. A fan-out's submitting
+//! thread always participates in its own fan-out, which is what keeps the
+//! nesting deadlock-free: every blocked thread only waits on work that
+//! strictly deeper threads are actively executing.
+//!
+//! # Per-worker state
+//!
+//! [`Pool::run_indexed_with`] and [`replicate_with`] thread a per-worker
+//! scratch value (created by an `init` closure once per participating
+//! worker, reused across every index that worker claims) through the
+//! task. The simulation kernels use this to make a replication
+//! allocation-free: heaps, accumulators, and markings are allocated once
+//! per worker and reset per replication.
 //!
 //! # Determinism
 //!
@@ -35,17 +51,19 @@
 //! stream derived from `(root seed, index)`, and collects the results **in
 //! index order**. Because the stream depends only on the index and the
 //! collection order is fixed, the returned vector is bit-identical for any
-//! worker count and any scheduling interleaving — the invariant the SAN
-//! experiment runner, the storage Monte-Carlo, and the `Study` runner all
-//! rely on.
+//! worker count, any batch size, and any scheduling interleaving — the
+//! invariant the SAN experiment runner, the storage Monte-Carlo, and the
+//! `Study` runner all rely on. Per-worker scratch must not carry state
+//! *between* replications that influences results; the kernels only cache
+//! allocations in it.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::SimRng;
 
-/// Minimum batch size worth recruiting worker threads for.
+/// Minimum batch size worth engaging worker threads for.
 const MIN_PARALLEL_COUNT: usize = 4;
 
 /// Resolves a requested worker count (`0` = the machine's available
@@ -58,66 +76,404 @@ fn resolve_workers(workers: usize) -> usize {
     }
 }
 
-/// The shared worker budget of a pool: how many helper threads may be live
-/// at once, process-wide for everything scheduled through this pool.
-struct Permits {
-    /// Permits currently available for recruiting helpers.
-    available: AtomicUsize,
-    /// Total worker count (helpers + the claiming caller thread).
-    total: usize,
-}
+/// The unsafe core of the engine: type-erased fan-out registration, batched
+/// index claiming, and direct result-slot writes.
+///
+/// # Safety protocol
+///
+/// A fan-out lives on its submitter's stack. It is reachable by workers
+/// only through the pool registry, and the registry entry is removed —
+/// under the registry lock — before the fan-out is freed. Workers *attach*
+/// (increment the fan-out's refcount) under the same lock, and detach
+/// under it too; the submitter quiesces by removing the entry and then
+/// waiting until the refcount is zero. Together these guarantee a worker
+/// never touches a fan-out after its submitter's stack frame is gone, and
+/// that all worker writes are visible to the submitter (the registry mutex
+/// orders them).
+#[allow(unsafe_code)]
+mod fanout {
+    use std::any::Any;
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-impl Permits {
-    /// Acquires up to `want` permits and returns how many were granted.
-    /// Never blocks; a claiming worker always makes progress itself, which
-    /// is what makes the nested scheduling deadlock-free.
-    fn try_acquire(&self, want: usize) -> usize {
-        if want == 0 {
-            return 0;
+    /// The long-lived shared state of one pool.
+    pub(super) struct PoolShared {
+        /// Total worker count (parked threads + the submitting caller).
+        pub(super) total: usize,
+        registry: Mutex<Registry>,
+        /// Signalled when a fan-out registers or the pool shuts down.
+        work_cv: Condvar,
+        /// Signalled when a worker detaches from a fan-out.
+        done_cv: Condvar,
+    }
+
+    struct Registry {
+        /// Active fan-outs, oldest first; workers scan newest-first so
+        /// nested (innermost) fan-outs drain before their parents.
+        entries: Vec<FanEntry>,
+        shutdown: bool,
+    }
+
+    /// A type-erased pointer to a registered fan-out. `header` aliases the
+    /// first field of the typed fan-out that `data` points to; `run`
+    /// re-types `data` and executes one claiming session on it.
+    #[derive(Clone, Copy)]
+    struct FanEntry {
+        header: *const FanHeader,
+        data: *const (),
+        run: unsafe fn(*const ()),
+    }
+
+    // SAFETY: the pointers refer to a fan-out that the registration
+    // protocol keeps alive for as long as the entry is reachable (see the
+    // module docs), and the fan-out's shared state is Sync.
+    unsafe impl Send for FanEntry {}
+
+    /// The type-independent claiming state of a fan-out.
+    pub(super) struct FanHeader {
+        /// Next unclaimed index; claimed in batches via `fetch_add`.
+        next: AtomicUsize,
+        count: usize,
+        /// `2 * workers` — the adaptive batch divisor.
+        batch_denom: usize,
+        poisoned: AtomicBool,
+        /// Attached-worker count. Only read/written while holding the
+        /// registry lock; atomic so the header stays `Sync`.
+        refs: AtomicUsize,
+        /// The first panic payload captured from a task.
+        payload: Mutex<Option<Box<dyn Any + Send>>>,
+    }
+
+    impl FanHeader {
+        fn new(count: usize, total_workers: usize) -> FanHeader {
+            FanHeader {
+                next: AtomicUsize::new(0),
+                count,
+                batch_denom: 2 * total_workers,
+                poisoned: AtomicBool::new(false),
+                refs: AtomicUsize::new(0),
+                payload: Mutex::new(None),
+            }
         }
-        let mut current = self.available.load(Ordering::Relaxed);
+
+        fn has_work(&self) -> bool {
+            !self.poisoned.load(Ordering::Relaxed) && self.next.load(Ordering::Relaxed) < self.count
+        }
+    }
+
+    /// One result slot, written exactly once by whichever worker claims
+    /// its index.
+    struct SlotCell<T> {
+        cell: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    impl<T> SlotCell<T> {
+        fn new() -> SlotCell<T> {
+            SlotCell { cell: UnsafeCell::new(MaybeUninit::uninit()) }
+        }
+    }
+
+    // SAFETY: the batched `fetch_add` claiming hands out disjoint index
+    // ranges, so no two threads ever touch the same slot; the submitter
+    // only reads slots after all workers detached (ordered by the registry
+    // mutex).
+    unsafe impl<T: Send> Sync for SlotCell<T> {}
+
+    /// A typed fan-out, stack-allocated in [`execute`].
+    struct FanOut<'a, T, S, I, F> {
+        header: FanHeader,
+        init: &'a I,
+        task: &'a F,
+        slots: &'a [SlotCell<T>],
+        written: &'a [AtomicBool],
+        /// Pins the per-worker state type the closures agree on.
+        marker: std::marker::PhantomData<fn() -> S>,
+    }
+
+    impl<T, S, I, F> FanOut<'_, T, S, I, F>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        /// One worker's participation in the fan-out: create the worker
+        /// state, then claim and execute adaptive batches until the index
+        /// space is exhausted (or a task panics).
+        fn session(&self) {
+            let mut state = match catch_unwind(AssertUnwindSafe(self.init)) {
+                Ok(state) => state,
+                Err(payload) => {
+                    self.poison(payload);
+                    return;
+                }
+            };
+            loop {
+                let snapshot = self.header.next.load(Ordering::Relaxed);
+                if snapshot >= self.header.count {
+                    return;
+                }
+                // Adaptive batch: big strides while plenty remains, single
+                // indices near the tail so stealing stays fine-grained.
+                let batch = ((self.header.count - snapshot) / self.header.batch_denom).max(1);
+                let start = self.header.next.fetch_add(batch, Ordering::Relaxed);
+                if start >= self.header.count {
+                    return;
+                }
+                let end = (start + batch).min(self.header.count);
+                for index in start..end {
+                    match catch_unwind(AssertUnwindSafe(|| (self.task)(index, &mut state))) {
+                        Ok(value) => {
+                            // SAFETY: `index` was claimed exactly once (the
+                            // fetch_add hands out disjoint ranges), so this
+                            // slot has no other writer and no reader yet.
+                            unsafe {
+                                (*self.slots[index].cell.get()).write(value);
+                            }
+                            self.written[index].store(true, Ordering::Relaxed);
+                        }
+                        Err(payload) => {
+                            self.poison(payload);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Records the first panic payload and makes every other worker's
+        /// next claim fail, so the fan-out drains promptly.
+        fn poison(&self, payload: Box<dyn Any + Send>) {
+            let mut slot = self.header.payload.lock().unwrap_or_else(PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            drop(slot);
+            self.header.poisoned.store(true, Ordering::Relaxed);
+            self.header.next.store(self.header.count, Ordering::Relaxed);
+        }
+    }
+
+    /// Re-types an erased fan-out pointer and runs one claiming session.
+    ///
+    /// # Safety
+    ///
+    /// `data` must point to a live `FanOut<T, S, I, F>` with exactly these
+    /// type parameters — guaranteed because the pointer and this function
+    /// instantiation are stored side by side in the same [`FanEntry`].
+    unsafe fn run_session<T, S, I, F>(data: *const ())
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        let fan = unsafe { &*data.cast::<FanOut<'_, T, S, I, F>>() };
+        fan.session();
+    }
+
+    impl PoolShared {
+        pub(super) fn new(total: usize) -> PoolShared {
+            PoolShared {
+                total,
+                registry: Mutex::new(Registry { entries: Vec::new(), shutdown: false }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }
+        }
+
+        fn lock_registry(&self) -> MutexGuard<'_, Registry> {
+            self.registry.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Tells every parked worker to exit. Idempotent.
+        pub(super) fn shutdown(&self) {
+            self.lock_registry().shutdown = true;
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Detaches a worker from a fan-out when its session ends (or
+    /// unwinds), and wakes the submitter's quiesce wait.
+    struct Attached<'a> {
+        shared: &'a PoolShared,
+        header: *const FanHeader,
+    }
+
+    impl Drop for Attached<'_> {
+        fn drop(&mut self) {
+            let guard = self.shared.lock_registry();
+            // SAFETY: this guard holds a reference on the header (refs >=
+            // 1), so the submitter is still blocked in its quiesce wait
+            // and the fan-out is alive.
+            unsafe {
+                (*self.header).refs.fetch_sub(1, Ordering::Relaxed);
+            }
+            drop(guard);
+            self.shared.done_cv.notify_all();
+        }
+    }
+
+    /// The body of each long-lived worker thread: park on the work
+    /// condvar, attach to the newest registered fan-out with unclaimed
+    /// work, run a session, repeat.
+    pub(super) fn worker_main(shared: Arc<PoolShared>) {
+        let _ambient = super::push_ambient(Arc::clone(&shared));
+        let mut reg = shared.lock_registry();
         loop {
-            if current == 0 {
-                return 0;
+            if reg.shutdown {
+                return;
             }
-            let take = current.min(want);
-            match self.available.compare_exchange_weak(
-                current,
-                current - take,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return take,
-                Err(actual) => current = actual,
+            // SAFETY: entries are only reachable while registered, and
+            // registered fan-outs are alive (module docs).
+            let found = reg
+                .entries
+                .iter()
+                .rev()
+                .copied()
+                .find(|entry| unsafe { (*entry.header).has_work() });
+            if let Some(entry) = found {
+                // SAFETY: still under the registry lock, so the entry is
+                // still registered and the attach is race-free.
+                unsafe {
+                    (*entry.header).refs.fetch_add(1, Ordering::Relaxed);
+                }
+                drop(reg);
+                {
+                    let _attached = Attached { shared: &shared, header: entry.header };
+                    // SAFETY: we attached under the lock; the submitter
+                    // cannot free the fan-out until we detach.
+                    unsafe {
+                        (entry.run)(entry.data);
+                    }
+                }
+                reg = shared.lock_registry();
+            } else {
+                reg = shared.work_cv.wait(reg).unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
 
-    fn release(&self, permits: usize) {
-        if permits > 0 {
-            self.available.fetch_add(permits, Ordering::AcqRel);
+    /// Unregisters the fan-out and waits for every attached worker to
+    /// detach. Runs on unwind too, so a panicking fan-out still quiesces
+    /// before its stack frame is freed.
+    struct Quiesce<'a> {
+        shared: &'a PoolShared,
+        header: *const FanHeader,
+    }
+
+    impl Drop for Quiesce<'_> {
+        fn drop(&mut self) {
+            let mut reg = self.shared.lock_registry();
+            if let Some(pos) =
+                reg.entries.iter().position(|entry| std::ptr::eq(entry.header, self.header))
+            {
+                reg.entries.remove(pos);
+            }
+            // SAFETY: the header lives on this thread's own stack, below
+            // this guard. Workers only detach under the registry lock, so
+            // observing refs == 0 here means every worker is gone.
+            while unsafe { (*self.header).refs.load(Ordering::Relaxed) } > 0 {
+                reg = self.shared.done_cv.wait(reg).unwrap_or_else(PoisonError::into_inner);
+            }
         }
     }
-}
 
-/// Releases one permit when a helper thread finishes (or unwinds).
-struct PermitGuard(Arc<Permits>);
-
-impl Drop for PermitGuard {
-    fn drop(&mut self) {
-        self.0.release(1);
+    /// Runs a parallel fan-out of `count` tasks on `shared`, with the
+    /// calling thread participating, and returns the results in index
+    /// order. Panics in tasks are forwarded to the caller after the
+    /// fan-out quiesces.
+    pub(super) fn execute<T, S, I, F>(
+        shared: &PoolShared,
+        count: usize,
+        init: &I,
+        task: &F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        let slots: Vec<SlotCell<T>> = std::iter::repeat_with(SlotCell::new).take(count).collect();
+        let written: Vec<AtomicBool> =
+            std::iter::repeat_with(|| AtomicBool::new(false)).take(count).collect();
+        let fan = FanOut {
+            header: FanHeader::new(count, shared.total),
+            init,
+            task,
+            slots: &slots,
+            written: &written,
+            marker: std::marker::PhantomData,
+        };
+        {
+            let mut reg = shared.lock_registry();
+            reg.entries.push(FanEntry {
+                header: &fan.header,
+                data: std::ptr::from_ref(&fan).cast(),
+                run: run_session::<T, S, I, F>,
+            });
+        }
+        // Wake at most one parked worker per remaining work item beyond
+        // the submitter's own share; busy workers rescan the registry on
+        // their own when their current session ends.
+        let wake = (count - 1).min(shared.total - 1);
+        for _ in 0..wake {
+            shared.work_cv.notify_one();
+        }
+        {
+            let _quiesce = Quiesce { shared, header: &fan.header };
+            fan.session();
+        }
+        // Every worker has detached and the registry entry is gone; the
+        // registry mutex ordered all their slot writes before us.
+        if fan.header.poisoned.load(Ordering::Relaxed) {
+            let payload = fan
+                .header
+                .payload
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .unwrap_or_else(|| Box::new("fan-out poisoned without a payload"));
+            drop(fan);
+            for (slot, was_written) in slots.into_iter().zip(written.iter()) {
+                if was_written.load(Ordering::Relaxed) {
+                    // SAFETY: the flag records exactly the slots that were
+                    // initialised; nothing else reads them after poison.
+                    unsafe {
+                        slot.cell.into_inner().assume_init_drop();
+                    }
+                }
+            }
+            resume_unwind(payload);
+        }
+        drop(fan);
+        slots
+            .into_iter()
+            .zip(written.iter())
+            .enumerate()
+            .map(|(index, (slot, was_written))| {
+                assert!(
+                    was_written.load(Ordering::Relaxed),
+                    "work unit {index} produced no result"
+                );
+                // SAFETY: the flag proves the claiming worker initialised
+                // this slot, and all workers detached before we got here.
+                unsafe { slot.cell.into_inner().assume_init() }
+            })
+            .collect()
     }
 }
 
 thread_local! {
-    /// Stack of pools installed on this thread; the innermost one arbitrates
-    /// every fan-out started from here.
-    static AMBIENT: RefCell<Vec<Arc<Permits>>> = const { RefCell::new(Vec::new()) };
+    /// Stack of pools installed on this thread; the innermost one
+    /// arbitrates every fan-out started from here.
+    static AMBIENT: RefCell<Vec<Arc<fanout::PoolShared>>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Installs `permits` as this thread's ambient pool until the guard drops.
-fn push_ambient(permits: Arc<Permits>) -> AmbientGuard {
-    AMBIENT.with(|stack| stack.borrow_mut().push(permits));
+/// Installs `shared` as this thread's ambient pool until the guard drops.
+fn push_ambient(shared: Arc<fanout::PoolShared>) -> AmbientGuard {
+    AMBIENT.with(|stack| stack.borrow_mut().push(shared));
     AmbientGuard
 }
 
@@ -131,19 +487,40 @@ impl Drop for AmbientGuard {
     }
 }
 
-fn ambient_permits() -> Option<Arc<Permits>> {
+fn ambient_shared() -> Option<Arc<fanout::PoolShared>> {
     AMBIENT.with(|stack| stack.borrow().last().cloned())
 }
 
-/// A work-stealing worker pool with a fixed permit budget.
+/// Owns a pool's worker threads; dropping the last handle shuts the
+/// workers down and joins them.
+struct PoolOwner {
+    shared: Arc<fanout::PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for PoolOwner {
+    fn drop(&mut self) {
+        self.shared.shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A persistent work-stealing worker pool.
 ///
-/// See the [module documentation](self) for the scheduling model. A pool is
-/// cheap to create — threads are spawned lazily, per fan-out, only while
-/// there is unclaimed work — and is the arbitration point that keeps nested
-/// fan-outs (study → scenario → replications) from oversubscribing the
-/// machine.
+/// See the [module documentation](self) for the scheduling model. Worker
+/// threads are spawned once, when the pool is created, and parked between
+/// fan-outs; [`Pool::global`] hands out process-wide cached pools so
+/// repeated short studies never pay a spawn. Handles are cheap to clone;
+/// the threads shut down when the last handle to an owned pool drops.
+#[derive(Clone)]
 pub struct Pool {
-    shared: Arc<Permits>,
+    shared: Arc<fanout::PoolShared>,
+    /// Held only for its drop side effect (shutdown + join); `None` for
+    /// ambient handles, which never own the threads.
+    #[allow(dead_code)]
+    owner: Option<Arc<PoolOwner>>,
 }
 
 impl std::fmt::Debug for Pool {
@@ -154,23 +531,43 @@ impl std::fmt::Debug for Pool {
 
 impl Pool {
     /// Creates a pool with the given worker budget (`0` = the machine's
-    /// available parallelism, `1` = everything runs on the calling thread).
+    /// available parallelism, `1` = everything runs on the calling
+    /// thread). Spawns `workers - 1` threads, joined when the last handle
+    /// drops.
     pub fn new(workers: usize) -> Pool {
         let total = resolve_workers(workers);
-        Pool {
-            shared: Arc::new(Permits {
-                available: AtomicUsize::new(total.saturating_sub(1)),
-                total,
-            }),
-        }
+        let shared = Arc::new(fanout::PoolShared::new(total));
+        let handles = (1..total)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cfs-pool-{index}"))
+                    .spawn(move || fanout::worker_main(shared))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        let owner = Arc::new(PoolOwner { shared: Arc::clone(&shared), handles });
+        Pool { shared, owner: Some(owner) }
     }
 
-    /// The pool installed on the current thread by an enclosing
-    /// [`Pool::run_indexed`], if any. Fan-outs started while a pool is
-    /// ambient share its permit budget instead of spawning their own
-    /// threads.
+    /// A process-wide cached pool with the given worker budget: the first
+    /// call per (resolved) worker count spawns the threads, every later
+    /// call reuses them. Cached pools live for the rest of the process —
+    /// that is the point: a study scheduler calling this per run never
+    /// pays thread spawn/join again.
+    pub fn global(workers: usize) -> Pool {
+        static GLOBAL: OnceLock<Mutex<HashMap<usize, Pool>>> = OnceLock::new();
+        let total = resolve_workers(workers);
+        let map = GLOBAL.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = map.lock().unwrap_or_else(PoisonError::into_inner);
+        map.entry(total).or_insert_with(|| Pool::new(total)).clone()
+    }
+
+    /// The pool installed on the current thread by an enclosing fan-out,
+    /// if any. Fan-outs started while a pool is ambient register on it
+    /// instead of spawning their own threads.
     pub fn current() -> Option<Pool> {
-        ambient_permits().map(|shared| Pool { shared })
+        ambient_shared().map(|shared| Pool { shared, owner: None })
     }
 
     /// The pool's total worker budget.
@@ -181,99 +578,60 @@ impl Pool {
     /// Runs `task(index)` for every `index` in `0..count` on this pool and
     /// returns the results **in index order**.
     ///
-    /// The calling thread participates as a worker; helpers are recruited
-    /// from the pool's spare permits while unclaimed work remains. Every
-    /// worker has the pool installed as its ambient pool, so nested
-    /// fan-outs (e.g. [`replicate`] called from inside `task`) draw from
-    /// the same budget — one global scheduler, no oversubscription.
+    /// The calling thread participates as a worker; parked pool threads
+    /// are woken while unclaimed work remains. Every worker has the pool
+    /// installed as its ambient pool, so nested fan-outs (e.g.
+    /// [`replicate`] called from inside `task`) register on the same pool
+    /// — one global scheduler, no oversubscription.
     pub fn run_indexed<T, F>(&self, count: usize, task: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_indexed_with(count, || (), move |index, _scratch| task(index))
+    }
+
+    /// Like [`Pool::run_indexed`], but threads a per-worker scratch value
+    /// through the tasks: `init` runs once per participating worker and
+    /// the resulting state is passed (mutably) to every index that worker
+    /// executes. Results must not depend on which worker ran an index —
+    /// use the scratch to cache allocations, not to carry data between
+    /// indices.
+    pub fn run_indexed_with<T, S, I, F>(&self, count: usize, init: I, task: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
         if count == 0 {
             return Vec::new();
         }
-        let permits = Arc::clone(&self.shared);
-        let _ambient = push_ambient(Arc::clone(&permits));
-        if permits.total <= 1 || count == 1 {
-            return (0..count).map(task).collect();
+        let _ambient = push_ambient(Arc::clone(&self.shared));
+        if self.shared.total <= 1 || count == 1 {
+            let mut state = init();
+            return (0..count).map(|index| task(index, &mut state)).collect();
         }
-
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
-        let ctx = WorkContext { next: &next, count, task: &task, permits: &permits };
-        std::thread::scope(|scope| {
-            // The caller is the first worker; `tx` moves in and is dropped
-            // when its claiming loop ends, so the drain below terminates
-            // once every helper has finished too.
-            work_loop(scope, &ctx, tx);
-        });
-
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
-        slots.resize_with(count, || None);
-        for (index, value) in rx {
-            slots[index] = Some(value);
-        }
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("work unit {i} produced no result")))
-            .collect()
+        fanout::execute(&self.shared, count, &init, &task)
     }
 }
 
-/// Shared state of one `run_indexed` fan-out.
-struct WorkContext<'a, F> {
-    next: &'a AtomicUsize,
-    count: usize,
-    task: &'a F,
-    permits: &'a Arc<Permits>,
-}
-
-/// The claiming loop every worker (caller and helpers alike) runs: claim
-/// the next index, recruit helpers for the remainder, execute, repeat.
-fn work_loop<'scope, 'env, T, F>(
-    scope: &'scope std::thread::Scope<'scope, 'env>,
-    ctx: &'scope WorkContext<'scope, F>,
-    tx: mpsc::Sender<(usize, T)>,
-) where
-    T: Send + 'scope,
-    F: Fn(usize) -> T + Sync + 'scope,
-{
-    loop {
-        let claimed = ctx.next.fetch_add(1, Ordering::Relaxed);
-        if claimed >= ctx.count {
-            break;
-        }
-        // Recruit one helper per spare permit for the work beyond this
-        // unit. Permits freed elsewhere (another scenario finishing, a
-        // sibling fan-out draining) are picked up at the next claim.
-        let unclaimed = ctx.count - claimed - 1;
-        let granted = ctx.permits.try_acquire(unclaimed);
-        for _ in 0..granted {
-            let tx = tx.clone();
-            let permits = Arc::clone(ctx.permits);
-            scope.spawn(move || {
-                let _permit = PermitGuard(Arc::clone(&permits));
-                let _ambient = push_ambient(permits);
-                work_loop(scope, ctx, tx);
-            });
-        }
-        let value = (ctx.task)(claimed);
-        if tx.send((claimed, value)).is_err() {
-            // The receiver is gone: the fan-out is unwinding after a
-            // sibling worker panicked. Stop claiming.
-            break;
-        }
+/// The pool [`replicate`] falls back to when no ambient pool is installed:
+/// the process-wide cached pool, except under Miri, where leaked global
+/// threads would be reported — there every fan-out gets an owned,
+/// joined-on-drop pool instead.
+fn fallback_pool(workers: usize) -> Pool {
+    if cfg!(miri) {
+        Pool::new(workers)
+    } else {
+        Pool::global(workers)
     }
 }
 
 /// Runs `run(index, rng)` for every index in `indices`, fanning the work
 /// across the ambient [`Pool`] when one is installed (a study's global
-/// pool) or a fresh pool of `workers` threads otherwise (`0` = the
-/// machine's available parallelism, `1` = force serial execution), and
-/// returns the results in index order.
+/// pool) or the process-wide cached pool otherwise (`0` = the machine's
+/// available parallelism, `1` = force serial execution), and returns the
+/// results in index order.
 ///
 /// Each call receives a fresh [`SimRng`] derived from `root` and its own
 /// index, so the output is a pure function of `(root, indices)` —
@@ -288,26 +646,49 @@ where
     T: Send,
     F: Fn(usize, &mut SimRng) -> T + Sync,
 {
+    replicate_with(indices, root, workers, || (), move |index, rng, _scratch| run(index, rng))
+}
+
+/// Like [`replicate`], but threads a per-worker scratch value through the
+/// replications: `init` runs once per participating worker, and each
+/// replication that worker claims receives the same state mutably. The
+/// simulation kernels use this to reuse their heap allocations across
+/// replications; results must stay a pure function of `(root, index)`.
+pub fn replicate_with<T, S, I, F>(
+    indices: std::ops::Range<usize>,
+    root: &SimRng,
+    workers: usize,
+    init: I,
+    run: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut SimRng, &mut S) -> T + Sync,
+{
     let count = indices.len();
     let start = indices.start;
-    let task = |offset: usize| {
-        let index = start + offset;
-        run(index, &mut root.derive_stream(index as u64))
-    };
     if count == 0 {
         return Vec::new();
     }
     if workers == 1 || count < MIN_PARALLEL_COUNT {
-        // Serial path: iterate the range directly — no index buffer, no
-        // channel, no pool.
-        return (0..count).map(task).collect();
+        // Serial path: iterate the range directly — no pool, one scratch.
+        let mut scratch = init();
+        return indices
+            .map(|index| run(index, &mut root.derive_stream(index as u64), &mut scratch))
+            .collect();
     }
-    let pool = Pool::current().unwrap_or_else(|| Pool::new(workers));
-    pool.run_indexed(count, task)
+    let pool = Pool::current().unwrap_or_else(|| fallback_pool(workers));
+    pool.run_indexed_with(count, init, |offset, scratch| {
+        let index = start + offset;
+        run(index, &mut root.derive_stream(index as u64), scratch)
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     use super::*;
 
     #[test]
@@ -374,8 +755,8 @@ mod tests {
     fn nested_fan_outs_share_one_budget() {
         // A 4-worker pool fanning out 3 outer tasks, each of which fans out
         // 8 inner replications: the inner `replicate` calls must find the
-        // ambient pool and the observed helper-thread high-water mark must
-        // stay within the budget (3 helpers + the caller).
+        // ambient pool, and the observed in-flight high-water mark must
+        // stay within the budget (3 pool threads + the caller).
         let pool = Pool::new(4);
         let live = AtomicUsize::new(1); // the calling thread
         let peak = AtomicUsize::new(1);
@@ -425,5 +806,129 @@ mod tests {
             i
         });
         assert_eq!(out, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_are_reused_across_consecutive_fan_outs() {
+        // The persistent-pool contract: ten consecutive fan-outs on one
+        // pool must be executed by the same fixed set of threads (at most
+        // `workers`, counting the submitter) — not a fresh spawn per
+        // fan-out, which would show ~30 distinct thread ids here.
+        let pool = Pool::new(4);
+        let ids = Mutex::new(std::collections::HashSet::new());
+        for round in 0..10 {
+            let out = pool.run_indexed(64, |i| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                // A touch of work so parked workers actually engage.
+                std::hint::black_box(i * round)
+            });
+            assert_eq!(out.len(), 64);
+        }
+        let distinct = ids.lock().unwrap().len();
+        assert!(distinct <= 4, "saw {distinct} distinct threads on a 4-worker pool");
+    }
+
+    #[test]
+    fn batch_edge_cases_are_bit_identical_to_serial() {
+        // Batched claiming must cover every index exactly once for counts
+        // smaller than a batch, counts not divisible by the worker count,
+        // and pools with more workers than work items.
+        let value = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64;
+        for workers in [2, 4, 16] {
+            let pool = Pool::new(workers);
+            for count in [1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 63, 64, 100] {
+                let serial: Vec<u64> = (0..count).map(value).collect();
+                assert_eq!(
+                    pool.run_indexed(count, value),
+                    serial,
+                    "workers = {workers}, count = {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panic_in_one_batch_unwinds_cleanly() {
+        // A task panic must reach the submitter with its payload, every
+        // already-produced result must be dropped exactly once, and the
+        // pool must stay usable afterwards.
+        #[derive(Debug)]
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let live = Arc::new(AtomicUsize::new(0));
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_indexed(64, |i| {
+                if i == 17 {
+                    panic!("boom at {i}");
+                }
+                live.fetch_add(1, Ordering::SeqCst);
+                Counted(Arc::clone(&live))
+            })
+        }));
+        let payload = result.expect_err("the panic must propagate to the submitter");
+        let message = payload.downcast_ref::<String>().map_or("", String::as_str);
+        assert!(message.contains("boom at 17"), "unexpected payload: {message}");
+        assert_eq!(live.load(Ordering::SeqCst), 0, "produced results must all be dropped");
+        // The pool quiesced cleanly: the same handle still schedules work.
+        assert_eq!(pool.run_indexed(8, |i| i), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn replicate_with_matches_replicate_and_reuses_scratch() {
+        let root = SimRng::seed_from_u64(99);
+        let plain = replicate(0..40, &root, 4, |i, rng| (i, rng.next_u64()));
+        let inits = AtomicUsize::new(0);
+        let with_scratch = replicate_with(
+            0..40,
+            &root,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<u64>::new()
+            },
+            |i, rng, buffer| {
+                // The scratch is a reusable buffer; results must not depend
+                // on what previous replications left in it.
+                buffer.clear();
+                buffer.push(rng.next_u64());
+                (i, buffer[0])
+            },
+        );
+        assert_eq!(plain, with_scratch);
+        // One scratch per participating worker, not one per replication.
+        let init_count = inits.load(Ordering::SeqCst);
+        assert!((1..=4).contains(&init_count), "init ran {init_count} times");
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "global pool threads outlive the test under miri")]
+    fn global_pool_is_cached_per_worker_count() {
+        let a = Pool::global(3);
+        let b = Pool::global(3);
+        assert!(Arc::ptr_eq(&a.shared, &b.shared), "same worker count must reuse the pool");
+        let c = Pool::global(2);
+        assert!(!Arc::ptr_eq(&a.shared, &c.shared));
+        assert_eq!(a.workers(), 3);
+        assert_eq!(c.workers(), 2);
+    }
+
+    #[test]
+    fn run_indexed_with_threads_scratch_through_serial_path() {
+        let pool = Pool::new(1);
+        let out = pool.run_indexed_with(
+            5,
+            || 0usize,
+            |i, calls| {
+                *calls += 1;
+                (i, *calls)
+            },
+        );
+        // Serial path: one scratch, visited in index order.
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
     }
 }

@@ -1,4 +1,4 @@
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::special::gamma_fn;
 use crate::{DistError, Distribution, SimRng};
@@ -25,10 +25,13 @@ use crate::{DistError, Distribution, SimRng};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Weibull {
     shape: f64,
     scale: f64,
+    /// Precomputed `1/β` so the sampling hot path multiplies instead of
+    /// dividing before every `powf`.
+    inv_shape: f64,
 }
 
 impl Weibull {
@@ -39,9 +42,11 @@ impl Weibull {
     /// Returns an error if either parameter is not finite and strictly
     /// positive.
     pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        let shape = DistError::check_positive("shape", shape)?;
         Ok(Weibull {
-            shape: DistError::check_positive("shape", shape)?,
+            shape,
             scale: DistError::check_positive("scale", scale)?,
+            inv_shape: 1.0 / shape,
         })
     }
 
@@ -84,8 +89,17 @@ impl Weibull {
 impl Distribution for Weibull {
     fn sample(&self, rng: &mut SimRng) -> f64 {
         // Inverse CDF: x = η (-ln(1-U))^(1/β); use open uniform for safety.
+        // β = 1 is exactly the exponential, so the `powf` (a no-op by IEEE
+        // 754 semantics for `powf(x, 1.0)`) is skipped outright; other
+        // shapes use the precomputed 1/β. Both paths are value-identical to
+        // the textbook formula — pinned by tests below.
         let u = rng.uniform_open01();
-        self.scale * (-(1.0 - u).ln()).powf(1.0 / self.shape)
+        let neg_ln = -(1.0 - u).ln();
+        if self.shape == 1.0 {
+            self.scale * neg_ln
+        } else {
+            self.scale * neg_ln.powf(self.inv_shape)
+        }
     }
 
     fn mean(&self) -> f64 {
@@ -135,9 +149,22 @@ impl Distribution for Weibull {
         if p >= 1.0 {
             return Ok(f64::INFINITY);
         }
-        Ok(self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape))
+        Ok(self.scale * (-(1.0 - p).ln()).powf(self.inv_shape))
     }
 }
+
+// `inv_shape` is derived state: serialisation carries only the parameters,
+// exactly as the former derived form did.
+impl Serialize for Weibull {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("shape".to_string(), self.shape.to_value()),
+            ("scale".to_string(), self.scale.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Weibull {}
 
 #[cfg(test)]
 mod tests {
@@ -211,6 +238,48 @@ mod tests {
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| w.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 1_000.0).abs() / 1_000.0 < 0.02, "sample mean {mean}");
+    }
+
+    #[test]
+    fn powf_by_one_is_the_identity() {
+        // The IEEE 754 guarantee the shape == 1 fast path leans on:
+        // powf(x, 1.0) returns x exactly, so skipping it changes nothing.
+        for x in [1e-300, 0.3, 1.0, 2.5, 6.9e3, 1.7e17, f64::MAX] {
+            assert_eq!(x.powf(1.0), x);
+        }
+    }
+
+    #[test]
+    fn sample_fast_paths_are_value_identical_to_the_textbook_formula() {
+        for shape in [0.6, 0.7, 1.0, 1.5, 3.0] {
+            let w = Weibull::new(shape, 300_000.0).unwrap();
+            let mut fast_rng = SimRng::seed_from_u64(99);
+            let mut slow_rng = SimRng::seed_from_u64(99);
+            for _ in 0..1_000 {
+                let fast = w.sample(&mut fast_rng);
+                let u = slow_rng.uniform_open01();
+                let slow = w.scale() * (-(1.0 - u).ln()).powf(1.0 / w.shape());
+                assert_eq!(fast.to_bits(), slow.to_bits(), "shape {shape}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_is_value_identical_to_the_textbook_formula() {
+        for shape in [0.6, 0.7, 1.0, 1.5, 3.0] {
+            let w = Weibull::new(shape, 300_000.0).unwrap();
+            for p in [0.001, 0.1, 0.5, 0.9, 0.999] {
+                let fast = w.quantile(p).unwrap();
+                let slow = w.scale() * (-(1.0 - p).ln()).powf(1.0 / w.shape());
+                assert_eq!(fast.to_bits(), slow.to_bits(), "shape {shape} p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn serialisation_carries_only_the_parameters() {
+        let w = Weibull::new(0.7, 300_000.0).unwrap();
+        assert_eq!(serde::to_json(&w), "{\"shape\":0.7,\"scale\":300000}");
     }
 
     #[test]

@@ -254,10 +254,16 @@ impl ReplicationSimulator {
             });
         }
         let root = SimRng::seed_from_u64(seed);
-        let runs: Vec<StorageRunStats> =
-            probdist::parallel::replicate(0..replications, &root, workers, |_, rng| {
-                self.run_once(horizon_hours, rng)
-            });
+        // Each worker keeps one mission as scratch: after the first
+        // replication, later missions re-prime the same event queue and
+        // per-disk state in place instead of allocating afresh.
+        let runs: Vec<StorageRunStats> = probdist::parallel::replicate_with(
+            0..replications,
+            &root,
+            workers,
+            || None,
+            |_, rng, slot| self.run_once_reusing(horizon_hours, rng, slot),
+        );
         summarise_runs(&runs, horizon_hours, confidence_level)
     }
 
@@ -284,9 +290,13 @@ impl ReplicationSimulator {
         let runs = run_to_precision(
             rule,
             |range| -> Result<Vec<StorageRunStats>, RaidError> {
-                Ok(probdist::parallel::replicate(range, &root, workers, |_, rng| {
-                    self.run_once(horizon_hours, rng)
-                }))
+                Ok(probdist::parallel::replicate_with(
+                    range,
+                    &root,
+                    workers,
+                    || None,
+                    |_, rng, slot| self.run_once_reusing(horizon_hours, rng, slot),
+                ))
             },
             |runs: &[StorageRunStats]| -> Result<bool, RaidError> {
                 let availability: RunningStats =
@@ -314,6 +324,27 @@ impl ReplicationSimulator {
         mission.finish()
     }
 
+    /// Runs a single mission, reusing the mission in `slot` as scratch when
+    /// present (and stashing a fresh one there otherwise). Re-priming draws
+    /// initial lifetimes in exactly the order
+    /// [`ReplicationSimulator::start_mission`] does, so the statistics are
+    /// bit-identical to [`ReplicationSimulator::run_once`] with the same RNG
+    /// stream — only the allocations differ.
+    pub fn run_once_reusing(
+        &self,
+        horizon_hours: f64,
+        rng: &mut SimRng,
+        slot: &mut Option<ReplicationMission>,
+    ) -> StorageRunStats {
+        match slot {
+            Some(mission) => mission.reprime(horizon_hours, rng),
+            None => *slot = Some(self.start_mission(horizon_hours, rng)),
+        }
+        let mission = slot.as_mut().expect("mission was just initialised");
+        mission.advance(rng, None);
+        mission.stats()
+    }
+
     /// Starts a mission in resumable form: the initial lifetimes are drawn
     /// and the event calendar is primed, but no event has been processed.
     /// [`ReplicationMission::advance`] then runs it — to the horizon, or
@@ -323,12 +354,7 @@ impl ReplicationSimulator {
     pub fn start_mission(&self, horizon_hours: f64, rng: &mut SimRng) -> ReplicationMission {
         let disks = self.config.disks;
         let mut queue: BinaryHeap<Event> = BinaryHeap::with_capacity(disks as usize + 8);
-        for disk in 0..disks {
-            queue.push(Event {
-                time: self.lifetime.sample(rng),
-                kind: EventKind::DiskFailure { disk, generation: 0 },
-            });
-        }
+        prime_events(&self.lifetime, disks, &mut queue, rng);
         ReplicationMission {
             config: self.config,
             lifetime: self.lifetime,
@@ -345,6 +371,20 @@ impl ReplicationSimulator {
             data_loss_events: 0,
             replacements: 0,
         }
+    }
+}
+
+/// Primes a mission's event calendar: one lifetime draw per disk. The draw
+/// order here *is* the RNG contract shared by
+/// [`ReplicationSimulator::start_mission`] and
+/// [`ReplicationMission::reprime`]; keep both call sites on this single
+/// helper so they cannot drift apart.
+fn prime_events(lifetime: &Weibull, disks: u32, queue: &mut BinaryHeap<Event>, rng: &mut SimRng) {
+    for disk in 0..disks {
+        queue.push(Event {
+            time: lifetime.sample(rng),
+            kind: EventKind::DiskFailure { disk, generation: 0 },
+        });
     }
 }
 
@@ -519,20 +559,51 @@ impl ReplicationMission {
         false
     }
 
-    /// Closes the mission and returns its raw statistics. Call after
+    /// Resets this mission in place to the state
+    /// [`ReplicationSimulator::start_mission`] would produce for the same
+    /// configuration, reusing the event queue and per-disk buffers.
+    fn reprime(&mut self, horizon_hours: f64, rng: &mut SimRng) {
+        let disks = self.config.disks;
+        self.horizon_hours = horizon_hours;
+        self.queue.clear();
+        self.generation.clear();
+        self.generation.resize(disks as usize, 0);
+        self.failed.clear();
+        self.failed.resize(disks as usize, false);
+        self.exposed = 0;
+        self.exposure_peak = 0;
+        self.store_generation = 0;
+        self.in_recovery = false;
+        self.last_time = 0.0;
+        self.downtime = 0.0;
+        self.data_loss_events = 0;
+        self.replacements = 0;
+        let ReplicationMission { lifetime, queue, .. } = self;
+        prime_events(lifetime, disks, queue, rng);
+    }
+
+    /// Raw statistics of the mission so far, with the open interval since
+    /// the last event closed up to the horizon. Call after
     /// [`ReplicationMission::advance`] ran to the horizon.
-    pub fn finish(mut self) -> StorageRunStats {
+    pub fn stats(&self) -> StorageRunStats {
+        let mut downtime = self.downtime;
         // Close the interval up to the horizon.
         if self.in_recovery {
-            self.downtime += self.horizon_hours - self.last_time;
+            downtime += self.horizon_hours - self.last_time;
         }
         StorageRunStats {
-            downtime_hours: self.downtime,
+            downtime_hours: downtime,
             data_loss_events: self.data_loss_events,
             disk_replacements: self.replacements,
             controller_downtime_hours: 0.0,
             horizon_hours: self.horizon_hours,
         }
+    }
+
+    /// Closes the mission and returns its raw statistics. Call after
+    /// [`ReplicationMission::advance`] ran to the horizon.
+    pub fn finish(self) -> StorageRunStats {
+        self.stats()
     }
 }
 

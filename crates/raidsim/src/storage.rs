@@ -202,10 +202,16 @@ impl StorageSimulator {
         }
 
         let root = SimRng::seed_from_u64(seed);
-        let runs: Vec<StorageRunStats> =
-            probdist::parallel::replicate(0..replications, &root, workers, |_, rng| {
-                self.run_once(horizon_hours, rng)
-            });
+        // Each worker keeps one mission as scratch: after the first
+        // replication, later missions re-prime the same event queue and
+        // per-disk state in place instead of allocating afresh.
+        let runs: Vec<StorageRunStats> = probdist::parallel::replicate_with(
+            0..replications,
+            &root,
+            workers,
+            || None,
+            |_, rng, slot| self.run_once_reusing(horizon_hours, rng, slot),
+        );
         self.summarise(&runs, horizon_hours, confidence_level)
     }
 
@@ -238,9 +244,13 @@ impl StorageSimulator {
         let runs = run_to_precision(
             rule,
             |range| -> Result<Vec<StorageRunStats>, RaidError> {
-                Ok(probdist::parallel::replicate(range, &root, workers, |_, rng| {
-                    self.run_once(horizon_hours, rng)
-                }))
+                Ok(probdist::parallel::replicate_with(
+                    range,
+                    &root,
+                    workers,
+                    || None,
+                    |_, rng, slot| self.run_once_reusing(horizon_hours, rng, slot),
+                ))
             },
             |runs: &[StorageRunStats]| -> Result<bool, RaidError> {
                 let availability: RunningStats =
@@ -276,6 +286,26 @@ impl StorageSimulator {
         mission.finish()
     }
 
+    /// Runs a single mission, reusing the mission in `slot` as scratch when
+    /// present (and stashing a fresh one there otherwise). Re-priming draws
+    /// initial lifetimes in exactly the order [`StorageSimulator::start_mission`]
+    /// does, so the statistics are bit-identical to [`StorageSimulator::run_once`]
+    /// with the same RNG stream — only the allocations differ.
+    pub fn run_once_reusing(
+        &self,
+        horizon_hours: f64,
+        rng: &mut SimRng,
+        slot: &mut Option<StorageMission>,
+    ) -> StorageRunStats {
+        match slot {
+            Some(mission) => mission.reprime(horizon_hours, rng),
+            None => *slot = Some(self.start_mission(horizon_hours, rng)),
+        }
+        let mission = slot.as_mut().expect("mission was just initialised");
+        mission.advance(rng, None);
+        mission.stats()
+    }
+
     /// Starts a mission in resumable form: initial disk lifetimes (and
     /// controller failure times, when configured) are drawn and the event
     /// calendar is primed, but no event has been processed.
@@ -287,25 +317,10 @@ impl StorageSimulator {
         let cfg = &self.config;
         let total_disks = cfg.total_disks();
         let mut queue: BinaryHeap<Event> = BinaryHeap::with_capacity(total_disks as usize + 8);
-        for disk in 0..total_disks {
-            queue.push(Event {
-                time: self.lifetime.sample(rng),
-                kind: EventKind::DiskFailure { disk, generation: 0 },
-            });
-        }
         let controller_dist = cfg
             .controllers
             .map(|c| Exponential::new(c.failure_rate_per_hour).expect("validated controller rate"));
-        if let Some(dist) = &controller_dist {
-            for unit in 0..cfg.ddn_units {
-                for slot in 0..2u8 {
-                    queue.push(Event {
-                        time: dist.sample(rng),
-                        kind: EventKind::ControllerFailure { unit, slot },
-                    });
-                }
-            }
-        }
+        prime_events(&self.lifetime, controller_dist.as_ref(), cfg, &mut queue, rng);
         StorageMission {
             config: self.config.clone(),
             lifetime: self.lifetime,
@@ -326,6 +341,36 @@ impl StorageSimulator {
             controller_downtime: 0.0,
             data_loss_events: 0,
             replacements: 0,
+        }
+    }
+}
+
+/// Primes a mission's event calendar: one lifetime draw per disk, then one
+/// failure draw per controller slot. The draw order here *is* the RNG
+/// contract shared by [`StorageSimulator::start_mission`] and
+/// [`StorageMission::reprime`]; keep the two call sites on this single
+/// helper so they cannot drift apart.
+fn prime_events(
+    lifetime: &Weibull,
+    controller_dist: Option<&Exponential>,
+    cfg: &StorageConfig,
+    queue: &mut BinaryHeap<Event>,
+    rng: &mut SimRng,
+) {
+    for disk in 0..cfg.total_disks() {
+        queue.push(Event {
+            time: lifetime.sample(rng),
+            kind: EventKind::DiskFailure { disk, generation: 0 },
+        });
+    }
+    if let Some(dist) = controller_dist {
+        for unit in 0..cfg.ddn_units {
+            for slot in 0..2u8 {
+                queue.push(Event {
+                    time: dist.sample(rng),
+                    kind: EventKind::ControllerFailure { unit, slot },
+                });
+            }
         }
     }
 }
@@ -536,23 +581,64 @@ impl StorageMission {
         false
     }
 
-    /// Closes the mission and returns its raw statistics. Call after
+    /// Resets this mission in place to the state
+    /// [`StorageSimulator::start_mission`] would produce for the same
+    /// configuration, reusing the event queue and per-disk/per-tier buffers.
+    fn reprime(&mut self, horizon_hours: f64, rng: &mut SimRng) {
+        let total_disks = self.config.total_disks() as usize;
+        let tiers = self.config.tiers as usize;
+        self.horizon_hours = horizon_hours;
+        self.queue.clear();
+        self.disk_generation.clear();
+        self.disk_generation.resize(total_disks, 0);
+        self.disk_failed.clear();
+        self.disk_failed.resize(total_disks, false);
+        self.tier_failed_count.clear();
+        self.tier_failed_count.resize(tiers, 0);
+        self.tier_in_recovery.clear();
+        self.tier_in_recovery.resize(tiers, false);
+        self.tier_generation.clear();
+        self.tier_generation.resize(tiers, 0);
+        self.controller_failed.clear();
+        self.controller_failed.resize(self.config.ddn_units as usize, [false, false]);
+        self.exposure_peak = 0;
+        self.down_conditions = 0;
+        self.controller_down_units = 0;
+        self.last_time = 0.0;
+        self.downtime = 0.0;
+        self.controller_downtime = 0.0;
+        self.data_loss_events = 0;
+        self.replacements = 0;
+        let StorageMission { config, lifetime, controller_dist, queue, .. } = self;
+        prime_events(lifetime, controller_dist.as_ref(), config, queue, rng);
+    }
+
+    /// Raw statistics of the mission so far, with the open interval since
+    /// the last event closed up to the horizon. Call after
     /// [`StorageMission::advance`] ran to the horizon.
-    pub fn finish(mut self) -> StorageRunStats {
+    pub fn stats(&self) -> StorageRunStats {
+        let mut downtime = self.downtime;
+        let mut controller_downtime = self.controller_downtime;
         // Close the interval up to the horizon.
         if self.down_conditions > 0 {
-            self.downtime += self.horizon_hours - self.last_time;
+            downtime += self.horizon_hours - self.last_time;
         }
         if self.controller_down_units > 0 {
-            self.controller_downtime += self.horizon_hours - self.last_time;
+            controller_downtime += self.horizon_hours - self.last_time;
         }
         StorageRunStats {
-            downtime_hours: self.downtime,
+            downtime_hours: downtime,
             data_loss_events: self.data_loss_events,
             disk_replacements: self.replacements,
-            controller_downtime_hours: self.controller_downtime,
+            controller_downtime_hours: controller_downtime,
             horizon_hours: self.horizon_hours,
         }
+    }
+
+    /// Closes the mission and returns its raw statistics. Call after
+    /// [`StorageMission::advance`] ran to the horizon.
+    pub fn finish(self) -> StorageRunStats {
+        self.stats()
     }
 }
 

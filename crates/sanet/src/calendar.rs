@@ -29,8 +29,8 @@ use std::collections::BTreeSet;
 use probdist::SimRng;
 
 use crate::engine::{
-    accumulate_rate_rewards, credit_impulses, finalise, fire_activity, sample_delay, RunResult,
-    TraceEvent, MAX_INSTANT_FIRINGS,
+    accumulate_rate_rewards, credit_impulses, finalise, fire_activity, prepare_marking,
+    sample_delay, RunResult, RunScratch, TraceEvent, MAX_INSTANT_FIRINGS,
 };
 use crate::model::{Incidence, META_RESAMPLE, META_SCAN_RESIDENT, RESAMPLE_BIT};
 use crate::reward::RewardTable;
@@ -48,6 +48,9 @@ fn earlier(a: (f64, u32), b: (f64, u32)) -> bool {
 }
 
 /// Runs one replication on the event calendar.
+///
+/// All working memory comes from `scratch`, reset here at the start of the
+/// run — a reused scratch makes the whole replication allocation-free.
 pub(crate) fn run(
     model: &Model,
     table: &RewardTable,
@@ -55,51 +58,65 @@ pub(crate) fn run(
     warmup: f64,
     rng: &mut SimRng,
     mut trace: Option<&mut Vec<TraceEvent>>,
+    scratch: &mut RunScratch,
 ) -> Result<RunResult, SanError> {
     let acts = model.activities();
     let inc = model.incidence();
     let n = acts.len();
 
-    let mut marking = model.initial_marking();
+    let marking = prepare_marking(&mut scratch.marking, model);
     marking.enable_tracking();
     let mut now = 0.0_f64;
     let mut events = 0u64;
     let observed = horizon - warmup;
-    let mut acc = vec![0.0_f64; table.len()];
+    let acc = &mut scratch.acc;
+    acc.clear();
+    acc.resize(table.len(), 0.0);
 
     // Future-event list. Activities whose sample survives marking changes
     // (fixed timing, or `resample_on_change` with declared timing reads) are
     // heap members; conservative resamplers ("scan residents") redraw after
     // every event anyway, so they only occupy `time_of`, with their minimum
     // recomputed during each refresh walk.
-    let mut time_of = vec![f64::INFINITY; n];
-    let mut heap = IndexedHeap::new(n);
+    let CalendarScratch {
+        time_of,
+        heap,
+        dirty_places,
+        place_seen,
+        revisit,
+        act_seen,
+        resample_due,
+    } = &mut scratch.calendar;
+    time_of.clear();
+    time_of.resize(n, f64::INFINITY);
+    heap.reset(n);
+    dirty_places.clear();
+    place_seen.clear();
+    place_seen.resize(model.num_places(), false);
+    revisit.clear();
+    act_seen.clear();
+    act_seen.resize(n, false);
+    resample_due.clear();
+    resample_due.resize(n, false);
     let mut vol_min = NO_EVENT;
 
     // Instantaneous activities currently enabled, by ascending index.
     let has_instants = !inc.instants.is_empty();
     let mut instant_enabled: BTreeSet<u32> = BTreeSet::new();
     for &i in &inc.instants {
-        if inc.enabled_fast(i as usize, acts, marking.as_slice(), &marking) {
+        if inc.enabled_fast(i as usize, acts, marking.as_slice(), marking) {
             instant_enabled.insert(i);
         }
     }
 
-    // Scratch buffers reused across events.
-    let mut dirty_places: Vec<u32> = Vec::new();
-    let mut place_seen = vec![false; model.num_places()];
-    let mut revisit: Vec<u32> = Vec::new();
-    let mut act_seen = vec![false; n];
-    let mut resample_due = vec![false; n];
-
     // Fire any instantaneous activities enabled in the initial marking.
     cascade(
         model,
-        &mut marking,
+        marking,
         rng,
         &mut instant_enabled,
         table,
-        &mut acc,
+        acc,
         &mut events,
         now,
         warmup,
@@ -110,10 +127,10 @@ pub(crate) fn run(
     // Initial schedule: every enabled timed activity samples a delay in
     // ascending index order (the RNG draw order of a full rescan).
     for (i, activity) in acts.iter().enumerate() {
-        if matches!(activity.timing, Timing::Instantaneous) || !activity.is_enabled(&marking) {
+        if matches!(activity.timing, Timing::Instantaneous) || !activity.is_enabled(marking) {
             continue;
         }
-        let t = now + sample_delay(activity, &marking, rng);
+        let t = now + sample_delay(activity, marking, rng);
         time_of[i] = t;
         if inc.meta[i].flags & META_SCAN_RESIDENT != 0 {
             if earlier((t, i as u32), vol_min) {
@@ -140,13 +157,13 @@ pub(crate) fn run(
         if !(fire_time <= horizon) {
             // No more events before the horizon: accumulate rewards for the
             // remaining interval and stop.
-            accumulate_rate_rewards(table, &marking, now, horizon, warmup, &mut acc);
+            accumulate_rate_rewards(table, marking, now, horizon, warmup, acc);
             now = horizon;
             break;
         }
 
         // Integrate rate rewards over [now, fire_time], then fire.
-        accumulate_rate_rewards(table, &marking, now, fire_time, warmup, &mut acc);
+        accumulate_rate_rewards(table, marking, now, fire_time, warmup, acc);
         now = fire_time;
         let i = idx as usize;
         let id = ActivityId(i);
@@ -154,11 +171,11 @@ pub(crate) fn run(
         // is left stale on purpose: the refresh walk below always revisits
         // the fired activity and either re-keys the entry in place (still
         // enabled — one sift instead of a remove + push) or evicts it.
-        let case = fire_activity(model, id, &mut marking, rng);
+        let case = fire_activity(model, id, marking, rng);
         time_of[i] = f64::INFINITY;
         events += 1;
         if now >= warmup {
-            credit_impulses(table, i, &mut acc);
+            credit_impulses(table, i, acc);
         }
         if let Some(trace) = trace.as_deref_mut() {
             trace.push(TraceEvent { time: now, activity: id, case });
@@ -169,11 +186,11 @@ pub(crate) fn run(
         if has_instants {
             cascade(
                 model,
-                &mut marking,
+                marking,
                 rng,
                 &mut instant_enabled,
                 table,
-                &mut acc,
+                acc,
                 &mut events,
                 now,
                 warmup,
@@ -195,7 +212,7 @@ pub(crate) fn run(
         revisit.clear();
         act_seen[i] = true;
         revisit.push(idx);
-        for &p in &dirty_places {
+        for &p in &*dirty_places {
             place_seen[p as usize] = false;
             for &entry in &inc.timed_by_place[p as usize] {
                 let a = entry & !RESAMPLE_BIT;
@@ -249,7 +266,7 @@ pub(crate) fn run(
             let flags = inc.meta[ia].flags;
             debug_assert!(!matches!(acts[ia].timing, Timing::Instantaneous));
             let scan_resident = flags & META_SCAN_RESIDENT != 0;
-            if !inc.enabled_fast(ia, acts, marking.as_slice(), &marking) {
+            if !inc.enabled_fast(ia, acts, marking.as_slice(), marking) {
                 time_of[ia] = f64::INFINITY;
                 if !scan_resident {
                     heap.remove(a);
@@ -257,7 +274,7 @@ pub(crate) fn run(
                 continue;
             }
             if time_of[ia].is_infinite() || scan_resident || (due && flags & META_RESAMPLE != 0) {
-                let t = now + sample_delay(&acts[ia], &marking, rng);
+                let t = now + sample_delay(&acts[ia], marking, rng);
                 time_of[ia] = t;
                 if !scan_resident {
                     heap.upsert(a, t);
@@ -269,7 +286,7 @@ pub(crate) fn run(
         }
     }
 
-    Ok(finalise(table, acc, &marking, observed, events, now))
+    Ok(finalise(table, acc, marking, observed, events, now))
 }
 
 /// Re-checks the enabling of one instantaneous activity and updates the
@@ -349,9 +366,24 @@ fn cascade(
     }
 }
 
+/// Reusable working state for one calendar-kernel run. Owned per worker by
+/// [`RunScratch`](crate::RunScratch) so a replication re-primes these buffers
+/// in place instead of allocating them afresh.
+#[derive(Debug, Default)]
+pub(crate) struct CalendarScratch {
+    time_of: Vec<f64>,
+    heap: IndexedHeap,
+    dirty_places: Vec<u32>,
+    place_seen: Vec<bool>,
+    revisit: Vec<u32>,
+    act_seen: Vec<bool>,
+    resample_due: Vec<bool>,
+}
+
 /// An indexed binary min-heap over `(firing time, activity index)` keys with
 /// `O(log n)` insert and remove-by-activity. `pos` maps each activity to its
 /// current slot so disabled activities can be evicted without a scan.
+#[derive(Debug, Default)]
 struct IndexedHeap {
     entries: Vec<(f64, u32)>,
     pos: Vec<u32>,
@@ -360,8 +392,17 @@ struct IndexedHeap {
 const ABSENT: u32 = u32::MAX;
 
 impl IndexedHeap {
+    #[cfg(test)]
     fn new(n: usize) -> IndexedHeap {
         IndexedHeap { entries: Vec::with_capacity(n), pos: vec![ABSENT; n] }
+    }
+
+    /// Empties the heap and re-sizes the position map for a model with `n`
+    /// activities, keeping both allocations.
+    fn reset(&mut self, n: usize) {
+        self.entries.clear();
+        self.pos.clear();
+        self.pos.resize(n, ABSENT);
     }
 
     #[inline]

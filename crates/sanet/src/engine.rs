@@ -103,6 +103,52 @@ pub struct TraceEvent {
     pub case: usize,
 }
 
+/// Reusable per-worker scratch for the simulation kernels.
+///
+/// One replication of either kernel needs a marking, a reward accumulator,
+/// and (for the calendar kernel) a future-event heap plus several
+/// dirty-tracking buffers — eight-odd heap allocations per run. A
+/// `RunScratch` owns all of them; the kernels reset it at the start of
+/// every replication, so a worker that runs thousands of replications
+/// allocates once and the per-replication hot path is allocation-free
+/// (the returned [`RunResult`]'s value vector is the single remaining
+/// allocation). [`Experiment`](crate::Experiment) threads one scratch per
+/// pool worker through `probdist::parallel::replicate_with`.
+///
+/// Scratch state never carries information between replications — every
+/// buffer is cleared or overwritten on reset — so results are bit-identical
+/// whether a scratch is fresh or reused (the parallel determinism suites
+/// pin this).
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    /// Per-slot reward accumulator (`RewardTable` layout).
+    pub(crate) acc: Vec<f64>,
+    /// The reusable marking; `None` until the first replication.
+    pub(crate) marking: Option<Marking>,
+    /// Event-calendar kernel state (heap, schedules, dirty sets).
+    pub(crate) calendar: crate::calendar::CalendarScratch,
+    /// Naive-kernel state (schedule scan, written flags).
+    pub(crate) reference: crate::reference::ReferenceScratch,
+}
+
+impl RunScratch {
+    /// Creates an empty scratch; buffers are sized lazily by the first
+    /// replication that uses it.
+    pub fn new() -> Self {
+        RunScratch::default()
+    }
+}
+
+/// Resets (or lazily creates) the scratch marking to the model's initial
+/// marking and returns it.
+pub(crate) fn prepare_marking<'s>(slot: &'s mut Option<Marking>, model: &Model) -> &'s mut Marking {
+    match slot {
+        Some(marking) => model.reset_marking(marking),
+        None => *slot = Some(model.initial_marking()),
+    }
+    slot.as_mut().expect("marking was just initialised")
+}
+
 /// Discrete-event simulator for a [`Model`].
 ///
 /// The execution semantics follow Möbius' simulator:
@@ -165,7 +211,7 @@ impl<'m> Simulator<'m> {
         validate_window(horizon, warmup)?;
         self.model.debug_lint()?;
         let table = RewardTable::compile(self.model, rewards)?;
-        self.run_compiled(&table, horizon, warmup, rng)
+        self.run_compiled(&table, horizon, warmup, rng, &mut RunScratch::new())
     }
 
     /// Dispatches a compiled run to the faster kernel for the model size.
@@ -175,11 +221,12 @@ impl<'m> Simulator<'m> {
         horizon: f64,
         warmup: f64,
         rng: &mut SimRng,
+        scratch: &mut RunScratch,
     ) -> Result<RunResult, SanError> {
         if self.model.num_activities() < NAIVE_KERNEL_MAX_ACTIVITIES {
-            crate::reference::run(self.model, table, horizon, warmup, rng, None)
+            crate::reference::run(self.model, table, horizon, warmup, rng, None, scratch)
         } else {
-            crate::calendar::run(self.model, table, horizon, warmup, rng, None)
+            crate::calendar::run(self.model, table, horizon, warmup, rng, None, scratch)
         }
     }
 
@@ -205,8 +252,15 @@ impl<'m> Simulator<'m> {
         validate_window(horizon, warmup)?;
         let table = RewardTable::compile(self.model, rewards)?;
         let mut trace = Vec::new();
-        let result =
-            crate::calendar::run(self.model, &table, horizon, warmup, rng, Some(&mut trace))?;
+        let result = crate::calendar::run(
+            self.model,
+            &table,
+            horizon,
+            warmup,
+            rng,
+            Some(&mut trace),
+            &mut RunScratch::new(),
+        )?;
         Ok((result, trace))
     }
 
@@ -233,7 +287,15 @@ impl<'m> Simulator<'m> {
     ) -> Result<RunResult, SanError> {
         validate_window(horizon, warmup)?;
         let table = RewardTable::compile(self.model, rewards)?;
-        crate::reference::run(self.model, &table, horizon, warmup, rng, None)
+        crate::reference::run(
+            self.model,
+            &table,
+            horizon,
+            warmup,
+            rng,
+            None,
+            &mut RunScratch::new(),
+        )
     }
 
     /// Like [`Simulator::run_reference`], but also records every activity
@@ -252,23 +314,32 @@ impl<'m> Simulator<'m> {
         validate_window(horizon, warmup)?;
         let table = RewardTable::compile(self.model, rewards)?;
         let mut trace = Vec::new();
-        let result =
-            crate::reference::run(self.model, &table, horizon, warmup, rng, Some(&mut trace))?;
+        let result = crate::reference::run(
+            self.model,
+            &table,
+            horizon,
+            warmup,
+            rng,
+            Some(&mut trace),
+            &mut RunScratch::new(),
+        )?;
         Ok((result, trace))
     }
 
-    /// Runs one replication against an already-compiled reward table (the
-    /// replication manager compiles once and shares the table across all
-    /// replications of a run).
-    pub(crate) fn run_with_table(
+    /// Runs one replication against an already-compiled reward table,
+    /// reusing a caller-owned [`RunScratch`] — the allocation-free
+    /// replication hot path. The replication manager compiles the table once
+    /// per run and passes one scratch per pool worker.
+    pub(crate) fn run_with_table_scratch(
         &self,
         table: &RewardTable,
         horizon: f64,
         warmup: f64,
         rng: &mut SimRng,
+        scratch: &mut RunScratch,
     ) -> Result<RunResult, SanError> {
         validate_window(horizon, warmup)?;
-        self.run_compiled(table, horizon, warmup, rng)
+        self.run_compiled(table, horizon, warmup, rng, scratch)
     }
 }
 
@@ -316,22 +387,29 @@ pub(crate) fn credit_impulses(table: &RewardTable, completed: usize, acc: &mut [
 }
 
 /// Turns the per-slot accumulators into the reported reward values.
+///
+/// Reads the (scratch-owned, reusable) accumulator slice and builds the
+/// result's value vector fresh — the one allocation a replication keeps,
+/// since the [`RunResult`] outlives the scratch.
 pub(crate) fn finalise(
     table: &RewardTable,
-    mut acc: Vec<f64>,
+    acc: &[f64],
     marking: &Marking,
     observed: f64,
     events: u64,
     end_time: f64,
 ) -> RunResult {
-    for (slot, rule) in table.finals.iter().enumerate() {
-        acc[slot] = match rule {
+    let values = table
+        .finals
+        .iter()
+        .enumerate()
+        .map(|(slot, rule)| match rule {
             Finalise::RateTimeAveraged | Finalise::ImpulsePerHour => acc[slot] / observed,
             Finalise::RateAccumulated | Finalise::ImpulseTotal => acc[slot],
             Finalise::RateInstant(function) => function(marking),
-        };
-    }
-    RunResult { names: Arc::clone(&table.names), values: acc, events, end_time }
+        })
+        .collect();
+    RunResult { names: Arc::clone(&table.names), values, events, end_time }
 }
 
 /// Applies the marking changes of one activity completion and returns the

@@ -127,7 +127,7 @@ mod reference;
 mod replication;
 pub mod reward;
 
-pub use engine::{RunResult, Simulator, TraceEvent};
+pub use engine::{RunResult, RunScratch, Simulator, TraceEvent};
 pub use error::SanError;
 pub use lint::{Diagnostic, LintConfig, LintReport, Severity};
 pub use marking::{Marking, PlaceId};

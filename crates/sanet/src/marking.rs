@@ -82,6 +82,18 @@ impl Marking {
         Marking { tokens, log: Vec::new(), tracking: false, reads: Some(recorder) }
     }
 
+    /// Resets this marking in place to the state [`Marking::new`] would
+    /// produce from `tokens`, reusing the existing allocations. Used by the
+    /// kernels' per-worker scratch so a replication never reallocates the
+    /// marking.
+    pub(crate) fn reset_from(&mut self, tokens: impl Iterator<Item = u64>) {
+        self.tokens.clear();
+        self.tokens.extend(tokens);
+        self.log.clear();
+        self.tracking = false;
+        self.reads = None;
+    }
+
     /// Number of places in the marking.
     pub fn len(&self) -> usize {
         self.tokens.len()

@@ -355,6 +355,13 @@ impl Model {
         Marking::new(self.places.iter().map(|p| p.initial_tokens).collect())
     }
 
+    /// Resets `marking` in place to this model's initial marking, reusing
+    /// its allocations (the scratch-based kernels call this once per
+    /// replication instead of [`Model::initial_marking`]).
+    pub(crate) fn reset_marking(&self, marking: &mut Marking) {
+        marking.reset_from(self.places.iter().map(|p| p.initial_tokens));
+    }
+
     /// Looks up a place by (fully scoped) name.
     pub fn place(&self, name: &str) -> Option<PlaceId> {
         self.place_index.get(name).copied()

@@ -14,11 +14,23 @@
 use probdist::SimRng;
 
 use crate::engine::{
-    accumulate_rate_rewards, credit_impulses, finalise, fire_activity, sample_delay, RunResult,
-    TraceEvent, MAX_INSTANT_FIRINGS,
+    accumulate_rate_rewards, credit_impulses, finalise, fire_activity, prepare_marking,
+    sample_delay, RunResult, RunScratch, TraceEvent, MAX_INSTANT_FIRINGS,
 };
 use crate::reward::RewardTable;
 use crate::{ActivityId, Marking, Model, SanError, Timing};
+
+/// Reusable working state for one reference-kernel run, owned per worker by
+/// [`RunScratch`](crate::RunScratch). The marking and reward accumulator are
+/// shared with the calendar kernel's scratch; these two buffers are the
+/// reference kernel's own.
+#[derive(Debug, Default)]
+pub(crate) struct ReferenceScratch {
+    /// Scheduled firing time per timed activity.
+    schedule: Vec<Option<f64>>,
+    /// Per-place "written during this event" flags.
+    written: Vec<bool>,
+}
 
 /// Runs one replication with full rescans after every event.
 pub(crate) fn run(
@@ -28,8 +40,9 @@ pub(crate) fn run(
     warmup: f64,
     rng: &mut SimRng,
     mut trace: Option<&mut Vec<TraceEvent>>,
+    scratch: &mut RunScratch,
 ) -> Result<RunResult, SanError> {
-    let mut marking = model.initial_marking();
+    let marking = prepare_marking(&mut scratch.marking, model);
     // Track writes so declared timing reads can be honoured (naively): a
     // restart-policy activity with declared reads resamples only when one
     // of them was written during the event.
@@ -37,27 +50,20 @@ pub(crate) fn run(
     let mut now = 0.0_f64;
     let mut events = 0u64;
     let observed = horizon - warmup;
-    let mut acc = vec![0.0_f64; table.len()];
-    let mut written = vec![false; model.num_places()];
-
-    // Scheduled firing time per timed activity.
-    let mut schedule: Vec<Option<f64>> = vec![None; model.num_activities()];
+    let acc = &mut scratch.acc;
+    acc.clear();
+    acc.resize(table.len(), 0.0);
+    let ReferenceScratch { schedule, written } = &mut scratch.reference;
+    written.clear();
+    written.resize(model.num_places(), false);
+    schedule.clear();
+    schedule.resize(model.num_activities(), None);
 
     // Fire any instantaneous activities enabled in the initial marking,
     // then schedule timed activities.
-    fire_instantaneous(
-        model,
-        &mut marking,
-        rng,
-        &mut trace,
-        &mut events,
-        now,
-        table,
-        &mut acc,
-        warmup,
-    )?;
+    fire_instantaneous(model, marking, rng, &mut trace, &mut events, now, table, acc, warmup)?;
     marking.clear_log();
-    refresh_schedule(model, &marking, &mut schedule, rng, now, true, &written);
+    refresh_schedule(model, marking, schedule, rng, now, true, written);
 
     loop {
         // Find the earliest scheduled completion by scanning every slot.
@@ -72,53 +78,43 @@ pub(crate) fn run(
             _ => {
                 // No more events before the horizon: accumulate rewards
                 // for the remaining interval and stop.
-                accumulate_rate_rewards(table, &marking, now, horizon, warmup, &mut acc);
+                accumulate_rate_rewards(table, marking, now, horizon, warmup, acc);
                 now = horizon;
                 break;
             }
         };
 
         // Integrate rate rewards over [now, fire_time].
-        accumulate_rate_rewards(table, &marking, now, fire_time, warmup, &mut acc);
+        accumulate_rate_rewards(table, marking, now, fire_time, warmup, acc);
         now = fire_time;
 
         // Fire the activity.
         let activity_id = ActivityId(activity_idx);
-        let case = fire_activity(model, activity_id, &mut marking, rng);
+        let case = fire_activity(model, activity_id, marking, rng);
         schedule[activity_idx] = None;
         events += 1;
         if now >= warmup {
-            credit_impulses(table, activity_idx, &mut acc);
+            credit_impulses(table, activity_idx, acc);
         }
         if let Some(trace) = trace.as_deref_mut() {
             trace.push(TraceEvent { time: now, activity: activity_id, case });
         }
 
         // Process any instantaneous cascade triggered by the firing.
-        fire_instantaneous(
-            model,
-            &mut marking,
-            rng,
-            &mut trace,
-            &mut events,
-            now,
-            table,
-            &mut acc,
-            warmup,
-        )?;
+        fire_instantaneous(model, marking, rng, &mut trace, &mut events, now, table, acc, warmup)?;
 
         // Update the timed-activity schedule after the marking change.
         for &p in marking.log() {
             written[p as usize] = true;
         }
-        refresh_schedule(model, &marking, &mut schedule, rng, now, false, &written);
+        refresh_schedule(model, marking, schedule, rng, now, false, written);
         for &p in marking.log() {
             written[p as usize] = false;
         }
         marking.clear_log();
     }
 
-    Ok(finalise(table, acc, &marking, observed, events, now))
+    Ok(finalise(table, acc, marking, observed, events, now))
 }
 
 /// Fires enabled instantaneous activities until none remain enabled,

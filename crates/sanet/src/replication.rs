@@ -16,7 +16,7 @@ pub use probdist::stats::StoppingRule;
 
 /// Point estimate and confidence interval for one reward across
 /// replications.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RewardEstimate {
     /// The reward's name.
     pub name: String,
@@ -28,7 +28,7 @@ pub struct RewardEstimate {
 }
 
 /// Results of a replicated simulation experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     estimates: Vec<RewardEstimate>,
     /// Number of replications actually executed (for an adaptive run, the
@@ -239,8 +239,8 @@ impl Experiment {
 
     /// Runs replications `start..start+count` (by stream index) and returns
     /// their raw results. The deterministic fan-out lives in
-    /// [`probdist::parallel::replicate`], so the results are bit-identical
-    /// for any worker count.
+    /// [`probdist::parallel::replicate_with`], so the results are
+    /// bit-identical for any worker count.
     fn run_indices(
         &self,
         start: usize,
@@ -254,9 +254,17 @@ impl Experiment {
         // shares the interned name table (one `Arc` clone per result) and
         // the partitioned accumulator layout instead of re-deriving them.
         let table = crate::reward::RewardTable::compile(&self.model, &self.rewards)?;
-        probdist::parallel::replicate(start..start + count, &root, workers, |_, rng| {
-            sim.run_with_table(&table, self.horizon, self.warmup, rng)
-        })
+        // Each worker owns one `RunScratch`, so the kernel's working buffers
+        // are allocated once per worker rather than once per replication.
+        probdist::parallel::replicate_with(
+            start..start + count,
+            &root,
+            workers,
+            crate::RunScratch::new,
+            |_, rng, scratch| {
+                sim.run_with_table_scratch(&table, self.horizon, self.warmup, rng, scratch)
+            },
+        )
         .into_iter()
         .collect()
     }

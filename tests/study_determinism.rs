@@ -165,6 +165,59 @@ fn adaptive_and_fixed_runs_of_equal_length_are_bit_identical() {
     }
 }
 
+/// The batched-claiming determinism gate at scale: one million replications
+/// of the 2-activity repairable unit through `sanet::Experiment` (the
+/// `RunSpec` surface caps replications at 100 000, so the experiment API is
+/// the only road to this count), pinned bit-identical at workers 1, 2, and
+/// 8. A million indices exercise thousands of adaptively-sized claim
+/// batches per worker, so any ordering or stream-assignment bug in the
+/// persistent pool shows up here even when the small suites stay green.
+/// Debug builds skip it (tens of seconds there, ~a second per worker count
+/// in release).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "million-replication smoke is a release-build test")]
+fn million_replication_experiment_is_bit_identical_across_worker_counts() {
+    let build_experiment =
+        || {
+            let mut builder = ModelBuilder::new("unit");
+            let up = builder.add_place("up", 1).unwrap();
+            let down = builder.add_place("down", 0).unwrap();
+            builder
+                .timed_activity("fail", Exponential::from_mean(1_000.0).unwrap())
+                .unwrap()
+                .input_arc(up, 1)
+                .output_arc(down, 1)
+                .build()
+                .unwrap();
+            builder
+                .timed_activity("repair", Exponential::from_mean(10.0).unwrap())
+                .unwrap()
+                .input_arc(down, 1)
+                .output_arc(up, 1)
+                .build()
+                .unwrap();
+            let mut experiment = Experiment::new(builder.build().unwrap(), 10_000.0);
+            experiment.add_reward(sanet::reward::RewardSpec::time_averaged_rate(
+                "avail",
+                move |m| if m.tokens(up) > 0 { 1.0 } else { 0.0 },
+            ));
+            experiment
+        };
+
+    let mut serial = build_experiment();
+    serial.set_workers(1);
+    let baseline = serial.run(1_000_000, 20_080_625).unwrap();
+    let estimate = baseline.reward("avail").unwrap();
+    assert!(estimate.interval.point > 0.98, "unit is mostly up: {}", estimate.interval.point);
+
+    for workers in [2, 8] {
+        let mut parallel = build_experiment();
+        parallel.set_workers(workers);
+        let summary = parallel.run(1_000_000, 20_080_625).unwrap();
+        assert_eq!(baseline, summary, "workers = {workers}");
+    }
+}
+
 /// The adaptive replication count itself must be worker-count invariant:
 /// the stopping decision reduces from index-ordered statistics, so the
 /// engine may not stop at different counts under different scheduling.
