@@ -22,6 +22,11 @@
 //! are reported but do not fail the guard, so adding or retiring benches
 //! does not require touching the guard.
 //!
+//! Every failure mode — a missing or truncated `BENCH.fresh.json`, a
+//! malformed document, a record without the expected fields — is a typed
+//! [`GuardError`] with the offending path, never a panic, so a broken
+//! bench run produces an actionable CI message instead of a backtrace.
+//!
 //! Knobs:
 //!
 //! * `CFS_BENCH_GUARD_SKIP=1` — skip the guard entirely (exit 0), the
@@ -32,235 +37,61 @@
 #![forbid(unsafe_code)]
 
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 use std::process::ExitCode;
 
-/// A minimal JSON value — just enough for the flat `BENCH.json` schema.
-/// The vendored `serde` shim only serialises, so parsing is hand-rolled.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
+use serde::{json, Value};
+
+/// Everything that can go wrong before the guard has two comparable metric
+/// sets: each variant names the offending file so CI output points straight
+/// at the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GuardError {
+    /// The file could not be read (missing `BENCH.fresh.json` after a bench
+    /// run that died, unreadable baseline, …).
+    Io {
+        /// Path that failed to read.
+        path: String,
+        /// The underlying I/O error as text.
+        reason: String,
+    },
+    /// The file exists but is not valid JSON (typically truncated by a
+    /// killed bench run).
+    Parse {
+        /// Path of the malformed document.
+        path: String,
+        /// Byte offset the parser stopped at.
+        offset: usize,
+        /// What the parser expected.
+        message: String,
+    },
+    /// The document is valid JSON but not the BENCH.json shape.
+    Schema {
+        /// Path of the off-schema document.
+        path: String,
+        /// Which expectation the document broke.
+        reason: String,
+    },
 }
 
-impl Json {
-    fn as_f64(&self) -> Option<f64> {
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Json::Number(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::String(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-/// Recursive-descent JSON parser over the raw bytes.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
-    }
-
-    fn error(&self, message: &str) -> String {
-        format!("{message} at byte {}", self.pos)
-    }
-
-    fn skip_whitespace(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_whitespace();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected '{}'", byte as char)))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        match self.peek().ok_or_else(|| self.error("unexpected end of input"))? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(Json::String(self.parse_string()?)),
-            b't' => self.parse_literal("true", Json::Bool(true)),
-            b'f' => self.parse_literal("false", Json::Bool(false)),
-            b'n' => self.parse_literal("null", Json::Null),
-            _ => self.parse_number(),
-        }
-    }
-
-    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
-            self.pos += literal.len();
-            Ok(value)
-        } else {
-            Err(self.error(&format!("expected '{literal}'")))
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.error("invalid utf-8 in number"))?;
-        text.parse::<f64>().map(Json::Number).map_err(|_| self.error("invalid number"))
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos).copied() {
-                None => return Err(self.error("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let escape = self
-                        .bytes
-                        .get(self.pos)
-                        .copied()
-                        .ok_or_else(|| self.error("bad escape"))?;
-                    self.pos += 1;
-                    match escape {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.error("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.error("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.error("bad \\u code point"))?,
-                            );
-                        }
-                        _ => return Err(self.error("unknown escape")),
-                    }
-                }
-                Some(byte) => {
-                    // Multi-byte UTF-8 sequences pass through verbatim.
-                    let len = match byte {
-                        0x00..=0x7f => 1,
-                        0xc0..=0xdf => 2,
-                        0xe0..=0xef => 3,
-                        _ => 4,
-                    };
-                    let chunk = self
-                        .bytes
-                        .get(self.pos..self.pos + len)
-                        .and_then(|c| std::str::from_utf8(c).ok())
-                        .ok_or_else(|| self.error("invalid utf-8 in string"))?;
-                    out.push_str(chunk);
-                    self.pos += len;
-                }
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(self.error("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_whitespace();
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(self.error("expected ',' or '}'")),
+            GuardError::Io { path, reason } => write!(f, "cannot read {path}: {reason}"),
+            GuardError::Parse { path, offset, message } => write!(
+                f,
+                "{path} is not valid JSON (byte {offset}: {message}) — \
+                 usually a bench run that died mid-write"
+            ),
+            GuardError::Schema { path, reason } => {
+                write!(f, "{path} is not a BENCH.json document: {reason}")
             }
         }
     }
 }
 
-fn parse_json(text: &str) -> Result<Json, String> {
-    let mut parser = Parser::new(text);
-    let value = parser.parse_value()?;
-    parser.skip_whitespace();
-    if parser.pos != parser.bytes.len() {
-        return Err(parser.error("trailing garbage"));
-    }
-    Ok(value)
-}
+impl Error for GuardError {}
 
 /// The guarded metric of one record, if the record is guarded at all.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -286,22 +117,34 @@ impl Metric {
     }
 }
 
+/// Reads and parses one BENCH.json, wrapping each failure mode in its
+/// typed error.
+fn load_document(path: &str) -> Result<Value, GuardError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GuardError::Io { path: path.to_string(), reason: e.to_string() })?;
+    json::parse(&text).map_err(|e| GuardError::Parse {
+        path: path.to_string(),
+        offset: e.offset,
+        message: e.message,
+    })
+}
+
 /// Extracts `(name, workers) -> guarded metric` from a parsed BENCH.json.
-fn guarded_metrics(doc: &Json) -> Result<BTreeMap<(String, i64), Metric>, String> {
-    let Json::Array(records) = doc else {
-        return Err("BENCH.json root must be an array".to_string());
-    };
+fn guarded_metrics(path: &str, doc: &Value) -> Result<BTreeMap<(String, i64), Metric>, GuardError> {
+    let schema_error =
+        |reason: &str| GuardError::Schema { path: path.to_string(), reason: reason.to_string() };
+    let records = doc.as_array().ok_or_else(|| schema_error("root must be an array"))?;
     let mut metrics = BTreeMap::new();
     for record in records {
-        let Some(name) = record.get("name").and_then(Json::as_str) else {
-            return Err("record without a string 'name'".to_string());
+        let Some(name) = record.get("name").and_then(Value::as_str) else {
+            return Err(schema_error("record without a string 'name'"));
         };
-        let workers = record.get("workers").and_then(Json::as_f64).map_or(-1, |w| w as i64);
-        let unit = record.get("unit").and_then(Json::as_str).unwrap_or("");
+        let workers = record.get("workers").and_then(Value::as_f64).map_or(-1, |w| w as i64);
+        let unit = record.get("unit").and_then(Value::as_str).unwrap_or("");
         let metric = if name == "study_global_work_stealing_pool" {
-            record.get("speedup").and_then(Json::as_f64).map(Metric::Speedup)
+            record.get("speedup").and_then(Value::as_f64).map(Metric::Speedup)
         } else if name.starts_with("san_") && unit == "events/s" {
-            record.get("events_per_sec").and_then(Json::as_f64).map(Metric::EventsPerSec)
+            record.get("events_per_sec").and_then(Value::as_f64).map(Metric::EventsPerSec)
         } else {
             None
         };
@@ -320,11 +163,9 @@ fn tolerance() -> f64 {
         .unwrap_or(0.25)
 }
 
-fn run(baseline_path: &str, fresh_path: &str) -> Result<bool, String> {
-    let read =
-        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
-    let baseline = guarded_metrics(&parse_json(&read(baseline_path)?)?)?;
-    let fresh = guarded_metrics(&parse_json(&read(fresh_path)?)?)?;
+fn run(baseline_path: &str, fresh_path: &str) -> Result<bool, GuardError> {
+    let baseline = guarded_metrics(baseline_path, &load_document(baseline_path)?)?;
+    let fresh = guarded_metrics(fresh_path, &load_document(fresh_path)?)?;
     let tolerance = tolerance();
 
     let mut ok = true;
@@ -395,7 +236,7 @@ mod tests {
 
     #[test]
     fn parses_the_bench_schema() {
-        let doc = parse_json(
+        let doc = json::parse(
             r#"[
                 {"name": "san_abe_model_calendar", "unit": "events/s", "workers": null,
                  "ns_per_iter": 100.5, "events_per_sec": 6.5e6, "speedup": 1.8,
@@ -406,7 +247,7 @@ mod tests {
             ]"#,
         )
         .unwrap();
-        let metrics = guarded_metrics(&doc).unwrap();
+        let metrics = guarded_metrics("test.json", &doc).unwrap();
         assert_eq!(
             metrics.get(&("san_abe_model_calendar".to_string(), -1)),
             Some(&Metric::EventsPerSec(6.5e6))
@@ -418,22 +259,8 @@ mod tests {
     }
 
     #[test]
-    fn parses_strings_with_escapes() {
-        let doc = parse_json(r#"{"a": "x\n\"y\" A ü"}"#).unwrap();
-        assert_eq!(doc.get("a").and_then(Json::as_str), Some("x\n\"y\" A ü"));
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        assert!(parse_json("[1, 2").is_err());
-        assert!(parse_json("{\"a\" 1}").is_err());
-        assert!(parse_json("[] trailing").is_err());
-        assert!(parse_json("nulL").is_err());
-    }
-
-    #[test]
     fn unguarded_rows_are_ignored() {
-        let doc = parse_json(
+        let doc = json::parse(
             r#"[
                 {"name": "weibull_sample", "unit": "ns/iter", "workers": null,
                  "ns_per_iter": 27.0, "events_per_sec": null, "speedup": null,
@@ -447,6 +274,45 @@ mod tests {
             ]"#,
         )
         .unwrap();
-        assert!(guarded_metrics(&doc).unwrap().is_empty());
+        assert!(guarded_metrics("test.json", &doc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = run("/nonexistent/baseline.json", "/nonexistent/fresh.json").unwrap_err();
+        match &err {
+            GuardError::Io { path, .. } => assert_eq!(path, "/nonexistent/baseline.json"),
+            other => panic!("expected Io error, got {other}"),
+        }
+        assert!(err.to_string().contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn truncated_fresh_file_is_a_typed_parse_error() {
+        let dir = std::env::temp_dir();
+        let baseline = dir.join(format!("bench-guard-base-{}.json", std::process::id()));
+        let fresh = dir.join(format!("bench-guard-fresh-{}.json", std::process::id()));
+        std::fs::write(&baseline, "[]").unwrap();
+        // A bench run killed mid-write leaves a truncated document.
+        std::fs::write(&fresh, r#"[{"name": "san_abe_model_calendar", "unit": "ev"#).unwrap();
+        let err = run(baseline.to_str().unwrap(), fresh.to_str().unwrap()).unwrap_err();
+        match &err {
+            GuardError::Parse { path, .. } => assert_eq!(path, fresh.to_str().unwrap()),
+            other => panic!("expected Parse error, got {other}"),
+        }
+        assert!(err.to_string().contains("not valid JSON"), "{err}");
+        std::fs::remove_file(&baseline).unwrap();
+        std::fs::remove_file(&fresh).unwrap();
+    }
+
+    #[test]
+    fn off_schema_documents_are_typed_schema_errors() {
+        let doc = json::parse(r#"{"not": "an array"}"#).unwrap();
+        let err = guarded_metrics("test.json", &doc).unwrap_err();
+        assert!(matches!(err, GuardError::Schema { .. }), "{err}");
+
+        let doc = json::parse(r#"[{"unit": "events/s"}]"#).unwrap();
+        let err = guarded_metrics("test.json", &doc).unwrap_err();
+        assert!(err.to_string().contains("'name'"), "{err}");
     }
 }

@@ -102,17 +102,23 @@ impl BenchRecord {
 }
 
 /// Path the microbench writes its JSON results to: `CFS_BENCH_JSON` if set,
-/// else `BENCH.json` at the workspace root (cargo runs bench binaries with
-/// the *crate* directory as working directory, which would otherwise bury
-/// the artifact under `crates/bench/`).
+/// else `BENCH.json` at the workspace root.
+///
+/// Cargo runs bench binaries with the *crate* directory as working
+/// directory, which would otherwise bury the artifact under
+/// `crates/bench/` — so a **relative** `CFS_BENCH_JSON` is also anchored
+/// at the workspace root, matching where `bench_guard` (invoked from the
+/// root) looks for it. An absolute override is used verbatim.
 pub fn bench_json_path() -> std::path::PathBuf {
-    if let Some(path) = std::env::var_os("CFS_BENCH_JSON") {
-        return std::path::PathBuf::from(path);
-    }
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+    let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .map_or_else(|| std::path::PathBuf::from("BENCH.json"), |root| root.join("BENCH.json"))
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
+    if let Some(path) = std::env::var_os("CFS_BENCH_JSON") {
+        let path = std::path::PathBuf::from(path);
+        return if path.is_absolute() { path } else { workspace_root.join(path) };
+    }
+    workspace_root.join("BENCH.json")
 }
 
 /// Writes the collected records as a JSON array to [`bench_json_path`] and
@@ -252,6 +258,24 @@ mod tests {
             let path = bench_json_path();
             assert!(path.ends_with("BENCH.json"));
             assert!(path.parent().is_some_and(|p| p.join("Cargo.lock").exists()));
+        }
+    }
+
+    #[test]
+    fn relative_env_override_is_anchored_at_the_workspace_root() {
+        // A relative CFS_BENCH_JSON must resolve the same way for the
+        // microbench (cwd = crates/bench) and bench_guard (cwd = root);
+        // anchoring both at the workspace root is what guarantees the
+        // guard finds the file the bench just wrote. Exercised through the
+        // same resolution logic rather than by mutating the process
+        // environment (tests share it).
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap();
+        assert!(root.join("Cargo.lock").exists(), "ancestor walk found the workspace root");
+        if let Some(path) = std::env::var_os("CFS_BENCH_JSON") {
+            let resolved = bench_json_path();
+            if std::path::PathBuf::from(&path).is_relative() {
+                assert_eq!(resolved, root.join(path));
+            }
         }
     }
 }

@@ -1,10 +1,15 @@
 //! Running the composed cluster model and summarising its dependability.
 
+use std::cell::Cell;
+use std::ops::Range;
+
+use probdist::parallel::{current_cancel_token, CancelToken};
 use probdist::stats::{confidence_interval, run_to_precision, ConfidenceInterval, RunningStats};
 use serde::{Deserialize, Serialize};
 
 use sanet::{Experiment, RunResult};
 
+use crate::checkpoint::{self, StoredRun};
 use crate::config::ClusterConfig;
 use crate::model::build_cluster_model;
 use crate::rewards::{
@@ -35,6 +40,10 @@ pub struct ClusterDependability {
     pub replications: usize,
     /// Simulation horizon of each replication, hours.
     pub horizon_hours: f64,
+    /// Whether a run deadline expired before the replication budget was
+    /// spent: every statistic is still valid, but covers only the
+    /// contiguous prefix of replications that completed.
+    pub truncated: bool,
 }
 
 /// The five dependability measures of one evaluation, accumulated across
@@ -95,6 +104,111 @@ impl MeasureStats {
     }
 }
 
+/// Per-evaluation checkpoint state: the file and interval from the spec's
+/// [`crate::run::CheckpointPolicy`], this evaluation's entry key, and the
+/// stored replication prefix loaded when the session opened. As new
+/// replications complete they are appended to `stored` and the whole
+/// prefix is re-persisted, so the file always holds a contiguous
+/// `0..stored.len()` prefix.
+struct CheckpointSession {
+    path: String,
+    every_n: usize,
+    key: String,
+    stored: Vec<StoredRun>,
+}
+
+impl CheckpointSession {
+    /// Opens the spec's checkpoint (if it carries one), loading any
+    /// previously persisted prefix for this `(config, base seed)` pair.
+    fn open(config: &ClusterConfig, spec: &RunSpec) -> Result<Option<CheckpointSession>, CfsError> {
+        let Some(policy) = spec.checkpoint() else {
+            return Ok(None);
+        };
+        let key = checkpoint::entry_key(&config.name, spec.base_seed());
+        let data = checkpoint::load(&policy.path)?;
+        let stored = data.entry(&key).map(<[StoredRun]>::to_vec).unwrap_or_default();
+        Ok(Some(CheckpointSession {
+            path: policy.path.clone(),
+            every_n: policy.every_n,
+            key,
+            stored,
+        }))
+    }
+
+    fn persist(&self) -> Result<(), CfsError> {
+        checkpoint::update(&self.path, &self.key, self.stored.clone())
+    }
+}
+
+fn restore_run(run: &StoredRun) -> RunResult {
+    RunResult::from_named_values(run.rewards.clone(), run.events, run.end_time)
+}
+
+fn capture_run(run: &RunResult) -> StoredRun {
+    StoredRun {
+        rewards: run.iter().map(|(name, value)| (name.to_string(), value)).collect(),
+        events: run.events,
+        end_time: run.end_time,
+    }
+}
+
+/// Runs replications `range` of `experiment`: indices already in the
+/// checkpoint prefix are restored without simulating, the remainder runs
+/// in chunks of the checkpoint interval (persisting after every chunk),
+/// and the cancel token truncates the range cooperatively. Returns the
+/// contiguous completed prefix of the range and whether cancellation cut
+/// it short.
+///
+/// A panic inside a chunk (a poisoned replication, injected or real)
+/// propagates *before* that chunk is persisted, so the checkpoint file
+/// only ever holds fully completed replications.
+fn run_range(
+    experiment: &Experiment,
+    seed: u64,
+    range: Range<usize>,
+    session: &mut Option<CheckpointSession>,
+    token: Option<&CancelToken>,
+) -> Result<(Vec<RunResult>, bool), CfsError> {
+    let mut results: Vec<RunResult> = Vec::with_capacity(range.len());
+    let mut next = range.start;
+
+    // Serve the stored prefix first — bit-identical to re-simulating,
+    // because replication `i` is a pure function of `(seed, i)`.
+    if let Some(session) = session.as_ref() {
+        let available = session.stored.len().min(range.end);
+        while next < available {
+            results.push(restore_run(&session.stored[next]));
+            next += 1;
+        }
+    }
+
+    while next < range.end {
+        if token.is_some_and(CancelToken::is_cancelled) {
+            return Ok((results, true));
+        }
+        let chunk_len = match session.as_ref() {
+            Some(session) => session.every_n.min(range.end - next),
+            None => range.end - next,
+        };
+        let chunk_range = next..next + chunk_len;
+        let (chunk, cut) = match token {
+            Some(token) => experiment.run_raw_range_interruptible(chunk_range, seed, token)?,
+            None => (experiment.run_raw_range(chunk_range, seed)?, false),
+        };
+        if let Some(session) = session.as_mut() {
+            debug_assert_eq!(session.stored.len(), next, "checkpoint prefix out of step");
+            session.stored.extend(chunk.iter().map(capture_run));
+            session.persist()?;
+        }
+        next += chunk.len();
+        results.extend(chunk);
+        if cut {
+            return Ok((results, true));
+        }
+    }
+    Ok((results, false))
+}
+
 /// Builds the composed model for `config`, simulates it under the spec's
 /// replication policy — a fixed count, or precision-targeted batches when
 /// [`RunSpec::with_precision_target`] is set — and returns every reward
@@ -103,15 +217,25 @@ impl MeasureStats {
 /// when one is ambient), each drawing from its own index-derived RNG
 /// stream, so the result is a pure function of `(config, spec)`.
 ///
+/// Two resilience policies thread through here. With
+/// [`RunSpec::with_checkpoint`], completed replications persist to a
+/// checksummed file and a rerun restores them instead of re-simulating —
+/// bit-identically. With [`RunSpec::with_deadline`] (or inside a study
+/// that installed an ambient cancellation token), an expired deadline
+/// stops claiming new replications, and the result covers the contiguous
+/// completed prefix with `truncated` set.
+///
 /// The returned `replications` field records the count actually used,
 /// which for an adaptive run is where the stopping rule was satisfied (or
-/// its cap).
+/// its cap), and for a truncated run the completed prefix length.
 ///
 /// # Errors
 ///
 /// Returns [`CfsError::InvalidConfig`] for an invalid configuration or run
-/// spec, or when a replication produces a non-finite reward; propagates
-/// simulation errors.
+/// spec, or when a replication produces a non-finite reward;
+/// [`CfsError::Checkpoint`] for a corrupt or unwritable checkpoint file;
+/// [`CfsError::DeadlineExpired`] when fewer than two replications finished
+/// before the deadline; and propagates simulation errors.
 pub fn evaluate(config: &ClusterConfig, spec: &RunSpec) -> Result<ClusterDependability, CfsError> {
     spec.validate()?;
     let horizon_hours = spec.horizon_hours();
@@ -125,14 +249,41 @@ pub fn evaluate(config: &ClusterConfig, spec: &RunSpec) -> Result<ClusterDependa
         experiment.add_reward(reward);
     }
 
+    // A study installs one study-wide token ambiently (covering every
+    // scenario it schedules); a standalone evaluation derives its own from
+    // the spec's deadline.
+    let token = current_cancel_token().or_else(|| spec.deadline().map(CancelToken::with_deadline));
+    let mut session = CheckpointSession::open(config, spec)?;
+
+    let truncated = Cell::new(false);
     let runs = match spec.stopping_rule()? {
-        None => experiment.run_raw(spec.replications(), spec.base_seed())?,
+        None => {
+            let (runs, cut) = run_range(
+                &experiment,
+                spec.base_seed(),
+                0..spec.replications(),
+                &mut session,
+                token.as_ref(),
+            )?;
+            truncated.set(cut);
+            runs
+        }
         Some(rule) => run_to_precision(
             &rule,
             |range| -> Result<Vec<RunResult>, CfsError> {
-                Ok(experiment.run_raw_range(range, spec.base_seed())?)
+                let (batch, cut) =
+                    run_range(&experiment, spec.base_seed(), range, &mut session, token.as_ref())?;
+                if cut {
+                    truncated.set(true);
+                }
+                Ok(batch)
             },
             |runs| {
+                if truncated.get() {
+                    // The deadline fired: accept the completed prefix as
+                    // final instead of scheduling further batches.
+                    return Ok(true);
+                }
                 let m = MeasureStats::from_runs(config, horizon_hours, runs)?;
                 for stats in [&m.cfs, &m.storage, &m.cu, &m.replacements, &m.oss_down] {
                     if !rule.met_by(&confidence_interval(stats, level)?) {
@@ -144,6 +295,13 @@ pub fn evaluate(config: &ClusterConfig, spec: &RunSpec) -> Result<ClusterDependa
         )?,
     };
 
+    if truncated.get() && runs.len() < 2 {
+        return Err(CfsError::DeadlineExpired {
+            scenario: config.name.clone(),
+            completed: runs.len(),
+        });
+    }
+
     let m = MeasureStats::from_runs(config, horizon_hours, &runs)?;
     Ok(ClusterDependability {
         config_name: config.name.clone(),
@@ -154,6 +312,7 @@ pub fn evaluate(config: &ClusterConfig, spec: &RunSpec) -> Result<ClusterDependa
         mean_oss_pairs_down: confidence_interval(&m.oss_down, level)?,
         replications: runs.len(),
         horizon_hours,
+        truncated: truncated.get(),
     })
 }
 
@@ -206,6 +365,43 @@ mod tests {
         let fixed =
             evaluate(&abe, &spec(adaptive.replications, 9).with_horizon_hours(2000.0)).unwrap();
         assert_eq!(adaptive, fixed, "same seed + same count must be bit-identical");
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let abe = ClusterConfig::abe();
+        let mut path = std::env::temp_dir();
+        path.push(format!("cfs-analysis-ckpt-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let plain = evaluate(&abe, &spec(6, 21).with_horizon_hours(1000.0)).unwrap();
+        let checkpointed =
+            spec(6, 21).with_horizon_hours(1000.0).with_checkpoint(path.to_str().unwrap(), 2);
+        // The first run populates the checkpoint while matching the plain
+        // run bit for bit…
+        let first = evaluate(&abe, &checkpointed).unwrap();
+        assert_eq!(plain, first);
+        // …and a rerun restores every replication from the file (the
+        // stored f64s round-trip exactly) instead of re-simulating.
+        let second = evaluate(&abe, &checkpointed).unwrap();
+        assert_eq!(first, second);
+        let data = crate::checkpoint::load(&path).unwrap();
+        assert_eq!(data.entry(&crate::checkpoint::entry_key("ABE", 21)).unwrap().len(), 6);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pre_expired_deadline_is_a_typed_starvation_error() {
+        let starved =
+            spec(8, 3).with_horizon_hours(500.0).with_deadline(std::time::Duration::from_nanos(1));
+        let err = evaluate(&ClusterConfig::abe(), &starved).unwrap_err();
+        match err {
+            CfsError::DeadlineExpired { scenario, completed } => {
+                assert_eq!(scenario, "ABE");
+                assert_eq!(completed, 0);
+            }
+            other => panic!("expected DeadlineExpired, got {other}"),
+        }
     }
 
     #[test]

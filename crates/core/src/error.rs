@@ -23,6 +23,38 @@ pub enum CfsError {
     Log(LogError),
     /// An error from the statistics layer.
     Distribution(DistError),
+    /// A scenario panicked during evaluation. The panic was contained at
+    /// the scenario boundary — the worker pool and every other scenario's
+    /// results are unaffected — and surfaces as this typed error (or as a
+    /// [`crate::report::ScenarioFailure`] under
+    /// [`crate::run::FailurePolicy::ContinueAndReport`]).
+    ScenarioPanic {
+        /// Name of the scenario whose evaluation panicked.
+        scenario: String,
+        /// The replication index that panicked, when the panic originated
+        /// inside a replication fan-out (`None` for panics in scenario
+        /// code outside the replication loop).
+        replication: Option<u64>,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+    /// A checkpoint file could not be read, written, or verified.
+    Checkpoint {
+        /// Path of the offending checkpoint file.
+        path: String,
+        /// What went wrong (I/O failure, malformed JSON, version or
+        /// checksum mismatch).
+        reason: String,
+    },
+    /// A run deadline expired before an evaluation completed the minimum
+    /// two replications a confidence interval needs. Evaluations that got
+    /// further return truncated-but-valid statistics instead of this error.
+    DeadlineExpired {
+        /// Name of the starved scenario or configuration.
+        scenario: String,
+        /// Replications that completed before the deadline fired.
+        completed: usize,
+    },
 }
 
 impl fmt::Display for CfsError {
@@ -35,6 +67,20 @@ impl fmt::Display for CfsError {
             CfsError::Raid(e) => write!(f, "storage model error: {e}"),
             CfsError::Log(e) => write!(f, "failure log error: {e}"),
             CfsError::Distribution(e) => write!(f, "distribution error: {e}"),
+            CfsError::ScenarioPanic { scenario, replication, message } => match replication {
+                Some(index) => {
+                    write!(f, "scenario '{scenario}' panicked in replication {index}: {message}")
+                }
+                None => write!(f, "scenario '{scenario}' panicked: {message}"),
+            },
+            CfsError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint file '{path}': {reason}")
+            }
+            CfsError::DeadlineExpired { scenario, completed } => write!(
+                f,
+                "deadline expired before '{scenario}' completed the two replications a \
+                 confidence interval needs ({completed} done)"
+            ),
         }
     }
 }
@@ -46,7 +92,10 @@ impl Error for CfsError {
             CfsError::Raid(e) => Some(e),
             CfsError::Log(e) => Some(e),
             CfsError::Distribution(e) => Some(e),
-            CfsError::InvalidConfig { .. } => None,
+            CfsError::InvalidConfig { .. }
+            | CfsError::ScenarioPanic { .. }
+            | CfsError::Checkpoint { .. }
+            | CfsError::DeadlineExpired { .. } => None,
         }
     }
 }

@@ -39,7 +39,11 @@
 //!   10⁻⁶..10⁻¹⁰ data-loss probabilities by multilevel splitting under a
 //!   [`RareEventPolicy`].
 //! * [`report`] — the unified [`Report`] sink: aligned text tables, CSV,
-//!   and JSON rendering for every result.
+//!   and JSON rendering for every result, including the contained
+//!   [`ScenarioFailure`]s of a fault-tolerant run.
+//! * [`checkpoint`] — versioned, checksummed persistence of completed
+//!   replications, so a killed study resumes bit-identically via
+//!   [`RunSpec::with_checkpoint`].
 //!
 //! # Example
 //!
@@ -72,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod config;
 mod error;
 pub mod experiments;
@@ -91,8 +96,8 @@ pub use config::ClusterConfig;
 pub use error::CfsError;
 pub use lint::{lint_all, lint_built_in, LintSummary, BUILT_IN_MODELS};
 pub use params::ModelParameters;
-pub use report::{Report, ReportFormat, TextTable};
-pub use run::{PrecisionTarget, RareEventPolicy, RunSpec};
+pub use report::{Report, ReportFormat, ScenarioFailure, TextTable};
+pub use run::{CheckpointPolicy, FailurePolicy, PrecisionTarget, RareEventPolicy, RunSpec};
 pub use scenario::{Metric, Scenario, ScenarioOutput};
 pub use study::Study;
 pub use sweep::{DesignPoint, DesignSpace, Objective, PointOutcome, SweepScenario};

@@ -166,21 +166,51 @@ impl ReportFormat {
     }
 }
 
+/// A scenario failure contained by a fault-tolerant study run: the
+/// scenario panicked or returned an error, the study kept the worker pool
+/// and its sibling scenarios intact, and the failure is reported here
+/// instead of unwinding the process (see
+/// [`crate::run::FailurePolicy::ContinueAndReport`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioFailure {
+    /// Name of the failed scenario.
+    pub scenario: String,
+    /// The replication index that panicked, when the failure originated in
+    /// a replication fan-out (`None` for failures outside it).
+    pub replication: Option<u64>,
+    /// The panic payload or error rendered as text.
+    pub message: String,
+    /// Wall-clock seconds the scenario ran before failing.
+    pub elapsed_seconds: f64,
+}
+
 /// The unified result sink of a [`crate::study::Study`] run: the spec the
-/// study ran under plus every scenario's output, renderable as text, CSV,
-/// or JSON through one interface.
+/// study ran under, every scenario's output, and — under a fault-tolerant
+/// failure policy — every contained failure, renderable as text, CSV, or
+/// JSON through one interface.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Report {
     /// The run spec every scenario was evaluated under.
     pub spec: RunSpec,
     /// Scenario outputs, in study execution order.
     pub outputs: Vec<ScenarioOutput>,
+    /// Failures contained by [`crate::run::FailurePolicy::ContinueAndReport`],
+    /// in study execution order. Always empty under the default abort
+    /// policy (the first failure surfaces as a [`crate::CfsError`] instead).
+    pub failures: Vec<ScenarioFailure>,
 }
 
 impl Report {
-    /// Creates a report from a spec and the outputs it produced.
+    /// Creates a report from a spec and the outputs it produced, with no
+    /// contained failures.
     pub fn new(spec: RunSpec, outputs: Vec<ScenarioOutput>) -> Self {
-        Report { spec, outputs }
+        Report { spec, outputs, failures: Vec::new() }
+    }
+
+    /// Attaches the failures a fault-tolerant run contained.
+    pub fn with_failures(mut self, failures: Vec<ScenarioFailure>) -> Self {
+        self.failures = failures;
+        self
     }
 
     /// Looks up a scenario's output by name.
@@ -238,6 +268,27 @@ impl Report {
             if let Some(used) = output.replications_used {
                 let _ = writeln!(out, "replications used: {used}");
             }
+            if output.truncated {
+                let _ = writeln!(
+                    out,
+                    "TRUNCATED: the deadline expired; statistics cover the completed \
+                     replication prefix only"
+                );
+            }
+        }
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "\n==== contained failures ====");
+            for failure in &self.failures {
+                let location = match failure.replication {
+                    Some(index) => format!(" (replication {index})"),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}{location}: {} [after {:.3} s]",
+                    failure.scenario, failure.message, failure.elapsed_seconds
+                );
+            }
         }
         out
     }
@@ -269,6 +320,26 @@ impl Report {
                 ]));
                 out.push('\n');
             }
+            if output.truncated {
+                out.push_str(&csv::record(&[
+                    output.scenario.clone(),
+                    "truncated".to_string(),
+                    "true".to_string(),
+                    String::new(),
+                ]));
+                out.push('\n');
+            }
+        }
+        for failure in &self.failures {
+            // RFC-4180 quoting keeps arbitrary panic text (commas, quotes,
+            // newlines) inside one cell.
+            out.push_str(&csv::record(&[
+                failure.scenario.clone(),
+                "failure".to_string(),
+                failure.message.clone(),
+                failure.replication.map(|i| format!("replication {i}")).unwrap_or_default(),
+            ]));
+            out.push('\n');
         }
         out
     }

@@ -48,6 +48,45 @@ pub struct RunSpec {
     workers: usize,
     precision: Option<PrecisionTarget>,
     rare_event: Option<RareEventPolicy>,
+    failure_policy: FailurePolicy,
+    checkpoint: Option<CheckpointPolicy>,
+    deadline_seconds: Option<f64>,
+}
+
+/// What a [`crate::study::Study`] does when one of its scenarios fails —
+/// panics during evaluation or returns an error.
+///
+/// Either way the failure is contained at the scenario boundary: the worker
+/// pool survives, sibling scenarios already running are unaffected, and the
+/// panic payload is captured as text rather than unwinding the process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailurePolicy {
+    /// Stop scheduling further scenarios and return the first failure as a
+    /// [`CfsError`]. In-flight scenarios finish but their outputs are
+    /// discarded. This is the default: a study is usually a paper artefact
+    /// where a missing scenario invalidates the comparison.
+    #[default]
+    Abort,
+    /// Keep evaluating the remaining scenarios and record every failure as
+    /// a [`crate::report::ScenarioFailure`] in the report, alongside the
+    /// outputs of the scenarios that succeeded.
+    ContinueAndReport,
+}
+
+/// Where and how often an evaluation persists completed replications so an
+/// interrupted study can resume without redoing them.
+///
+/// Set with [`RunSpec::with_checkpoint`]. The file is versioned and
+/// checksummed (see [`crate::checkpoint`]); because replication `i` always
+/// draws from the stream derived from `(base seed, i)`, a resumed run is
+/// bit-identical to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Path of the checkpoint file (shared by every scenario of a study;
+    /// entries are keyed by scenario name and base seed).
+    pub path: String,
+    /// Persist after every `every_n` completed replications (≥ 1).
+    pub every_n: usize,
 }
 
 /// A rare-event estimation policy: how scenarios whose headline measure is
@@ -105,6 +144,9 @@ impl Default for RunSpec {
             workers: 0,
             precision: None,
             rare_event: None,
+            failure_policy: FailurePolicy::Abort,
+            checkpoint: None,
+            deadline_seconds: None,
         }
     }
 }
@@ -196,6 +238,49 @@ impl RunSpec {
         self
     }
 
+    /// Sets what a study does when a scenario fails (panics or errors):
+    /// abort with the first failure (the default) or keep going and record
+    /// every failure in the report. See [`FailurePolicy`].
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// Persists completed replications to the checkpoint file at `path`
+    /// after every `every_n` replications, so an interrupted run can resume
+    /// from the last persisted prefix instead of starting over. A resumed
+    /// run is bit-identical to an uninterrupted one (replication `i` always
+    /// draws from the stream derived from the base seed and `i`).
+    pub fn with_checkpoint(mut self, path: impl Into<String>, every_n: usize) -> Self {
+        self.checkpoint = Some(CheckpointPolicy { path: path.into(), every_n });
+        self
+    }
+
+    /// Clears the checkpoint policy.
+    pub fn without_checkpoint(mut self) -> Self {
+        self.checkpoint = None;
+        self
+    }
+
+    /// Sets a soft wall-clock deadline for the whole run. When it expires,
+    /// in-flight replications finish, no new ones start, and every
+    /// evaluation returns valid statistics over the contiguous prefix of
+    /// replications that completed — reports flag the affected scenarios as
+    /// truncated and record the replication count actually used. A scenario
+    /// that completes fewer than two replications fails with
+    /// [`CfsError::DeadlineExpired`] instead (recorded as a failure, never
+    /// aborting the study).
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline_seconds = Some(deadline.as_secs_f64());
+        self
+    }
+
+    /// Clears the deadline.
+    pub fn without_deadline(mut self) -> Self {
+        self.deadline_seconds = None;
+        self
+    }
+
     /// The simulation horizon per replication, hours.
     pub fn horizon_hours(&self) -> f64 {
         self.horizon_hours
@@ -229,6 +314,25 @@ impl RunSpec {
     /// The rare-event estimation policy, if one is set.
     pub fn rare_event(&self) -> Option<&RareEventPolicy> {
         self.rare_event.as_ref()
+    }
+
+    /// The failure policy ([`FailurePolicy::Abort`] by default).
+    pub fn failure_policy(&self) -> FailurePolicy {
+        self.failure_policy
+    }
+
+    /// The checkpoint policy, if one is set.
+    pub fn checkpoint(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
+    }
+
+    /// The wall-clock deadline, if one is set. A malformed (non-positive or
+    /// non-finite) deadline yields `None` here; [`RunSpec::validate`]
+    /// reports it as an error.
+    pub fn deadline(&self) -> Option<std::time::Duration> {
+        self.deadline_seconds
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .map(std::time::Duration::from_secs_f64)
     }
 
     /// The validated stopping rule of the precision target, or `None` for a
@@ -311,6 +415,28 @@ impl RunSpec {
                 });
             }
             self.stopping_rule()?;
+        }
+        if let Some(policy) = &self.checkpoint {
+            if policy.path.is_empty() {
+                return Err(CfsError::InvalidConfig {
+                    reason: "run spec: checkpoint path must not be empty".into(),
+                });
+            }
+            if policy.every_n == 0 {
+                return Err(CfsError::InvalidConfig {
+                    reason: "run spec: checkpoint interval must be at least one replication, got 0"
+                        .into(),
+                });
+            }
+        }
+        if let Some(seconds) = self.deadline_seconds {
+            if !(seconds.is_finite() && seconds > 0.0) {
+                return Err(CfsError::InvalidConfig {
+                    reason: format!(
+                        "run spec: deadline must be positive and finite, got {seconds} seconds"
+                    ),
+                });
+            }
         }
         match self.rare_event {
             Some(RareEventPolicy::ImportanceSampling { bias_factor })
@@ -447,6 +573,43 @@ mod tests {
                 .unwrap_err();
             assert!(err.to_string().contains("trials"), "{err}");
         }
+    }
+
+    #[test]
+    fn failure_policy_defaults_to_abort_and_round_trips() {
+        assert_eq!(RunSpec::new().failure_policy(), FailurePolicy::Abort);
+        let spec = RunSpec::new().with_failure_policy(FailurePolicy::ContinueAndReport);
+        assert_eq!(spec.failure_policy(), FailurePolicy::ContinueAndReport);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn checkpoint_policy_round_trips_and_validates() {
+        assert!(RunSpec::new().checkpoint().is_none());
+        let spec = RunSpec::new().with_checkpoint("study.ckpt", 4);
+        let policy = spec.checkpoint().unwrap();
+        assert_eq!(policy.path, "study.ckpt");
+        assert_eq!(policy.every_n, 4);
+        assert!(spec.validate().is_ok());
+        assert!(spec.clone().without_checkpoint().checkpoint().is_none());
+
+        let err = RunSpec::new().with_checkpoint("", 4).validate().unwrap_err();
+        assert!(err.to_string().contains("checkpoint path"), "{err}");
+        let err = RunSpec::new().with_checkpoint("study.ckpt", 0).validate().unwrap_err();
+        assert!(err.to_string().contains("checkpoint interval"), "{err}");
+    }
+
+    #[test]
+    fn deadline_round_trips_and_validates() {
+        use std::time::Duration;
+        assert!(RunSpec::new().deadline().is_none());
+        let spec = RunSpec::new().with_deadline(Duration::from_millis(1500));
+        assert_eq!(spec.deadline(), Some(Duration::from_millis(1500)));
+        assert!(spec.validate().is_ok());
+        assert!(spec.clone().without_deadline().deadline().is_none());
+
+        let err = RunSpec::new().with_deadline(Duration::from_secs(0)).validate().unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
     }
 
     #[test]

@@ -57,6 +57,11 @@ pub struct ScenarioOutput {
     /// precision-targeted runs surface how much work the stopping rule
     /// spent. `None` for purely analytic scenarios.
     pub replications_used: Option<u64>,
+    /// Whether a run deadline expired before the full replication budget
+    /// was spent: the statistics are valid but cover only the contiguous
+    /// prefix of replications that completed (see
+    /// [`RunSpec::with_deadline`]).
+    pub truncated: bool,
 }
 
 impl ScenarioOutput {
@@ -67,12 +72,20 @@ impl ScenarioOutput {
             tables: Vec::new(),
             metrics: Vec::new(),
             replications_used: None,
+            truncated: false,
         }
     }
 
     /// Records the number of replications actually executed.
     pub fn with_replications_used(mut self, replications: usize) -> Self {
         self.replications_used = Some(replications as u64);
+        self
+    }
+
+    /// Marks whether a deadline truncated the scenario's replication
+    /// budget.
+    pub fn with_truncated(mut self, truncated: bool) -> Self {
+        self.truncated = truncated;
         self
     }
 
@@ -157,6 +170,7 @@ impl Scenario for ClusterConfig {
         Ok(ScenarioOutput::new(&self.name)
             .with_table(table)
             .with_replications_used(result.replications)
+            .with_truncated(result.truncated)
             .with_metric_ci("cfs_availability", &result.cfs_availability)
             .with_metric_ci("storage_availability", &result.storage_availability)
             .with_metric_ci("cluster_utility", &result.cluster_utility)

@@ -28,8 +28,10 @@
 //! therefore produce bit-identical reports, the property the determinism
 //! integration tests pin down.
 
-use crate::report::Report;
-use crate::run::RunSpec;
+use probdist::parallel::{cancel_scope, panic_message, CancelToken, WorkUnitPanic};
+
+use crate::report::{Report, ScenarioFailure};
+use crate::run::{FailurePolicy, RunSpec};
 use crate::scenario::{
     CorrelationAblation, Figure2StorageAvailability, Figure3DiskReplacements,
     Figure4CfsAvailability, RaidParityAblation, RepairTimeAblation, Scenario, SpareOssAblation,
@@ -151,10 +153,20 @@ impl Study {
     ///
     /// Returns [`CfsError::InvalidConfig`] for an invalid spec, an empty
     /// study, or duplicate scenario names (the report is keyed by name, so
-    /// duplicates would silently shadow each other in every lookup), and
-    /// propagates a scenario error. Once any scenario fails, unstarted
-    /// scenarios are skipped (fail-fast); in-flight ones finish, and the
-    /// earliest-registered error among the scenarios that ran is returned.
+    /// duplicates would silently shadow each other in every lookup).
+    ///
+    /// Scenario failures — errors *and panics*, both contained at the
+    /// scenario boundary without harming the pool or sibling scenarios —
+    /// follow the spec's [`FailurePolicy`]. Under the default
+    /// [`FailurePolicy::Abort`], once any scenario fails, unstarted
+    /// scenarios are skipped (fail-fast), in-flight ones finish, and the
+    /// earliest-registered failure is returned (a panic as
+    /// [`CfsError::ScenarioPanic`]). Under
+    /// [`FailurePolicy::ContinueAndReport`], every scenario still runs and
+    /// each failure is recorded as a [`ScenarioFailure`] in the report.
+    /// A [`CfsError::DeadlineExpired`] is always recorded as a failure
+    /// rather than aborting — truncation is the expected behaviour of
+    /// [`RunSpec::with_deadline`], not a defect of the study.
     pub fn run(&self, spec: &RunSpec) -> Result<Report, CfsError> {
         spec.validate()?;
         if self.scenarios.is_empty() {
@@ -176,28 +188,100 @@ impl Study {
         // The cached process-wide pool: repeated studies reuse the same
         // worker threads instead of spawning a fresh crew per run.
         let pool = probdist::parallel::Pool::global(spec.workers());
+        let abort = spec.failure_policy() == FailurePolicy::Abort;
+        // One study-wide cancellation token covers every scenario: when the
+        // deadline fires, each evaluation stops claiming replications and
+        // returns its completed prefix.
+        let token = spec.deadline().map(CancelToken::with_deadline);
         let failed = std::sync::atomic::AtomicBool::new(false);
         let results = pool.run_indexed(self.scenarios.len(), |index| {
             if failed.load(std::sync::atomic::Ordering::Relaxed) {
                 return None;
             }
-            let result = self.scenarios[index].evaluate(spec);
-            if result.is_err() {
+            let start = std::time::Instant::now();
+            // Contain panics here, at the scenario boundary: the pool never
+            // sees the unwind, so a poisoned scenario cannot take down its
+            // siblings or leave the global pool unusable.
+            let evaluated =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &token {
+                    Some(token) => cancel_scope(token, || self.scenarios[index].evaluate(spec)),
+                    None => self.scenarios[index].evaluate(spec),
+                }));
+            let elapsed_seconds = start.elapsed().as_secs_f64();
+            let outcome = match evaluated {
+                Ok(result) => ScenarioOutcome::Finished(result),
+                Err(payload) => ScenarioOutcome::Panicked {
+                    replication: payload
+                        .downcast_ref::<WorkUnitPanic>()
+                        .map(|wrapped| wrapped.index() as u64),
+                    message: panic_message(payload.as_ref()),
+                },
+            };
+            if abort && outcome.is_fatal() {
                 failed.store(true, std::sync::atomic::Ordering::Relaxed);
             }
-            Some(result)
+            Some((outcome, elapsed_seconds))
         });
         let mut outputs = Vec::with_capacity(results.len());
-        for result in results {
+        let mut failures = Vec::new();
+        for (index, result) in results.into_iter().enumerate() {
+            let scenario = self.scenarios[index].name();
             match result {
-                Some(Ok(output)) => outputs.push(output),
-                Some(Err(error)) => return Err(error),
-                // Skipped after an earlier failure — that failure's `Err`
-                // is in the results and returns above.
+                // Skipped after an earlier abort-policy failure — that
+                // failure is in the results and returns below.
                 None => {}
+                Some((ScenarioOutcome::Finished(Ok(output)), _)) => outputs.push(output),
+                Some((ScenarioOutcome::Finished(Err(error)), elapsed_seconds)) => {
+                    // Deadline starvation is never fatal: the deadline is a
+                    // study-wide policy doing exactly what it was asked to.
+                    if abort && !matches!(error, CfsError::DeadlineExpired { .. }) {
+                        return Err(error);
+                    }
+                    failures.push(ScenarioFailure {
+                        scenario: scenario.to_string(),
+                        replication: None,
+                        message: error.to_string(),
+                        elapsed_seconds,
+                    });
+                }
+                Some((ScenarioOutcome::Panicked { replication, message }, elapsed_seconds)) => {
+                    if abort {
+                        return Err(CfsError::ScenarioPanic {
+                            scenario: scenario.to_string(),
+                            replication,
+                            message,
+                        });
+                    }
+                    failures.push(ScenarioFailure {
+                        scenario: scenario.to_string(),
+                        replication,
+                        message,
+                        elapsed_seconds,
+                    });
+                }
             }
         }
-        Ok(Report::new(spec.clone(), outputs))
+        Ok(Report::new(spec.clone(), outputs).with_failures(failures))
+    }
+}
+
+/// What one scenario task produced: a normal result, or a contained panic
+/// with the replication index (when the unwind carried a
+/// [`WorkUnitPanic`]) and its payload as text.
+enum ScenarioOutcome {
+    Finished(Result<crate::scenario::ScenarioOutput, CfsError>),
+    Panicked { replication: Option<u64>, message: String },
+}
+
+impl ScenarioOutcome {
+    /// Whether this outcome trips the abort policy's fail-fast flag.
+    /// Deadline starvation never does — truncation is requested behaviour.
+    fn is_fatal(&self) -> bool {
+        match self {
+            ScenarioOutcome::Finished(Ok(_)) => false,
+            ScenarioOutcome::Finished(Err(CfsError::DeadlineExpired { .. })) => false,
+            ScenarioOutcome::Finished(Err(_)) | ScenarioOutcome::Panicked { .. } => true,
+        }
     }
 }
 
@@ -252,6 +336,74 @@ mod tests {
             let err = study.run(&quick_spec().with_workers(workers)).unwrap_err();
             assert!(err.to_string().contains("deliberate test failure"), "{err}");
         }
+    }
+
+    struct Panicking;
+    impl crate::scenario::Scenario for Panicking {
+        fn name(&self) -> &str {
+            "always-panics"
+        }
+        fn evaluate(&self, _: &RunSpec) -> Result<ScenarioOutput, CfsError> {
+            panic!("deliberate test panic");
+        }
+    }
+
+    #[test]
+    fn panicking_scenario_becomes_a_typed_error_under_abort() {
+        let study = Study::new().with(Panicking).with(ClusterConfig::abe());
+        for workers in [1, 4] {
+            let err = study.run(&quick_spec().with_workers(workers)).unwrap_err();
+            match &err {
+                CfsError::ScenarioPanic { scenario, message, .. } => {
+                    assert_eq!(scenario, "always-panics");
+                    assert!(message.contains("deliberate test panic"), "{message}");
+                }
+                other => panic!("expected ScenarioPanic, got {other}"),
+            }
+        }
+        // The global pool survives the contained panic: the same study
+        // minus the poison runs to completion afterwards.
+        let report =
+            Study::new().with(ClusterConfig::abe()).run(&quick_spec().with_workers(4)).unwrap();
+        assert_eq!(report.outputs.len(), 1);
+    }
+
+    #[test]
+    fn continue_and_report_records_failures_and_keeps_siblings() {
+        let study = Study::new().with(Panicking).with(ClusterConfig::abe());
+        let spec = quick_spec().with_failure_policy(FailurePolicy::ContinueAndReport);
+        let report = study.run(&spec).unwrap();
+        assert_eq!(report.outputs.len(), 1, "the healthy scenario still reports");
+        assert_eq!(report.outputs[0].scenario, "ABE");
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.scenario, "always-panics");
+        assert!(failure.message.contains("deliberate test panic"), "{}", failure.message);
+        assert!(failure.elapsed_seconds >= 0.0);
+        // Every sink renders the failure.
+        assert!(report.to_text().contains("contained failures"));
+        assert!(report.to_csv().contains("deliberate test panic"));
+        assert!(report.to_json().contains("deliberate test panic"));
+    }
+
+    #[test]
+    fn deadline_starvation_is_reported_not_aborted() {
+        struct Starved;
+        impl crate::scenario::Scenario for Starved {
+            fn name(&self) -> &str {
+                "starved"
+            }
+            fn evaluate(&self, _: &RunSpec) -> Result<ScenarioOutput, CfsError> {
+                Err(CfsError::DeadlineExpired { scenario: "starved".into(), completed: 1 })
+            }
+        }
+        // Even under the default abort policy, deadline starvation is a
+        // recorded failure: the study still returns the healthy outputs.
+        let report =
+            Study::new().with(Starved).with(ClusterConfig::abe()).run(&quick_spec()).unwrap();
+        assert_eq!(report.outputs.len(), 1);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].message.contains("deadline expired"));
     }
 
     #[test]

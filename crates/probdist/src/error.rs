@@ -55,6 +55,15 @@ pub enum DistError {
         /// Explanation of the rejected combination.
         reason: String,
     },
+    /// A streaming statistics accumulator was offered a non-finite
+    /// observation (NaN or ±inf), or an estimate was requested from an
+    /// accumulator that has rejected at least one — a poisoned accumulator
+    /// reports how many contributions it refused instead of silently
+    /// corrupting every downstream confidence interval.
+    NonFiniteObservation {
+        /// Number of non-finite observations rejected by the accumulator.
+        count: u64,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -81,6 +90,14 @@ impl fmt::Display for DistError {
             }
             DistError::InvalidStoppingRule { reason } => {
                 write!(f, "invalid stopping rule: {reason}")
+            }
+            DistError::NonFiniteObservation { count } => {
+                write!(
+                    f,
+                    "accumulator rejected {count} non-finite observation{} (NaN or ±inf); \
+                     its estimates are unavailable",
+                    if *count == 1 { "" } else { "s" }
+                )
             }
         }
     }

@@ -46,6 +46,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 mod deterministic;
 mod distribution;
 mod empirical;

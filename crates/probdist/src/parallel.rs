@@ -57,14 +57,199 @@
 //! *between* replications that influences results; the kernels only cache
 //! allocations in it.
 
+use std::any::Any;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 use crate::SimRng;
 
 /// Minimum batch size worth engaging worker threads for.
 const MIN_PARALLEL_COUNT: usize = 4;
+
+/// A cooperative cancellation token threaded through the pool's batch-claim
+/// loop by the interruptible fan-out entry points
+/// ([`Pool::run_indexed_interruptible`], [`replicate_interruptible`]).
+///
+/// A token fires either because [`CancelToken::cancel`] was called or
+/// because its optional deadline passed. Cancellation is *cooperative*:
+/// workers observe the token **between** batch claims, so every batch that
+/// was already claimed runs to completion — which is what keeps the
+/// completed work a contiguous index prefix (claims come from one shared
+/// monotone counter) and therefore statistically usable: the first `k`
+/// replication streams are exactly the ones a fixed run of `k` would have
+/// drawn.
+///
+/// Once observed, the deadline latches into the cancelled flag, so
+/// repeated checks after expiry cost one relaxed atomic load. A fan-out
+/// that never supplies a token pays nothing — the non-interruptible paths
+/// contain no check at all.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<CancelState>,
+}
+
+#[derive(Debug)]
+struct CancelState {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelState { cancelled: AtomicBool::new(false), deadline: None }),
+        }
+    }
+
+    /// A token that fires `budget` from now (or earlier, via
+    /// [`CancelToken::cancel`]).
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelState {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Fires the token. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                // Latch, so later checks skip the clock read.
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+thread_local! {
+    /// Stack of cancellation tokens installed on this thread; the
+    /// innermost one governs interruptible fan-outs started from here.
+    static AMBIENT_CANCEL: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `body` with `token` installed as this thread's ambient
+/// cancellation token (see [`current_cancel_token`]). Nested scopes stack;
+/// the token uninstalls when `body` returns or unwinds.
+///
+/// A study scheduler installs its deadline token around each scenario so
+/// that code deep inside the scenario — the replication engines — can pick
+/// it up without every intermediate layer threading it through its
+/// signature.
+pub fn cancel_scope<R>(token: &CancelToken, body: impl FnOnce() -> R) -> R {
+    struct PopGuard;
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            AMBIENT_CANCEL.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    AMBIENT_CANCEL.with(|stack| stack.borrow_mut().push(token.clone()));
+    let _guard = PopGuard;
+    body()
+}
+
+/// The innermost cancellation token installed on the current thread by an
+/// enclosing [`cancel_scope`], if any.
+pub fn current_cancel_token() -> Option<CancelToken> {
+    AMBIENT_CANCEL.with(|stack| stack.borrow().last().cloned())
+}
+
+/// The typed panic payload the engine forwards when a work unit panics:
+/// the original payload wrapped with the index of the work unit (for
+/// [`replicate`]-family fan-outs, the replication index) that raised it.
+///
+/// Downcast the payload caught from a fan-out to this type to recover the
+/// failing index and a displayable message; [`panic_message`] extracts the
+/// message whether or not the payload was wrapped.
+#[derive(Debug)]
+pub struct WorkUnitPanic {
+    index: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+impl WorkUnitPanic {
+    /// Wraps a raw panic payload with the index of the work unit that
+    /// raised it. Idempotent: an already-wrapped payload keeps its
+    /// original (innermost) index, so a replication index survives the
+    /// re-throw through an enclosing scenario fan-out.
+    fn wrap(index: usize, payload: Box<dyn Any + Send>) -> Box<dyn Any + Send> {
+        if payload.is::<WorkUnitPanic>() {
+            payload
+        } else {
+            Box::new(WorkUnitPanic { index, payload })
+        }
+    }
+
+    /// The index of the work unit whose task panicked.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The panic message, when the original payload was a string (the
+    /// payload of `panic!` with a literal or format string).
+    pub fn message(&self) -> String {
+        panic_message(self.payload.as_ref())
+    }
+
+    /// Unwraps back to the original panic payload.
+    pub fn into_payload(self) -> Box<dyn Any + Send> {
+        self.payload
+    }
+}
+
+/// Renders a panic payload as a message: sees through a [`WorkUnitPanic`]
+/// wrapper and handles the two string payload types `panic!` produces.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(wrapped) = payload.downcast_ref::<WorkUnitPanic>() {
+        return wrapped.message();
+    }
+    if let Some(text) = payload.downcast_ref::<&'static str>() {
+        return (*text).to_string();
+    }
+    if let Some(text) = payload.downcast_ref::<String>() {
+        return text.clone();
+    }
+    "non-string panic payload".to_string()
+}
+
+/// Runs one replication work unit: the chaos fault-injection hook (a no-op
+/// unless the `chaos` feature is on and a config is installed), then the
+/// task, re-throwing any panic wrapped in a [`WorkUnitPanic`] that carries
+/// the replication index.
+fn run_work_unit<T>(index: usize, body: impl FnOnce() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "chaos")]
+        crate::chaos::work_unit(index as u64);
+        body()
+    })) {
+        Ok(value) => value,
+        Err(payload) => resume_unwind(WorkUnitPanic::wrap(index, payload)),
+    }
+}
 
 /// Resolves a requested worker count (`0` = the machine's available
 /// parallelism).
@@ -140,6 +325,12 @@ mod fanout {
         /// `2 * workers` — the adaptive batch divisor.
         batch_denom: usize,
         poisoned: AtomicBool,
+        /// Set when a session observes the cancellation token fired; stops
+        /// parked workers from attaching to a fan-out that is winding down.
+        halted: AtomicBool,
+        /// Cooperative cancellation token, checked between batch claims.
+        /// `None` for non-interruptible fan-outs — those pay no check.
+        cancel: Option<super::CancelToken>,
         /// Attached-worker count. Only read/written while holding the
         /// registry lock; atomic so the header stays `Sync`.
         refs: AtomicUsize,
@@ -148,19 +339,27 @@ mod fanout {
     }
 
     impl FanHeader {
-        fn new(count: usize, total_workers: usize) -> FanHeader {
+        fn new(
+            count: usize,
+            total_workers: usize,
+            cancel: Option<super::CancelToken>,
+        ) -> FanHeader {
             FanHeader {
                 next: AtomicUsize::new(0),
                 count,
                 batch_denom: 2 * total_workers,
                 poisoned: AtomicBool::new(false),
+                halted: AtomicBool::new(false),
+                cancel,
                 refs: AtomicUsize::new(0),
                 payload: Mutex::new(None),
             }
         }
 
         fn has_work(&self) -> bool {
-            !self.poisoned.load(Ordering::Relaxed) && self.next.load(Ordering::Relaxed) < self.count
+            !self.poisoned.load(Ordering::Relaxed)
+                && !self.halted.load(Ordering::Relaxed)
+                && self.next.load(Ordering::Relaxed) < self.count
         }
     }
 
@@ -211,6 +410,15 @@ mod fanout {
                 }
             };
             loop {
+                // Cooperative cancellation: observed between batch claims,
+                // so every claimed batch still runs to completion and the
+                // executed indices stay a contiguous prefix.
+                if let Some(token) = &self.header.cancel {
+                    if token.is_cancelled() {
+                        self.header.halted.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
                 let snapshot = self.header.next.load(Ordering::Relaxed);
                 if snapshot >= self.header.count {
                     return;
@@ -235,7 +443,7 @@ mod fanout {
                             self.written[index].store(true, Ordering::Relaxed);
                         }
                         Err(payload) => {
-                            self.poison(payload);
+                            self.poison(super::WorkUnitPanic::wrap(index, payload));
                             return;
                         }
                     }
@@ -381,15 +589,20 @@ mod fanout {
     }
 
     /// Runs a parallel fan-out of `count` tasks on `shared`, with the
-    /// calling thread participating, and returns the results in index
-    /// order. Panics in tasks are forwarded to the caller after the
-    /// fan-out quiesces.
+    /// calling thread participating, and returns the results of the
+    /// executed index prefix in index order, plus the prefix length.
+    /// Without a cancellation token the prefix is always the full index
+    /// space; with one, claiming stops when the token fires, in-flight
+    /// batches finish, and the completed prefix is whatever was claimed —
+    /// contiguous, because claims come from one monotone counter. Panics
+    /// in tasks are forwarded to the caller after the fan-out quiesces.
     pub(super) fn execute<T, S, I, F>(
         shared: &PoolShared,
         count: usize,
+        cancel: Option<&super::CancelToken>,
         init: &I,
         task: &F,
-    ) -> Vec<T>
+    ) -> (Vec<T>, usize)
     where
         T: Send,
         I: Fn() -> S + Sync,
@@ -399,7 +612,7 @@ mod fanout {
         let written: Vec<AtomicBool> =
             std::iter::repeat_with(|| AtomicBool::new(false)).take(count).collect();
         let fan = FanOut {
-            header: FanHeader::new(count, shared.total),
+            header: FanHeader::new(count, shared.total, cancel.cloned()),
             init,
             task,
             slots: &slots,
@@ -447,21 +660,28 @@ mod fanout {
             }
             resume_unwind(payload);
         }
+        // Claims come from one monotone counter and every claimed batch ran
+        // to completion, so the executed indices are exactly `0..completed`.
+        let completed = fan.header.next.load(Ordering::Relaxed).min(count);
         drop(fan);
-        slots
-            .into_iter()
-            .zip(written.iter())
-            .enumerate()
-            .map(|(index, (slot, was_written))| {
+        let mut results = Vec::with_capacity(completed);
+        for (index, (slot, was_written)) in slots.into_iter().zip(written.iter()).enumerate() {
+            if index < completed {
                 assert!(
                     was_written.load(Ordering::Relaxed),
                     "work unit {index} produced no result"
                 );
                 // SAFETY: the flag proves the claiming worker initialised
                 // this slot, and all workers detached before we got here.
-                unsafe { slot.cell.into_inner().assume_init() }
-            })
-            .collect()
+                results.push(unsafe { slot.cell.into_inner().assume_init() });
+            } else if was_written.load(Ordering::Relaxed) {
+                // Defensive: cannot happen while claims are a prefix, but
+                // if it ever does the slot must still be dropped.
+                // SAFETY: the flag proves the slot was initialised.
+                unsafe { slot.cell.into_inner().assume_init_drop() }
+            }
+        }
+        (results, completed)
     }
 }
 
@@ -611,7 +831,46 @@ impl Pool {
             let mut state = init();
             return (0..count).map(|index| task(index, &mut state)).collect();
         }
-        fanout::execute(&self.shared, count, &init, &task)
+        let (results, completed) = fanout::execute(&self.shared, count, None, &init, &task);
+        debug_assert_eq!(completed, count, "uncancellable fan-out must run every index");
+        results
+    }
+
+    /// Like [`Pool::run_indexed_with`], but cooperatively cancellable:
+    /// `token` is checked between batch claims, in-flight batches finish
+    /// when it fires, and the call returns the results of the completed
+    /// **contiguous index prefix** plus a flag that is `true` when the
+    /// fan-out was truncated (fewer than `count` results).
+    pub fn run_indexed_interruptible<T, S, I, F>(
+        &self,
+        count: usize,
+        token: &CancelToken,
+        init: I,
+        task: F,
+    ) -> (Vec<T>, bool)
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        if count == 0 {
+            return (Vec::new(), false);
+        }
+        let _ambient = push_ambient(Arc::clone(&self.shared));
+        if self.shared.total <= 1 || count == 1 {
+            let mut state = init();
+            let mut results = Vec::with_capacity(count);
+            for index in 0..count {
+                if token.is_cancelled() {
+                    return (results, true);
+                }
+                results.push(task(index, &mut state));
+            }
+            return (results, false);
+        }
+        let (results, completed) = fanout::execute(&self.shared, count, Some(token), &init, &task);
+        let truncated = completed < count;
+        (results, truncated)
     }
 }
 
@@ -675,13 +934,85 @@ where
         // Serial path: iterate the range directly — no pool, one scratch.
         let mut scratch = init();
         return indices
-            .map(|index| run(index, &mut root.derive_stream(index as u64), &mut scratch))
+            .map(|index| {
+                run_work_unit(index, || {
+                    run(index, &mut root.derive_stream(index as u64), &mut scratch)
+                })
+            })
             .collect();
     }
     let pool = Pool::current().unwrap_or_else(|| fallback_pool(workers));
     pool.run_indexed_with(count, init, |offset, scratch| {
         let index = start + offset;
-        run(index, &mut root.derive_stream(index as u64), scratch)
+        run_work_unit(index, || run(index, &mut root.derive_stream(index as u64), scratch))
+    })
+}
+
+/// Like [`replicate`], but cooperatively cancellable: when `token` fires,
+/// claiming stops, in-flight batches finish, and the call returns the
+/// results of the completed **contiguous replication prefix** plus a flag
+/// that is `true` when the fan-out was truncated. Because replication `i`
+/// always draws the stream derived from `(root, i)`, the returned prefix is
+/// bit-identical to the first `len` results of an uninterrupted run — a
+/// statistically valid (if smaller) sample.
+pub fn replicate_interruptible<T, F>(
+    indices: std::ops::Range<usize>,
+    root: &SimRng,
+    workers: usize,
+    token: &CancelToken,
+    run: F,
+) -> (Vec<T>, bool)
+where
+    T: Send,
+    F: Fn(usize, &mut SimRng) -> T + Sync,
+{
+    replicate_with_interruptible(
+        indices,
+        root,
+        workers,
+        token,
+        || (),
+        move |index, rng, _scratch| run(index, rng),
+    )
+}
+
+/// [`replicate_interruptible`] with per-worker scratch (the
+/// [`replicate_with`] analogue).
+pub fn replicate_with_interruptible<T, S, I, F>(
+    indices: std::ops::Range<usize>,
+    root: &SimRng,
+    workers: usize,
+    token: &CancelToken,
+    init: I,
+    run: F,
+) -> (Vec<T>, bool)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut SimRng, &mut S) -> T + Sync,
+{
+    let count = indices.len();
+    let start = indices.start;
+    if count == 0 {
+        return (Vec::new(), false);
+    }
+    if workers == 1 || count < MIN_PARALLEL_COUNT {
+        let mut scratch = init();
+        let mut results = Vec::with_capacity(count);
+        for index in indices {
+            if token.is_cancelled() {
+                return (results, true);
+            }
+            results.push(run_work_unit(index, || {
+                run(index, &mut root.derive_stream(index as u64), &mut scratch)
+            }));
+        }
+        return (results, false);
+    }
+    let pool = Pool::current().unwrap_or_else(|| fallback_pool(workers));
+    pool.run_indexed_interruptible(count, token, init, |offset, scratch| {
+        let index = start + offset;
+        run_work_unit(index, || run(index, &mut root.derive_stream(index as u64), scratch))
     })
 }
 
@@ -871,11 +1202,157 @@ mod tests {
             })
         }));
         let payload = result.expect_err("the panic must propagate to the submitter");
-        let message = payload.downcast_ref::<String>().map_or("", String::as_str);
-        assert!(message.contains("boom at 17"), "unexpected payload: {message}");
+        let wrapped =
+            payload.downcast_ref::<WorkUnitPanic>().expect("payload is typed WorkUnitPanic");
+        assert_eq!(wrapped.index(), 17, "the wrapper carries the failing index");
+        assert!(wrapped.message().contains("boom at 17"), "unexpected: {}", wrapped.message());
+        assert!(panic_message(payload.as_ref()).contains("boom at 17"));
         assert_eq!(live.load(Ordering::SeqCst), 0, "produced results must all be dropped");
         // The pool quiesced cleanly: the same handle still schedules work.
         assert_eq!(pool.run_indexed(8, |i| i), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn replicate_panic_payload_carries_the_replication_index() {
+        // Through `replicate` with an offset range, the typed payload must
+        // carry the *replication* index (start + offset), serial and
+        // parallel alike.
+        let root = SimRng::seed_from_u64(5);
+        for workers in [1, 4] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                replicate(10..30, &root, workers, |i, _| {
+                    assert!(i != 17, "kaboom");
+                    i
+                })
+            }));
+            let payload = result.expect_err("panic must propagate");
+            let wrapped =
+                payload.downcast_ref::<WorkUnitPanic>().expect("payload is typed WorkUnitPanic");
+            assert_eq!(wrapped.index(), 17, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn cancel_token_fires_manually_and_by_deadline() {
+        let manual = CancelToken::new();
+        assert!(!manual.is_cancelled());
+        manual.cancel();
+        assert!(manual.is_cancelled());
+        // Clones share the flag.
+        let clone = manual.clone();
+        assert!(clone.is_cancelled());
+
+        let expired = CancelToken::with_deadline(Duration::from_secs(0));
+        assert!(expired.is_cancelled(), "a zero deadline fires immediately");
+        let generous = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!generous.is_cancelled());
+        generous.cancel();
+        assert!(generous.is_cancelled(), "manual cancel overrides the deadline");
+    }
+
+    #[test]
+    fn cancel_scope_installs_and_uninstalls_the_ambient_token() {
+        assert!(current_cancel_token().is_none());
+        let token = CancelToken::new();
+        cancel_scope(&token, || {
+            let ambient = current_cancel_token().expect("token is ambient inside the scope");
+            token.cancel();
+            assert!(ambient.is_cancelled(), "the ambient token is the same token");
+            let inner = CancelToken::new();
+            cancel_scope(&inner, || {
+                assert!(!current_cancel_token().unwrap().is_cancelled(), "innermost wins");
+            });
+        });
+        assert!(current_cancel_token().is_none());
+    }
+
+    #[test]
+    fn serial_interruptible_fan_out_truncates_deterministically() {
+        // Serial path: the token is checked before every index, so firing
+        // it inside task 20 yields exactly the 21-element prefix.
+        let pool = Pool::new(1);
+        let token = CancelToken::new();
+        let (results, truncated) = pool.run_indexed_interruptible(
+            10_000,
+            &token,
+            || (),
+            |i, ()| {
+                if i == 20 {
+                    token.cancel();
+                }
+                i
+            },
+        );
+        assert!(truncated);
+        assert_eq!(results, (0..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interruptible_fan_out_returns_a_valid_prefix() {
+        // The task itself fires the token at index 20. Each task carries a
+        // little sleep so claim rounds are much slower than reaching index
+        // 20 inside the first batch — the cancellation is then reliably
+        // observed long before the index space is exhausted. Claiming
+        // stops, in-flight batches finish, and the results are a
+        // contiguous, correct prefix.
+        for workers in [2, 8] {
+            let pool = Pool::new(workers);
+            let token = CancelToken::new();
+            let (results, truncated) = pool.run_indexed_interruptible(
+                1000,
+                &token,
+                || (),
+                |i, ()| {
+                    if i == 20 {
+                        token.cancel();
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    i
+                },
+            );
+            assert!(truncated, "workers = {workers}: the fan-out must report truncation");
+            let len = results.len();
+            assert!((1..1000).contains(&len), "workers = {workers}: len = {len}");
+            assert_eq!(
+                results,
+                (0..len).collect::<Vec<_>>(),
+                "workers = {workers}: prefix must be contiguous"
+            );
+        }
+    }
+
+    #[test]
+    fn interruptible_fan_out_without_cancellation_is_complete_and_identical() {
+        let never = CancelToken::new();
+        let value = |i: usize, rng: &mut SimRng| (i, rng.next_u64());
+        let root = SimRng::seed_from_u64(77);
+        let baseline = replicate(0..100, &root, 1, value);
+        for workers in [1, 2, 8] {
+            let (results, truncated) =
+                replicate_interruptible(0..100, &root, workers, &never, value);
+            assert!(!truncated, "workers = {workers}");
+            assert_eq!(results, baseline, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_fan_out_runs_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let pool = Pool::new(4);
+        let ran = AtomicUsize::new(0);
+        let (results, truncated) = pool.run_indexed_interruptible(
+            100,
+            &token,
+            || (),
+            |i, ()| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert!(truncated);
+        assert!(results.is_empty(), "no batch may be claimed after the token fired");
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
     }
 
     #[test]

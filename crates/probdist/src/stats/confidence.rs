@@ -80,14 +80,20 @@ impl std::fmt::Display for ConfidenceInterval {
 /// # Errors
 ///
 /// Returns [`DistError::EmptyData`] if fewer than two observations have been
-/// accumulated (a variance estimate requires at least two), and
-/// [`DistError::InvalidProbability`] if `level` is not in `(0, 1)`.
+/// accumulated (a variance estimate requires at least two),
+/// [`DistError::InvalidProbability`] if `level` is not in `(0, 1)`, and
+/// [`DistError::NonFiniteObservation`] if the accumulator rejected any
+/// non-finite observation — the interval would describe an incomplete
+/// sample, so the corruption surfaces as a typed error instead.
 pub fn confidence_interval(
     stats: &RunningStats,
     level: f64,
 ) -> Result<ConfidenceInterval, DistError> {
     if !(0.0..1.0).contains(&level) || level <= 0.0 {
         return Err(DistError::InvalidProbability { value: level });
+    }
+    if stats.non_finite_count() > 0 {
+        return Err(DistError::NonFiniteObservation { count: stats.non_finite_count() });
     }
     if stats.count() < 2 {
         return Err(DistError::EmptyData);

@@ -1,10 +1,24 @@
 use serde::{Deserialize, Serialize};
 
+use crate::DistError;
+
 /// Numerically stable streaming accumulator for count, mean, variance,
 /// minimum and maximum (Welford's algorithm).
 ///
 /// Used by the simulation engine to accumulate reward observations across
 /// replications without storing every sample.
+///
+/// # Non-finite observations
+///
+/// A NaN or ±inf observation would silently corrupt every statistic the
+/// accumulator reports (one NaN makes the mean, variance, and any
+/// confidence interval NaN forever). The accumulator therefore **rejects**
+/// non-finite observations: [`RunningStats::try_push`] returns a typed
+/// [`DistError::NonFiniteObservation`]; the infallible
+/// [`RunningStats::push`] records the rejection in
+/// [`RunningStats::non_finite_count`] and leaves the moments untouched, and
+/// [`confidence_interval`](crate::stats::confidence_interval) refuses to
+/// produce an interval from a poisoned accumulator.
 ///
 /// # Example
 ///
@@ -25,6 +39,8 @@ pub struct RunningStats {
     m2: f64,
     min: f64,
     max: f64,
+    /// Non-finite observations rejected (not folded into the moments).
+    non_finite: u64,
 }
 
 impl Default for RunningStats {
@@ -36,11 +52,27 @@ impl Default for RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            non_finite: 0,
+        }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. A non-finite observation is **not** folded
+    /// into the statistics; it is counted in
+    /// [`RunningStats::non_finite_count`] instead, which marks the
+    /// accumulator poisoned for confidence-interval purposes. Use
+    /// [`RunningStats::try_push`] to surface the rejection at the call
+    /// site.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
@@ -49,14 +81,33 @@ impl RunningStats {
         self.max = self.max.max(x);
     }
 
+    /// Adds one observation, rejecting NaN and ±inf with a typed error
+    /// (the observation is also counted in
+    /// [`RunningStats::non_finite_count`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonFiniteObservation`] when `x` is not finite.
+    pub fn try_push(&mut self, x: f64) -> Result<(), DistError> {
+        self.push(x);
+        if x.is_finite() {
+            Ok(())
+        } else {
+            Err(DistError::NonFiniteObservation { count: self.non_finite })
+        }
+    }
+
     /// Merges another accumulator into this one (parallel reduction of
     /// per-thread accumulators).
     pub fn merge(&mut self, other: &RunningStats) {
+        self.non_finite += other.non_finite;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
+            let non_finite = self.non_finite;
             *self = *other;
+            self.non_finite = non_finite;
             return;
         }
         let total = self.count + other.count;
@@ -70,9 +121,18 @@ impl RunningStats {
         self.max = self.max.max(other.max);
     }
 
-    /// Number of observations accumulated so far.
+    /// Number of observations accumulated so far (finite ones only).
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of non-finite observations rejected so far. A non-zero count
+    /// poisons the accumulator:
+    /// [`confidence_interval`](crate::stats::confidence_interval) returns
+    /// [`DistError::NonFiniteObservation`] instead of an interval computed
+    /// from an incomplete sample.
+    pub fn non_finite_count(&self) -> u64 {
+        self.non_finite
     }
 
     /// Sample mean. Returns `0.0` before any observation.
@@ -177,6 +237,55 @@ mod tests {
         assert_eq!(merged.count(), sequential.count());
         assert!((merged.mean() - sequential.mean()).abs() < 1e-12);
         assert!((merged.variance() - sequential.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_finite_observations_are_rejected_not_folded_in() {
+        let mut acc = RunningStats::new();
+        acc.push(1.0);
+        acc.push(f64::NAN);
+        acc.push(f64::INFINITY);
+        acc.push(3.0);
+        acc.push(f64::NEG_INFINITY);
+        // The finite statistics are exactly those of [1, 3].
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.mean(), 2.0);
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 3.0);
+        assert!(acc.variance().is_finite());
+        // ...and the rejections are visible.
+        assert_eq!(acc.non_finite_count(), 3);
+    }
+
+    #[test]
+    fn try_push_returns_a_typed_error() {
+        let mut acc = RunningStats::new();
+        assert_eq!(acc.try_push(1.0), Ok(()));
+        assert_eq!(acc.try_push(f64::NAN), Err(DistError::NonFiniteObservation { count: 1 }));
+        assert_eq!(acc.try_push(f64::INFINITY), Err(DistError::NonFiniteObservation { count: 2 }));
+        assert_eq!(acc.try_push(2.0), Ok(()));
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.non_finite_count(), 2);
+        let message = DistError::NonFiniteObservation { count: 2 }.to_string();
+        assert!(message.contains("2 non-finite observations"), "{message}");
+    }
+
+    #[test]
+    fn merge_carries_the_poison_flag() {
+        let mut poisoned = RunningStats::new();
+        poisoned.push(f64::NAN);
+        let mut clean: RunningStats = [1.0, 2.0].iter().copied().collect();
+        clean.merge(&poisoned);
+        assert_eq!(clean.non_finite_count(), 1);
+        assert_eq!(clean.count(), 2);
+
+        // Merging into an empty accumulator keeps both sides' rejections.
+        let mut empty = RunningStats::new();
+        empty.push(f64::INFINITY);
+        let data: RunningStats = [1.0, 2.0].iter().copied().collect();
+        empty.merge(&data);
+        assert_eq!(empty.non_finite_count(), 1);
+        assert_eq!(empty.count(), 2);
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub struct WeightedRunning {
     m2: f64,
     product_mean: f64,
     product_m2: f64,
+    /// Observations rejected for a non-finite value or weight.
+    non_finite: u64,
 }
 
 impl Default for WeightedRunning {
@@ -69,6 +71,7 @@ impl WeightedRunning {
             m2: 0.0,
             product_mean: 0.0,
             product_m2: 0.0,
+            non_finite: 0,
         }
     }
 
@@ -78,12 +81,22 @@ impl WeightedRunning {
     /// variance (an importance-sampled replication whose weight underflowed
     /// still spent a replication).
     ///
+    /// A non-finite value or weight is **not** folded into the statistics;
+    /// it is counted in [`WeightedRunning::non_finite_count`], which
+    /// poisons [`WeightedRunning::confidence_interval`]. Use
+    /// [`WeightedRunning::try_push`] to surface the rejection at the call
+    /// site.
+    ///
     /// # Panics
     ///
-    /// Panics if `w` is negative or not finite, or `x` is not finite.
+    /// Panics if `w` is negative (a likelihood ratio can never be — that is
+    /// a programming error, not data corruption).
     pub fn push(&mut self, x: f64, w: f64) {
-        assert!(w.is_finite() && w >= 0.0, "weight must be finite and non-negative, got {w}");
-        assert!(x.is_finite(), "observation must be finite, got {x}");
+        assert!(w >= 0.0 || w.is_nan(), "weight must be non-negative, got {w}");
+        if !x.is_finite() || !w.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.count += 1;
         if w > 0.0 && x != 0.0 {
             self.nonzero += 1;
@@ -104,13 +117,37 @@ impl WeightedRunning {
         self.m2 += w * delta * (x - self.mean);
     }
 
+    /// Adds one observation, rejecting a non-finite value or weight with a
+    /// typed error (the rejection is also counted in
+    /// [`WeightedRunning::non_finite_count`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonFiniteObservation`] when `x` or `w` is not
+    /// finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is negative, like [`WeightedRunning::push`].
+    pub fn try_push(&mut self, x: f64, w: f64) -> Result<(), DistError> {
+        self.push(x, w);
+        if x.is_finite() && w.is_finite() {
+            Ok(())
+        } else {
+            Err(DistError::NonFiniteObservation { count: self.non_finite })
+        }
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &WeightedRunning) {
+        self.non_finite += other.non_finite;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
+            let non_finite = self.non_finite;
             *self = *other;
+            self.non_finite = non_finite;
             return;
         }
         let total = self.count + other.count;
@@ -138,9 +175,17 @@ impl WeightedRunning {
         self.sum_sq_weights += other.sum_sq_weights;
     }
 
-    /// Number of observations pushed (including zero-weight ones).
+    /// Number of observations pushed (including zero-weight ones, excluding
+    /// rejected non-finite ones).
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of observations rejected for a non-finite value or weight. A
+    /// non-zero count poisons
+    /// [`WeightedRunning::confidence_interval`].
+    pub fn non_finite_count(&self) -> u64 {
+        self.non_finite
     }
 
     /// Number of observations that actually contribute to the estimate:
@@ -252,11 +297,17 @@ impl WeightedRunning {
     ///
     /// # Errors
     ///
-    /// Returns [`DistError::EmptyData`] with fewer than two observations
-    /// and [`DistError::InvalidProbability`] for a level outside `(0, 1)`.
+    /// Returns [`DistError::EmptyData`] with fewer than two observations,
+    /// [`DistError::InvalidProbability`] for a level outside `(0, 1)`, and
+    /// [`DistError::NonFiniteObservation`] when the accumulator rejected
+    /// any non-finite contribution (the interval would describe an
+    /// incomplete sample).
     pub fn confidence_interval(&self, level: f64) -> Result<ConfidenceInterval, DistError> {
         if !(level > 0.0 && level < 1.0) {
             return Err(DistError::InvalidProbability { value: level });
+        }
+        if self.non_finite > 0 {
+            return Err(DistError::NonFiniteObservation { count: self.non_finite });
         }
         if self.count < 2 {
             return Err(DistError::EmptyData);
@@ -374,15 +425,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "weight must be finite")]
+    #[should_panic(expected = "weight must be non-negative")]
     fn negative_weights_are_rejected() {
         WeightedRunning::new().push(1.0, -0.5);
     }
 
     #[test]
-    #[should_panic(expected = "observation must be finite")]
-    fn non_finite_observations_are_rejected() {
-        WeightedRunning::new().push(f64::NAN, 1.0);
+    fn non_finite_contributions_poison_instead_of_corrupting() {
+        let mut acc = WeightedRunning::new();
+        acc.push(1.0, 1.0);
+        acc.push(f64::NAN, 1.0); // non-finite value
+        acc.push(2.0, f64::INFINITY); // non-finite weight
+        acc.push(3.0, 1.0);
+        // The finite statistics are exactly those of [(1,1), (3,1)].
+        assert_eq!(acc.count(), 2);
+        assert!((acc.weighted_mean() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.non_finite_count(), 2);
+        // A poisoned accumulator refuses to produce an interval.
+        assert_eq!(
+            acc.confidence_interval(0.95),
+            Err(DistError::NonFiniteObservation { count: 2 })
+        );
+        // try_push surfaces the rejection at the call site.
+        let mut typed = WeightedRunning::new();
+        assert_eq!(typed.try_push(1.0, 1.0), Ok(()));
+        assert_eq!(
+            typed.try_push(f64::NAN, 1.0),
+            Err(DistError::NonFiniteObservation { count: 1 })
+        );
+        // Merge carries the poison flag.
+        let mut clean = WeightedRunning::new();
+        clean.push(1.0, 1.0);
+        clean.push(2.0, 1.0);
+        clean.merge(&typed);
+        assert_eq!(clean.non_finite_count(), 1);
+        assert!(clean.confidence_interval(0.95).is_err());
     }
 
     #[test]

@@ -86,6 +86,18 @@ impl RunResult {
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         self.names.names.iter().map(String::as_str).zip(self.values.iter().copied())
     }
+
+    /// Reconstructs a result from `(name, value)` pairs in slot order — the
+    /// inverse of [`RunResult::iter`]. The study checkpoint layer uses this
+    /// to restore persisted replications: a restored result answers
+    /// [`RunResult::reward`] exactly like the original, so statistics
+    /// reduced from a stored prefix are bit-identical to a fresh run's.
+    pub fn from_named_values(rewards: Vec<(String, f64)>, events: u64, end_time: f64) -> RunResult {
+        let names: Vec<String> = rewards.iter().map(|(name, _)| name.clone()).collect();
+        let index = names.iter().enumerate().map(|(slot, name)| (name.clone(), slot)).collect();
+        let values = rewards.into_iter().map(|(_, value)| value).collect();
+        RunResult { names: Arc::new(RewardNames { names, index }), values, events, end_time }
+    }
 }
 
 /// One entry of a simulation trace (activity completion).

@@ -237,6 +237,43 @@ impl Experiment {
         self.run_indices(range.start, range.len(), seed)
     }
 
+    /// Like [`Experiment::run_raw_range`], but checks `token` between
+    /// work-unit batches: once it is cancelled (manually or by its
+    /// deadline), in-flight replications finish and the call returns the
+    /// **contiguous prefix** of the range that completed, with `true` for
+    /// "truncated". Because replication `i` always draws from the stream
+    /// derived from `(seed, i)`, the prefix is bit-identical to the first
+    /// replications of an uninterrupted run — a statistically valid sample,
+    /// just a smaller one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulation error.
+    pub fn run_raw_range_interruptible(
+        &self,
+        range: std::ops::Range<usize>,
+        seed: u64,
+        token: &probdist::parallel::CancelToken,
+    ) -> Result<(Vec<crate::RunResult>, bool), SanError> {
+        let root = SimRng::seed_from_u64(seed);
+        let workers = if self.parallel { self.workers } else { 1 };
+        let sim = Simulator::new(&self.model);
+        let table = crate::reward::RewardTable::compile(&self.model, &self.rewards)?;
+        let (results, truncated) = probdist::parallel::replicate_with_interruptible(
+            range,
+            &root,
+            workers,
+            token,
+            crate::RunScratch::new,
+            |index, rng, scratch| {
+                sim.run_with_table_scratch(&table, self.horizon, self.warmup, rng, scratch)
+                    .map(|result| apply_chaos(index, result))
+            },
+        );
+        let results: Result<Vec<_>, SanError> = results.into_iter().collect();
+        Ok((results?, truncated))
+    }
+
     /// Runs replications `start..start+count` (by stream index) and returns
     /// their raw results. The deterministic fan-out lives in
     /// [`probdist::parallel::replicate_with`], so the results are
@@ -261,8 +298,9 @@ impl Experiment {
             &root,
             workers,
             crate::RunScratch::new,
-            |_, rng, scratch| {
+            |index, rng, scratch| {
                 sim.run_with_table_scratch(&table, self.horizon, self.warmup, rng, scratch)
+                    .map(|result| apply_chaos(index, result))
             },
         )
         .into_iter()
@@ -283,6 +321,27 @@ impl Experiment {
         }
         Ok(RunSummary { estimates, replications, horizon: self.horizon, total_events })
     }
+}
+
+/// Routes one replication's reward values through the chaos fault registry:
+/// with the `chaos` feature enabled and a scope active, each value may be
+/// corrupted to NaN at the scope's configured probability (a deterministic
+/// function of the chaos seed, the replication index, and the reward slot).
+/// With the feature off this is an identity the compiler erases.
+#[cfg(feature = "chaos")]
+fn apply_chaos(index: usize, mut result: crate::RunResult) -> crate::RunResult {
+    if probdist::chaos::is_active() {
+        for (slot, value) in result.values.iter_mut().enumerate() {
+            *value = probdist::chaos::corrupt_reward(index as u64, slot, *value);
+        }
+    }
+    result
+}
+
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+fn apply_chaos(_index: usize, result: crate::RunResult) -> crate::RunResult {
+    result
 }
 
 #[cfg(test)]
@@ -423,6 +482,53 @@ mod tests {
             assert_eq!(a.reward("avail").unwrap(), b.reward("avail").unwrap());
             assert_eq!(a.events, b.events);
         }
+    }
+
+    #[test]
+    fn interruptible_range_without_cancellation_matches_the_plain_runner() {
+        let (model, up) = repairable_unit(100.0, 1.0);
+        let mut exp = Experiment::new(model, 5_000.0);
+        exp.add_reward(availability_reward(up));
+        let plain = exp.run_raw_range(0..8, 33).unwrap();
+        let token = probdist::parallel::CancelToken::new();
+        let (interruptible, truncated) = exp.run_raw_range_interruptible(0..8, 33, &token).unwrap();
+        assert!(!truncated);
+        assert_eq!(plain, interruptible, "an unfired token must not change a single bit");
+    }
+
+    #[test]
+    fn pre_cancelled_range_truncates_to_an_empty_prefix() {
+        let (model, up) = repairable_unit(100.0, 1.0);
+        let mut exp = Experiment::new(model, 5_000.0);
+        exp.add_reward(availability_reward(up));
+        let token = probdist::parallel::CancelToken::new();
+        token.cancel();
+        let (results, truncated) = exp.run_raw_range_interruptible(0..8, 33, &token).unwrap();
+        assert!(truncated);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn run_result_round_trips_through_named_values() {
+        let (model, up) = repairable_unit(100.0, 1.0);
+        let mut exp = Experiment::new(model, 5_000.0);
+        exp.add_reward(availability_reward(up));
+        let original = exp.run_raw(2, 9).unwrap().remove(0);
+        let pairs: Vec<(String, f64)> = original.iter().map(|(n, v)| (n.to_string(), v)).collect();
+        let restored =
+            crate::RunResult::from_named_values(pairs, original.events, original.end_time);
+        assert_eq!(
+            restored.reward("avail").unwrap().to_bits(),
+            original.reward("avail").unwrap().to_bits()
+        );
+        assert_eq!(restored.events, original.events);
+        assert_eq!(restored.end_time, original.end_time);
+        assert!(restored.reward("missing").is_err());
+        assert_eq!(
+            restored.iter().collect::<Vec<_>>(),
+            original.iter().collect::<Vec<_>>(),
+            "registration order survives the round trip"
+        );
     }
 
     #[test]

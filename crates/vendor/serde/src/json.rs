@@ -1,0 +1,405 @@
+//! A small JSON parser for the [`Value`] data model.
+//!
+//! The writer half of this crate ([`Value::to_json`](crate::Value::to_json))
+//! has existed since the workspace began; this module adds the inverse so
+//! robustness features (checkpoint/resume, benchmark baselines) can read
+//! their own files back without a hand-rolled parser per call site.
+//!
+//! Round-trip guarantee for floats: the writer renders an `f64` with Rust's
+//! shortest round-trip `Display`, and [`parse`] reads numbers back with
+//! `str::parse::<f64>` — so `parse(write(x)) == x` **bit for bit** for
+//! every finite `f64`. The checkpoint layer's "resume is bit-identical"
+//! contract rests on this property (pinned by a test here).
+
+use std::fmt;
+
+use crate::Value;
+
+/// Position-annotated error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the problem was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Maximum container nesting the parser accepts; deeper input is rejected
+/// (instead of overflowing the stack on a corrupt or hostile file).
+const MAX_DEPTH: usize = 256;
+
+/// Parses a complete JSON document into a [`Value`].
+///
+/// Numbers without a fraction or exponent parse as [`Value::UInt`] /
+/// [`Value::Int`]; everything else numeric parses as [`Value::Float`].
+/// Object field order is preserved.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset for malformed input,
+/// trailing garbage, or nesting deeper than an internal safety limit.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_whitespace();
+    let value = parser.value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than the safety limit"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected character `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(escape) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.error("unescaped control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(byte) = self.peek() {
+            match byte {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if integral {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+                // Guard against `-` with no digits.
+                if digits.is_empty() {
+                    return Err(self.error("invalid number"));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Float(f)),
+            _ => Err(self.error(format!("invalid number `{text}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null"), Ok(Value::Null));
+        assert_eq!(parse("true"), Ok(Value::Bool(true)));
+        assert_eq!(parse("false"), Ok(Value::Bool(false)));
+        assert_eq!(parse("42"), Ok(Value::UInt(42)));
+        assert_eq!(parse("-7"), Ok(Value::Int(-7)));
+        assert_eq!(parse("1.5"), Ok(Value::Float(1.5)));
+        assert_eq!(parse("1e3"), Ok(Value::Float(1000.0)));
+        assert_eq!(parse("\"hi\""), Ok(Value::String("hi".into())));
+    }
+
+    #[test]
+    fn containers_parse_in_order() {
+        let v = parse(r#"{"b": 1, "a": [false, null, "x"]}"#).unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("b".into(), Value::UInt(1)),
+                (
+                    "a".into(),
+                    Value::Array(vec![Value::Bool(false), Value::Null, Value::String("x".into())])
+                ),
+            ])
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "a\"b\\c\nd\te\u{1}f — π";
+        let json = Value::String(original.to_string()).to_json();
+        assert_eq!(parse(&json), Ok(Value::String(original.to_string())));
+        // Explicit \u escapes, including a surrogate pair.
+        assert_eq!(parse(r#""\u0041\ud83d\ude00""#), Ok(Value::String("A😀".into())));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_for_bit() {
+        // The checkpoint contract: writer → parser restores the exact bits
+        // of every finite f64, including subnormals and extremes.
+        let cases = [
+            0.1,
+            -1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 8.0, // subnormal
+            f64::MAX,
+            -f64::MAX,
+            1e-300,
+            std::f64::consts::TAU,
+            0.972_345_678_901_234_5,
+        ];
+        for x in cases {
+            let json = Value::Float(x).to_json();
+            let Value::Float(back) = parse(&json).unwrap() else {
+                panic!("{json} did not parse as a float");
+            };
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {json}");
+        }
+        // Integers written by the float writer come back as integers; the
+        // numeric value is still exact.
+        assert_eq!(parse(&Value::Float(3.0).to_json()), Ok(Value::UInt(3)));
+    }
+
+    #[test]
+    fn whole_document_round_trips() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("abe".into())),
+            ("runs".into(), Value::Array(vec![Value::Float(0.25), Value::UInt(9)])),
+            ("nested".into(), Value::Object(vec![("ok".into(), Value::Bool(true))])),
+        ]);
+        assert_eq!(parse(&v.to_json()), Ok(v.clone()));
+        assert_eq!(parse(&v.to_json_pretty()), Ok(v));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_position() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "-",
+            "01a",
+            "{\"a\":1} extra",
+            "\"\\q\"",
+            "nul",
+            "[1 2]",
+            "{\"a\" 1}",
+        ] {
+            let err = parse(bad).expect_err(bad);
+            assert!(!err.message.is_empty(), "{bad}");
+            let shown = err.to_string();
+            assert!(shown.contains("JSON parse error"), "{shown}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        let err = parse(&deep).expect_err("too deep");
+        assert!(err.message.contains("nesting"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        assert!(parse("1e999").is_err(), "overflow to inf must not parse");
+        assert!(parse("NaN").is_err());
+    }
+}

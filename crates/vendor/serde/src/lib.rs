@@ -11,16 +11,20 @@
 //!
 //! [`Serialize::to_value`] is the whole serialisation contract: a derived
 //! type converts itself into a [`Value`] tree and the writer turns that tree
-//! into JSON text. `Deserialize` is a marker trait only — nothing in the
-//! workspace parses serialised data back — so swapping this crate for the
-//! real `serde` (plus `serde_json`) is a manifest-only change for
-//! serialisation call sites.
+//! into JSON text. `Deserialize` is a marker trait only; code that needs to
+//! read serialised data back (the study checkpoint layer, the benchmark
+//! baseline guard) parses JSON text into a [`Value`] tree with
+//! [`json::parse`] and walks it with the [`Value`] accessors. Swapping this
+//! crate for the real `serde` (plus `serde_json`) stays a manifest-level
+//! change for serialisation call sites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -59,6 +63,62 @@ impl Value {
         let mut out = String::new();
         self.write_json(&mut out, Some(2), 0);
         out
+    }
+
+    /// Looks up a field of an [`Value::Object`] by name. Returns `None` for
+    /// missing fields and for non-object values.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().find(|(name, _)| name == key).map(|(_, value)| value)
+            }
+            _ => None,
+        }
+    }
+
+    /// The elements of a [`Value::Array`], or `None` for other variants.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The contents of a [`Value::String`], or `None` for other variants.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Any numeric variant as an `f64` (integers convert losslessly up to
+    /// 2^53), or `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer variant as a `u64`, or `None` for anything
+    /// else (including floats and negative integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The contents of a [`Value::Bool`], or `None` for other variants.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
     }
 
     fn write_json(&self, out: &mut String, indent: Option<usize>, level: usize) {
@@ -381,6 +441,27 @@ mod tests {
         assert_eq!(to_json(&Shape::Unit), "\"Unit\"");
         assert_eq!(to_json(&Shape::Tuple(1, 2)), "{\"Tuple\":[1,2]}");
         assert_eq!(to_json(&Shape::Named { w: 2.0 }), "{\"Named\":{\"w\":2}}");
+    }
+
+    #[test]
+    fn value_accessors_navigate_trees() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("cfs".into())),
+            ("n".into(), Value::UInt(8)),
+            ("mean".into(), Value::Float(0.25)),
+            ("flags".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("cfs"));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(8));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(8.0));
+        assert_eq!(v.get("mean").and_then(Value::as_f64), Some(0.25));
+        assert_eq!(v.get("mean").and_then(Value::as_u64), None);
+        assert_eq!(v.get("flags").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert_eq!(v.get("flags").unwrap().as_array().unwrap()[0].as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("x"), None);
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::Int(-1).as_f64(), Some(-1.0));
     }
 
     #[test]

@@ -75,8 +75,8 @@ pub mod prelude {
         BeowulfPerformabilitySweep, RedundancyScheme, ReplicationVsRaid, UltraReliableSweep,
     };
     pub use cfs_model::{
-        CfsError, ModelParameters, PrecisionTarget, RareEventPolicy, Report, ReportFormat, RunSpec,
-        Study,
+        CfsError, CheckpointPolicy, FailurePolicy, ModelParameters, PrecisionTarget,
+        RareEventPolicy, Report, ReportFormat, RunSpec, ScenarioFailure, Study,
     };
     pub use faultlog::analysis::{
         DiskReplacementAnalysis, JobAnalysis, MountFailureAnalysis, OutageAnalysis,
