@@ -150,6 +150,22 @@ fn bench_san_composed_models(records: &mut Vec<BenchRecord>) {
     }
 }
 
+/// The reachability explorer ([`sanet::reach`]): interned markings per
+/// second while exploring the ABE cluster model under a fixed 2 000-state
+/// budget. The model is unbounded, so the budget pins the work per
+/// iteration exactly — every iteration interns the same 2 000 markings,
+/// evaluates the same marking-dependent timings, and classifies the same
+/// SCC structure, making the states/s figure comparable across runs.
+fn bench_reach(records: &mut Vec<BenchRecord>) {
+    let cluster = build_cluster_model(&ClusterConfig::abe()).unwrap();
+    let config =
+        sanet::ReachConfig { max_states: 2_000, max_transitions: 100_000, ..Default::default() };
+    let record = bench_events("reach_states_per_sec", 2, 10, || {
+        cluster.model.analyze_with(&config).num_states() as u64
+    });
+    records.push(record.with_unit("states/s"));
+}
+
 /// The design-space sweep subsystem: both workload families evaluated as
 /// scenarios, reporting design-points-per-second throughput (recorded in
 /// the `events_per_sec` slot of BENCH.json, where one "event" is one fully
@@ -454,6 +470,7 @@ fn main() {
     bench_distributions(&mut records);
     bench_san_engine(&mut records);
     bench_san_composed_models(&mut records);
+    bench_reach(&mut records);
     bench_storage_kernel(&mut records);
     bench_design_space_sweeps(&mut records);
     bench_rare_event(&mut records);

@@ -143,7 +143,10 @@ fn guarded_metrics(path: &str, doc: &Value) -> Result<BTreeMap<(String, i64), Me
         let unit = record.get("unit").and_then(Value::as_str).unwrap_or("");
         let metric = if name == "study_global_work_stealing_pool" {
             record.get("speedup").and_then(Value::as_f64).map(Metric::Speedup)
-        } else if name.starts_with("san_") && unit == "events/s" {
+        } else if (name.starts_with("san_") && unit == "events/s") || unit == "states/s" {
+            // SAN engine throughput, plus the reachability explorer
+            // (states interned per second; the throughput rides in the
+            // same `events_per_sec` slot).
             record.get("events_per_sec").and_then(Value::as_f64).map(Metric::EventsPerSec)
         } else {
             None
@@ -243,6 +246,9 @@ mod tests {
                  "replications_to_target": null},
                 {"name": "study_global_work_stealing_pool", "unit": "ns/iter", "workers": 4,
                  "ns_per_iter": 7e8, "events_per_sec": null, "speedup": 1.4,
+                 "replications_to_target": null},
+                {"name": "reach_states_per_sec", "unit": "states/s", "workers": null,
+                 "ns_per_iter": 5e7, "events_per_sec": 4.0e4, "speedup": null,
                  "replications_to_target": null}
             ]"#,
         )
@@ -255,6 +261,10 @@ mod tests {
         assert_eq!(
             metrics.get(&("study_global_work_stealing_pool".to_string(), 4)),
             Some(&Metric::Speedup(1.4))
+        );
+        assert_eq!(
+            metrics.get(&("reach_states_per_sec".to_string(), -1)),
+            Some(&Metric::EventsPerSec(4.0e4))
         );
     }
 

@@ -5,24 +5,40 @@
 //! exits non-zero when any model carries a diagnostic at or above the deny
 //! level — the CI gate pinning the shipped models statically clean.
 //!
+//! With `--reach` the structural linter is replaced by the semantic tier
+//! ([`cfs_model::reach`]): each model's reachable marking graph is explored
+//! under a budget and the output adds the state-space table (size,
+//! tangible/vanishing split, completeness, terminal classes, solver
+//! admissibility) ahead of the `SAN04x` diagnostics.
+//!
 //! Usage:
 //!
 //! ```text
 //! sanlint [--model NAME]... [--format text|json] [--deny error|warning|info]
 //!         [--probes N] [--seed N] [--list]
+//!         [--reach] [--max-states N] [--max-transitions N]
 //! ```
 //!
 //! * `--model NAME` — lint one built-in model (repeatable); default: all.
 //! * `--format` — `text` (default): diagnostics table plus per-model
 //!   verdicts; `json`: the full summary document.
 //! * `--deny` — lowest severity treated as a rejection (default `warning`).
-//! * `--probes` / `--seed` — size and seed of the fuzzed probe corpus.
+//! * `--probes` / `--seed` — size and seed of the fuzzed probe corpus
+//!   (structural lint only).
+//! * `--reach` — run reachability/admissibility analysis instead.
+//! * `--max-states` / `--max-transitions` — exploration budget for
+//!   `--reach` (defaults: 20 000 states, 250 000 transitions).
 //! * `--list` — print the built-in model names and exit.
+//!
+//! Exit codes: `0` clean, `1` at least one diagnostic at or above the deny
+//! level, `2` usage error (unknown flag, model, or malformed value).
 
 use std::process::ExitCode;
 
 use cfs_model::lint::{lint_models, BUILT_IN_MODELS};
+use cfs_model::reach::analyze_models;
 use sanet::lint::{LintConfig, Severity};
+use sanet::ReachConfig;
 
 /// Parsed command line.
 struct Options {
@@ -30,6 +46,8 @@ struct Options {
     json: bool,
     deny: Severity,
     config: LintConfig,
+    reach: bool,
+    reach_config: ReachConfig,
     list: bool,
 }
 
@@ -39,6 +57,8 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         deny: Severity::Warning,
         config: LintConfig::default(),
+        reach: false,
+        reach_config: ReachConfig::default(),
         list: false,
     };
     let mut args = std::env::args().skip(1);
@@ -68,10 +88,24 @@ fn parse_args() -> Result<Options, String> {
                 options.config.seed =
                     n.parse().map_err(|_| format!("--seed needs an integer, got '{n}'"))?;
             }
+            "--reach" => options.reach = true,
+            "--max-states" => {
+                let n = value("--max-states")?;
+                options.reach_config.max_states = n
+                    .parse()
+                    .map_err(|_| format!("--max-states needs a positive integer, got '{n}'"))?;
+            }
+            "--max-transitions" => {
+                let n = value("--max-transitions")?;
+                options.reach_config.max_transitions = n.parse().map_err(|_| {
+                    format!("--max-transitions needs a positive integer, got '{n}'")
+                })?;
+            }
             "--list" => options.list = true,
             "--help" | "-h" => {
                 return Err("usage: sanlint [--model NAME]... [--format text|json] \
-                     [--deny error|warning|info] [--probes N] [--seed N] [--list]"
+                     [--deny error|warning|info] [--probes N] [--seed N] [--list] \
+                     [--reach] [--max-states N] [--max-transitions N]"
                     .into())
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
@@ -100,20 +134,33 @@ fn main() -> ExitCode {
     } else {
         options.models.iter().map(String::as_str).collect()
     };
-    let summary = match lint_models(&names, &options.config, options.deny) {
-        Ok(summary) => summary,
-        Err(e) => {
-            eprintln!("sanlint: {e}");
-            return ExitCode::from(2);
+
+    let (rendered, clean) = if options.reach {
+        match analyze_models(&names, &options.reach_config, options.deny) {
+            Ok(summary) => (
+                if options.json { summary.to_json() + "\n" } else { summary.to_text() },
+                summary.is_clean(),
+            ),
+            Err(e) => {
+                eprintln!("sanlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match lint_models(&names, &options.config, options.deny) {
+            Ok(summary) => (
+                if options.json { summary.to_json() + "\n" } else { summary.to_text() },
+                summary.is_clean(),
+            ),
+            Err(e) => {
+                eprintln!("sanlint: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
 
-    if options.json {
-        println!("{}", summary.to_json());
-    } else {
-        print!("{}", summary.to_text());
-    }
-    if summary.is_clean() {
+    print!("{rendered}");
+    if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -83,6 +83,7 @@ pub mod experiments;
 pub mod lint;
 pub mod model;
 pub mod params;
+pub mod reach;
 pub mod report;
 pub mod rewards;
 pub mod run;
@@ -94,8 +95,9 @@ pub mod workloads;
 pub use analysis::ClusterDependability;
 pub use config::ClusterConfig;
 pub use error::CfsError;
-pub use lint::{lint_all, lint_built_in, LintSummary, BUILT_IN_MODELS};
+pub use lint::{build_built_in, lint_all, lint_built_in, BuiltIn, LintSummary, BUILT_IN_MODELS};
 pub use params::ModelParameters;
+pub use reach::{analyze_all, analyze_built_in, ReachSummary};
 pub use report::{Report, ReportFormat, ScenarioFailure, TextTable};
 pub use run::{CheckpointPolicy, FailurePolicy, PrecisionTarget, RareEventPolicy, RunSpec};
 pub use scenario::{Metric, Scenario, ScenarioOutput};

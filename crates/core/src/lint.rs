@@ -18,6 +18,8 @@
 use sanet::beowulf::{build_beowulf_model, BeowulfConfig};
 use sanet::lint::{LintConfig, LintReport, Severity};
 use sanet::rare;
+use sanet::reward::RewardSpec;
+use sanet::Model;
 use serde::{Serialize, Value};
 
 use crate::config::ClusterConfig;
@@ -38,19 +40,70 @@ use crate::CfsError;
 pub const BUILT_IN_MODELS: &[&str] =
     &["abe", "abe-spare", "petascale", "petascale-mitigated", "beowulf", "failover-pair"];
 
-/// Builds the named built-in model with its standard reward set and lints
-/// it under `config`.
+/// A built-in model resolved by name: the compiled SAN plus the standard
+/// reward set the analyses probe it with.
+#[derive(Debug, Clone)]
+pub struct BuiltIn {
+    /// The compiled model.
+    pub model: Model,
+    /// The rewards the model ships with (the ones CI lints against).
+    pub rewards: Vec<RewardSpec>,
+}
+
+/// Levenshtein edit distance, used for the "did you mean" suggestion on
+/// unknown model names.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut diagonal = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = diagonal + usize::from(ca != cb);
+            diagonal = row[j + 1];
+            row[j + 1] = substitution.min(row[j] + 1).min(diagonal + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The registry entry closest to `unknown`, when it is close enough (edit
+/// distance at most half the typed name's length) to be a plausible typo.
+fn closest_model(unknown: &str) -> Option<&'static str> {
+    BUILT_IN_MODELS
+        .iter()
+        .map(|name| (edit_distance(unknown, name), *name))
+        .min()
+        .filter(|&(distance, _)| distance <= unknown.len().div_ceil(2))
+        .map(|(_, name)| name)
+}
+
+/// The error for a model name outside [`BUILT_IN_MODELS`]: lists the
+/// registry and suggests the closest entry for plausible typos.
+pub(crate) fn unknown_model_error(unknown: &str) -> CfsError {
+    let suggestion =
+        closest_model(unknown).map(|name| format!(" (did you mean '{name}'?)")).unwrap_or_default();
+    CfsError::InvalidConfig {
+        reason: format!(
+            "unknown model '{unknown}'{suggestion}; built-in models are: {}",
+            BUILT_IN_MODELS.join(", ")
+        ),
+    }
+}
+
+/// Builds the named built-in model with its standard reward set.
 ///
 /// # Errors
 ///
 /// Returns [`CfsError::InvalidConfig`] for an unknown name (listing the
-/// known ones) and propagates model-construction errors. Lint findings are
-/// *not* errors — they are diagnostics inside the returned report; apply
-/// [`LintReport::deny`] to turn them into one.
-pub fn lint_built_in(name: &str, config: &LintConfig) -> Result<LintReport, CfsError> {
-    let cluster = |cfg: ClusterConfig| -> Result<LintReport, CfsError> {
+/// known ones and suggesting the closest for plausible typos) and
+/// propagates model-construction errors.
+pub fn build_built_in(name: &str) -> Result<BuiltIn, CfsError> {
+    let cluster = |cfg: ClusterConfig| -> Result<BuiltIn, CfsError> {
         let cm = build_cluster_model(&cfg)?;
-        Ok(cm.model.lint_with(config, &standard_rewards(&cm)))
+        let rewards = standard_rewards(&cm);
+        Ok(BuiltIn { model: cm.model, rewards })
     };
     match name {
         "abe" => cluster(ClusterConfig::abe()),
@@ -61,22 +114,32 @@ pub fn lint_built_in(name: &str, config: &LintConfig) -> Result<LintReport, CfsE
         }
         "beowulf" => {
             let bw = build_beowulf_model(&BeowulfConfig::default())?;
-            Ok(bw.model.lint_with(config, &bw.rewards()))
+            let rewards = bw.rewards();
+            Ok(BuiltIn { model: bw.model, rewards })
         }
         "failover-pair" => {
             // The rare-event benchmark pair: λ = 1e-4/h failures, 0.1/h
             // repairs — the regime the importance-sampling examples use.
             let pair = rare::failover_pair(1e-4, 0.1)?;
             let rewards = vec![pair.hit_reward()];
-            Ok(pair.model.lint_with(config, &rewards))
+            Ok(BuiltIn { model: pair.model, rewards })
         }
-        unknown => Err(CfsError::InvalidConfig {
-            reason: format!(
-                "unknown model '{unknown}'; built-in models are: {}",
-                BUILT_IN_MODELS.join(", ")
-            ),
-        }),
+        unknown => Err(unknown_model_error(unknown)),
     }
+}
+
+/// Builds the named built-in model with its standard reward set and lints
+/// it under `config`.
+///
+/// # Errors
+///
+/// Returns [`CfsError::InvalidConfig`] for an unknown name (listing the
+/// known ones) and propagates model-construction errors. Lint findings are
+/// *not* errors — they are diagnostics inside the returned report; apply
+/// [`LintReport::deny`] to turn them into one.
+pub fn lint_built_in(name: &str, config: &LintConfig) -> Result<LintReport, CfsError> {
+    let built = build_built_in(name)?;
+    Ok(built.model.lint_with(config, &built.rewards))
 }
 
 /// Lints every model in [`BUILT_IN_MODELS`] under one deny policy.
@@ -114,6 +177,13 @@ pub struct LintSummary {
 }
 
 impl LintSummary {
+    /// Aggregates per-model reports under one deny level. Used by the
+    /// reachability driver ([`crate::reach`]) to render `SAN04x`
+    /// diagnostics through the same presentation machinery.
+    pub(crate) fn new(deny: Severity, reports: Vec<LintReport>) -> LintSummary {
+        LintSummary { deny, reports }
+    }
+
     /// The deny level the summary was produced under.
     pub fn deny_level(&self) -> Severity {
         self.deny
@@ -260,6 +330,27 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("no-such-model"), "{text}");
         assert!(text.contains("petascale"), "should list the registry: {text}");
+    }
+
+    #[test]
+    fn plausible_typos_get_a_did_you_mean_suggestion() {
+        let err = lint_built_in("beowolf", &quick()).unwrap_err();
+        assert!(err.to_string().contains("did you mean 'beowulf'?"), "{err}");
+        let err = lint_built_in("petascale-mitigatd", &quick()).unwrap_err();
+        assert!(err.to_string().contains("did you mean 'petascale-mitigated'?"), "{err}");
+        // Nothing plausibly close: the registry is listed without a guess.
+        let err = lint_built_in("kalamazoo-cluster-nine", &quick()).unwrap_err();
+        assert!(!err.to_string().contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric_and_grounded() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abe", "abe"), 0);
+        assert_eq!(edit_distance("abe", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("sitting", "kitten"), 3);
+        assert_eq!(edit_distance("beowolf", "beowulf"), 1);
     }
 
     #[test]

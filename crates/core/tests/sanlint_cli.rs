@@ -1,0 +1,109 @@
+//! End-to-end tests of the `sanlint` binary: exit codes, unknown-model
+//! handling, and the `--reach` mode, pinned against the real executable so
+//! the CI gate's contract (`0` clean / `1` deny rejection / `2` usage
+//! error) cannot drift silently.
+
+use std::process::{Command, Output};
+
+fn sanlint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sanlint"))
+        .args(args)
+        .output()
+        .expect("sanlint binary must run")
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("sanlint must exit normally")
+}
+
+#[test]
+fn lint_over_the_fast_models_is_clean_at_deny_warning() {
+    // A model subset with a reduced probe corpus keeps the test quick; the
+    // full-registry run is the CI step.
+    let output = sanlint(&[
+        "--model",
+        "failover-pair",
+        "--model",
+        "beowulf",
+        "--deny",
+        "warning",
+        "--probes",
+        "48",
+    ]);
+    assert_eq!(exit_code(&output), 0, "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("verdict: clean"), "{stdout}");
+}
+
+#[test]
+fn reach_over_the_registry_is_clean_at_deny_warning() {
+    let output = sanlint(&["--reach", "--deny", "warning", "--max-states", "3000"]);
+    assert_eq!(exit_code(&output), 0, "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("analytic"), "{stdout}");
+    assert!(stdout.contains("simulation-only"), "{stdout}");
+    assert!(stdout.contains("verdict: clean"), "{stdout}");
+}
+
+#[test]
+fn reach_at_deny_info_rejects_with_exit_one() {
+    // SAN044 (state-space size) is always reported at Info, so deny level
+    // info is guaranteed to reject even a fully admissible model.
+    let output = sanlint(&["--reach", "--model", "failover-pair", "--deny", "info"]);
+    assert_eq!(exit_code(&output), 1, "{}", String::from_utf8_lossy(&output.stdout));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("SAN044"), "{stdout}");
+}
+
+#[test]
+fn reach_json_has_the_reach_block() {
+    let output =
+        sanlint(&["--reach", "--model", "failover-pair", "--format", "json", "--deny", "warning"]);
+    assert_eq!(exit_code(&output), 0);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for key in ["\"reach\"", "\"states\"", "\"analytic\": true", "\"deny_level\""] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
+fn unknown_models_exit_two_with_the_registry_and_a_suggestion() {
+    let output = sanlint(&["--model", "beowolf"]);
+    assert_eq!(exit_code(&output), 2);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown model 'beowolf'"), "{stderr}");
+    assert!(stderr.contains("did you mean 'beowulf'?"), "{stderr}");
+    assert!(stderr.contains("failover-pair"), "should list the registry: {stderr}");
+
+    // Same contract in reach mode.
+    let output = sanlint(&["--reach", "--model", "petascale-mitigatd"]);
+    assert_eq!(exit_code(&output), 2);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("did you mean 'petascale-mitigated'?"), "{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let output = sanlint(&["--no-such-flag"]);
+    assert_eq!(exit_code(&output), 2);
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown argument"));
+
+    let output = sanlint(&["--max-states", "many"]);
+    assert_eq!(exit_code(&output), 2);
+    assert!(String::from_utf8_lossy(&output.stderr).contains("positive integer"));
+
+    let output = sanlint(&["--deny", "fatal"]);
+    assert_eq!(exit_code(&output), 2);
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown deny level"));
+}
+
+#[test]
+fn list_prints_the_registry_and_exits_zero() {
+    let output = sanlint(&["--list"]);
+    assert_eq!(exit_code(&output), 0);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in ["abe", "abe-spare", "petascale", "petascale-mitigated", "beowulf", "failover-pair"]
+    {
+        assert!(stdout.lines().any(|line| line == name), "missing {name} in {stdout}");
+    }
+}

@@ -82,6 +82,17 @@ impl Ctmc {
         Ok(())
     }
 
+    /// Iterates over the non-zero `(from, to, rate)` entries of `Q` in
+    /// row-major order.
+    pub fn transitions(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rates.iter().enumerate().flat_map(|(from, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &rate)| rate > 0.0)
+                .map(move |(to, &rate)| (from, to, rate))
+        })
+    }
+
     /// Solves the steady-state (stationary) distribution `π` with
     /// `π Q = 0`, `Σ π = 1`, by Gaussian elimination with partial pivoting.
     ///
@@ -278,6 +289,410 @@ impl Ctmc {
     }
 }
 
+/// A sparse continuous-time Markov chain: the same `steady_state` /
+/// `transient` API as the dense [`Ctmc`], with the generator held as
+/// `(from, to, rate)` triplets compiled to compressed-sparse-row form at
+/// solve time.
+///
+/// Built for the statically assembled generators of
+/// [`reach`](crate::reach): state spaces with thousands of markings where
+/// a dense `n × n` matrix (and Gaussian elimination's `O(n³)`) would not
+/// scale. The steady state is solved by power iteration on the
+/// uniformized chain `P = I + Q/Λ` (with `Λ` strictly above the largest
+/// exit rate, so every state keeps a positive self-probability and the
+/// iteration cannot cycle); the transient solution is Jensen
+/// uniformization on the sparse rows, mirroring [`Ctmc::transient`].
+///
+/// # Example
+///
+/// ```
+/// use sanet::ctmc::SparseCtmc;
+///
+/// let mut chain = SparseCtmc::new(2).unwrap();
+/// chain.add_transition(0, 1, 1.0 / 1000.0).unwrap();
+/// chain.add_transition(1, 0, 1.0 / 10.0).unwrap();
+/// let pi = chain.steady_state().unwrap();
+/// assert!((pi[0] - 1000.0 / 1010.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseCtmc {
+    states: usize,
+    /// Raw `(from, to, rate)` entries in insertion order; duplicates are
+    /// aggregated when the CSR form is compiled.
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+/// Compiled compressed-sparse-row view of a [`SparseCtmc`] generator.
+struct Csr {
+    /// `row_ptr[i]..row_ptr[i + 1]` indexes state `i`'s entries.
+    row_ptr: Vec<usize>,
+    columns: Vec<usize>,
+    rates: Vec<f64>,
+    /// Total exit rate per state (the negated diagonal).
+    exit: Vec<f64>,
+}
+
+impl Csr {
+    fn row(&self, state: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let span = self.row_ptr[state]..self.row_ptr[state + 1];
+        self.columns[span.clone()].iter().copied().zip(self.rates[span].iter().copied())
+    }
+}
+
+impl SparseCtmc {
+    /// Creates a chain with `states` states and no transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidExperiment`] if `states` is zero.
+    pub fn new(states: usize) -> Result<Self, SanError> {
+        if states == 0 {
+            return Err(SanError::InvalidExperiment {
+                reason: "a CTMC needs at least one state".into(),
+            });
+        }
+        Ok(SparseCtmc { states, triplets: Vec::new() })
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of stored transition entries (before aggregation).
+    pub fn num_transitions(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Adds (accumulates) a transition rate from `from` to `to`, with the
+    /// same validation as the dense [`Ctmc::add_transition`]: both states
+    /// in range, no self-loops, rate finite and positive — rejecting the
+    /// inputs that would silently corrupt the diagonal at solve time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::UnknownId`] if either state is out of range and
+    /// [`SanError::InvalidExperiment`] for self-loops or rates that are
+    /// not finite and positive.
+    pub fn add_transition(&mut self, from: usize, to: usize, rate: f64) -> Result<(), SanError> {
+        if from >= self.states || to >= self.states {
+            return Err(SanError::UnknownId { what: format!("CTMC state {from}->{to}") });
+        }
+        if from == to {
+            return Err(SanError::InvalidExperiment {
+                reason: "self-loops are not allowed in a CTMC".into(),
+            });
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(SanError::InvalidExperiment {
+                reason: format!("transition rate must be positive, got {rate}"),
+            });
+        }
+        self.triplets.push((from, to, rate));
+        Ok(())
+    }
+
+    /// The stored `(from, to, rate)` entries, in insertion order — lets
+    /// tests and cross-checks rebuild a dense oracle with identical rates.
+    pub fn transitions(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.triplets.iter().copied()
+    }
+
+    /// Compiles the triplets into CSR form, aggregating duplicate
+    /// `(from, to)` pairs.
+    fn csr(&self) -> Csr {
+        let mut sorted = self.triplets.clone();
+        sorted.sort_unstable_by_key(|&(from, to, _)| (from, to));
+        let mut row_ptr = vec![0usize; self.states + 1];
+        let mut columns = Vec::with_capacity(sorted.len());
+        let mut rates: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut exit = vec![0.0; self.states];
+        let mut last: Option<(usize, usize)> = None;
+        for (from, to, rate) in sorted {
+            exit[from] += rate;
+            if last == Some((from, to)) {
+                *rates.last_mut().expect("non-empty") += rate;
+            } else {
+                columns.push(to);
+                rates.push(rate);
+                last = Some((from, to));
+            }
+            row_ptr[from + 1] = columns.len();
+        }
+        // Rows with no entries inherit the running prefix.
+        for i in 1..=self.states {
+            row_ptr[i] = row_ptr[i].max(row_ptr[i - 1]);
+        }
+        Csr { row_ptr, columns, rates, exit }
+    }
+
+    /// Solves the steady-state distribution by power iteration on the
+    /// uniformized DTMC `P = I + Q/Λ` with `Λ = 1.05 · max exit rate`,
+    /// restricted to the chain's single terminal (recurrent) class.
+    ///
+    /// The stationary distribution puts no mass on transient states, so the
+    /// solver first condenses the transition graph (Tarjan) and iterates
+    /// only inside the terminal class. Restricting the iteration matters
+    /// beyond efficiency: in rare-event chains the drain *into* the
+    /// terminal class can be orders of magnitude slower than the mixing
+    /// inside it, and iterating the full chain would converge at the drain
+    /// rate instead. Transient states report exactly `0.0`. The strictly
+    /// positive diagonal makes `P` aperiodic, so within the class the
+    /// iteration converges to the unique stationary distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidExperiment`] if the chain has no
+    /// transitions at all, has more than one terminal class (the stationary
+    /// distribution is then not unique — assemble per-class chains
+    /// instead), or the iteration fails to converge.
+    pub fn steady_state(&self) -> Result<Vec<f64>, SanError> {
+        let n = self.states;
+        if n == 1 {
+            return Ok(vec![1.0]);
+        }
+        if self.triplets.is_empty() {
+            return Err(SanError::InvalidExperiment { reason: "CTMC has no transitions".into() });
+        }
+        let csr = self.csr();
+        let (component, count) = sparse_sccs(n, &csr);
+        let mut terminal = vec![true; count];
+        for state in 0..n {
+            for (to, _) in csr.row(state) {
+                if component[to] != component[state] {
+                    terminal[component[state]] = false;
+                }
+            }
+        }
+        let classes: Vec<usize> =
+            (0..count).filter(|&component_id| terminal[component_id]).collect();
+        if classes.len() != 1 {
+            return Err(SanError::InvalidExperiment {
+                reason: format!(
+                    "chain has {} terminal classes; the stationary distribution is not unique",
+                    classes.len()
+                ),
+            });
+        }
+        let members: Vec<usize> = (0..n).filter(|&state| component[state] == classes[0]).collect();
+        let mut pi = vec![0.0; n];
+        if members.len() == 1 {
+            // A single absorbing state carries all the mass exactly.
+            pi[members[0]] = 1.0;
+            return Ok(pi);
+        }
+        // A multi-state terminal class is strongly connected, so every
+        // member has a positive exit rate and all its edges stay inside
+        // the class: the global vectors below only ever touch members.
+        let lambda = 1.05 * members.iter().map(|&state| csr.exit[state]).fold(0.0_f64, f64::max);
+        for &state in &members {
+            pi[state] = 1.0 / members.len() as f64;
+        }
+        let mut next = vec![0.0; n];
+        // Convergence: successive-iterate delta below threshold. The
+        // threshold sits well under the 1e-10 oracle-agreement target but
+        // above f64 round-off for small chains.
+        const TOLERANCE: f64 = 1e-15;
+        const MAX_ITERATIONS: usize = 2_000_000;
+        for _ in 0..MAX_ITERATIONS {
+            for &state in &members {
+                next[state] = pi[state] * (1.0 - csr.exit[state] / lambda);
+            }
+            for &state in &members {
+                let mass = pi[state];
+                if mass == 0.0 {
+                    continue;
+                }
+                for (to, rate) in csr.row(state) {
+                    next[to] += mass * rate / lambda;
+                }
+            }
+            let total: f64 = members.iter().map(|&state| next[state]).sum();
+            if !(total.is_finite() && total > 0.0) {
+                return Err(SanError::InvalidExperiment {
+                    reason: "steady-state power iteration produced a degenerate distribution"
+                        .into(),
+                });
+            }
+            for &state in &members {
+                next[state] /= total;
+            }
+            let delta = members
+                .iter()
+                .map(|&state| (pi[state] - next[state]).abs())
+                .fold(0.0_f64, f64::max);
+            std::mem::swap(&mut pi, &mut next);
+            if delta < TOLERANCE {
+                return Ok(pi);
+            }
+        }
+        Err(SanError::InvalidExperiment {
+            reason: "steady-state power iteration did not converge".into(),
+        })
+    }
+
+    /// Expected steady-state value of a reward function over states.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SparseCtmc::steady_state`].
+    pub fn steady_state_reward(&self, reward: impl Fn(usize) -> f64) -> Result<f64, SanError> {
+        Ok(self.steady_state()?.iter().enumerate().map(|(s, &p)| p * reward(s)).sum())
+    }
+
+    /// Solves the transient distribution `π(t)` from a deterministic start
+    /// state by uniformization on the sparse rows — the same Jensen scheme
+    /// (horizon split at `Λτ ≤ 64`, Poisson tail `10⁻¹²`, renormalised) as
+    /// the dense [`Ctmc::transient`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::UnknownId`] if `initial` is out of range and
+    /// [`SanError::InvalidExperiment`] for a negative or non-finite `t`.
+    pub fn transient(&self, initial: usize, t: f64) -> Result<Vec<f64>, SanError> {
+        if initial >= self.states {
+            return Err(SanError::UnknownId { what: format!("CTMC state {initial}") });
+        }
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(SanError::InvalidExperiment {
+                reason: format!("transient horizon must be non-negative and finite, got {t}"),
+            });
+        }
+        let mut pi = vec![0.0; self.states];
+        pi[initial] = 1.0;
+        if t == 0.0 {
+            return Ok(pi);
+        }
+        let csr = self.csr();
+        let rate = csr.exit.iter().copied().fold(0.0_f64, f64::max).max(1e-12);
+        let steps = (rate * t / 64.0).ceil().max(1.0);
+        let tau = t / steps;
+        for _ in 0..steps as u64 {
+            pi = uniformized_sparse_step(&csr, &pi, rate, tau);
+        }
+        Ok(pi)
+    }
+
+    /// Expected value of a reward function over the transient distribution
+    /// at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SparseCtmc::transient`].
+    pub fn transient_reward(
+        &self,
+        initial: usize,
+        t: f64,
+        reward: impl Fn(usize) -> f64,
+    ) -> Result<f64, SanError> {
+        Ok(self.transient(initial, t)?.iter().enumerate().map(|(s, &p)| p * reward(s)).sum())
+    }
+}
+
+/// Strongly connected components of the CSR transition graph by iterative
+/// Tarjan: returns one component id per state (ids in reverse topological
+/// order of discovery) and the component count.
+fn sparse_sccs(n: usize, csr: &Csr) -> (Vec<usize>, usize) {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component = vec![UNVISITED; n];
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+    // (state, next CSR edge offset) — an explicit DFS frame per state.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, csr.row_ptr[root]));
+        while let Some(frame) = frames.last_mut() {
+            let state = frame.0;
+            if frame.1 < csr.row_ptr[state + 1] {
+                let successor = csr.columns[frame.1];
+                frame.1 += 1;
+                if index[successor] == UNVISITED {
+                    index[successor] = next_index;
+                    low[successor] = next_index;
+                    next_index += 1;
+                    stack.push(successor);
+                    on_stack[successor] = true;
+                    frames.push((successor, csr.row_ptr[successor]));
+                } else if on_stack[successor] {
+                    low[state] = low[state].min(index[successor]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last_mut() {
+                    low[parent.0] = low[parent.0].min(low[state]);
+                }
+                if low[state] == index[state] {
+                    loop {
+                        let member = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[member] = false;
+                        component[member] = count;
+                        if member == state {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+    (component, count)
+}
+
+/// One uniformized step of length `tau` over the CSR rows: `π ← Σ_k w_k ·
+/// π Pᵏ` with Poisson weights truncated at relative tail mass `10⁻¹²` —
+/// the sparse twin of the dense `Ctmc::uniformized_step`.
+fn uniformized_sparse_step(csr: &Csr, pi: &[f64], rate: f64, tau: f64) -> Vec<f64> {
+    let n = pi.len();
+    let lambda_t = rate * tau;
+    let mut weight = (-lambda_t).exp();
+    let mut accumulated = weight;
+    let mut term: Vec<f64> = pi.to_vec();
+    let mut out: Vec<f64> = term.iter().map(|&p| p * weight).collect();
+    let mut k = 0u64;
+    let max_terms = (lambda_t + 40.0 * lambda_t.sqrt() + 64.0) as u64;
+    while accumulated < 1.0 - 1e-12 && k < max_terms {
+        let mut next = vec![0.0; n];
+        for (state, slot) in next.iter_mut().enumerate() {
+            *slot = term[state] * (1.0 - csr.exit[state] / rate);
+        }
+        for (state, &mass) in term.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            for (to, q) in csr.row(state) {
+                next[to] += mass * q / rate;
+            }
+        }
+        term = next;
+        k += 1;
+        weight *= lambda_t / k as f64;
+        accumulated += weight;
+        for (o, &p) in out.iter_mut().zip(&term) {
+            *o += weight * p;
+        }
+    }
+    let total: f64 = out.iter().sum();
+    if total > 0.0 {
+        for o in &mut out {
+            *o /= total;
+        }
+    }
+    out
+}
+
 /// Builds the CTMC of a k-out-of-n repairable redundancy group: `n` units
 /// each failing at `failure_rate`, a single repair facility restoring one
 /// unit at a time at `repair_rate`, and the system considered *up* while at
@@ -343,9 +758,104 @@ mod tests {
         assert!(c.add_transition(0, 5, 1.0).is_err());
         assert!(c.add_transition(0, 1, 0.0).is_err());
         assert!(c.add_transition(0, 1, f64::NAN).is_err());
+        assert!(c.add_transition(0, 1, f64::INFINITY).is_err());
+        assert!(c.add_transition(0, 1, -0.5).is_err());
         assert!(c.add_transition(0, 1, 2.0).is_ok());
         // No transitions at all -> error.
         assert!(Ctmc::new(2).unwrap().steady_state().is_err());
+    }
+
+    #[test]
+    fn sparse_construction_mirrors_dense_validation() {
+        assert!(SparseCtmc::new(0).is_err());
+        let mut c = SparseCtmc::new(3).unwrap();
+        assert_eq!(c.states(), 3);
+        assert!(c.add_transition(0, 0, 1.0).is_err());
+        assert!(c.add_transition(0, 5, 1.0).is_err());
+        assert!(c.add_transition(7, 1, 1.0).is_err());
+        assert!(c.add_transition(0, 1, 0.0).is_err());
+        assert!(c.add_transition(0, 1, f64::NAN).is_err());
+        assert!(c.add_transition(0, 1, f64::INFINITY).is_err());
+        assert!(c.add_transition(0, 1, -2.0).is_err());
+        assert!(c.add_transition(0, 1, 2.0).is_ok());
+        assert_eq!(c.num_transitions(), 1);
+        assert!(SparseCtmc::new(2).unwrap().steady_state().is_err());
+        assert_eq!(SparseCtmc::new(1).unwrap().steady_state().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn sparse_steady_state_matches_dense() {
+        let (dense, _) = k_out_of_n_chain(4, 2, 1.0 / 300.0, 1.0 / 12.0).unwrap();
+        let mut sparse = SparseCtmc::new(dense.states()).unwrap();
+        for (from, to, rate) in dense.transitions() {
+            sparse.add_transition(from, to, rate).unwrap();
+        }
+        let pi_dense = dense.steady_state().unwrap();
+        let pi_sparse = sparse.steady_state().unwrap();
+        for (a, b) in pi_sparse.iter().zip(&pi_dense) {
+            assert!((a - b).abs() < 1e-10, "sparse {a} vs dense {b}");
+        }
+        let up = sparse.steady_state_reward(|s| if s < 3 { 1.0 } else { 0.0 }).unwrap();
+        let up_dense = dense.steady_state_reward(|s| if s < 3 { 1.0 } else { 0.0 }).unwrap();
+        assert!((up - up_dense).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sparse_transient_matches_dense() {
+        let (dense, _) = k_out_of_n_chain(3, 2, 1.0 / 500.0, 1.0 / 24.0).unwrap();
+        let mut sparse = SparseCtmc::new(dense.states()).unwrap();
+        for (from, to, rate) in dense.transitions() {
+            sparse.add_transition(from, to, rate).unwrap();
+        }
+        assert!(sparse.transient(9, 1.0).is_err());
+        assert!(sparse.transient(0, -1.0).is_err());
+        assert!(sparse.transient(0, f64::NAN).is_err());
+        for t in [0.0, 1.0, 40.0, 2_000.0, 200_000.0] {
+            let pi_d = dense.transient(0, t).unwrap();
+            let pi_s = sparse.transient(0, t).unwrap();
+            for (a, b) in pi_s.iter().zip(&pi_d) {
+                assert!((a - b).abs() < 1e-10, "t={t}: sparse {a} vs dense {b}");
+            }
+            assert!((pi_s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        let r_s = sparse.transient_reward(0, 40.0, |s| s as f64).unwrap();
+        let r_d = dense.transient_reward(0, 40.0, |s| s as f64).unwrap();
+        assert!((r_s - r_d).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sparse_duplicate_transitions_aggregate() {
+        // Two parallel edges 0->1 behave as one with the summed rate.
+        let mut split = SparseCtmc::new(2).unwrap();
+        split.add_transition(0, 1, 0.4).unwrap();
+        split.add_transition(0, 1, 0.6).unwrap();
+        split.add_transition(1, 0, 5.0).unwrap();
+        let mut merged = SparseCtmc::new(2).unwrap();
+        merged.add_transition(0, 1, 1.0).unwrap();
+        merged.add_transition(1, 0, 5.0).unwrap();
+        let pi_split = split.steady_state().unwrap();
+        let pi_merged = merged.steady_state().unwrap();
+        for (a, b) in pi_split.iter().zip(&pi_merged) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let t_split = split.transient(0, 3.0).unwrap();
+        let t_merged = merged.transient(0, 3.0).unwrap();
+        for (a, b) in t_split.iter().zip(&t_merged) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_absorbing_chain_concentrates_mass() {
+        // 0 -> 1 -> 2 with no way back: all mass ends in state 2.
+        let mut c = SparseCtmc::new(3).unwrap();
+        c.add_transition(0, 1, 1.0).unwrap();
+        c.add_transition(1, 2, 2.0).unwrap();
+        let pi = c.steady_state().unwrap();
+        assert!(pi[2] > 1.0 - 1e-9, "absorbing mass {}", pi[2]);
+        let pt = c.transient(0, 0.5).unwrap();
+        assert!(pt[0] > 0.0 && pt[1] > 0.0 && pt[2] > 0.0);
+        assert!((pt.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -45,6 +45,17 @@ pub enum SanError {
     },
     /// A distribution parameter error surfaced while building or sampling.
     Distribution(DistError),
+    /// Reachability analysis ([`Model::analyze`](crate::Model::analyze))
+    /// classified the model as simulation-only, so an analytic generator
+    /// cannot be assembled.
+    NotAnalytic {
+        /// The model name.
+        model: String,
+        /// What blocks the analytic path (budget exhaustion, named
+        /// non-exponential activities, vanishing loops, multi-class
+        /// structure).
+        reasons: Vec<String>,
+    },
     /// Static analysis ([`Model::lint`](crate::Model::lint)) found
     /// diagnostics at or above the requested deny level.
     LintRejected {
@@ -72,6 +83,9 @@ impl fmt::Display for SanError {
                 "instantaneous activities did not stabilise after {firings} zero-delay firings"
             ),
             SanError::Distribution(e) => write!(f, "distribution error: {e}"),
+            SanError::NotAnalytic { model, reasons } => {
+                write!(f, "model `{model}` is not analytically solvable: {}", reasons.join("; "))
+            }
             SanError::LintRejected { model, rejected, details } => write!(
                 f,
                 "static analysis rejected model `{model}`: {rejected} diagnostic(s) at or above \

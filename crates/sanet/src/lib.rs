@@ -39,6 +39,13 @@
 //!   reward linting, reported as typed `SAN0xx` diagnostics with a
 //!   configurable deny level. Debug builds run it automatically before
 //!   [`Simulator::run`].
+//! * [`reach`] — the semantic static-analysis tier ([`Model::analyze`]):
+//!   exhaustive reachable-marking-graph exploration under a budget,
+//!   classifying boundedness, ergodicity (SCC condensation), and timing
+//!   (all-exponential or the named offenders), with a typed
+//!   [`SolverAdmissibility`] verdict and — for admissible models — exact
+//!   sparse generator assembly into a [`ctmc::SparseCtmc`] solvable
+//!   without simulation.
 //!
 //! # The event-calendar engine
 //!
@@ -123,6 +130,7 @@ pub mod lint;
 mod marking;
 mod model;
 pub mod rare;
+pub mod reach;
 mod reference;
 mod replication;
 pub mod reward;
@@ -132,6 +140,7 @@ pub use error::SanError;
 pub use lint::{Diagnostic, LintConfig, LintReport, Severity};
 pub use marking::{Marking, PlaceId};
 pub use model::{ActivityBuilder, ActivityId, Model, ModelBuilder, Timing};
+pub use reach::{GeneratorAssembly, ReachConfig, ReachReport, SolverAdmissibility};
 pub use replication::{Experiment, RewardEstimate, RunSummary, StoppingRule};
 pub use reward::RewardSpec;
 

@@ -51,6 +51,16 @@
 //! | `SAN023` | Warning | reward function produced a non-finite value |
 //! | `SAN030` | Warning | degenerate design-space axis (reported by `cfs-model`'s sweep lint) |
 //! | `SAN031` | Error | sweep seed-stream collision (reported by `cfs-model`'s sweep lint) |
+//! | `SAN040` | Warning/Info | state budget exhausted: the model may be unbounded (reported by [`reach`](crate::reach)) |
+//! | `SAN041` | Info/Warning | non-ergodic structure: absorbing/terminal classes plus transient markings |
+//! | `SAN042` | Info | non-exponential timing blocks analytic solving (offending activity named) |
+//! | `SAN043` | Warning | reachable dead-end marking: no activity enabled |
+//! | `SAN044` | Info | state-space size report (markings, tangible/vanishing split, transitions) |
+//!
+//! The `SAN04x` block comes from the semantic tier in [`reach`](crate::reach)
+//! ([`Model::analyze`](crate::Model::analyze)): exhaustive state-space
+//! exploration rather than corpus probing, rendered through the same
+//! [`LintReport`] machinery by [`ReachReport::to_lint_report`](crate::reach::ReachReport::to_lint_report).
 //!
 //! P-invariants are extracted by integer (Farkas) elimination on the arc
 //! incidence matrix, restricted to places no gate function was observed to
@@ -145,6 +155,16 @@ pub mod codes {
     pub const DEGENERATE_AXIS: &str = "SAN030";
     /// Sweep seed-stream collision.
     pub const SEED_COLLISION: &str = "SAN031";
+    /// Reachability budget exhausted; the model may be unbounded.
+    pub const UNBOUNDED_SUSPECT: &str = "SAN040";
+    /// Non-ergodic marking graph (terminal classes plus transient states).
+    pub const NON_ERGODIC: &str = "SAN041";
+    /// Non-exponential timing blocks the analytic solver tier.
+    pub const NON_EXPONENTIAL_TIMING: &str = "SAN042";
+    /// Reachable dead-end marking (no activity enabled).
+    pub const DEAD_END_MARKING: &str = "SAN043";
+    /// State-space size report from the reachability explorer.
+    pub const STATE_SPACE_SIZE: &str = "SAN044";
 }
 
 /// One typed finding of the linter.
@@ -235,6 +255,20 @@ pub struct LintReport {
 }
 
 impl LintReport {
+    /// Assembles a report from pre-computed diagnostics, applying the
+    /// standard ordering (severity descending, then code). Used by the
+    /// reachability tier ([`crate::reach`]), whose `SAN04x` diagnostics
+    /// derive from state-space exploration rather than the probe corpus —
+    /// `probes` is `0` there.
+    pub(crate) fn from_parts(
+        model: String,
+        probes: usize,
+        mut diagnostics: Vec<Diagnostic>,
+    ) -> LintReport {
+        diagnostics.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(b.code)));
+        LintReport { model, probes, diagnostics }
+    }
+
     /// Name of the linted model.
     pub fn model(&self) -> &str {
         &self.model

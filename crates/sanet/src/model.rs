@@ -428,6 +428,20 @@ impl Model {
         crate::lint::lint_model(self, config, rewards)
     }
 
+    /// Explores the reachable marking graph under the default budget and
+    /// classifies boundedness, ergodicity, timing, and solver
+    /// admissibility; see [`crate::reach`].
+    pub fn analyze(&self) -> crate::reach::ReachReport {
+        self.analyze_with(&crate::reach::ReachConfig::default())
+    }
+
+    /// Explores the reachable marking graph under `config`; see
+    /// [`crate::reach`] for the exploration semantics and the `SAN04x`
+    /// diagnostics derived from the report.
+    pub fn analyze_with(&self, config: &crate::reach::ReachConfig) -> crate::reach::ReachReport {
+        crate::reach::explore(self, config)
+    }
+
     /// Debug-build guard run by [`Simulator::run`](crate::Simulator::run):
     /// rejects models with Error-level lint diagnostics before the first
     /// replication. Memoised per model so repeated runs pay nothing; a
