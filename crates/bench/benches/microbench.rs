@@ -460,6 +460,62 @@ fn bench_million_replications(records: &mut Vec<BenchRecord>) {
     );
 }
 
+/// Telemetry overhead on the hot kernel path: the composed ABE model run
+/// through the calendar kernel with the sharded accumulators enabled vs
+/// disabled. The two arms are *interleaved* — disabled trial, enabled
+/// trial, repeated — so machine-wide drift (a noisy neighbour, a thermal
+/// dip) lands on both arms instead of biasing whichever ran second, and
+/// each arm keeps its best-of-N throughput as the noise-floor estimate.
+/// The `CFS_BENCH_*` smoke knobs deliberately do not apply — the two arms
+/// must run the identical workload. The regression lands in BENCH.json as
+/// percentage points in the `events_per_sec` slot (unit `"percent"`),
+/// where `bench_guard` fails the build if it grows more than 2 points over
+/// the committed baseline.
+fn bench_telemetry_overhead(records: &mut Vec<BenchRecord>) {
+    let cluster = build_cluster_model(&ClusterConfig::abe()).unwrap();
+    let rewards = standard_rewards(&cluster);
+    let sim = Simulator::new(&cluster.model);
+    let horizon = 8760.0;
+
+    // One timed trial of a fixed workload; returns (ns/iter, events/s).
+    let trial = |telemetry_on: bool| -> (f64, f64) {
+        let guard = telemetry_on.then(probdist::telemetry::enable_scoped);
+        let mut rng = SimRng::seed_from_u64(13);
+        black_box(sim.run(&rewards, horizon, 0.0, &mut rng).unwrap());
+        let iters = 30u64;
+        let mut events = 0u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            events += black_box(sim.run(&rewards, horizon, 0.0, &mut rng).unwrap().events);
+        }
+        let elapsed = start.elapsed();
+        drop(guard);
+        (elapsed.as_nanos() as f64 / iters as f64, events as f64 / elapsed.as_secs_f64())
+    };
+
+    // Warm both paths (shard registration, page faults), then interleave.
+    trial(false);
+    trial(true);
+    let mut disabled = 0.0f64;
+    let mut enabled = 0.0f64;
+    let mut enabled_ns = f64::INFINITY;
+    for _ in 0..7 {
+        disabled = disabled.max(trial(false).1);
+        let (ns, rate) = trial(true);
+        enabled = enabled.max(rate);
+        enabled_ns = enabled_ns.min(ns);
+    }
+    let overhead_pct = (1.0 - enabled / disabled) * 100.0;
+    println!(
+        "telemetry_overhead_pct                         {overhead_pct:>12.2} %   ({disabled:.0} \
+         events/s disabled, {enabled:.0} enabled)"
+    );
+    records.push(
+        BenchRecord::with_events("telemetry_overhead_pct", enabled_ns, overhead_pct)
+            .with_unit("percent"),
+    );
+}
+
 /// The machine's available parallelism (1 if unknown).
 fn available_workers() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
@@ -476,6 +532,7 @@ fn main() {
     bench_rare_event(&mut records);
     bench_study_scheduling(&mut records);
     bench_million_replications(&mut records);
+    bench_telemetry_overhead(&mut records);
     match cfs_bench::write_bench_json(&records) {
         Ok(path) => {
             println!("\nwrote {} machine-readable records to {}", records.len(), path.display());

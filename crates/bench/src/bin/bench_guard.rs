@@ -12,7 +12,10 @@
 //!   `events_per_sec` — per-event cost does not depend on how many events a
 //!   smoke run processes;
 //! * the pool row (`study_global_work_stealing_pool`) by `speedup` — a
-//!   dimensionless serial-vs-pooled ratio.
+//!   dimensionless serial-vs-pooled ratio;
+//! * the telemetry overhead row (`telemetry_overhead_pct`, unit
+//!   `"percent"`) absolutely: the fresh overhead may not exceed the
+//!   committed baseline by more than 2 percentage points.
 //!
 //! Wall-clock rows (`ns_per_iter` on horizon-scaled loops) and the
 //! million-replication row (whose replication count the smoke run shrinks)
@@ -100,12 +103,21 @@ enum Metric {
     EventsPerSec(f64),
     /// Higher-is-better dimensionless speedup.
     Speedup(f64),
+    /// Lower-is-better overhead in percentage points (the telemetry row):
+    /// gated absolutely, not relatively — the guard fails when the fresh
+    /// overhead exceeds the baseline by more than
+    /// [`OVERHEAD_HEADROOM_POINTS`].
+    OverheadPct(f64),
 }
+
+/// Absolute headroom, in percentage points, allowed on [`Metric::OverheadPct`]
+/// rows before the guard fails.
+const OVERHEAD_HEADROOM_POINTS: f64 = 2.0;
 
 impl Metric {
     fn value(self) -> f64 {
         match self {
-            Metric::EventsPerSec(v) | Metric::Speedup(v) => v,
+            Metric::EventsPerSec(v) | Metric::Speedup(v) | Metric::OverheadPct(v) => v,
         }
     }
 
@@ -113,6 +125,19 @@ impl Metric {
         match self {
             Metric::EventsPerSec(_) => "events/s",
             Metric::Speedup(_) => "speedup",
+            Metric::OverheadPct(_) => "overhead %",
+        }
+    }
+
+    /// Whether `fresh` regressed against `self`: a relative throughput /
+    /// speedup drop beyond `tolerance`, or an absolute overhead growth
+    /// beyond the headroom.
+    fn regressed_by(self, fresh: Metric, tolerance: f64) -> bool {
+        match (self, fresh) {
+            (Metric::OverheadPct(base), Metric::OverheadPct(new)) => {
+                new > base + OVERHEAD_HEADROOM_POINTS
+            }
+            _ => fresh.value() < self.value() * (1.0 - tolerance),
         }
     }
 }
@@ -148,6 +173,10 @@ fn guarded_metrics(path: &str, doc: &Value) -> Result<BTreeMap<(String, i64), Me
             // (states interned per second; the throughput rides in the
             // same `events_per_sec` slot).
             record.get("events_per_sec").and_then(Value::as_f64).map(Metric::EventsPerSec)
+        } else if unit == "percent" {
+            // The telemetry overhead row: percentage points in the
+            // `events_per_sec` slot, gated absolutely (+2 points).
+            record.get("events_per_sec").and_then(Value::as_f64).map(Metric::OverheadPct)
         } else {
             None
         };
@@ -178,15 +207,16 @@ fn run(baseline_path: &str, fresh_path: &str) -> Result<bool, GuardError> {
             println!("guard: {key_label}: missing from fresh run (skipped)");
             continue;
         };
-        let floor = base.value() * (1.0 - tolerance);
-        if new.value() < floor {
+        if base.regressed_by(*new, tolerance) {
             println!(
-                "guard: FAIL {key_label}: {} fell {:.1}% ({:.4} -> {:.4}, tolerance {:.0}%)",
+                "guard: FAIL {key_label}: {} regressed ({:.4} -> {:.4}, tolerance {})",
                 new.label(),
-                (1.0 - new.value() / base.value()) * 100.0,
                 base.value(),
                 new.value(),
-                tolerance * 100.0
+                match base {
+                    Metric::OverheadPct(_) => format!("+{OVERHEAD_HEADROOM_POINTS:.0} points"),
+                    _ => format!("{:.0}%", tolerance * 100.0),
+                }
             );
             ok = false;
         } else {
@@ -266,6 +296,27 @@ mod tests {
             metrics.get(&("reach_states_per_sec".to_string(), -1)),
             Some(&Metric::EventsPerSec(4.0e4))
         );
+    }
+
+    #[test]
+    fn overhead_rows_are_guarded_absolutely() {
+        let doc = json::parse(
+            r#"[
+                {"name": "telemetry_overhead_pct", "unit": "percent", "workers": null,
+                 "ns_per_iter": 1e6, "events_per_sec": 0.8, "speedup": null,
+                 "replications_to_target": null}
+            ]"#,
+        )
+        .unwrap();
+        let metrics = guarded_metrics("test.json", &doc).unwrap();
+        let base = metrics.get(&("telemetry_overhead_pct".to_string(), -1)).copied().unwrap();
+        assert_eq!(base, Metric::OverheadPct(0.8));
+        // Inside the 2-point headroom — even with zero relative tolerance.
+        assert!(!base.regressed_by(Metric::OverheadPct(2.7), 0.0));
+        // Beyond it — regardless of how loose the relative tolerance is.
+        assert!(base.regressed_by(Metric::OverheadPct(2.9), 0.9));
+        // Improvements (less overhead, even negative) never fail.
+        assert!(!base.regressed_by(Metric::OverheadPct(-1.0), 0.0));
     }
 
     #[test]

@@ -176,10 +176,16 @@ fn run_range(
     // because replication `i` is a pure function of `(seed, i)`.
     if let Some(session) = session.as_ref() {
         let available = session.stored.len().min(range.end);
+        let mut resumed = 0u64;
         while next < available {
             results.push(restore_run(&session.stored[next]));
             next += 1;
+            resumed += 1;
         }
+        probdist::telemetry::counter_add(
+            probdist::telemetry::MetricId::CheckpointResumeHits,
+            resumed,
+        );
     }
 
     while next < range.end {
@@ -241,7 +247,10 @@ pub fn evaluate(config: &ClusterConfig, spec: &RunSpec) -> Result<ClusterDependa
     let horizon_hours = spec.horizon_hours();
     let level = spec.confidence_level();
 
-    let cluster = build_cluster_model(config)?;
+    let cluster = {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanModelBuild);
+        build_cluster_model(config)?
+    };
     let rewards = standard_rewards(&cluster);
     let mut experiment = Experiment::new(cluster.model.clone(), horizon_hours);
     experiment.set_workers(spec.workers());

@@ -28,6 +28,9 @@
 //! * `--reach` — run reachability/admissibility analysis instead.
 //! * `--max-states` / `--max-transitions` — exploration budget for
 //!   `--reach` (defaults: 20 000 states, 250 000 transitions).
+//! * `--timings` — print per-pass wall-clock durations (declaration /
+//!   structural / reward passes, or exploration under `--reach`) to
+//!   stderr, measured through the telemetry span layer.
 //! * `--list` — print the built-in model names and exit.
 //!
 //! Exit codes: `0` clean, `1` at least one diagnostic at or above the deny
@@ -48,6 +51,7 @@ struct Options {
     config: LintConfig,
     reach: bool,
     reach_config: ReachConfig,
+    timings: bool,
     list: bool,
 }
 
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
         config: LintConfig::default(),
         reach: false,
         reach_config: ReachConfig::default(),
+        timings: false,
         list: false,
     };
     let mut args = std::env::args().skip(1);
@@ -101,11 +106,12 @@ fn parse_args() -> Result<Options, String> {
                     format!("--max-transitions needs a positive integer, got '{n}'")
                 })?;
             }
+            "--timings" => options.timings = true,
             "--list" => options.list = true,
             "--help" | "-h" => {
                 return Err("usage: sanlint [--model NAME]... [--format text|json] \
                      [--deny error|warning|info] [--probes N] [--seed N] [--list] \
-                     [--reach] [--max-states N] [--max-transitions N]"
+                     [--reach] [--max-states N] [--max-transitions N] [--timings]"
                     .into())
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
@@ -135,6 +141,11 @@ fn main() -> ExitCode {
         options.models.iter().map(String::as_str).collect()
     };
 
+    // --timings: record the passes through the telemetry span layer and
+    // print the deltas once the run finishes.
+    let _telemetry_guard = options.timings.then(probdist::telemetry::enable_scoped);
+    let baseline = options.timings.then(probdist::telemetry::snapshot);
+
     let (rendered, clean) = if options.reach {
         match analyze_models(&names, &options.reach_config, options.deny) {
             Ok(summary) => (
@@ -160,9 +171,39 @@ fn main() -> ExitCode {
     };
 
     print!("{rendered}");
+    if let Some(baseline) = baseline {
+        print_timings(&probdist::telemetry::snapshot().delta_since(&baseline), options.reach);
+    }
     if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Renders the per-pass span durations to stderr: per-model wall-clock
+/// totals for the three structural-lint passes, or the exploration and
+/// generator-assembly phases under `--reach`.
+fn print_timings(delta: &probdist::telemetry::TelemetrySnapshot, reach: bool) {
+    let passes: &[(&str, &str)] = if reach {
+        &[
+            ("generator assembly", "span_generator_assembly_ns"),
+            ("reach exploration", "span_reach_explore_ns"),
+        ]
+    } else {
+        &[
+            ("declaration pass", "span_lint_declaration_ns"),
+            ("structural pass", "span_lint_structural_ns"),
+            ("reward pass", "span_lint_reward_ns"),
+            ("lint total", "span_lint_ns"),
+        ]
+    };
+    eprintln!("timings (wall clock, nondeterministic):");
+    for (label, metric) in passes {
+        let Some(sample) = delta.get(metric) else { continue };
+        let runs = sample.count.unwrap_or(0);
+        if runs > 0 {
+            eprintln!("  {label:<18} {:>10.3} ms across {runs} run(s)", sample.value / 1e6);
+        }
     }
 }

@@ -32,6 +32,7 @@ use std::fs;
 use std::path::Path;
 use std::sync::{Mutex, PoisonError};
 
+use probdist::telemetry;
 use serde::{json, Value};
 
 use crate::CfsError;
@@ -284,8 +285,14 @@ pub fn store(path: impl AsRef<Path>, data: &CheckpointData) -> Result<(), CfsErr
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    fs::write(&tmp, envelope.to_json_pretty())
+    let document = envelope.to_json_pretty();
+    telemetry::counter_inc(telemetry::MetricId::CheckpointWrites);
+    telemetry::counter_add(telemetry::MetricId::CheckpointBytes, document.len() as u64);
+    let write_span = telemetry::span(telemetry::MetricId::SpanCheckpointWrite);
+    fs::write(&tmp, document)
         .map_err(|e| checkpoint_error(path, format!("cannot write temporary file: {e}")))?;
+    drop(write_span);
+    let _rename_span = telemetry::span(telemetry::MetricId::SpanCheckpointRename);
     fs::rename(&tmp, path)
         .map_err(|e| checkpoint_error(path, format!("cannot rename temporary file: {e}")))
 }

@@ -97,6 +97,7 @@ pub use config::ClusterConfig;
 pub use error::CfsError;
 pub use lint::{build_built_in, lint_all, lint_built_in, BuiltIn, LintSummary, BUILT_IN_MODELS};
 pub use params::ModelParameters;
+pub use probdist::telemetry::{TelemetryConfig, TelemetrySnapshot};
 pub use reach::{analyze_all, analyze_built_in, ReachSummary};
 pub use report::{Report, ReportFormat, ScenarioFailure, TextTable};
 pub use run::{CheckpointPolicy, FailurePolicy, PrecisionTarget, RareEventPolicy, RunSpec};

@@ -198,18 +198,38 @@ pub struct Report {
     /// in study execution order. Always empty under the default abort
     /// policy (the first failure surfaces as a [`crate::CfsError`] instead).
     pub failures: Vec<ScenarioFailure>,
+    /// The telemetry delta of the run that produced this report, attached
+    /// when the spec carried [`crate::run::RunSpec::with_telemetry`].
+    pub telemetry: Option<probdist::telemetry::TelemetrySnapshot>,
 }
 
 impl Report {
     /// Creates a report from a spec and the outputs it produced, with no
     /// contained failures.
     pub fn new(spec: RunSpec, outputs: Vec<ScenarioOutput>) -> Self {
-        Report { spec, outputs, failures: Vec::new() }
+        Report { spec, outputs, failures: Vec::new(), telemetry: None }
     }
 
     /// Attaches the failures a fault-tolerant run contained.
     pub fn with_failures(mut self, failures: Vec<ScenarioFailure>) -> Self {
         self.failures = failures;
+        self
+    }
+
+    /// Attaches the telemetry snapshot of the run.
+    pub fn with_telemetry(mut self, snapshot: probdist::telemetry::TelemetrySnapshot) -> Self {
+        self.telemetry = Some(snapshot);
+        self
+    }
+
+    /// Drops every wall-clock artefact — per-scenario timings and the
+    /// telemetry attachment — leaving only the deterministic statistics.
+    /// Two runs with the same seed and replication count then render byte
+    /// for byte identically, the form the determinism and resume tests
+    /// compare.
+    pub fn without_wall_clock(mut self) -> Self {
+        self.outputs = self.outputs.into_iter().map(ScenarioOutput::without_wall_clock).collect();
+        self.telemetry = None;
         self
     }
 
@@ -231,6 +251,7 @@ impl Report {
     /// Adaptive specs report their precision target in the header, and each
     /// Monte-Carlo scenario reports the replication count it actually used.
     pub fn to_text(&self) -> String {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanReportRender);
         let mut out = String::new();
         let replication_policy = match self.spec.precision_target() {
             Some(target) => format!(
@@ -268,6 +289,9 @@ impl Report {
             if let Some(used) = output.replications_used {
                 let _ = writeln!(out, "replications used: {used}");
             }
+            if let Some(elapsed) = output.elapsed_seconds {
+                let _ = writeln!(out, "elapsed: {elapsed:.3} s");
+            }
             if output.truncated {
                 let _ = writeln!(
                     out,
@@ -290,6 +314,10 @@ impl Report {
                 );
             }
         }
+        if let Some(telemetry) = &self.telemetry {
+            let _ = writeln!(out, "\n==== telemetry ====");
+            out.push_str(&telemetry.to_text());
+        }
         out
     }
 
@@ -300,6 +328,7 @@ impl Report {
     /// `replications_used` row recording the count the replication policy
     /// actually spent.
     pub fn to_csv(&self) -> String {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanReportRender);
         let mut out = String::from("scenario,metric,value,ci_half_width\n");
         for output in &self.outputs {
             for metric in &output.metrics {
@@ -329,6 +358,15 @@ impl Report {
                 ]));
                 out.push('\n');
             }
+            if let Some(elapsed) = output.elapsed_seconds {
+                out.push_str(&csv::record(&[
+                    output.scenario.clone(),
+                    "elapsed_seconds".to_string(),
+                    format!("{elapsed}"),
+                    String::new(),
+                ]));
+                out.push('\n');
+            }
         }
         for failure in &self.failures {
             // RFC-4180 quoting keeps arbitrary panic text (commas, quotes,
@@ -341,12 +379,26 @@ impl Report {
             ]));
             out.push('\n');
         }
+        if let Some(telemetry) = &self.telemetry {
+            // The telemetry delta rides along in the same tidy schema under
+            // the reserved scenario name `_telemetry`.
+            for sample in &telemetry.samples {
+                out.push_str(&csv::record(&[
+                    "_telemetry".to_string(),
+                    sample.name.clone(),
+                    format!("{}", sample.value),
+                    String::new(),
+                ]));
+                out.push('\n');
+            }
+        }
         out
     }
 
-    /// Renders the full report — spec, tables, and metrics — as indented
-    /// JSON via serde.
+    /// Renders the full report — spec, tables, metrics, and any telemetry
+    /// attachment — as indented JSON via serde.
     pub fn to_json(&self) -> String {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanReportRender);
         serde::to_json_pretty(self)
     }
 }

@@ -10,6 +10,7 @@
 //! [`crate::scenario::Scenario`], or a whole [`crate::study::Study`].
 
 use probdist::stats::StoppingRule;
+use probdist::telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::CfsError;
@@ -51,6 +52,7 @@ pub struct RunSpec {
     failure_policy: FailurePolicy,
     checkpoint: Option<CheckpointPolicy>,
     deadline_seconds: Option<f64>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 /// What a [`crate::study::Study`] does when one of its scenarios fails —
@@ -147,6 +149,7 @@ impl Default for RunSpec {
             failure_policy: FailurePolicy::Abort,
             checkpoint: None,
             deadline_seconds: None,
+            telemetry: None,
         }
     }
 }
@@ -281,6 +284,25 @@ impl RunSpec {
         self
     }
 
+    /// Opts the run into telemetry: metric recording is enabled for the
+    /// duration of [`crate::study::Study::run`] and a
+    /// [`probdist::telemetry::TelemetrySnapshot`] covering exactly this
+    /// run's work is attached to the [`crate::report::Report`] (rendered
+    /// by all three sinks). The config's options add a live stderr
+    /// progress line and a Prometheus-style exposition file. Telemetry
+    /// never touches an RNG stream or the merge order: statistics are
+    /// bit-identical with telemetry on or off, at any worker count.
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
+    /// Clears the telemetry config.
+    pub fn without_telemetry(mut self) -> Self {
+        self.telemetry = None;
+        self
+    }
+
     /// The simulation horizon per replication, hours.
     pub fn horizon_hours(&self) -> f64 {
         self.horizon_hours
@@ -324,6 +346,11 @@ impl RunSpec {
     /// The checkpoint policy, if one is set.
     pub fn checkpoint(&self) -> Option<&CheckpointPolicy> {
         self.checkpoint.as_ref()
+    }
+
+    /// The telemetry config, if one is set.
+    pub fn telemetry(&self) -> Option<&TelemetryConfig> {
+        self.telemetry.as_ref()
     }
 
     /// The wall-clock deadline, if one is set. A malformed (non-positive or
@@ -437,6 +464,11 @@ impl RunSpec {
                     ),
                 });
             }
+        }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.validate().map_err(|reason| CfsError::InvalidConfig {
+                reason: format!("run spec: {reason}"),
+            })?;
         }
         match self.rare_event {
             Some(RareEventPolicy::ImportanceSampling { bias_factor })
@@ -610,6 +642,21 @@ mod tests {
 
         let err = RunSpec::new().with_deadline(Duration::from_secs(0)).validate().unwrap_err();
         assert!(err.to_string().contains("deadline"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_config_round_trips_and_validates() {
+        assert!(RunSpec::new().telemetry().is_none());
+        let spec = RunSpec::new().with_telemetry(TelemetryConfig::new().with_progress());
+        assert!(spec.telemetry().unwrap().progress);
+        assert!(spec.validate().is_ok());
+        assert!(spec.clone().without_telemetry().telemetry().is_none());
+
+        let err = RunSpec::new()
+            .with_telemetry(TelemetryConfig::new().with_progress_interval_ms(0))
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("progress_interval_ms"), "{err}");
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub struct ScenarioOutput {
     /// prefix of replications that completed (see
     /// [`RunSpec::with_deadline`]).
     pub truncated: bool,
+    /// Wall-clock seconds the scenario took to evaluate, attached by
+    /// [`crate::study::Study::run`]. `None` for outputs built outside a
+    /// study. Nondeterministic by nature — strip it with
+    /// [`ScenarioOutput::without_wall_clock`] before comparing outputs of
+    /// separate runs bit for bit.
+    pub elapsed_seconds: Option<f64>,
 }
 
 impl ScenarioOutput {
@@ -73,6 +79,7 @@ impl ScenarioOutput {
             metrics: Vec::new(),
             replications_used: None,
             truncated: false,
+            elapsed_seconds: None,
         }
     }
 
@@ -86,6 +93,20 @@ impl ScenarioOutput {
     /// budget.
     pub fn with_truncated(mut self, truncated: bool) -> Self {
         self.truncated = truncated;
+        self
+    }
+
+    /// Records the wall-clock seconds the evaluation took.
+    pub fn with_elapsed_seconds(mut self, seconds: f64) -> Self {
+        self.elapsed_seconds = Some(seconds);
+        self
+    }
+
+    /// Drops the wall-clock timing, leaving only the deterministic
+    /// statistics — outputs of two runs with the same seed and count then
+    /// compare equal even though their timings differ.
+    pub fn without_wall_clock(mut self) -> Self {
+        self.elapsed_seconds = None;
         self
     }
 

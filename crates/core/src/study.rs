@@ -185,6 +185,19 @@ impl Study {
                 });
             }
         }
+        // Telemetry scope: when the spec carries a config, enable the
+        // sharded accumulators for the duration of the run and snapshot a
+        // baseline so the report's attachment covers only this run's
+        // activity (global counters persist across runs in one process).
+        let telemetry = spec.telemetry();
+        let _telemetry_guard = telemetry.map(|_| probdist::telemetry::enable_scoped());
+        let baseline = telemetry.map(|_| probdist::telemetry::snapshot());
+        let progress = telemetry.filter(|config| config.progress).map(|config| {
+            probdist::telemetry::start_progress(
+                std::time::Duration::from_millis(config.progress_interval_ms),
+                spec.deadline(),
+            )
+        });
         // The cached process-wide pool: repeated studies reuse the same
         // worker threads instead of spawning a fresh crew per run.
         let pool = probdist::parallel::Pool::global(spec.workers());
@@ -230,7 +243,9 @@ impl Study {
                 // Skipped after an earlier abort-policy failure — that
                 // failure is in the results and returns below.
                 None => {}
-                Some((ScenarioOutcome::Finished(Ok(output)), _)) => outputs.push(output),
+                Some((ScenarioOutcome::Finished(Ok(output)), elapsed_seconds)) => {
+                    outputs.push(output.with_elapsed_seconds(elapsed_seconds));
+                }
                 Some((ScenarioOutcome::Finished(Err(error)), elapsed_seconds)) => {
                     // Deadline starvation is never fatal: the deadline is a
                     // study-wide policy doing exactly what it was asked to.
@@ -261,7 +276,20 @@ impl Study {
                 }
             }
         }
-        Ok(Report::new(spec.clone(), outputs).with_failures(failures))
+        // Stop the progress line before taking the final snapshot so its
+        // last repaint cannot interleave with report rendering.
+        drop(progress);
+        let mut report = Report::new(spec.clone(), outputs).with_failures(failures);
+        if let (Some(config), Some(baseline)) = (telemetry, baseline) {
+            let snapshot = probdist::telemetry::snapshot().delta_since(&baseline);
+            if let Some(path) = &config.exposition_path {
+                snapshot.write_prometheus(path).map_err(|e| CfsError::InvalidConfig {
+                    reason: format!("cannot write telemetry exposition file '{path}': {e}"),
+                })?;
+            }
+            report = report.with_telemetry(snapshot);
+        }
+        Ok(report)
     }
 }
 

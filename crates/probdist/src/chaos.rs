@@ -164,11 +164,13 @@ pub fn work_unit(index: u64) {
     let Some(config) = current() else { return };
     let mut decisions = config.decisions(SITE_WORK_UNIT, index);
     if config.stall_probability > 0.0 && decisions.bernoulli(config.stall_probability) {
+        crate::telemetry::counter_inc(crate::telemetry::MetricId::ChaosWorkUnitInjections);
         std::thread::sleep(config.stall);
     }
     if config.panic_on_index == Some(index)
         || (config.panic_probability > 0.0 && decisions.bernoulli(config.panic_probability))
     {
+        crate::telemetry::counter_inc(crate::telemetry::MetricId::ChaosWorkUnitInjections);
         panic!("chaos: injected panic at work unit {index}");
     }
 }
@@ -182,6 +184,7 @@ pub fn corrupt_reward(index: u64, slot: usize, value: f64) -> f64 {
     }
     let mut decisions = config.decisions(SITE_REWARD, index).derive_stream(slot as u64);
     if decisions.bernoulli(config.nan_probability) {
+        crate::telemetry::counter_inc(crate::telemetry::MetricId::ChaosRewardInjections);
         f64::NAN
     } else {
         value

@@ -25,6 +25,11 @@
 //!   combined with the independent-stages variance approximation), plus
 //!   the naive-Monte-Carlo sample-size projection both are measured
 //!   against.
+//! * **Telemetry** ([`telemetry`]): a lock-free metrics and span-timing
+//!   layer — statically registered counters/gauges/histograms in
+//!   per-thread sharded atomics, drop-timed pipeline-phase spans, a live
+//!   stderr progress line, and text/CSV/JSON/Prometheus exposition.
+//!   Off by default; never perturbs simulation statistics.
 //!
 //! # Example
 //!
@@ -62,6 +67,7 @@ pub mod rates;
 mod rng;
 pub(crate) mod special;
 pub mod stats;
+pub mod telemetry;
 mod uniform;
 mod weibull;
 

@@ -246,7 +246,10 @@ fn run_work_unit<T>(index: usize, body: impl FnOnce() -> T) -> T {
         crate::chaos::work_unit(index as u64);
         body()
     })) {
-        Ok(value) => value,
+        Ok(value) => {
+            crate::telemetry::counter_inc(crate::telemetry::MetricId::ReplicationsCompleted);
+            value
+        }
         Err(payload) => resume_unwind(WorkUnitPanic::wrap(index, payload)),
     }
 }
@@ -402,6 +405,7 @@ mod fanout {
         /// state, then claim and execute adaptive batches until the index
         /// space is exhausted (or a task panics).
         fn session(&self) {
+            let _busy = crate::telemetry::span(crate::telemetry::MetricId::PoolBusyNs);
             let mut state = match catch_unwind(AssertUnwindSafe(self.init)) {
                 Ok(state) => state,
                 Err(payload) => {
@@ -431,6 +435,13 @@ mod fanout {
                     return;
                 }
                 let end = (start + batch).min(self.header.count);
+                // Scheduling-class metrics: which thread wins each claim
+                // race varies run to run, so these are tagged nondeterministic.
+                crate::telemetry::counter_inc(crate::telemetry::MetricId::PoolBatchesClaimed);
+                crate::telemetry::observe(
+                    crate::telemetry::MetricId::PoolBatchSize,
+                    (end - start) as u64,
+                );
                 for index in start..end {
                     match catch_unwind(AssertUnwindSafe(|| (self.task)(index, &mut state))) {
                         Ok(value) => {
@@ -558,7 +569,11 @@ mod fanout {
                 }
                 reg = shared.lock_registry();
             } else {
+                crate::telemetry::counter_inc(crate::telemetry::MetricId::PoolParks);
+                let idle = crate::telemetry::span(crate::telemetry::MetricId::PoolIdleNs);
                 reg = shared.work_cv.wait(reg).unwrap_or_else(PoisonError::into_inner);
+                drop(idle);
+                crate::telemetry::counter_inc(crate::telemetry::MetricId::PoolWakes);
             }
         }
     }
@@ -930,6 +945,9 @@ where
     if count == 0 {
         return Vec::new();
     }
+    // Scheduled-work counter: grows as the adaptive stopping rule plans
+    // further batches, which is what the progress line's ETA tracks.
+    crate::telemetry::counter_add(crate::telemetry::MetricId::ReplicationsScheduled, count as u64);
     if workers == 1 || count < MIN_PARALLEL_COUNT {
         // Serial path: iterate the range directly — no pool, one scratch.
         let mut scratch = init();
@@ -996,6 +1014,7 @@ where
     if count == 0 {
         return (Vec::new(), false);
     }
+    crate::telemetry::counter_add(crate::telemetry::MetricId::ReplicationsScheduled, count as u64);
     if workers == 1 || count < MIN_PARALLEL_COUNT {
         let mut scratch = init();
         let mut results = Vec::with_capacity(count);

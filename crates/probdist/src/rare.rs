@@ -123,9 +123,11 @@ pub fn weighted_probability(
     } else {
         0.0
     };
+    let effective_sample_size = acc.effective_sample_size();
+    crate::telemetry::gauge_set(crate::telemetry::MetricId::RareWeightEss, effective_sample_size);
     Ok(RareEventEstimate {
         interval,
-        effective_sample_size: acc.effective_sample_size(),
+        effective_sample_size,
         replications: acc.count() as usize,
         hits: acc.nonzero_count(),
         variance_reduction_factor,

@@ -321,7 +321,9 @@ impl ReplicationSimulator {
     pub fn run_once(&self, horizon_hours: f64, rng: &mut SimRng) -> StorageRunStats {
         let mut mission = self.start_mission(horizon_hours, rng);
         mission.advance(rng, None);
-        mission.finish()
+        let stats = mission.finish();
+        super::storage::record_mission(&stats);
+        stats
     }
 
     /// Runs a single mission, reusing the mission in `slot` as scratch when
@@ -342,7 +344,9 @@ impl ReplicationSimulator {
         }
         let mission = slot.as_mut().expect("mission was just initialised");
         mission.advance(rng, None);
-        mission.stats()
+        let stats = mission.stats();
+        super::storage::record_mission(&stats);
+        stats
     }
 
     /// Starts a mission in resumable form: the initial lifetimes are drawn

@@ -161,6 +161,10 @@ where
                 (reached, (reached && keep_states).then_some(mission))
             });
         let hits = outcomes.iter().filter(|(reached, _)| *reached).count();
+        probdist::telemetry::counter_add(
+            probdist::telemetry::MetricId::SplittingLevelHits,
+            hits as u64,
+        );
         passages.push(LevelPassage { hits, trials: trials_per_level });
         if hits == 0 {
             // No trial passed: the product estimate is zero and deeper

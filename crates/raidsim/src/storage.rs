@@ -76,6 +76,16 @@ pub(crate) fn validate_run(horizon_hours: f64, confidence_level: f64) -> Result<
     Ok(())
 }
 
+/// Telemetry flush for one completed mission: one mission counted, its
+/// data-loss events added. Called by both storage kernels' `run_once` /
+/// `run_once_reusing` — the replication-path entry points — so the counts
+/// are a pure function of the executed replication set.
+pub(crate) fn record_mission(stats: &StorageRunStats) {
+    use probdist::telemetry::{counter_add, counter_inc, MetricId};
+    counter_inc(MetricId::RaidMissions);
+    counter_add(MetricId::RaidLossEvents, stats.data_loss_events);
+}
+
 /// Aggregates raw replication results into a [`StorageSummary`] at the
 /// given confidence level. Shared by the RAID simulator and the n-way
 /// replication simulator ([`crate::replication`]) so both redundancy
@@ -283,7 +293,9 @@ impl StorageSimulator {
     pub fn run_once(&self, horizon_hours: f64, rng: &mut SimRng) -> StorageRunStats {
         let mut mission = self.start_mission(horizon_hours, rng);
         mission.advance(rng, None);
-        mission.finish()
+        let stats = mission.finish();
+        record_mission(&stats);
+        stats
     }
 
     /// Runs a single mission, reusing the mission in `slot` as scratch when
@@ -303,7 +315,9 @@ impl StorageSimulator {
         }
         let mission = slot.as_mut().expect("mission was just initialised");
         mission.advance(rng, None);
-        mission.stats()
+        let stats = mission.stats();
+        record_mission(&stats);
+        stats
     }
 
     /// Starts a mission in resumable form: initial disk lifetimes (and

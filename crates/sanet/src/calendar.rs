@@ -68,6 +68,11 @@ pub(crate) fn run(
     marking.enable_tracking();
     let mut now = 0.0_f64;
     let mut events = 0u64;
+    // Telemetry tallies: plain locals on the hot path, flushed with one
+    // sharded atomic add per counter at the end of the replication.
+    let mut reexamined = 0u64;
+    let mut heap_ops = 0u64;
+    let mut restarts = 0u64;
     let observed = horizon - warmup;
     let acc = &mut scratch.acc;
     acc.clear();
@@ -138,6 +143,7 @@ pub(crate) fn run(
             }
         } else {
             heap.push(i as u32, t);
+            heap_ops += 1;
         }
     }
 
@@ -266,18 +272,26 @@ pub(crate) fn run(
             let flags = inc.meta[ia].flags;
             debug_assert!(!matches!(acts[ia].timing, Timing::Instantaneous));
             let scan_resident = flags & META_SCAN_RESIDENT != 0;
+            reexamined += 1;
             if !inc.enabled_fast(ia, acts, marking.as_slice(), marking) {
                 time_of[ia] = f64::INFINITY;
                 if !scan_resident {
                     heap.remove(a);
+                    heap_ops += 1;
                 }
                 continue;
             }
             if time_of[ia].is_infinite() || scan_resident || (due && flags & META_RESAMPLE != 0) {
+                // A finite slot being redrawn is a restart: the previous
+                // sample was invalidated by a marking change.
+                if time_of[ia].is_finite() {
+                    restarts += 1;
+                }
                 let t = now + sample_delay(&acts[ia], marking, rng);
                 time_of[ia] = t;
                 if !scan_resident {
                     heap.upsert(a, t);
+                    heap_ops += 1;
                 }
             }
             if scan_resident && earlier((time_of[ia], a), vol_min) {
@@ -286,6 +300,13 @@ pub(crate) fn run(
         }
     }
 
+    {
+        use probdist::telemetry::{counter_add, MetricId};
+        counter_add(MetricId::SanEventsFired, events);
+        counter_add(MetricId::SanReexaminations, reexamined);
+        counter_add(MetricId::SanHeapOps, heap_ops);
+        counter_add(MetricId::SanRestarts, restarts);
+    }
     Ok(finalise(table, acc, marking, observed, events, now))
 }
 

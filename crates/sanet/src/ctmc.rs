@@ -105,6 +105,7 @@ impl Ctmc {
     // Index-style loops mirror the Qᵀπ = 0 linear-algebra notation.
     #[allow(clippy::needless_range_loop)]
     pub fn steady_state(&self) -> Result<Vec<f64>, SanError> {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanSolve);
         let n = self.states;
         if n == 1 {
             return Ok(vec![1.0]);
@@ -196,6 +197,7 @@ impl Ctmc {
     /// Returns [`SanError::UnknownId`] if `initial` is out of range and
     /// [`SanError::InvalidExperiment`] for a negative or non-finite `t`.
     pub fn transient(&self, initial: usize, t: f64) -> Result<Vec<f64>, SanError> {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanSolve);
         if initial >= self.states {
             return Err(SanError::UnknownId { what: format!("CTMC state {initial}") });
         }
@@ -447,6 +449,7 @@ impl SparseCtmc {
     /// distribution is then not unique — assemble per-class chains
     /// instead), or the iteration fails to converge.
     pub fn steady_state(&self) -> Result<Vec<f64>, SanError> {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanSolve);
         let n = self.states;
         if n == 1 {
             return Ok(vec![1.0]);
@@ -550,6 +553,7 @@ impl SparseCtmc {
     /// Returns [`SanError::UnknownId`] if `initial` is out of range and
     /// [`SanError::InvalidExperiment`] for a negative or non-finite `t`.
     pub fn transient(&self, initial: usize, t: f64) -> Result<Vec<f64>, SanError> {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanSolve);
         if initial >= self.states {
             return Err(SanError::UnknownId { what: format!("CTMC state {initial}") });
         }

@@ -423,6 +423,10 @@ fn place_list(model: &Model, places: impl IntoIterator<Item = usize>) -> String 
 
 /// Runs the full lint; called through [`Model::lint_with`].
 pub(crate) fn lint_model(model: &Model, config: &LintConfig, rewards: &[RewardSpec]) -> LintReport {
+    use probdist::telemetry::{span, MetricId};
+
+    let _lint_span = span(MetricId::SpanLint);
+    let declaration_span = span(MetricId::SpanLintDeclaration);
     let initial: Vec<u64> = model.initial_marking().as_slice().to_vec();
     let corpus = probe_corpus(&initial, config);
     let recorder = ReadRecorder::new();
@@ -669,6 +673,8 @@ pub(crate) fn lint_model(model: &Model, config: &LintConfig, rewards: &[RewardSp
     }
 
     // ---- Pass 2: structural analysis. ----------------------------------
+    drop(declaration_span);
+    let structural_span = span(MetricId::SpanLintStructural);
     for activity in activities {
         let mut seen = BTreeSet::new();
         let mut duplicated = BTreeSet::new();
@@ -726,6 +732,8 @@ pub(crate) fn lint_model(model: &Model, config: &LintConfig, rewards: &[RewardSp
     }
 
     // ---- Pass 3: reward linting. ----------------------------------------
+    drop(structural_span);
+    let _reward_span = span(MetricId::SpanLintReward);
     let mut dead: BTreeSet<usize> =
         probes.iter().enumerate().filter(|(_, s)| !s.ever_enabled).map(|(i, _)| i).collect();
     dead.extend(starved.iter().copied());

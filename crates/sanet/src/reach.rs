@@ -325,6 +325,7 @@ impl ReachReport {
     /// [`ReachReport::admissibility`]) unless the verdict is
     /// [`SolverAdmissibility::Analytic`].
     pub fn assemble_generator(&self) -> Result<GeneratorAssembly, SanError> {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanGeneratorAssembly);
         let Some(data) = &self.generator else {
             return Err(SanError::NotAnalytic {
                 model: self.model.clone(),
@@ -782,6 +783,7 @@ fn eliminate_vanishing(
 /// Explores the reachable marking graph of `model` under `config` — the
 /// implementation behind [`Model::analyze_with`](crate::Model::analyze_with).
 pub(crate) fn explore(model: &Model, config: &ReachConfig) -> ReachReport {
+    let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanReachExplore);
     let activities = model.activities();
     let place_names: Vec<String> = model.place_names().map(str::to_string).collect();
     let instants: Vec<usize> = (0..activities.len())

@@ -49,6 +49,10 @@ pub(crate) fn run(
     marking.enable_tracking();
     let mut now = 0.0_f64;
     let mut events = 0u64;
+    // Telemetry tallies: plain locals on the hot path, flushed with one
+    // sharded atomic add per counter at the end of the replication.
+    let mut reexamined = 0u64;
+    let mut restarts = 0u64;
     let observed = horizon - warmup;
     let acc = &mut scratch.acc;
     acc.clear();
@@ -63,7 +67,17 @@ pub(crate) fn run(
     // then schedule timed activities.
     fire_instantaneous(model, marking, rng, &mut trace, &mut events, now, table, acc, warmup)?;
     marking.clear_log();
-    refresh_schedule(model, marking, schedule, rng, now, true, written);
+    refresh_schedule(
+        model,
+        marking,
+        schedule,
+        rng,
+        now,
+        true,
+        written,
+        &mut reexamined,
+        &mut restarts,
+    );
 
     loop {
         // Find the earliest scheduled completion by scanning every slot.
@@ -107,13 +121,29 @@ pub(crate) fn run(
         for &p in marking.log() {
             written[p as usize] = true;
         }
-        refresh_schedule(model, marking, schedule, rng, now, false, written);
+        refresh_schedule(
+            model,
+            marking,
+            schedule,
+            rng,
+            now,
+            false,
+            written,
+            &mut reexamined,
+            &mut restarts,
+        );
         for &p in marking.log() {
             written[p as usize] = false;
         }
         marking.clear_log();
     }
 
+    {
+        use probdist::telemetry::{counter_add, MetricId};
+        counter_add(MetricId::SanEventsFired, events);
+        counter_add(MetricId::SanReexaminations, reexamined);
+        counter_add(MetricId::SanRestarts, restarts);
+    }
     Ok(finalise(table, acc, marking, observed, events, now))
 }
 
@@ -162,6 +192,7 @@ fn fire_instantaneous(
 /// delay, and enabled activities with the restart policy (or marking-
 /// dependent timing) resample — always, or only when one of their declared
 /// timing-read places is in the event's `written` set.
+#[allow(clippy::too_many_arguments)]
 fn refresh_schedule(
     model: &Model,
     marking: &Marking,
@@ -170,11 +201,14 @@ fn refresh_schedule(
     now: f64,
     initial: bool,
     written: &[bool],
+    reexamined: &mut u64,
+    restarts: &mut u64,
 ) {
     for (i, activity) in model.activities().iter().enumerate() {
         if matches!(activity.timing, Timing::Instantaneous) {
             continue;
         }
+        *reexamined += 1;
         if !activity.is_enabled(marking) {
             schedule[i] = None;
             continue;
@@ -186,6 +220,11 @@ fn refresh_schedule(
                 Some(reads) => reads.iter().any(|p| written[p.index()]),
             };
         if schedule[i].is_none() || resample {
+            // A live sample being redrawn is a restart, mirroring the
+            // calendar kernel's accounting.
+            if schedule[i].is_some() {
+                *restarts += 1;
+            }
             schedule[i] = Some(now + sample_delay(activity, marking, rng));
         }
     }

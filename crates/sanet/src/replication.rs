@@ -255,6 +255,7 @@ impl Experiment {
         seed: u64,
         token: &probdist::parallel::CancelToken,
     ) -> Result<(Vec<crate::RunResult>, bool), SanError> {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanReplicate);
         let root = SimRng::seed_from_u64(seed);
         let workers = if self.parallel { self.workers } else { 1 };
         let sim = Simulator::new(&self.model);
@@ -284,6 +285,7 @@ impl Experiment {
         count: usize,
         seed: u64,
     ) -> Result<Vec<crate::RunResult>, SanError> {
+        let _span = probdist::telemetry::span(probdist::telemetry::MetricId::SpanReplicate);
         let root = SimRng::seed_from_u64(seed);
         let workers = if self.parallel { self.workers } else { 1 };
         let sim = Simulator::new(&self.model);

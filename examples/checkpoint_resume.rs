@@ -38,8 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Resume the full 16-replication budget: the stored prefix is served
     // from the file (bit-identically — replication i is a pure function of
     // the base seed and i), only the remainder simulates.
-    let resumed = Study::new().with(ClusterConfig::abe()).run(&spec)?;
-    let fresh = Study::new().with(ClusterConfig::abe()).run(&spec.clone().without_checkpoint())?;
+    let resumed = Study::new().with(ClusterConfig::abe()).run(&spec)?.without_wall_clock();
+    let fresh = Study::new()
+        .with(ClusterConfig::abe())
+        .run(&spec.clone().without_checkpoint())?
+        .without_wall_clock();
     assert_eq!(resumed.outputs, fresh.outputs, "resume must be bit-identical");
     println!("resumed run matches an uninterrupted run bit for bit");
 

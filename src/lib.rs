@@ -76,7 +76,8 @@ pub mod prelude {
     };
     pub use cfs_model::{
         CfsError, CheckpointPolicy, FailurePolicy, ModelParameters, PrecisionTarget,
-        RareEventPolicy, Report, ReportFormat, RunSpec, ScenarioFailure, Study,
+        RareEventPolicy, Report, ReportFormat, RunSpec, ScenarioFailure, Study, TelemetryConfig,
+        TelemetrySnapshot,
     };
     pub use faultlog::analysis::{
         DiskReplacementAnalysis, JobAnalysis, MountFailureAnalysis, OutageAnalysis,

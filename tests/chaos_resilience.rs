@@ -33,8 +33,10 @@ fn injected_kill_at_k_resumes_bit_identically() {
         let base = common.clone().with_workers(workers);
         let checkpointed = base.clone().with_checkpoint(path.to_str().unwrap(), 2);
 
-        // Uninterrupted reference, no chaos, no checkpoint.
-        let fresh = Study::new().with(ClusterConfig::abe()).run(&base).unwrap();
+        // Uninterrupted reference, no chaos, no checkpoint. Wall-clock
+        // timings are stripped — they are nondeterministic by nature.
+        let fresh =
+            Study::new().with(ClusterConfig::abe()).run(&base).unwrap().without_wall_clock();
 
         // The "kill": replication 5 panics by injection. The study
         // contains it as a typed error carrying the replication index;
@@ -58,7 +60,11 @@ fn injected_kill_at_k_resumes_bit_identically() {
         // Resume with chaos off: the stored prefix is served verbatim,
         // the rest simulates, and the report matches the fresh run byte
         // for byte.
-        let resumed = Study::new().with(ClusterConfig::abe()).run(&checkpointed).unwrap();
+        let resumed = Study::new()
+            .with(ClusterConfig::abe())
+            .run(&checkpointed)
+            .unwrap()
+            .without_wall_clock();
         assert_eq!(fresh.outputs, resumed.outputs, "workers {workers}");
         let fresh_report = Report::new(common.clone(), fresh.outputs);
         let resumed_report = Report::new(common.clone(), resumed.outputs);
@@ -115,7 +121,10 @@ fn continue_and_report_completes_under_injected_faults() {
             .run(&spec)
             .unwrap()
     };
-    assert_eq!(report.outputs, replay.outputs);
+    assert_eq!(
+        report.clone().without_wall_clock().outputs,
+        replay.clone().without_wall_clock().outputs
+    );
     assert_eq!(
         report.failures.iter().map(|f| (&f.scenario, f.replication)).collect::<Vec<_>>(),
         replay.failures.iter().map(|f| (&f.scenario, f.replication)).collect::<Vec<_>>()

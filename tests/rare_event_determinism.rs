@@ -33,9 +33,10 @@ fn splitting_spec(workers: usize) -> RunSpec {
 /// workers 1, 2, and 8, in every report format.
 #[test]
 fn rare_event_studies_are_bit_identical_at_any_worker_count() {
-    let serial = rare_study().run(&splitting_spec(1)).unwrap();
+    // Wall-clock timings are stripped — only the statistics must match.
+    let serial = rare_study().run(&splitting_spec(1)).unwrap().without_wall_clock();
     for workers in [2, 8] {
-        let parallel = rare_study().run(&splitting_spec(workers)).unwrap();
+        let parallel = rare_study().run(&splitting_spec(workers)).unwrap().without_wall_clock();
         assert_eq!(serial.outputs, parallel.outputs, "workers = {workers}");
         assert_eq!(serial.to_csv(), parallel.to_csv(), "workers = {workers}");
         // The rendered report embeds the spec, whose worker count
@@ -65,9 +66,9 @@ fn adaptive_rare_event_studies_are_worker_invariant() {
             mtbf_khours: vec![5.0],
         })
     };
-    let serial = study().run(&spec(1)).unwrap();
+    let serial = study().run(&spec(1)).unwrap().without_wall_clock();
     for workers in [2, 8] {
-        let parallel = study().run(&spec(workers)).unwrap();
+        let parallel = study().run(&spec(workers)).unwrap().without_wall_clock();
         assert_eq!(serial.outputs, parallel.outputs, "workers = {workers}");
     }
     let used = serial.outputs[0].replications_used.expect("splitting records trials");

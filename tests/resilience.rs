@@ -82,7 +82,8 @@ fn continue_and_report_is_deterministic_across_worker_counts() {
         // comparing renders across worker counts.
         let mut failures = report.failures;
         failures[0].elapsed_seconds = 0.0;
-        let stable = Report::new(quick_spec(), report.outputs).with_failures(failures);
+        let stable =
+            Report::new(quick_spec(), report.outputs).with_failures(failures).without_wall_clock();
         (stable.to_text(), stable.to_csv(), stable.to_json())
     };
     let serial = render(1);
@@ -104,8 +105,10 @@ fn killed_and_resumed_runs_render_byte_identical_reports() {
         let _ = std::fs::remove_file(&path);
         let base = common.clone().with_workers(workers);
 
-        // The uninterrupted reference run (no checkpoint at all).
-        let fresh = Study::new().with(scenario()).run(&base).unwrap();
+        // The uninterrupted reference run (no checkpoint at all). Strip the
+        // wall-clock timings: they are the one legitimately nondeterministic
+        // part of a report.
+        let fresh = Study::new().with(scenario()).run(&base).unwrap().without_wall_clock();
 
         // "Kill at k": a run with the same seed but only k replications,
         // checkpointing every 2 — the file now holds the k-replication
@@ -116,7 +119,8 @@ fn killed_and_resumed_runs_render_byte_identical_reports() {
 
         // Resume the full budget from the checkpoint.
         let resumed_spec = base.clone().with_checkpoint(path.to_str().unwrap(), 2);
-        let resumed = Study::new().with(scenario()).run(&resumed_spec).unwrap();
+        let resumed =
+            Study::new().with(scenario()).run(&resumed_spec).unwrap().without_wall_clock();
 
         // The spec differs only by the checkpoint policy, which is not a
         // statistic: compare the outputs re-wrapped under a common spec.

@@ -42,9 +42,10 @@ fn adaptive_spec(workers: usize) -> RunSpec {
 /// report format.
 #[test]
 fn sweep_stats_are_bit_identical_at_any_worker_count() {
-    let serial = sweep_study().run(&adaptive_spec(1)).unwrap();
+    // Wall-clock timings are stripped — only the statistics must match.
+    let serial = sweep_study().run(&adaptive_spec(1)).unwrap().without_wall_clock();
     for workers in [2, 8] {
-        let parallel = sweep_study().run(&adaptive_spec(workers)).unwrap();
+        let parallel = sweep_study().run(&adaptive_spec(workers)).unwrap().without_wall_clock();
         assert_eq!(serial.outputs, parallel.outputs, "workers = {workers}");
         assert_eq!(serial.to_csv(), parallel.to_csv(), "workers = {workers}");
         // The rendered report embeds the spec, whose worker count
@@ -108,5 +109,9 @@ fn sweep_seeds_derive_from_the_study_base_seed() {
         report.output("beowulf_performability").unwrap().metric("winner_performability").unwrap()
     };
     assert_ne!(perf(&a), perf(&b), "different seeds must explore different sample paths");
-    assert_eq!(a.outputs, a_again.outputs, "same seed must reproduce the report exactly");
+    assert_eq!(
+        a.without_wall_clock().outputs,
+        a_again.without_wall_clock().outputs,
+        "same seed must reproduce the report exactly"
+    );
 }
